@@ -1,0 +1,25 @@
+//! Cost of the max-performance DP over performance tables (paper
+//! Section 3.5's search for Max(sum of normalized IPCs)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcat::perf_table::{max_performance_split, PerformanceTable};
+
+fn bench_split(c: &mut Criterion) {
+    // 8 workloads, each with a fully populated 20-way table.
+    let tables: Vec<PerformanceTable> = (0..8)
+        .map(|i| {
+            let mut t = PerformanceTable::new(20);
+            for w in 1..=20 {
+                t.record(w, 1.0 + (w as f64).ln() * (0.05 + 0.01 * i as f64));
+            }
+            t
+        })
+        .collect();
+    let refs: Vec<&PerformanceTable> = tables.iter().collect();
+    c.bench_function("max_performance_split_8x20", |b| {
+        b.iter(|| max_performance_split(std::hint::black_box(&refs), 20))
+    });
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

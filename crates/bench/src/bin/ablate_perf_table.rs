@@ -1,0 +1,32 @@
+//! Ablation: per-phase performance-table reuse on vs. off (the paper's
+//! Figure-12 mechanism), measured as epochs from restart to peak ways.
+
+use dcat_bench::experiments::fig12_perf_table_reuse::run_with_reuse;
+use dcat_bench::report;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    report::section("Ablation: performance-table reuse");
+    let with = run_with_reuse(fast, true);
+    let without = run_with_reuse(fast, false);
+    report::table(
+        &[
+            "perf-table reuse",
+            "1st run epochs to peak",
+            "2nd run epochs to peak",
+        ],
+        &[
+            vec![
+                "enabled".into(),
+                with.first_run_epochs.to_string(),
+                with.second_run_epochs.to_string(),
+            ],
+            vec![
+                "disabled".into(),
+                without.first_run_epochs.to_string(),
+                without.second_run_epochs.to_string(),
+            ],
+        ],
+    );
+    println!("(with reuse, the second run should converge much faster)");
+}

@@ -1,0 +1,35 @@
+//! Ablation: max-fairness vs. max-performance free-pool distribution
+//! (the design choice of paper Section 3.5) on the Figure-14 scenario.
+
+use dcat::DcatConfig;
+use dcat_bench::experiments::fig14_two_receivers::run_with;
+use dcat_bench::report;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    report::section("Ablation: allocation policy (two receivers + late-comer)");
+    let fair = run_with(DcatConfig::default(), fast);
+    let perf = run_with(DcatConfig::max_performance(), fast);
+    report::table(
+        &[
+            "policy",
+            "MLR-8MB final ways",
+            "MLR-12MB final ways",
+            "total norm IPC",
+        ],
+        &[
+            vec![
+                "max-fairness".into(),
+                fair.ways_8mb.last().unwrap().to_string(),
+                fair.ways_12mb.last().unwrap().to_string(),
+                format!("{:.2}", fair.total_norm_ipc),
+            ],
+            vec![
+                "max-performance".into(),
+                perf.ways_8mb.last().unwrap().to_string(),
+                perf.ways_12mb.last().unwrap().to_string(),
+                format!("{:.2}", perf.total_norm_ipc),
+            ],
+        ],
+    );
+}

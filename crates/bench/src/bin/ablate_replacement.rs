@@ -1,0 +1,6 @@
+//! Ablation: LLC replacement/insertion policy (see the module docs).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dcat_bench::experiments::ablate_replacement::run(fast);
+}

@@ -1,0 +1,6 @@
+//! Extension experiment: CAT vs. OS page coloring at equal capacity.
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dcat_bench::experiments::exp_coloring::run(fast);
+}

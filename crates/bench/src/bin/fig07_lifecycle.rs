@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig07 (see DESIGN.md experiment index).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dcat_bench::experiments::fig07_lifecycle::run(fast);
+}

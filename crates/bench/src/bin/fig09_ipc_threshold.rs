@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig09 (see DESIGN.md experiment index).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dcat_bench::experiments::fig09_ipc_threshold::run(fast);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 (see DESIGN.md experiment index).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dcat_bench::experiments::fig10_dynamic_alloc::run(fast);
+}

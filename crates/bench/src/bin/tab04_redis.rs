@@ -1,0 +1,9 @@
+//! Regenerates Table 4 (Redis under Memtier GETs).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dcat_bench::experiments::tab_services::run_service(
+        dcat_bench::experiments::tab_services::Service::Redis,
+        fast,
+    );
+}

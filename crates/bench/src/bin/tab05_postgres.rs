@@ -1,0 +1,10 @@
+//! Regenerates Table 5 (PostgreSQL under pgbench SELECTs).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    dcat_bench::experiments::tab_services::run_service(
+        dcat_bench::experiments::tab_services::Service::Postgres,
+        fast,
+    );
+    dcat_bench::experiments::tab_services::run_postgres_multi(fast);
+}

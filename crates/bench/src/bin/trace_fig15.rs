@@ -1,0 +1,36 @@
+//! Diagnostic: per-epoch decisions for the Figure-15 scenario.
+
+use dcat_bench::experiments::common::{paper_dcat, paper_engine, MB};
+use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
+use workloads::{Lookbusy, Mload, Mlr};
+
+fn main() {
+    let mut plans = vec![
+        VmPlan::always("mlr-8mb", 3, |s| Box::new(Mlr::new(8 * MB, 400 + s))),
+        VmPlan::always("mload-60mb", 3, |_| Box::new(Mload::new(60 * MB))),
+    ];
+    for i in 0..5 {
+        plans.push(VmPlan::always(format!("lookbusy-{i}"), 2, |_| {
+            Box::new(Lookbusy::new())
+        }));
+    }
+    let r = run_scenario(
+        PolicyKind::Dcat(paper_dcat()),
+        paper_engine(false),
+        &plans,
+        24,
+    );
+    for (e, rep) in r.reports.iter().enumerate() {
+        println!(
+            "e{e:>2} MLR {:<9} w={:>2} n={:<5} | MLOAD {:<9} w={:>2} n={:<5} miss={:.2} ipc={:.4}",
+            rep[0].class.to_string(),
+            rep[0].ways,
+            rep[0].norm_ipc.map_or("-".into(), |v| format!("{v:.2}")),
+            rep[1].class.to_string(),
+            rep[1].ways,
+            rep[1].norm_ipc.map_or("-".into(), |v| format!("{v:.2}")),
+            rep[1].llc_miss_rate,
+            rep[1].ipc,
+        );
+    }
+}

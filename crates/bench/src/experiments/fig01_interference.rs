@@ -1,0 +1,87 @@
+//! Figure 1: impact of cache interference on MLR.
+//!
+//! MLR with a 6 MB and a 16 MB working set, with and without two
+//! MLOAD-60MB noisy neighbors, under a fully shared LLC and under CAT with
+//! a 13.5 MB (6-way) dedicated partition. The paper's findings:
+//!
+//! * shared + noisy destroys MLR's latency;
+//! * CAT protects MLR-6MB (6 ways ≥ working set): latency ≈ the
+//!   no-neighbor case;
+//! * CAT fails MLR-16MB (working set exceeds the partition): latency is
+//!   still far worse than the no-neighbor shared case.
+
+use workloads::{Mload, Mlr};
+
+use crate::experiments::common::{paper_engine, MB};
+use crate::report;
+use crate::scenario::{run_scenario, PolicyKind, VmPlan};
+
+/// Measured latencies (cycles) for one working-set size.
+#[derive(Debug, Clone, Copy)]
+pub struct InterferenceRow {
+    /// MLR working set in bytes.
+    pub wss: u64,
+    /// Shared cache, no noisy neighbors.
+    pub shared_quiet: f64,
+    /// Shared cache with two MLOAD-60MB neighbors.
+    pub shared_noisy: f64,
+    /// 6-way CAT partition with the same neighbors.
+    pub cat_noisy: f64,
+    /// 6-way CAT partition, no neighbors.
+    pub cat_quiet: f64,
+}
+
+fn latency(policy: PolicyKind, wss: u64, noisy: bool, fast: bool) -> f64 {
+    let epochs = if fast { 8 } else { 20 };
+    let plans = vec![
+        VmPlan::always("mlr", 6, move |s| Box::new(Mlr::new(wss, 100 + s))),
+        noisy_plan("noisy-1", noisy),
+        noisy_plan("noisy-2", noisy),
+    ];
+    let r = run_scenario(policy, paper_engine(fast), &plans, epochs);
+    r.steady_latency(0, (epochs / 4) as usize)
+}
+
+fn noisy_plan(name: &str, active: bool) -> VmPlan {
+    if active {
+        VmPlan::always(name, 7, |_| Box::new(Mload::new(60 * MB)))
+    } else {
+        VmPlan::idle(name, 7)
+    }
+}
+
+/// Runs the experiment and prints the figure's bars.
+pub fn run(fast: bool) -> Vec<InterferenceRow> {
+    report::section("Figure 1: Impact of cache interference for MLR");
+    let mut rows = Vec::new();
+    let mut printed = Vec::new();
+    for wss in [6 * MB, 16 * MB] {
+        let row = InterferenceRow {
+            wss,
+            shared_quiet: latency(PolicyKind::Shared, wss, false, fast),
+            shared_noisy: latency(PolicyKind::Shared, wss, true, fast),
+            cat_noisy: latency(PolicyKind::StaticCat, wss, true, fast),
+            cat_quiet: latency(PolicyKind::StaticCat, wss, false, fast),
+        };
+        printed.push(vec![
+            format!("MLR-{}MB", wss / MB),
+            format!("{:.1}", row.shared_quiet),
+            format!("{:.1}", row.shared_noisy),
+            format!("{:.1}", row.cat_noisy),
+            format!("{:.1}", row.cat_quiet),
+        ]);
+        rows.push(row);
+    }
+    report::table(
+        &[
+            "workload",
+            "shared w/o noisy",
+            "shared w/ noisy",
+            "CAT w/ noisy",
+            "CAT w/o noisy",
+        ],
+        &printed,
+    );
+    println!("(average data-access latency in cycles; lower is better)");
+    rows
+}

@@ -1,0 +1,119 @@
+//! Figure 5: the phase-change signal is allocation-independent.
+//!
+//! Memory accesses per instruction (`l1_ref / ret_ins`) for MLR and MLOAD
+//! at different working-set sizes, sweeping the CAT allocation from 1 to 8
+//! ways. The lines are flat: the metric depends only on the workload's
+//! code, never on the cache configuration — which is what qualifies it as
+//! dCat's phase signature.
+
+use std::rc::Rc;
+
+use workloads::{AccessStream, Mload, Mlr};
+
+use crate::experiments::common::{paper_engine, MB};
+use crate::report;
+use crate::scenario::{run_scenario, PolicyKind, ScheduleItem, VmPlan};
+
+/// Measured signature per way count for one workload.
+#[derive(Debug, Clone)]
+pub struct PhaseMetricSeries {
+    /// Workload label.
+    pub label: String,
+    /// `(ways, mem_accesses_per_instruction)` points.
+    pub points: Vec<(u32, f64)>,
+}
+
+impl PhaseMetricSeries {
+    /// Max relative spread across the sweep — flatness measure.
+    pub fn relative_spread(&self) -> f64 {
+        let values: Vec<f64> = self.points.iter().map(|p| p.1).collect();
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        if max <= 0.0 {
+            return 0.0;
+        }
+        (max - min) / max
+    }
+}
+
+fn sweep(
+    label: &str,
+    fast: bool,
+    factory: Rc<dyn Fn() -> Box<dyn AccessStream>>,
+) -> PhaseMetricSeries {
+    let epochs = if fast { 3 } else { 6 };
+    let ways_range: Vec<u32> = if fast {
+        vec![1, 4, 8]
+    } else {
+        (1..=8).collect()
+    };
+    let mut points = Vec::new();
+    for ways in ways_range {
+        let f = Rc::clone(&factory);
+        let plans = vec![VmPlan {
+            name: label.to_string(),
+            reserved_ways: ways,
+            factory: Box::new(move |_| f()),
+            schedule: vec![ScheduleItem::always()],
+        }];
+        let r = run_scenario(PolicyKind::StaticCat, paper_engine(fast), &plans, epochs);
+        let last = r.epochs.last().expect("at least one epoch");
+        let metric = if last[0].instructions == 0 {
+            0.0
+        } else {
+            last[0].l1_ref as f64 / last[0].instructions as f64
+        };
+        points.push((ways, metric));
+    }
+    PhaseMetricSeries {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// Runs the sweep for MLR and MLOAD at two working-set sizes each.
+pub fn run(fast: bool) -> Vec<PhaseMetricSeries> {
+    report::section("Figure 5: memory accesses per instruction vs. allocation");
+    let series = vec![
+        sweep(
+            "MLR-6MB",
+            fast,
+            Rc::new(|| Box::new(Mlr::new(6 * MB, 1)) as Box<dyn AccessStream>),
+        ),
+        sweep(
+            "MLR-12MB",
+            fast,
+            Rc::new(|| Box::new(Mlr::new(12 * MB, 2)) as Box<dyn AccessStream>),
+        ),
+        sweep(
+            "MLOAD-8MB",
+            fast,
+            Rc::new(|| Box::new(Mload::new(8 * MB)) as Box<dyn AccessStream>),
+        ),
+        sweep(
+            "MLOAD-60MB",
+            fast,
+            Rc::new(|| Box::new(Mload::new(60 * MB)) as Box<dyn AccessStream>),
+        ),
+    ];
+    let header: Vec<String> = std::iter::once("workload".to_string())
+        .chain(series[0].points.iter().map(|(w, _)| format!("{w}w")))
+        .chain(std::iter::once("spread".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            std::iter::once(s.label.clone())
+                .chain(s.points.iter().map(|(_, v)| format!("{v:.3}")))
+                .chain(std::iter::once(format!(
+                    "{:.1}%",
+                    s.relative_spread() * 100.0
+                )))
+                .collect()
+        })
+        .collect();
+    report::table(&header_refs, &rows);
+    println!("(flat rows: the signature is independent of the cache allocation)");
+    series
+}

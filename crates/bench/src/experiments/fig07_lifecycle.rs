@@ -1,0 +1,82 @@
+//! Figure 7: the allocation lifecycle of a VM under dCat.
+//!
+//! (a) An idle VM donates down to one way; when a memory-intensive
+//! workload starts, the reserved size is reclaimed immediately, then grown
+//! one way per decision until misses subside; when the workload stops the
+//! VM donates again.
+//! (b) The streaming variant: growth is abandoned at the streaming cap and
+//! the VM drops to one way while still running.
+
+use workloads::{Mload, Mlr};
+
+use crate::experiments::common::{paper_dcat, paper_engine, MB};
+use crate::report;
+use crate::scenario::{run_scenario, PolicyKind, ScheduleItem, VmPlan};
+
+/// The two timelines of the figure.
+#[derive(Debug, Clone)]
+pub struct Lifecycle {
+    /// Way series of the cache-friendly VM (panel a).
+    pub friendly_ways: Vec<u32>,
+    /// Way series of the streaming VM (panel b).
+    pub streaming_ways: Vec<u32>,
+}
+
+fn timeline(streaming: bool, fast: bool) -> Vec<u32> {
+    let (start, stop, total) = if fast { (2, 12, 16) } else { (4, 28, 36) };
+    let mut plans = vec![VmPlan::scheduled(
+        "tenant",
+        3,
+        vec![ScheduleItem::window(start, stop)],
+        move |_| {
+            if streaming {
+                Box::new(Mload::new(60 * MB))
+            } else {
+                Box::new(Mlr::new(8 * MB, 5))
+            }
+        },
+    )];
+    for i in 0..5 {
+        plans.push(VmPlan::always(format!("lookbusy-{i}"), 3, |_| {
+            Box::new(workloads::Lookbusy::new())
+        }));
+    }
+    let r = run_scenario(
+        PolicyKind::Dcat(paper_dcat()),
+        paper_engine(fast),
+        &plans,
+        total,
+    );
+    r.ways_series(0)
+}
+
+/// Runs both timelines and prints them.
+pub fn run(fast: bool) -> Lifecycle {
+    report::section("Figure 7: example of cache allocation with dCat");
+    let friendly_ways = timeline(false, fast);
+    let streaming_ways = timeline(true, fast);
+    let f: Vec<f64> = friendly_ways.iter().map(|&w| w as f64).collect();
+    let s: Vec<f64> = streaming_ways.iter().map(|&w| w as f64).collect();
+    report::ascii_series("(a) cache-friendly VM: ways over time", &f, 8);
+    report::ascii_series("(b) streaming VM: ways over time", &s, 8);
+    println!(
+        "friendly: {:?}",
+        friendly_ways
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!(
+        "streaming: {:?}",
+        streaming_ways
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    Lifecycle {
+        friendly_ways,
+        streaming_ways,
+    }
+}

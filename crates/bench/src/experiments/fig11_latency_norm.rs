@@ -1,0 +1,82 @@
+//! Figure 11: MLR data-access latency normalized to the full cache.
+//!
+//! For the Figure-10 scenario, the steady-state latency of the MLR VM
+//! under dCat and under static 3-way CAT, normalized to MLR running alone
+//! with the entire LLC. dCat tracks the full-cache latency closely; static
+//! partitioning is far worse once the working set exceeds 3 ways.
+
+use workloads::{Lookbusy, Mlr};
+
+use crate::experiments::common::{paper_engine, MB};
+use crate::report;
+use crate::scenario::{run_scenario, PolicyKind, VmPlan};
+
+/// One working-set point.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyNormRow {
+    /// Working set in bytes.
+    pub wss: u64,
+    /// dCat latency / full-cache latency.
+    pub dcat_norm: f64,
+    /// Static-CAT latency / full-cache latency.
+    pub static_norm: f64,
+}
+
+fn steady_latency(policy: PolicyKind, wss: u64, with_neighbors: bool, fast: bool) -> f64 {
+    let epochs = if fast { 16 } else { 44 };
+    let mut plans = vec![VmPlan::always("mlr", 3, move |s| {
+        Box::new(Mlr::new(wss, 70 + s))
+    })];
+    if with_neighbors {
+        for i in 0..5 {
+            plans.push(VmPlan::always(format!("lookbusy-{i}"), 3, |_| {
+                Box::new(Lookbusy::new())
+            }));
+        }
+    }
+    let r = run_scenario(policy, paper_engine(fast), &plans, epochs);
+    r.steady_latency(0, (epochs / 4) as usize)
+}
+
+/// Runs the comparison.
+pub fn run(fast: bool) -> Vec<LatencyNormRow> {
+    report::section("Figure 11: normalized (to full cache) data access latency for MLR");
+    let sizes: &[u64] = if fast {
+        &[4 * MB, 8 * MB]
+    } else {
+        &[4 * MB, 8 * MB, 12 * MB, 16 * MB]
+    };
+    let mut rows = Vec::new();
+    for &wss in sizes {
+        // Full cache: MLR alone, unmanaged (it can use every way).
+        let full = steady_latency(PolicyKind::Shared, wss, false, fast);
+        let dcat = steady_latency(
+            PolicyKind::Dcat(crate::experiments::common::paper_dcat()),
+            wss,
+            true,
+            fast,
+        );
+        let stat = steady_latency(PolicyKind::StaticCat, wss, true, fast);
+        rows.push(LatencyNormRow {
+            wss,
+            dcat_norm: dcat / full,
+            static_norm: stat / full,
+        });
+    }
+    let printed: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("MLR-{}MB", r.wss / MB),
+                format!("{:.2}x", r.dcat_norm),
+                format!("{:.2}x", r.static_norm),
+            ]
+        })
+        .collect();
+    report::table(
+        &["workload", "dCat / full cache", "static CAT / full cache"],
+        &printed,
+    );
+    println!("(1.0x = full-cache latency; dCat stays close, static CAT does not)");
+    rows
+}

@@ -1,0 +1,22 @@
+//! One module per reproduced table/figure. Each exposes `run(fast)`;
+//! the `fast` flag shrinks epoch counts and cycle budgets so integration
+//! tests finish quickly, while the binaries run the full-size versions.
+
+pub mod ablate_replacement;
+pub mod common;
+pub mod exp_coloring;
+pub mod fig01_interference;
+pub mod fig02_conflict_latency;
+pub mod fig03_set_histogram;
+pub mod fig05_phase_metric;
+pub mod fig07_lifecycle;
+pub mod fig08_miss_threshold;
+pub mod fig09_ipc_threshold;
+pub mod fig10_dynamic_alloc;
+pub mod fig11_latency_norm;
+pub mod fig12_perf_table_reuse;
+pub mod fig13_streaming;
+pub mod fig14_two_receivers;
+pub mod fig15_mixed;
+pub mod fig17_spec2006;
+pub mod tab_services;

@@ -1,0 +1,145 @@
+//! Plain-text reporting helpers shared by the experiment binaries.
+
+/// Prints a titled section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Prints a table: a header row and aligned data rows.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn table(header: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The `p`-th percentile (0..=100) of `values` by nearest-rank.
+///
+/// # Panics
+///
+/// Panics on an empty slice or `p` outside 0..=100.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Formats a ratio as a signed percentage ("+25.0%" / "-3.2%").
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", ratio * 100.0)
+}
+
+/// Renders a small ASCII time-series chart (one char per sample, scaled
+/// into `height` rows). Used by the timeline figures.
+pub fn ascii_series(label: &str, values: &[f64], height: usize) {
+    if values.is_empty() {
+        println!("{label}: (no data)");
+        return;
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min).min(0.0);
+    let span = (max - min).max(1e-12);
+    println!("{label} (min={min:.2}, max={max:.2})");
+    for row in (0..height).rev() {
+        let lo = min + span * row as f64 / height as f64;
+        let line: String = values
+            .iter()
+            .map(|&v| if v >= lo { '#' } else { ' ' })
+            .collect();
+        println!("  |{line}");
+    }
+    println!("  +{}", "-".repeat(values.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geo_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        let single = vec![7.0];
+        assert_eq!(percentile(&single, 99.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn mean_and_pct() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(pct(0.25), "+25.0%");
+        assert_eq!(pct(-0.032), "-3.2%");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        table(&["a", "b"], &[vec!["1".to_string()]]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Declarative multi-VM scenarios run under any cache policy.
+
+use dcat::{
+    CachePolicy, DcatConfig, DcatController, DomainReport, SharedCachePolicy, StaticCatPolicy,
+    WorkloadHandle,
+};
+use host::{Engine, EngineConfig, VmEpochStats, VmSpec};
+use workloads::AccessStream;
+
+/// One activity window of a VM's workload, in epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleItem {
+    /// Epoch at which the workload starts (inclusive).
+    pub start: u64,
+    /// Epoch at which it stops (exclusive); `None` = runs to the end.
+    pub stop: Option<u64>,
+}
+
+impl ScheduleItem {
+    /// A workload running for the whole experiment.
+    pub fn always() -> Self {
+        ScheduleItem {
+            start: 0,
+            stop: None,
+        }
+    }
+
+    /// A workload running in `[start, stop)`.
+    pub fn window(start: u64, stop: u64) -> Self {
+        ScheduleItem {
+            start,
+            stop: Some(stop),
+        }
+    }
+}
+
+/// A VM and its workload plan.
+pub struct VmPlan {
+    /// VM name.
+    pub name: String,
+    /// Contracted LLC ways.
+    pub reserved_ways: u32,
+    /// Builds a fresh stream each time the workload (re)starts. The
+    /// argument is the restart ordinal (0 for the first window), so
+    /// restarts can reuse or vary seeds.
+    pub factory: Box<dyn Fn(u64) -> Box<dyn AccessStream>>,
+    /// Activity windows, in ascending order.
+    pub schedule: Vec<ScheduleItem>,
+}
+
+impl VmPlan {
+    /// A VM whose workload runs for the whole experiment.
+    pub fn always(
+        name: impl Into<String>,
+        reserved_ways: u32,
+        factory: impl Fn(u64) -> Box<dyn AccessStream> + 'static,
+    ) -> Self {
+        VmPlan {
+            name: name.into(),
+            reserved_ways,
+            factory: Box::new(factory),
+            schedule: vec![ScheduleItem::always()],
+        }
+    }
+
+    /// A VM with an explicit activity schedule.
+    pub fn scheduled(
+        name: impl Into<String>,
+        reserved_ways: u32,
+        schedule: Vec<ScheduleItem>,
+        factory: impl Fn(u64) -> Box<dyn AccessStream> + 'static,
+    ) -> Self {
+        VmPlan {
+            name: name.into(),
+            reserved_ways,
+            factory: Box::new(factory),
+            schedule,
+        }
+    }
+
+    /// A VM that stays idle the whole time.
+    pub fn idle(name: impl Into<String>, reserved_ways: u32) -> Self {
+        VmPlan {
+            name: name.into(),
+            reserved_ways,
+            factory: Box::new(|_| unreachable!("idle VM never starts a workload")),
+            schedule: Vec::new(),
+        }
+    }
+}
+
+/// Which cache-management policy governs the socket.
+#[derive(Debug, Clone)]
+pub enum PolicyKind {
+    /// Unmanaged shared cache.
+    Shared,
+    /// Static CAT partitions at the reserved sizes.
+    StaticCat,
+    /// The dCat controller.
+    Dcat(DcatConfig),
+}
+
+impl PolicyKind {
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Shared => "shared",
+            PolicyKind::StaticCat => "static-cat",
+            PolicyKind::Dcat(_) => "dcat",
+        }
+    }
+}
+
+/// Everything recorded from one scenario run.
+pub struct RunResult {
+    /// `epochs[e][vm]` — engine statistics per epoch per VM.
+    pub epochs: Vec<Vec<VmEpochStats>>,
+    /// `reports[e][vm]` — policy decisions per epoch per VM.
+    pub reports: Vec<Vec<DomainReport>>,
+    /// Request latencies (cycles) accumulated per VM over the whole run.
+    pub request_latencies: Vec<Vec<f64>>,
+}
+
+impl RunResult {
+    /// Mean IPC of `vm` over the last `n` epochs (steady state).
+    pub fn steady_ipc(&self, vm: usize, n: usize) -> f64 {
+        let take = n.min(self.epochs.len());
+        let sum: f64 = self.epochs[self.epochs.len() - take..]
+            .iter()
+            .map(|e| e[vm].ipc)
+            .sum();
+        sum / take as f64
+    }
+
+    /// Mean data-access latency (cycles) of `vm` over the last `n` epochs.
+    pub fn steady_latency(&self, vm: usize, n: usize) -> f64 {
+        let take = n.min(self.epochs.len());
+        let sum: f64 = self.epochs[self.epochs.len() - take..]
+            .iter()
+            .map(|e| e[vm].avg_access_latency)
+            .sum();
+        sum / take as f64
+    }
+
+    /// Total instructions retired by `vm` across the run (the analogue of
+    /// SPEC's inverse running time: same work / more instructions per
+    /// fixed wall-clock simulation = faster).
+    pub fn total_instructions(&self, vm: usize) -> u64 {
+        self.epochs.iter().map(|e| e[vm].instructions).sum()
+    }
+
+    /// Requests completed by `vm` across the run.
+    pub fn total_requests(&self, vm: usize) -> u64 {
+        self.epochs.iter().map(|e| e[vm].requests_completed).sum()
+    }
+
+    /// Way allocation of `vm` per epoch.
+    pub fn ways_series(&self, vm: usize) -> Vec<u32> {
+        self.epochs.iter().map(|e| e[vm].ways).collect()
+    }
+
+    /// Peak ways ever granted to `vm`.
+    pub fn peak_ways(&self, vm: usize) -> u32 {
+        self.ways_series(vm).into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Runs `plans` under `policy` for `total_epochs` epochs.
+///
+/// VM `i` owns cores `{2i, 2i+1}` (two pinned vCPUs, as in the paper's
+/// testbed).
+///
+/// # Panics
+///
+/// Panics if the socket cannot host the VMs or the policy rejects the
+/// configuration — scenario bugs, not runtime conditions.
+pub fn run_scenario(
+    policy: PolicyKind,
+    engine_cfg: EngineConfig,
+    plans: &[VmPlan],
+    total_epochs: u64,
+) -> RunResult {
+    let vms: Vec<VmSpec> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            VmSpec::new(
+                p.name.clone(),
+                vec![(2 * i) as u32, (2 * i + 1) as u32],
+                p.reserved_ways,
+            )
+        })
+        .collect();
+    let handles: Vec<WorkloadHandle> = vms
+        .iter()
+        .map(|v| WorkloadHandle::new(v.name.clone(), v.cores.clone(), v.reserved_ways))
+        .collect();
+
+    let mut engine = Engine::new(engine_cfg, vms).expect("scenario must fit the socket");
+    let mut policy: Box<dyn CachePolicy> = match policy {
+        PolicyKind::Shared => Box::new(SharedCachePolicy::new(handles, &mut engine.cat())),
+        PolicyKind::StaticCat => {
+            Box::new(StaticCatPolicy::new(handles, &mut engine.cat()).expect("static layout fits"))
+        }
+        PolicyKind::Dcat(cfg) => {
+            Box::new(DcatController::new(cfg, handles, &mut engine.cat()).expect("dcat config ok"))
+        }
+    };
+
+    let mut result = RunResult {
+        epochs: Vec::with_capacity(total_epochs as usize),
+        reports: Vec::with_capacity(total_epochs as usize),
+        request_latencies: vec![Vec::new(); plans.len()],
+    };
+    let mut restart_count = vec![0u64; plans.len()];
+
+    for epoch in 0..total_epochs {
+        // Schedule transitions at epoch boundaries.
+        for (i, plan) in plans.iter().enumerate() {
+            for item in &plan.schedule {
+                if item.start == epoch {
+                    engine.start_workload(i, (plan.factory)(restart_count[i]));
+                    restart_count[i] += 1;
+                }
+                if item.stop == Some(epoch) {
+                    engine.stop_workload(i);
+                }
+            }
+        }
+
+        let stats = engine.run_epoch();
+        for (i, _) in plans.iter().enumerate() {
+            result.request_latencies[i].extend(engine.take_request_latencies(i));
+        }
+        let snapshots = engine.snapshots();
+        let reports = policy
+            .tick(&snapshots, &mut engine.cat())
+            .expect("policy tick must succeed");
+        result.epochs.push(stats);
+        result.reports.push(reports);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::CacheGeometry;
+    use workloads::{Lookbusy, Mlr};
+
+    fn tiny_engine() -> EngineConfig {
+        let mut cfg = EngineConfig::xeon_e5_v4();
+        cfg.socket.hierarchy = llc_sim::HierarchyConfig {
+            cores: 8,
+            l1: CacheGeometry::new(64, 8, 64),
+            l2: CacheGeometry::new(128, 8, 64),
+            llc: CacheGeometry::from_capacity(2 * 1024 * 1024, 8),
+            llc_policy: Default::default(),
+        };
+        cfg.cycles_per_epoch = 300_000;
+        cfg.memory_bytes = 128 * 1024 * 1024;
+        cfg
+    }
+
+    #[test]
+    fn scenario_runs_under_all_policies() {
+        for policy in [
+            PolicyKind::Shared,
+            PolicyKind::StaticCat,
+            PolicyKind::Dcat(DcatConfig::default()),
+        ] {
+            let plans = vec![
+                VmPlan::always("mlr", 2, |s| Box::new(Mlr::new(256 * 1024, s + 1))),
+                VmPlan::always("lookbusy", 2, |_| Box::new(Lookbusy::new())),
+            ];
+            let r = run_scenario(policy, tiny_engine(), &plans, 5);
+            assert_eq!(r.epochs.len(), 5);
+            assert_eq!(r.reports.len(), 5);
+            assert!(r.total_instructions(0) > 0);
+            assert!(r.total_instructions(1) > 0);
+        }
+    }
+
+    #[test]
+    fn schedule_windows_start_and_stop_workloads() {
+        let plans = vec![VmPlan::scheduled(
+            "w",
+            2,
+            vec![ScheduleItem::window(2, 4)],
+            |_| Box::new(Lookbusy::new()),
+        )];
+        let r = run_scenario(PolicyKind::Shared, tiny_engine(), &plans, 6);
+        assert_eq!(r.epochs[0][0].instructions, 0, "idle before start");
+        assert!(r.epochs[2][0].instructions > 0, "active in window");
+        assert_eq!(r.epochs[5][0].instructions, 0, "idle after stop");
+    }
+
+    #[test]
+    fn idle_plan_never_executes() {
+        let plans = vec![VmPlan::idle("idle", 2)];
+        let r = run_scenario(PolicyKind::Shared, tiny_engine(), &plans, 3);
+        assert_eq!(r.total_instructions(0), 0);
+    }
+
+    #[test]
+    fn run_result_accessors() {
+        let plans = vec![VmPlan::always("lb", 2, |_| Box::new(Lookbusy::new()))];
+        let r = run_scenario(PolicyKind::StaticCat, tiny_engine(), &plans, 4);
+        assert!(r.steady_ipc(0, 2) > 0.0);
+        assert!(r.steady_latency(0, 2) > 0.0);
+        assert_eq!(r.ways_series(0).len(), 4);
+        assert!(r.peak_ways(0) >= 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! The paper's two comparison policies: unmanaged shared cache and static
+//! CAT partitioning.
+
+use perf_events::{CounterSnapshot, IntervalMetrics};
+use resctrl::{CacheController, CatCapabilities, Cbm, CosId, LayoutPlanner, ResctrlError};
+
+use crate::controller::{DomainReport, WorkloadHandle};
+use crate::policy::CachePolicy;
+use crate::state::WorkloadClass;
+
+/// Shared metric bookkeeping for the static policies.
+struct MetricsTracker {
+    handles: Vec<WorkloadHandle>,
+    last: Vec<CounterSnapshot>,
+    baseline_ipc: Vec<Option<f64>>,
+}
+
+impl MetricsTracker {
+    fn new(handles: Vec<WorkloadHandle>) -> Self {
+        let n = handles.len();
+        MetricsTracker {
+            handles,
+            last: vec![CounterSnapshot::default(); n],
+            baseline_ipc: vec![None; n],
+        }
+    }
+
+    fn reports(&mut self, snapshots: &[CounterSnapshot], ways: &[u32]) -> Vec<DomainReport> {
+        assert_eq!(
+            snapshots.len(),
+            self.handles.len(),
+            "one snapshot per domain"
+        );
+        snapshots
+            .iter()
+            .enumerate()
+            .map(|(i, snap)| {
+                let delta = snap.delta_since(&self.last[i]);
+                self.last[i] = *snap;
+                let m = IntervalMetrics::from_delta(&delta);
+                if self.baseline_ipc[i].is_none() && m.ipc > 0.0 {
+                    self.baseline_ipc[i] = Some(m.ipc);
+                }
+                DomainReport {
+                    name: self.handles[i].name.clone(),
+                    class: WorkloadClass::Keeper,
+                    ways: ways[i],
+                    ipc: m.ipc,
+                    norm_ipc: self.baseline_ipc[i].map(|b| if b > 0.0 { m.ipc / b } else { 0.0 }),
+                    llc_miss_rate: m.llc_miss_rate,
+                    phase_changed: false,
+                    baseline_ipc: self.baseline_ipc[i],
+                }
+            })
+            .collect()
+    }
+}
+
+/// The unmanaged configuration: every core keeps the full LLC mask.
+///
+/// This is the "shared cache" column of the paper's figures — maximum
+/// capacity for everyone, zero isolation.
+pub struct SharedCachePolicy {
+    tracker: MetricsTracker,
+    total_ways: u32,
+}
+
+impl SharedCachePolicy {
+    /// Creates the policy; nothing is programmed (the hardware reset state
+    /// is already fully shared).
+    pub fn new(handles: Vec<WorkloadHandle>, cat: &mut dyn CacheController) -> Self {
+        let total_ways = cat.capabilities().cbm_len;
+        SharedCachePolicy {
+            tracker: MetricsTracker::new(handles),
+            total_ways,
+        }
+    }
+}
+
+impl CachePolicy for SharedCachePolicy {
+    fn name(&self) -> &'static str {
+        "shared"
+    }
+
+    fn tick(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        _cat: &mut dyn CacheController,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
+        let ways = vec![self.total_ways; snapshots.len()];
+        Ok(self.tracker.reports(snapshots, &ways))
+    }
+}
+
+/// Static CAT partitioning: each workload is pinned to its reserved ways
+/// forever (the paper's "static partition" configuration).
+pub struct StaticCatPolicy {
+    tracker: MetricsTracker,
+    ways: Vec<u32>,
+}
+
+impl StaticCatPolicy {
+    /// Programs the reserved, non-overlapping partitions once.
+    pub fn new(
+        handles: Vec<WorkloadHandle>,
+        cat: &mut dyn CacheController,
+    ) -> Result<Self, ResctrlError> {
+        let caps: CatCapabilities = cat.capabilities();
+        let counts: Vec<u32> = handles.iter().map(|h| h.reserved_ways).collect();
+        let layout = LayoutPlanner::new(caps.cbm_len).layout(&counts)?;
+        for (i, handle) in handles.iter().enumerate() {
+            let cos = CosId((i + 1) as u8);
+            let cbm: Cbm = layout[i];
+            cat.program_cos(cos, cbm)?;
+            for &core in &handle.cores {
+                cat.assign_core(core, cos)?;
+            }
+        }
+        Ok(StaticCatPolicy {
+            tracker: MetricsTracker::new(handles),
+            ways: counts,
+        })
+    }
+}
+
+impl CachePolicy for StaticCatPolicy {
+    fn name(&self) -> &'static str {
+        "static-cat"
+    }
+
+    fn tick(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        _cat: &mut dyn CacheController,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
+        let ways = self.ways.clone();
+        Ok(self.tracker.reports(snapshots, &ways))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resctrl::InMemoryController;
+
+    fn handles() -> Vec<WorkloadHandle> {
+        vec![
+            WorkloadHandle::new("a", vec![0, 1], 3),
+            WorkloadHandle::new("b", vec![2, 3], 5),
+        ]
+    }
+
+    fn snapshot(ins: u64, cyc: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            l1_ref: ins / 3,
+            llc_ref: 10,
+            llc_miss: 5,
+            ret_ins: ins,
+            cycles: cyc,
+        }
+    }
+
+    #[test]
+    fn static_policy_programs_reserved_partitions() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+        let mut p = StaticCatPolicy::new(handles(), &mut cat).unwrap();
+        assert_eq!(cat.cos_mask(CosId(1)).unwrap().ways(), 3);
+        assert_eq!(cat.cos_mask(CosId(2)).unwrap().ways(), 5);
+        assert!(!cat.has_overlapping_active_masks());
+        let r = p
+            .tick(&[snapshot(100, 200), snapshot(300, 300)], &mut cat)
+            .unwrap();
+        assert_eq!(r[0].ways, 3);
+        assert_eq!(r[1].ways, 5);
+        assert!((r[1].ipc - 1.0).abs() < 1e-9);
+        assert_eq!(p.name(), "static-cat");
+    }
+
+    #[test]
+    fn static_policy_never_reprograms() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+        let mut p = StaticCatPolicy::new(handles(), &mut cat).unwrap();
+        let log_len = cat.log.len();
+        for _ in 0..5 {
+            p.tick(&[snapshot(100, 100), snapshot(100, 100)], &mut cat)
+                .unwrap();
+        }
+        assert_eq!(cat.log.len(), log_len, "static policy must not mutate CAT");
+    }
+
+    #[test]
+    fn shared_policy_reports_full_ways_and_never_programs() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+        let mut p = SharedCachePolicy::new(handles(), &mut cat);
+        let r = p
+            .tick(&[snapshot(100, 100), snapshot(100, 100)], &mut cat)
+            .unwrap();
+        assert_eq!(r[0].ways, 20);
+        assert!(cat.log.is_empty());
+        assert_eq!(p.name(), "shared");
+    }
+
+    #[test]
+    fn normalized_ipc_tracks_first_active_interval() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+        let mut p = SharedCachePolicy::new(handles(), &mut cat);
+        p.tick(&[snapshot(100, 200), snapshot(0, 0)], &mut cat)
+            .unwrap();
+        // Second interval: double the IPC of the first.
+        let r = p
+            .tick(
+                &[
+                    snapshot(100, 200).merged_with(&snapshot(100, 100)),
+                    snapshot(0, 0),
+                ],
+                &mut cat,
+            )
+            .unwrap();
+        assert!((r[0].norm_ipc.unwrap() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! dcatd — the dCat daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! dcatd --resctrl <root> --telemetry <file> --domains <name:cores:ways;...>
+//!       [--interval-ms <n>] [--ticks <n>] [--max-performance]
+//! ```
+//!
+//! Example against a fixture tree (no hardware needed):
+//!
+//! ```text
+//! dcatd --resctrl /tmp/resctrl --telemetry /tmp/counters.csv \
+//!       --domains "web:0-1:4;db:2-3:6" --interval-ms 1000
+//! ```
+//!
+//! On CAT hardware, point `--resctrl` at `/sys/fs/resctrl` and refresh the
+//! telemetry file from an MSR/perf sampler once per interval.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dcat::daemon::{parse_domains, run_daemon, DaemonConfig};
+use dcat::DcatConfig;
+
+fn usage() -> &'static str {
+    "usage: dcatd --resctrl <root> --telemetry <file> \
+     --domains <name:cores:ways;...> [--interval-ms <n>] [--ticks <n>] \
+     [--max-performance]"
+}
+
+fn parse_args() -> Result<DaemonConfig, String> {
+    let mut resctrl_root: Option<PathBuf> = None;
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut domains = None;
+    let mut interval = Duration::from_secs(1);
+    let mut max_ticks = None;
+    let mut dcat = DcatConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--resctrl" => resctrl_root = Some(PathBuf::from(value("--resctrl")?)),
+            "--telemetry" => telemetry_path = Some(PathBuf::from(value("--telemetry")?)),
+            "--domains" => domains = Some(parse_domains(&value("--domains")?)?),
+            "--interval-ms" => {
+                let ms: u64 = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval-ms: {e}"))?;
+                interval = Duration::from_millis(ms);
+            }
+            "--ticks" => {
+                max_ticks = Some(
+                    value("--ticks")?
+                        .parse()
+                        .map_err(|e| format!("bad --ticks: {e}"))?,
+                );
+            }
+            "--max-performance" => dcat = DcatConfig::max_performance(),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(DaemonConfig {
+        resctrl_root: resctrl_root.ok_or_else(|| format!("--resctrl is required\n{}", usage()))?,
+        telemetry_path: telemetry_path
+            .ok_or_else(|| format!("--telemetry is required\n{}", usage()))?,
+        domains: domains.ok_or_else(|| format!("--domains is required\n{}", usage()))?,
+        dcat,
+        interval,
+        max_ticks,
+    })
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_daemon(&cfg) {
+        Ok(reports) => {
+            for r in reports {
+                println!(
+                    "{}: {} ways, class {}, ipc {:.3}",
+                    r.name, r.ways, r.class, r.ipc
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dcatd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,1258 @@
+//! The dCat controller: the five-step loop of the paper's Figure 4.
+
+use std::collections::HashMap;
+
+use perf_events::{CounterSnapshot, IntervalMetrics};
+use resctrl::{CacheController, Cbm, CosId, LayoutPlanner, ResctrlError};
+
+use crate::config::{AllocationPolicy, DcatConfig};
+use crate::perf_table::{max_performance_split, PerformanceTable};
+use crate::phase::{PhaseChange, PhaseDetector};
+use crate::state::WorkloadClass;
+
+/// Static description of one managed workload (a tenant's VM/container).
+#[derive(Debug, Clone)]
+pub struct WorkloadHandle {
+    /// Display name.
+    pub name: String,
+    /// Cores owned exclusively by the workload.
+    pub cores: Vec<u32>,
+    /// Contracted LLC ways — the baseline allocation.
+    pub reserved_ways: u32,
+}
+
+impl WorkloadHandle {
+    /// Creates a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no cores or zero reserved ways.
+    pub fn new(name: impl Into<String>, cores: Vec<u32>, reserved_ways: u32) -> Self {
+        assert!(!cores.is_empty(), "workload needs at least one core");
+        assert!(reserved_ways >= 1, "reserved ways must be at least 1");
+        WorkloadHandle {
+            name: name.into(),
+            cores,
+            reserved_ways,
+        }
+    }
+}
+
+/// What dCat decided about one workload this interval.
+#[derive(Debug, Clone)]
+pub struct DomainReport {
+    /// Workload name.
+    pub name: String,
+    /// Class after this interval's categorization.
+    pub class: WorkloadClass,
+    /// Ways granted for the *next* interval.
+    pub ways: u32,
+    /// IPC measured this interval.
+    pub ipc: f64,
+    /// IPC normalized to the phase baseline, if a baseline exists.
+    pub norm_ipc: Option<f64>,
+    /// LLC miss rate this interval.
+    pub llc_miss_rate: f64,
+    /// Whether a phase change was detected this interval.
+    pub phase_changed: bool,
+    /// The phase's baseline IPC, once established.
+    pub baseline_ipc: Option<f64>,
+}
+
+/// How a Donor releases capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DonorMode {
+    /// Idle / no LLC use: drop straight to the minimum.
+    Fast,
+    /// Uses the LLC but misses are negligible: release one way per
+    /// interval until misses become non-trivial.
+    Gradual,
+}
+
+struct Domain {
+    handle: WorkloadHandle,
+    cos: CosId,
+    class: WorkloadClass,
+    donor_mode: DonorMode,
+    /// Currently programmed way count.
+    ways: u32,
+    /// Mask currently programmed (for churn-minimizing relayout).
+    cbm: Option<Cbm>,
+    last_snapshot: CounterSnapshot,
+    detector: PhaseDetector,
+    /// Active phase's table.
+    table: PerformanceTable,
+    /// Tables of previously seen phases, keyed by quantized signature.
+    archived: HashMap<u64, PerformanceTable>,
+    /// Whether the active table was restored from the archive (a recurring
+    /// phase: jump straight to the preferred allocation).
+    recurring: bool,
+    baseline_ipc: Option<f64>,
+    /// Waiting to measure the baseline at the reserved allocation.
+    pending_baseline: bool,
+    /// Intervals left before the last ways change is judged.
+    settle: u32,
+    /// IPC at the previous decision point, for improvement comparisons.
+    prev_ipc: Option<f64>,
+    /// Ways at the previous decision point.
+    prev_ways: u32,
+    /// The allocator could not grant a requested grow (pool empty).
+    grow_denied: bool,
+    /// An added way was observed to yield no meaningful IPC improvement
+    /// (qualifies the workload for a Streaming verdict once growth stops).
+    saw_no_improvement: bool,
+    /// The workload was once misclassified Streaming and suffered below
+    /// its baseline; it is pinned at its reserved allocation for the rest
+    /// of the phase to honor the baseline guarantee without oscillating.
+    capped: bool,
+    /// Way count at which a growth probe last stalled (no improvement).
+    /// Keeper does not re-enter Unknown at this size, preventing an
+    /// endless probe-stall-probe cycle on workloads with heavy miss tails.
+    stalled_at: Option<u32>,
+    /// Smallest allocation donation may reach this phase. Raised when a
+    /// donated-down workload fell below its baseline (it provably needs
+    /// more than it had), preventing a donate/suffer/reclaim loop whose
+    /// every iteration pays a cold-start.
+    donor_floor: u32,
+}
+
+impl Domain {
+    fn reserved(&self) -> u32 {
+        self.handle.reserved_ways
+    }
+}
+
+/// Longest contiguous run of zero bits within the low `total_ways` bits of
+/// `occupied`, as a CBM; `None` when every way is occupied.
+fn longest_free_run(occupied: u32, total_ways: u32) -> Option<Cbm> {
+    let mut best: Option<(u32, u32)> = None; // (start, len)
+    let mut run_start = 0;
+    let mut run_len = 0;
+    for way in 0..total_ways {
+        if occupied & (1 << way) == 0 {
+            if run_len == 0 {
+                run_start = way;
+            }
+            run_len += 1;
+            if best.is_none_or(|(_, l)| run_len > l) {
+                best = Some((run_start, run_len));
+            }
+        } else {
+            run_len = 0;
+        }
+    }
+    best.map(|(start, len)| Cbm::from_way_range(start, len))
+}
+
+/// The dynamic cache-allocation controller.
+pub struct DcatController {
+    config: DcatConfig,
+    domains: Vec<Domain>,
+    planner: LayoutPlanner,
+    total_ways: u32,
+    interval: u64,
+}
+
+impl DcatController {
+    /// Creates the controller and programs the initial (reserved) static
+    /// partitioning — the same state a static-CAT deployment would use.
+    ///
+    /// Domain `i` is bound to COS `i + 1` (COS 0 stays the default class
+    /// for unmanaged cores).
+    pub fn new(
+        config: DcatConfig,
+        handles: Vec<WorkloadHandle>,
+        cat: &mut dyn CacheController,
+    ) -> Result<Self, ResctrlError> {
+        config
+            .validate()
+            .map_err(|e| ResctrlError::Parse(format!("invalid DcatConfig: {e}")))?;
+        let caps = cat.capabilities();
+        let total_ways = caps.cbm_len;
+        if handles.len() + 1 > caps.num_closids as usize {
+            return Err(ResctrlError::Parse(format!(
+                "{} workloads exceed {} classes of service",
+                handles.len(),
+                caps.num_closids
+            )));
+        }
+        let reserved_total: u32 = handles.iter().map(|h| h.reserved_ways).sum();
+        if reserved_total > total_ways {
+            return Err(ResctrlError::Parse(format!(
+                "reserved ways {reserved_total} exceed the {total_ways}-way cache"
+            )));
+        }
+
+        let mut ctl = DcatController {
+            domains: handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, handle)| Domain {
+                    ways: handle.reserved_ways,
+                    cos: CosId((i + 1) as u8),
+                    class: WorkloadClass::Keeper,
+                    donor_mode: DonorMode::Fast,
+                    cbm: None,
+                    last_snapshot: CounterSnapshot::default(),
+                    detector: PhaseDetector::new(config.phase_change_thr),
+                    table: PerformanceTable::new(total_ways),
+                    archived: HashMap::new(),
+                    recurring: false,
+                    baseline_ipc: None,
+                    pending_baseline: true,
+                    settle: config.settle_intervals,
+                    prev_ipc: None,
+                    prev_ways: handle.reserved_ways,
+                    grow_denied: false,
+                    saw_no_improvement: false,
+                    capped: false,
+                    stalled_at: None,
+                    donor_floor: config.min_ways,
+                    handle,
+                })
+                .collect(),
+            planner: LayoutPlanner::new(total_ways),
+            total_ways,
+            interval: 0,
+            config,
+        };
+        let targets: Vec<u32> = ctl.domains.iter().map(|d| d.ways).collect();
+        ctl.apply(&targets, cat)?;
+        Ok(ctl)
+    }
+
+    /// Number of managed workloads.
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &DcatConfig {
+        &self.config
+    }
+
+    /// Current class of domain `i`.
+    pub fn class_of(&self, i: usize) -> WorkloadClass {
+        self.domains[i].class
+    }
+
+    /// Currently granted ways of domain `i`.
+    pub fn ways_of(&self, i: usize) -> u32 {
+        self.domains[i].ways
+    }
+
+    /// Number of controller intervals executed so far.
+    pub fn intervals(&self) -> u64 {
+        self.interval
+    }
+
+    /// The active performance table of domain `i`.
+    pub fn performance_table(&self, i: usize) -> &PerformanceTable {
+        &self.domains[i].table
+    }
+
+    /// Runs one controller interval: collect statistics, detect phase
+    /// changes, categorize, and re-allocate.
+    ///
+    /// `snapshots[i]` must be the monotonic counter totals of domain `i`.
+    pub fn tick(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        cat: &mut dyn CacheController,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
+        assert_eq!(
+            snapshots.len(),
+            self.domains.len(),
+            "one snapshot per domain"
+        );
+        self.interval += 1;
+
+        // Steps 1-4: metrics, phase detection, categorization.
+        let mut infos = Vec::with_capacity(self.domains.len());
+        for (i, snap) in snapshots.iter().enumerate() {
+            let delta = snap.delta_since(&self.domains[i].last_snapshot);
+            self.domains[i].last_snapshot = *snap;
+            let metrics = IntervalMetrics::from_delta(&delta);
+            let phase_changed = self.classify(i, &metrics);
+            infos.push((metrics, phase_changed));
+        }
+
+        // Step 5: allocation.
+        let reclaimed = self
+            .domains
+            .iter()
+            .any(|d| d.class == WorkloadClass::Reclaim);
+        let mut targets = self.base_targets();
+        // A large release (a tenant declared Streaming or gone idle)
+        // changes the pool regime: stalled growth probes are worth
+        // retrying (the paper's Figure 15 shows the receiver absorbing a
+        // way the streaming neighbor released).
+        let released = self
+            .domains
+            .iter()
+            .zip(targets.iter())
+            .any(|(d, &t)| d.ways >= t + 2);
+        if released {
+            for d in &mut self.domains {
+                d.stalled_at = None;
+            }
+        }
+        self.resolve_deficit(&mut targets);
+        if self.config.policy == AllocationPolicy::MaxPerformance && reclaimed {
+            self.max_performance_retarget(&mut targets);
+        }
+        self.grow_from_pool(&mut targets);
+        self.apply(&targets, cat)?;
+
+        Ok(self
+            .domains
+            .iter()
+            .zip(infos)
+            .map(|(d, (m, phase_changed))| DomainReport {
+                name: d.handle.name.clone(),
+                class: d.class,
+                ways: d.ways,
+                ipc: m.ipc,
+                norm_ipc: d
+                    .baseline_ipc
+                    .map(|b| if b > 0.0 { m.ipc / b } else { 0.0 }),
+                llc_miss_rate: m.llc_miss_rate,
+                phase_changed,
+                baseline_ipc: d.baseline_ipc,
+            })
+            .collect())
+    }
+
+    /// Steps 2-4 for one domain. Returns whether a phase change fired.
+    fn classify(&mut self, i: usize, m: &IntervalMetrics) -> bool {
+        let cfg = self.config;
+        let d = &mut self.domains[i];
+
+        // An idle domain (no retired instructions) donates everything and
+        // forgets its phase; its next activity is a fresh phase.
+        if m.is_idle() {
+            if let Some(sig) = d.detector.signature() {
+                let bucket = PhaseDetector::bucket(sig, cfg.phase_bucket_quantum);
+                let table = std::mem::replace(&mut d.table, PerformanceTable::new(self.total_ways));
+                if !table.is_empty() {
+                    d.archived.insert(bucket, table);
+                }
+            }
+            d.detector.reset();
+            d.class = WorkloadClass::Donor;
+            d.donor_mode = DonorMode::Fast;
+            d.baseline_ipc = None;
+            d.pending_baseline = false;
+            d.recurring = false;
+            d.prev_ipc = None;
+            d.saw_no_improvement = false;
+            d.capped = false;
+            d.stalled_at = None;
+            d.donor_floor = self.config.min_ways;
+            return false;
+        }
+
+        // Step 3: phase detection. Reclaim fires immediately, bypassing
+        // settling (it has the highest priority in the paper).
+        let change = d.detector.observe(m.mem_access_per_instr);
+        if change.requires_rebaseline() {
+            let new_sig = d.detector.signature().expect("observe set the signature");
+            let new_bucket = PhaseDetector::bucket(new_sig, cfg.phase_bucket_quantum);
+            if let PhaseChange::Changed { previous, .. } = change {
+                let old_bucket = PhaseDetector::bucket(previous, cfg.phase_bucket_quantum);
+                let table = std::mem::replace(&mut d.table, PerformanceTable::new(self.total_ways));
+                if !table.is_empty() {
+                    d.archived.insert(old_bucket, table);
+                }
+            }
+            // A recurring phase restores its table, enabling the direct
+            // jump to the preferred allocation (paper Figure 12).
+            if !cfg.enable_perf_table_reuse {
+                d.archived.clear();
+            }
+            if let Some(t) = d.archived.remove(&new_bucket) {
+                d.table = t;
+                d.recurring = true;
+            } else {
+                d.table = PerformanceTable::new(self.total_ways);
+                d.recurring = false;
+            }
+            d.class = WorkloadClass::Reclaim;
+            d.baseline_ipc = None;
+            d.pending_baseline = true;
+            d.prev_ipc = None;
+            d.saw_no_improvement = false;
+            d.capped = false;
+            d.stalled_at = None;
+            d.donor_floor = cfg.min_ways;
+            d.settle = cfg.settle_intervals;
+            return matches!(change, PhaseChange::Changed { .. });
+        }
+
+        // Wait for the cache to settle after the last allocation change;
+        // judge on the tick where the countdown reaches zero (that
+        // interval ran with the new allocation warm).
+        if d.settle > 0 {
+            d.settle -= 1;
+            if d.settle > 0 {
+                return false;
+            }
+        }
+
+        // Step 1 (deferred): establish the baseline at the reserved size.
+        if d.pending_baseline {
+            if d.ways == d.reserved() {
+                d.baseline_ipc = Some(m.ipc);
+                d.table.record(d.reserved(), 1.0);
+                d.pending_baseline = false;
+                d.prev_ipc = Some(m.ipc);
+                d.prev_ways = d.ways;
+                // Leave Reclaim: the workload now competes normally.
+                d.class = WorkloadClass::Keeper;
+            }
+            return false;
+        }
+        let baseline = match d.baseline_ipc {
+            Some(b) if b > 0.0 => b,
+            _ => return false,
+        };
+
+        // The initial baseline is measured on a cold cache; while the
+        // workload runs at its reserved size, keep the estimate fresh so
+        // the guarantee and the normalizations track the warmed-up truth.
+        if d.ways == d.reserved() {
+            let refreshed = 0.5 * baseline + 0.5 * m.ipc;
+            d.baseline_ipc = Some(refreshed);
+        }
+        let baseline = d.baseline_ipc.expect("just set");
+        let norm = m.ipc / baseline;
+        d.table.record(d.ways, norm);
+
+        let improvement = match d.prev_ipc {
+            Some(prev) if prev > 0.0 && d.ways != d.prev_ways => Some((m.ipc - prev) / prev),
+            _ => None,
+        };
+        if matches!(improvement, Some(imp) if imp <= cfg.ipc_imp_thr) {
+            d.saw_no_improvement = true;
+        }
+        let low_llc_use = m.llc_ref_per_instr() <= cfg.llc_ref_per_instr_thr;
+        let negligible_misses = m.llc_miss_rate <= cfg.donor_miss_rate_thr;
+        let high_misses = m.llc_miss_rate > cfg.llc_miss_rate_thr;
+        let streaming_cap = d.reserved().saturating_mul(cfg.streaming_multiplier);
+
+        // Step 4: the Figure-6 state machine.
+        d.class = match d.class {
+            WorkloadClass::Reclaim => WorkloadClass::Keeper,
+            WorkloadClass::Streaming => {
+                // Streaming is sticky within a phase: the pattern has no
+                // reuse regardless of allocation.
+                WorkloadClass::Streaming
+            }
+            _ if low_llc_use => {
+                d.donor_mode = DonorMode::Fast;
+                WorkloadClass::Donor
+            }
+            WorkloadClass::Keeper if negligible_misses => {
+                d.donor_mode = DonorMode::Gradual;
+                WorkloadClass::Donor
+            }
+            WorkloadClass::Donor => {
+                if high_misses {
+                    // Shrunk (or started) too small; stop donating.
+                    WorkloadClass::Keeper
+                } else if negligible_misses {
+                    WorkloadClass::Donor
+                } else {
+                    WorkloadClass::Keeper
+                }
+            }
+            WorkloadClass::Keeper => {
+                if high_misses && !d.capped && d.stalled_at != Some(d.ways) {
+                    WorkloadClass::Unknown
+                } else {
+                    WorkloadClass::Keeper
+                }
+            }
+            WorkloadClass::Unknown => {
+                // "Always no performance improvement" is the streaming
+                // signature: the verdict requires that the phase's table
+                // never recorded a meaningful gain over the baseline.
+                let ever_improved = d.table.iter().any(|(_, v)| v > 1.0 + cfg.ipc_imp_thr);
+                match improvement {
+                    Some(imp) if imp > cfg.ipc_imp_thr => WorkloadClass::Receiver,
+                    // Grew as far as allowed (the streaming cap, or the
+                    // pool ran dry) with no payoff ever observed: a cyclic
+                    // pattern that will never reuse its cache.
+                    _ if !ever_improved
+                        && d.saw_no_improvement
+                        && (d.ways >= streaming_cap || d.grow_denied) =>
+                    {
+                        WorkloadClass::Streaming
+                    }
+                    // A workload that did benefit earlier but stalled now:
+                    // keep what it has and stop probing at this size.
+                    Some(_) if ever_improved => {
+                        d.stalled_at = Some(d.ways);
+                        WorkloadClass::Keeper
+                    }
+                    None if d.grow_denied && ever_improved => {
+                        d.stalled_at = Some(d.ways);
+                        WorkloadClass::Keeper
+                    }
+                    _ => WorkloadClass::Unknown,
+                }
+            }
+            WorkloadClass::Receiver => {
+                let stalled = matches!(improvement, Some(imp) if imp < cfg.ipc_imp_thr);
+                if stalled {
+                    d.stalled_at = Some(d.ways);
+                }
+                if !high_misses || stalled {
+                    WorkloadClass::Keeper
+                } else {
+                    WorkloadClass::Receiver
+                }
+            }
+        };
+
+        // Baseline guarantee: a workload sitting below its reserved size
+        // whose performance fell below the baseline is restored at once.
+        if d.ways < d.reserved() && norm < 1.0 - cfg.baseline_margin && !d.class.wants_growth() {
+            // A *Streaming* workload suffering at the minimum allocation
+            // was misclassified (true streaming is allocation-neutral).
+            // Restore the reserved size and pin it there for the rest of
+            // the phase; re-growing would just repeat the misverdict.
+            if d.class == WorkloadClass::Streaming {
+                d.capped = true;
+            }
+            // A workload that suffered below its reserved size proved it
+            // needs more than it had: donation must not revisit that size.
+            d.donor_floor = (d.ways + 1).min(d.reserved());
+            d.class = WorkloadClass::Reclaim;
+            // The phase (and its baseline) are still valid: no re-baseline.
+        }
+
+        d.prev_ipc = Some(m.ipc);
+        d.prev_ways = d.ways;
+        false
+    }
+
+    /// Per-class way targets before pool distribution.
+    fn base_targets(&mut self) -> Vec<u32> {
+        let min = self.config.min_ways;
+        self.domains
+            .iter()
+            .map(|d| match d.class {
+                WorkloadClass::Reclaim => d.reserved(),
+                WorkloadClass::Streaming => min,
+                WorkloadClass::Donor => match d.donor_mode {
+                    DonorMode::Fast => min.max(d.donor_floor),
+                    // Gradual donation releases one way per *judged*
+                    // interval; a settling donor holds its size.
+                    DonorMode::Gradual if d.settle == 0 => {
+                        d.ways.saturating_sub(1).max(min).max(d.donor_floor)
+                    }
+                    DonorMode::Gradual => d.ways,
+                },
+                WorkloadClass::Keeper | WorkloadClass::Unknown | WorkloadClass::Receiver => d.ways,
+            })
+            .collect()
+    }
+
+    /// If targets oversubscribe the cache (a Reclaim arrived while others
+    /// hold extra), shave ways from domains holding more than their
+    /// reserved share, largest surplus first.
+    fn resolve_deficit(&self, targets: &mut [u32]) {
+        let total: u32 = targets.iter().sum();
+        let mut deficit = total.saturating_sub(self.total_ways);
+        while deficit > 0 {
+            let victim = (0..targets.len())
+                .filter(|&i| {
+                    targets[i] > self.config.min_ways
+                        && targets[i] > self.domains[i].reserved()
+                        && self.domains[i].class != WorkloadClass::Reclaim
+                })
+                .max_by_key(|&i| targets[i] - self.domains[i].reserved());
+            match victim {
+                Some(i) => {
+                    targets[i] -= 1;
+                    deficit -= 1;
+                }
+                None => {
+                    // Nobody above baseline: shave any non-reclaim domain
+                    // above the minimum (cannot happen when the reserved
+                    // sums fit the cache, but stay safe).
+                    match (0..targets.len())
+                        .filter(|&i| {
+                            targets[i] > self.config.min_ways
+                                && self.domains[i].class != WorkloadClass::Reclaim
+                        })
+                        .max_by_key(|&i| targets[i])
+                    {
+                        Some(i) => {
+                            targets[i] -= 1;
+                            deficit -= 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The max-performance policy: after a reclaim, re-split the ways of
+    /// the table-bearing beneficiaries to maximize total normalized IPC
+    /// (paper Section 3.5's worked example).
+    fn max_performance_retarget(&self, targets: &mut [u32]) {
+        let candidates: Vec<usize> = (0..self.domains.len())
+            .filter(|&i| {
+                let d = &self.domains[i];
+                !d.pending_baseline
+                    && !d.table.is_empty()
+                    && matches!(
+                        d.class,
+                        WorkloadClass::Receiver | WorkloadClass::Unknown | WorkloadClass::Keeper
+                    )
+                    && d.table.len() >= 2
+            })
+            .collect();
+        if candidates.len() < 2 {
+            return;
+        }
+        let others: u32 = (0..targets.len())
+            .filter(|i| !candidates.contains(i))
+            .map(|i| targets[i])
+            .sum();
+        let budget = self.total_ways.saturating_sub(others);
+        let tables: Vec<&PerformanceTable> =
+            candidates.iter().map(|&i| &self.domains[i].table).collect();
+        if let Some(split) = max_performance_split(&tables, budget) {
+            for (k, &i) in candidates.iter().enumerate() {
+                targets[i] = split[k].max(self.config.min_ways);
+            }
+        }
+    }
+
+    /// Distributes the free pool: Unknown workloads first (to resolve them
+    /// into Receiver or Streaming sooner), then Receivers; one way per
+    /// interval each, except that a recurring phase jumps straight to its
+    /// recorded preferred allocation.
+    fn grow_from_pool(&mut self, targets: &mut [u32]) {
+        let assigned: u32 = targets.iter().sum();
+        let mut free = self.total_ways.saturating_sub(assigned);
+
+        // Desired totals per candidate.
+        let mut order: Vec<usize> = Vec::new();
+        for class in [WorkloadClass::Unknown, WorkloadClass::Receiver] {
+            for i in 0..self.domains.len() {
+                // Only freshly judged domains change size; a settling
+                // domain keeps its allocation until its effect is known.
+                if self.domains[i].class == class && self.domains[i].settle == 0 {
+                    order.push(i);
+                }
+            }
+        }
+        for &i in &order {
+            let d = &mut self.domains[i];
+            let desired = if d.recurring {
+                match d.table.preferred_ways(1e-6) {
+                    Some(p) if p > targets[i] => p,
+                    _ => targets[i] + 1,
+                }
+            } else {
+                targets[i] + 1
+            };
+            let want = desired.saturating_sub(targets[i]).min(free);
+            if want == 0 && desired > targets[i] {
+                d.grow_denied = true;
+            } else {
+                d.grow_denied = false;
+                targets[i] += want;
+                free -= want;
+            }
+        }
+    }
+
+    /// Programs the targets through CAT, minimizing mask churn.
+    ///
+    /// COS 0 (the default class of any unmanaged core) is confined to the
+    /// free pool so stray host threads cannot pollute tenant partitions;
+    /// when the pool is empty it is pinned to the top way (CAT forbids an
+    /// empty mask, so a fully allocated cache unavoidably shares one way
+    /// with unmanaged cores).
+    fn apply(
+        &mut self,
+        targets: &[u32],
+        cat: &mut dyn CacheController,
+    ) -> Result<(), ResctrlError> {
+        let previous: Vec<Option<Cbm>> = self.domains.iter().map(|d| d.cbm).collect();
+        let layout = self.planner.layout_stable(targets, &previous)?;
+        // Ways a domain lost must be flushed (the paper's user-level flush
+        // pass): lines filled under the old mask would otherwise keep
+        // hitting — and surviving — in ways their owner can no longer
+        // fill, silently extending its effective allocation.
+        let mut lost = 0u32;
+        for (i, cbm) in layout.iter().enumerate() {
+            if let Some(old) = self.domains[i].cbm {
+                lost |= old.0 & !cbm.0;
+            }
+        }
+        // The free pool is whatever the tenant masks leave unclaimed; CAT
+        // masks must be contiguous, so COS 0 gets the longest free run.
+        let occupied = layout.iter().fold(0u32, |acc, m| acc | m.0);
+        let default_mask = longest_free_run(occupied, self.total_ways)
+            .unwrap_or_else(|| Cbm::from_way_range(self.total_ways - 1, 1));
+        cat.program_cos(CosId(0), default_mask)?;
+        for (i, cbm) in layout.iter().enumerate() {
+            let d = &mut self.domains[i];
+            let first_program = d.cbm.is_none();
+            if d.cbm != Some(*cbm) {
+                cat.program_cos(d.cos, *cbm)?;
+                d.cbm = Some(*cbm);
+            }
+            if first_program {
+                for &core in &d.handle.cores {
+                    cat.assign_core(core, d.cos)?;
+                }
+            }
+            if d.ways != targets[i] {
+                d.ways = targets[i];
+                d.settle = self.config.settle_intervals;
+            }
+        }
+        if lost != 0 {
+            cat.flush_cbm(Cbm(lost))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resctrl::{CatCapabilities, InMemoryController};
+
+    fn snapshot(l1: u64, llc_r: u64, llc_m: u64, ins: u64, cyc: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            l1_ref: l1,
+            llc_ref: llc_r,
+            llc_miss: llc_m,
+            ret_ins: ins,
+            cycles: cyc,
+        }
+    }
+
+    /// A synthetic domain feeder: accumulates per-interval deltas into
+    /// monotonic snapshots.
+    struct Feeder {
+        totals: Vec<CounterSnapshot>,
+    }
+
+    impl Feeder {
+        fn new(n: usize) -> Self {
+            Feeder {
+                totals: vec![CounterSnapshot::default(); n],
+            }
+        }
+
+        fn add(&mut self, i: usize, delta: CounterSnapshot) -> &Vec<CounterSnapshot> {
+            self.totals[i] = self.totals[i].merged_with(&delta);
+            &self.totals
+        }
+    }
+
+    fn controller_with(
+        n: usize,
+        reserved: u32,
+        config: DcatConfig,
+    ) -> (DcatController, InMemoryController) {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), n as u32 * 2);
+        let handles: Vec<WorkloadHandle> = (0..n)
+            .map(|i| {
+                WorkloadHandle::new(
+                    format!("vm{i}"),
+                    vec![(i * 2) as u32, (i * 2 + 1) as u32],
+                    reserved,
+                )
+            })
+            .collect();
+        let ctl = DcatController::new(config, handles, &mut cat).unwrap();
+        (ctl, cat)
+    }
+
+    fn fast_config() -> DcatConfig {
+        DcatConfig {
+            settle_intervals: 1,
+            ..DcatConfig::default()
+        }
+    }
+
+    /// Interval of an MLR-like workload: memory heavy, missing hard.
+    fn missing_hard() -> CounterSnapshot {
+        snapshot(340_000, 120_000, 60_000, 1_000_000, 20_000_000)
+    }
+
+    /// Same phase signature, better IPC, fewer misses (as if granted more
+    /// cache).
+    fn improved(pct: f64, miss_rate: f64) -> CounterSnapshot {
+        let cycles = (20_000_000.0 / (1.0 + pct)) as u64;
+        let miss = (120_000.0 * miss_rate) as u64;
+        snapshot(340_000, 120_000, miss, 1_000_000, cycles)
+    }
+
+    /// Compute-bound interval: no LLC use at all.
+    fn compute_bound() -> CounterSnapshot {
+        snapshot(20_000, 100, 10, 1_000_000, 800_000)
+    }
+
+    #[test]
+    fn initial_state_programs_reserved_partitions() {
+        let (ctl, cat) = controller_with(3, 4, DcatConfig::default());
+        assert_eq!(ctl.ways_of(0), 4);
+        // Non-overlapping contiguous partitions programmed.
+        assert_eq!(cat.cos_mask(CosId(1)).unwrap().ways(), 4);
+        assert_eq!(cat.cos_mask(CosId(2)).unwrap().ways(), 4);
+        assert!(!cat.has_overlapping_active_masks());
+        // Cores are associated with their classes.
+        assert_eq!(cat.core_cos(0).unwrap(), CosId(1));
+        assert_eq!(cat.core_cos(5).unwrap(), CosId(3));
+    }
+
+    #[test]
+    fn oversubscribed_reserved_ways_rejected() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+        let handles = vec![
+            WorkloadHandle::new("a", vec![0], 12),
+            WorkloadHandle::new("b", vec![1], 12),
+        ];
+        assert!(DcatController::new(DcatConfig::default(), handles, &mut cat).is_err());
+    }
+
+    #[test]
+    fn too_many_domains_rejected() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 20);
+        let handles: Vec<WorkloadHandle> = (0..16)
+            .map(|i| WorkloadHandle::new(format!("d{i}"), vec![i as u32], 1))
+            .collect();
+        assert!(DcatController::new(DcatConfig::default(), handles, &mut cat).is_err());
+    }
+
+    #[test]
+    fn idle_workload_becomes_donor_at_min_ways() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let idle = vec![CounterSnapshot::default(); 2];
+        let reports = ctl.tick(&idle, &mut cat).unwrap();
+        assert_eq!(reports[0].class, WorkloadClass::Donor);
+        assert_eq!(reports[0].ways, 1);
+        assert_eq!(reports[1].ways, 1);
+    }
+
+    #[test]
+    fn compute_bound_workload_donates() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let mut feeder = Feeder::new(2);
+        // First interval establishes the phase -> Reclaim at reserved.
+        feeder.add(0, compute_bound());
+        let snaps = feeder.add(1, compute_bound()).clone();
+        ctl.tick(&snaps, &mut cat).unwrap();
+        // Let the baseline be measured, then classify.
+        for _ in 0..4 {
+            feeder.add(0, compute_bound());
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        assert_eq!(ctl.class_of(0), WorkloadClass::Donor);
+        assert_eq!(ctl.ways_of(0), 1);
+    }
+
+    #[test]
+    fn cache_hungry_workload_grows_one_way_per_decision() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let mut feeder = Feeder::new(2);
+        let mut grow_points = Vec::new();
+        for step in 0..8 {
+            feeder.add(0, missing_hard());
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            grow_points.push((step, ctl.ways_of(0)));
+        }
+        let final_ways = ctl.ways_of(0);
+        assert!(
+            final_ways > 4,
+            "hungry workload should grow, got {final_ways}"
+        );
+        // Growth is stepwise: never more than +1 between consecutive ticks.
+        for w in grow_points.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1, "jumped {} -> {}", w[0].1, w[1].1);
+        }
+    }
+
+    #[test]
+    fn improving_workload_becomes_receiver() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let mut feeder = Feeder::new(2);
+        // Phase + baseline establishment.
+        for _ in 0..3 {
+            feeder.add(0, missing_hard());
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        // Keeper -> Unknown (missing hard), grows; improvement confirms
+        // Receiver.
+        let mut pct = 0.0;
+        for _ in 0..4 {
+            pct += 0.15;
+            feeder.add(0, improved(pct, 0.5));
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        assert_eq!(ctl.class_of(0), WorkloadClass::Receiver);
+    }
+
+    #[test]
+    fn non_improving_workload_detected_streaming_and_dropped() {
+        let cfg = DcatConfig {
+            settle_intervals: 1,
+            ..DcatConfig::default()
+        };
+        let (mut ctl, mut cat) = controller_with(2, 2, cfg);
+        let mut feeder = Feeder::new(2);
+        // MLOAD-like: always missing, IPC never changes.
+        for _ in 0..20 {
+            feeder.add(0, missing_hard());
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            if ctl.class_of(0) == WorkloadClass::Streaming {
+                break;
+            }
+        }
+        assert_eq!(ctl.class_of(0), WorkloadClass::Streaming);
+        // One more tick applies the minimum allocation.
+        feeder.add(0, missing_hard());
+        let snaps = feeder.add(1, compute_bound()).clone();
+        ctl.tick(&snaps, &mut cat).unwrap();
+        assert_eq!(ctl.ways_of(0), 1);
+    }
+
+    #[test]
+    fn streaming_cap_is_three_times_reserved() {
+        let cfg = DcatConfig {
+            settle_intervals: 1,
+            ..DcatConfig::default()
+        };
+        let (mut ctl, mut cat) = controller_with(2, 2, cfg);
+        let mut feeder = Feeder::new(2);
+        let mut max_ways = 0;
+        for _ in 0..20 {
+            feeder.add(0, missing_hard());
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            max_ways = max_ways.max(ctl.ways_of(0));
+        }
+        assert!(
+            max_ways <= 3 * 2 + 1,
+            "streaming workload grew to {max_ways}, cap is ~6"
+        );
+    }
+
+    #[test]
+    fn phase_change_triggers_reclaim_to_reserved() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let mut feeder = Feeder::new(2);
+        // Grow the workload beyond reserved.
+        for i in 0..8 {
+            feeder.add(0, improved(0.1 * i as f64, 0.4));
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        assert!(ctl.ways_of(0) > 4);
+        // New phase: very different memory intensity.
+        feeder.add(0, snapshot(900_000, 50_000, 25_000, 1_000_000, 10_000_000));
+        let snaps = feeder.add(1, compute_bound()).clone();
+        let reports = ctl.tick(&snaps, &mut cat).unwrap();
+        assert!(reports[0].phase_changed);
+        assert_eq!(reports[0].class, WorkloadClass::Reclaim);
+        assert_eq!(ctl.ways_of(0), 4, "reclaim returns to the reserved size");
+    }
+
+    #[test]
+    fn masks_never_overlap_across_ticks() {
+        let (mut ctl, mut cat) = controller_with(4, 3, fast_config());
+        let mut feeder = Feeder::new(4);
+        for step in 0..12 {
+            feeder.add(0, missing_hard());
+            feeder.add(1, compute_bound());
+            feeder.add(
+                2,
+                if step < 6 {
+                    missing_hard()
+                } else {
+                    CounterSnapshot::default()
+                },
+            );
+            let snaps = feeder.add(3, CounterSnapshot::default()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            assert!(
+                !cat.has_overlapping_active_masks(),
+                "overlapping masks at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_ways_never_oversubscribed() {
+        let (mut ctl, mut cat) = controller_with(4, 5, fast_config());
+        let mut feeder = Feeder::new(4);
+        for _ in 0..15 {
+            for i in 0..4 {
+                feeder.add(i, missing_hard());
+            }
+            let snaps = feeder.totals.clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            let total: u32 = (0..4).map(|i| ctl.ways_of(i)).sum();
+            assert!(total <= 20, "allocated {total} of 20 ways");
+        }
+    }
+
+    #[test]
+    fn reclaim_takes_priority_over_holders_of_extra_ways() {
+        let (mut ctl, mut cat) = controller_with(3, 4, fast_config());
+        let mut feeder = Feeder::new(3);
+        // Domain 0 grows while 1, 2 idle.
+        for i in 0..10 {
+            feeder.add(0, improved(0.12 * i as f64, 0.4));
+            feeder.add(1, CounterSnapshot::default());
+            let snaps = feeder.add(2, CounterSnapshot::default()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        let grown = ctl.ways_of(0);
+        assert!(grown > 8, "domain 0 should hold extra ways, has {grown}");
+        // Domains 1 and 2 wake up: phase change -> Reclaim.
+        for _ in 0..3 {
+            feeder.add(0, improved(1.0, 0.4));
+            feeder.add(1, missing_hard());
+            let snaps = feeder.add(2, missing_hard()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        assert!(ctl.ways_of(1) >= 4, "reclaimer 1 restored to reserved");
+        assert!(ctl.ways_of(2) >= 4, "reclaimer 2 restored to reserved");
+        let total: u32 = (0..3).map(|i| ctl.ways_of(i)).sum();
+        assert!(total <= 20);
+    }
+
+    #[test]
+    fn recurring_phase_jumps_to_preferred_ways() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let mut feeder = Feeder::new(2);
+        // Discover: grow to a preferred size with improvements that stop.
+        let schedule = [0.0, 0.0, 0.15, 0.3, 0.45, 0.45, 0.45, 0.45];
+        for &pct in &schedule {
+            feeder.add(0, improved(pct, if pct >= 0.45 { 0.01 } else { 0.4 }));
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        let discovered = ctl.ways_of(0);
+        assert!(discovered > 4);
+        // Go idle (phase forgotten, table archived).
+        for _ in 0..2 {
+            let snaps = feeder.totals.clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+        }
+        assert_eq!(ctl.ways_of(0), 1);
+        // Same workload returns: same signature -> archived table restored.
+        feeder.add(0, missing_hard());
+        let snaps = feeder.add(1, compute_bound()).clone();
+        ctl.tick(&snaps, &mut cat).unwrap();
+        assert_eq!(ctl.ways_of(0), 4, "reclaim first");
+        // Establish baseline, then the jump should be immediate (not +1).
+        feeder.add(0, improved(0.0, 0.4));
+        let snaps = feeder.add(1, compute_bound()).clone();
+        ctl.tick(&snaps, &mut cat).unwrap();
+        feeder.add(0, improved(0.1, 0.4));
+        let snaps = feeder.add(1, compute_bound()).clone();
+        ctl.tick(&snaps, &mut cat).unwrap();
+        let after_two_decisions = ctl.ways_of(0);
+        assert!(
+            after_two_decisions >= discovered.min(6),
+            "expected jump toward {discovered}, got {after_two_decisions}"
+        );
+    }
+
+    /// High LLC use with negligible misses: the gradual donor path.
+    fn low_miss_heavy_use() -> CounterSnapshot {
+        snapshot(340_000, 120_000, 100, 1_000_000, 7_000_000)
+    }
+
+    #[test]
+    fn donor_with_negligible_misses_shrinks_gradually() {
+        let (mut ctl, mut cat) = controller_with(2, 6, fast_config());
+        let mut feeder = Feeder::new(2);
+        let mut series = Vec::new();
+        for _ in 0..10 {
+            feeder.add(0, low_miss_heavy_use());
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            series.push(ctl.ways_of(0));
+        }
+        assert!(
+            series.last().copied().unwrap() < 6,
+            "low-miss workload should donate, series {series:?}"
+        );
+        // Gradual: one way at a time, never a cliff to the minimum.
+        for w in series.windows(2) {
+            assert!(w[0] - w[1] <= 1 || w[1] >= w[0], "cliff in {series:?}");
+        }
+    }
+
+    #[test]
+    fn default_class_confined_to_free_pool() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let idle = vec![CounterSnapshot::default(); 2];
+        ctl.tick(&idle, &mut cat).unwrap();
+        // Both domains idle -> 1 way each, keeping their start ways (0 and
+        // 4); COS 0 gets the longest free run (ways 5-19).
+        let cos0 = cat.cos_mask(CosId(0)).unwrap();
+        assert_eq!(cos0.ways(), 15);
+        assert!(!cos0.overlaps(cat.cos_mask(CosId(1)).unwrap()));
+        assert!(!cos0.overlaps(cat.cos_mask(CosId(2)).unwrap()));
+        let _ = ctl;
+    }
+
+    #[test]
+    fn streaming_misverdict_is_capped_at_reserved() {
+        // A workload that shows no improvement during growth (so it is
+        // (mis)judged Streaming) but genuinely suffers at the minimum.
+        let (mut ctl, mut cat) = controller_with(2, 2, fast_config());
+        let mut feeder = Feeder::new(2);
+        let flat = || missing_hard(); // constant IPC while growing
+        let mut saw_streaming = false;
+        for _ in 0..24 {
+            let delta = if ctl.ways_of(0) <= 1 {
+                // Sub-baseline: IPC collapses (norm < 1 - margin).
+                snapshot(340_000, 120_000, 90_000, 1_000_000, 60_000_000)
+            } else {
+                flat()
+            };
+            feeder.add(0, delta);
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            saw_streaming |= ctl.class_of(0) == WorkloadClass::Streaming;
+        }
+        assert!(
+            saw_streaming,
+            "flat-growth workload should be judged streaming"
+        );
+        assert!(
+            ctl.ways_of(0) >= 2,
+            "misclassified workload must be restored to its baseline, has {}",
+            ctl.ways_of(0)
+        );
+        // And it stays there: no further streaming oscillation.
+        for _ in 0..6 {
+            feeder.add(0, flat());
+            let snaps = feeder.add(1, compute_bound()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            assert!(ctl.ways_of(0) >= 2, "oscillated back below baseline");
+        }
+    }
+
+    #[test]
+    fn donor_that_suffered_keeps_a_floor() {
+        let (mut ctl, mut cat) = controller_with(2, 6, fast_config());
+        let mut feeder = Feeder::new(2);
+        let mut reclaim_count = 0;
+        for _ in 0..30 {
+            // The workload has negligible misses above 3 ways but
+            // collapses below that (its working set needs 3 ways).
+            let delta = if ctl.ways_of(0) >= 3 {
+                low_miss_heavy_use()
+            } else {
+                snapshot(340_000, 120_000, 2_000, 1_000_000, 30_000_000)
+            };
+            feeder.add(0, delta);
+            let snaps = feeder.add(1, compute_bound()).clone();
+            let reports = ctl.tick(&snaps, &mut cat).unwrap();
+            if reports[0].class == WorkloadClass::Reclaim {
+                reclaim_count += 1;
+            }
+        }
+        assert!(
+            reclaim_count <= 2,
+            "donor oscillated: {reclaim_count} guarantee reclaims"
+        );
+        assert!(
+            ctl.ways_of(0) >= 3,
+            "floor not respected: {} ways",
+            ctl.ways_of(0)
+        );
+    }
+
+    #[test]
+    fn settle_interval_delays_judgement() {
+        let slow = DcatConfig {
+            settle_intervals: 3,
+            ..DcatConfig::default()
+        };
+        let (mut ctl_slow, mut cat_slow) = controller_with(2, 4, slow);
+        let (mut ctl_fast, mut cat_fast) = controller_with(2, 4, fast_config());
+        let mut feeder_slow = Feeder::new(2);
+        let mut feeder_fast = Feeder::new(2);
+        for _ in 0..8 {
+            feeder_slow.add(0, missing_hard());
+            let s1 = feeder_slow.add(1, compute_bound()).clone();
+            ctl_slow.tick(&s1, &mut cat_slow).unwrap();
+            feeder_fast.add(0, missing_hard());
+            let s2 = feeder_fast.add(1, compute_bound()).clone();
+            ctl_fast.tick(&s2, &mut cat_fast).unwrap();
+        }
+        assert!(
+            ctl_fast.ways_of(0) > ctl_slow.ways_of(0),
+            "longer settling must slow growth: fast={} slow={}",
+            ctl_fast.ways_of(0),
+            ctl_slow.ways_of(0)
+        );
+    }
+
+    #[test]
+    fn snapshot_count_mismatch_panics() {
+        let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = ctl.tick(&[CounterSnapshot::default()], &mut cat);
+        }));
+        assert!(result.is_err(), "wrong snapshot count must be rejected");
+    }
+
+    #[test]
+    fn longest_free_run_selection() {
+        use super::longest_free_run;
+        assert_eq!(longest_free_run(0b0, 8), Some(Cbm::from_way_range(0, 8)));
+        assert_eq!(longest_free_run(0b1111_1111, 8), None);
+        // Ties go to the earliest run.
+        assert_eq!(
+            longest_free_run(0b0001_1000, 8),
+            Some(Cbm::from_way_range(0, 3))
+        );
+        assert_eq!(
+            longest_free_run(0b1000_0001, 8),
+            Some(Cbm::from_way_range(1, 6))
+        );
+    }
+
+    #[test]
+    fn reports_carry_normalized_ipc() {
+        let (mut ctl, mut cat) = controller_with(1, 4, fast_config());
+        let mut feeder = Feeder::new(1);
+        let mut last = None;
+        for i in 0..5 {
+            let snaps = feeder.add(0, improved(0.05 * i as f64, 0.4)).clone();
+            last = Some(ctl.tick(&snaps, &mut cat).unwrap());
+        }
+        let report = &last.unwrap()[0];
+        assert!(report.baseline_ipc.is_some());
+        let norm = report.norm_ipc.unwrap();
+        assert!(
+            norm > 0.9,
+            "normalized IPC should be near/above 1, got {norm}"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! The dCat daemon: the deployment form of the controller.
+//!
+//! The paper's prototype is "a C program [that] runs as a daemon in the
+//! host OS", reading MSR counters and programming CAT once per interval.
+//! This module is the Rust equivalent with the two hardware touchpoints
+//! abstracted:
+//!
+//! * CAT is programmed through [`resctrl::FsBackend`] — point it at a real
+//!   `/sys/fs/resctrl` mount on CAT hardware, or at a fixture tree for
+//!   testing, and
+//! * counters are read from a **telemetry file** that an external sampler
+//!   (an MSR reader, a `perf` wrapper, or the simulator) refreshes; the
+//!   format is one CSV line per domain:
+//!
+//! ```text
+//! # name,l1_ref,llc_ref,llc_miss,ret_ins,cycles   (monotonic totals)
+//! tenant-a,340000,120000,60000,1000000,20000000
+//! tenant-b,20000,100,10,1000000,800000
+//! ```
+//!
+//! The `dcatd` binary wraps [`run_daemon`] with command-line parsing.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use perf_events::CounterSnapshot;
+use resctrl::{FsBackend, ResctrlError};
+
+use crate::config::DcatConfig;
+use crate::controller::{DcatController, DomainReport, WorkloadHandle};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Root of the resctrl tree (`/sys/fs/resctrl` on hardware).
+    pub resctrl_root: PathBuf,
+    /// Path of the telemetry CSV refreshed by the external sampler.
+    pub telemetry_path: PathBuf,
+    /// Managed workloads; names must match the telemetry file.
+    pub domains: Vec<WorkloadHandle>,
+    /// Controller thresholds.
+    pub dcat: DcatConfig,
+    /// Sampling interval (the paper uses 1 s).
+    pub interval: Duration,
+    /// Stop after this many ticks (`None` = run forever). Used by tests
+    /// and by one-shot invocations.
+    pub max_ticks: Option<u64>,
+}
+
+/// Parses the telemetry CSV into per-domain snapshots.
+///
+/// Blank lines and `#` comments are ignored. Returns an error naming the
+/// offending line on any malformed row.
+pub fn parse_telemetry(text: &str) -> Result<HashMap<String, CounterSnapshot>, String> {
+    let mut out = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 6 {
+            return Err(format!(
+                "line {}: expected 6 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse()
+                .map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
+        };
+        let snap = CounterSnapshot {
+            l1_ref: parse(fields[1], "l1_ref")?,
+            llc_ref: parse(fields[2], "llc_ref")?,
+            llc_miss: parse(fields[3], "llc_miss")?,
+            ret_ins: parse(fields[4], "ret_ins")?,
+            cycles: parse(fields[5], "cycles")?,
+        };
+        if out.insert(fields[0].to_string(), snap).is_some() {
+            return Err(format!(
+                "line {}: duplicate domain {:?}",
+                lineno + 1,
+                fields[0]
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a `;`-separated `name:cores:ways` domain spec list, e.g.
+/// `"web:0-1:4;db:2-3,6:6"` (core lists use the cpus_list syntax, so the
+/// domain separator is `;` rather than `,`).
+pub fn parse_domains(spec: &str) -> Result<Vec<WorkloadHandle>, String> {
+    let mut handles = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let pieces: Vec<&str> = part.split(':').collect();
+        if pieces.len() != 3 {
+            return Err(format!("domain spec {part:?}: expected name:cores:ways"));
+        }
+        let cores =
+            resctrl::fs::parse_cpu_list(pieces[1]).map_err(|e| format!("domain {part:?}: {e}"))?;
+        if cores.is_empty() {
+            return Err(format!("domain {part:?}: empty core list"));
+        }
+        let ways: u32 = pieces[2]
+            .parse()
+            .map_err(|e| format!("domain {part:?}: bad ways: {e}"))?;
+        handles.push(WorkloadHandle::new(pieces[0], cores, ways));
+    }
+    if handles.is_empty() {
+        return Err("no domains specified".to_string());
+    }
+    Ok(handles)
+}
+
+/// Runs the daemon loop; returns the reports of the final tick.
+///
+/// Domains missing from a telemetry sample keep their previous totals (an
+/// idle interval), so a slow sampler degrades gracefully.
+pub fn run_daemon(cfg: &DaemonConfig) -> Result<Vec<DomainReport>, ResctrlError> {
+    let mut cat = FsBackend::open(&cfg.resctrl_root)?;
+    let mut controller = DcatController::new(cfg.dcat, cfg.domains.clone(), &mut cat)?;
+    let mut last = vec![CounterSnapshot::default(); cfg.domains.len()];
+    let mut final_reports = Vec::new();
+    let mut tick = 0u64;
+    loop {
+        if let Some(max) = cfg.max_ticks {
+            if tick >= max {
+                break;
+            }
+        }
+        tick += 1;
+        let text = std::fs::read_to_string(&cfg.telemetry_path)?;
+        let samples = parse_telemetry(&text).map_err(ResctrlError::Parse)?;
+        for (i, handle) in cfg.domains.iter().enumerate() {
+            if let Some(snap) = samples.get(&handle.name) {
+                last[i] = *snap;
+            }
+        }
+        final_reports = controller.tick(&last, &mut cat)?;
+        if cfg.max_ticks.is_none() || tick < cfg.max_ticks.unwrap_or(0) {
+            std::thread::sleep(cfg.interval);
+        }
+    }
+    Ok(final_reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resctrl::CatCapabilities;
+
+    #[test]
+    fn telemetry_parsing_happy_path() {
+        let text = "# comment\n\n a , 1,2,3,4,5 \nb,10,20,30,40,50\n";
+        let m = parse_telemetry(text).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["a"].l1_ref, 1);
+        assert_eq!(m["b"].cycles, 50);
+    }
+
+    #[test]
+    fn telemetry_parsing_rejects_malformed_rows() {
+        assert!(parse_telemetry("a,1,2,3").unwrap_err().contains("6 fields"));
+        assert!(parse_telemetry("a,x,2,3,4,5")
+            .unwrap_err()
+            .contains("l1_ref"));
+        assert!(parse_telemetry("a,1,2,3,4,5\na,1,2,3,4,5")
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn domain_spec_parsing() {
+        let d = parse_domains("web:0-1:4; db:2-3,6:6").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].name, "web");
+        assert_eq!(d[0].cores, vec![0, 1]);
+        assert_eq!(d[0].reserved_ways, 4);
+        assert_eq!(d[1].cores, vec![2, 3, 6]);
+        assert!(parse_domains("bad").is_err());
+        assert!(parse_domains("a::3").is_err());
+        assert!(parse_domains("a:0:x").is_err());
+        assert!(parse_domains("").is_err());
+    }
+
+    #[test]
+    fn daemon_runs_against_a_fixture_tree() {
+        let root = std::env::temp_dir().join(format!(
+            "dcatd-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        drop(FsBackend::create_fixture(&root, CatCapabilities::with_ways(20), 8).unwrap());
+
+        let telemetry = root.join("telemetry.csv");
+        std::fs::write(
+            &telemetry,
+            "hungry,340000,120000,60000,1000000,20000000\nidle,0,0,0,0,0\n",
+        )
+        .unwrap();
+
+        let cfg = DaemonConfig {
+            resctrl_root: root.clone(),
+            telemetry_path: telemetry,
+            domains: vec![
+                WorkloadHandle::new("hungry", vec![0, 1], 4),
+                WorkloadHandle::new("idle", vec![2, 3], 4),
+            ],
+            dcat: DcatConfig::default(),
+            interval: Duration::from_millis(0),
+            max_ticks: Some(3),
+        };
+        let reports = run_daemon(&cfg).unwrap();
+        assert_eq!(reports.len(), 2);
+        // The idle domain was recognized and defunded.
+        assert_eq!(reports[1].ways, 1);
+        // The partitions are visible in the filesystem afterwards.
+        let schemata = std::fs::read_to_string(root.join("COS2").join("schemata")).unwrap();
+        assert!(schemata.contains("L3:0="));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn daemon_fails_cleanly_without_a_tree() {
+        let cfg = DaemonConfig {
+            resctrl_root: PathBuf::from("/nonexistent/resctrl"),
+            telemetry_path: PathBuf::from("/nonexistent/telemetry"),
+            domains: vec![WorkloadHandle::new("x", vec![0], 1)],
+            dcat: DcatConfig::default(),
+            interval: Duration::from_millis(0),
+            max_ticks: Some(1),
+        };
+        assert!(run_daemon(&cfg).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! dCat: dynamic LLC way-allocation on top of Intel CAT.
+//!
+//! Reproduction of *"dCat: Dynamic Cache Management for Efficient,
+//! Performance-sensitive Infrastructure-as-a-Service"* (EuroSys 2018).
+//!
+//! The controller treats each tenant VM/container as a black box and runs
+//! the paper's five-step loop once per interval:
+//!
+//! 1. **Get Baseline** — after a phase change the workload is returned to
+//!    its contracted (reserved) way count; the IPC measured there is the
+//!    guaranteed minimum for the phase.
+//! 2. **Collect Statistics** — per-domain counter deltas become
+//!    [`perf_events::IntervalMetrics`].
+//! 3. **Detect Phase Change** — memory accesses per instruction
+//!    (`l1_ref / ret_ins`) shifting by more than 10% signals a new phase
+//!    ([`phase::PhaseDetector`]).
+//! 4. **Categorize Workloads** — the Figure-6 state machine over
+//!    {[`WorkloadClass::Keeper`], [`WorkloadClass::Donor`],
+//!    [`WorkloadClass::Receiver`], [`WorkloadClass::Streaming`],
+//!    [`WorkloadClass::Unknown`], [`WorkloadClass::Reclaim`]}.
+//! 5. **Allocate Cache** — way-granular targets with Reclaim at absolute
+//!    priority, Unknown prioritized over Receiver, and either the
+//!    max-fairness or the performance-table-driven max-performance policy;
+//!    the targets are laid out as contiguous non-overlapping CBMs and
+//!    programmed through any [`resctrl::CacheController`].
+//!
+//! Per-phase [`perf_table::PerformanceTable`]s record normalized IPC per
+//! way count so a recurring phase is granted its preferred allocation
+//! immediately (the paper's Figure 12).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcat::{DcatConfig, DcatController, WorkloadHandle};
+//! use resctrl::{CacheController, CatCapabilities, InMemoryController};
+//!
+//! let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+//! let domains = vec![
+//!     WorkloadHandle::new("tenant-a", vec![0, 1], 3),
+//!     WorkloadHandle::new("tenant-b", vec![2, 3], 3),
+//! ];
+//! let mut ctl = DcatController::new(DcatConfig::default(), domains, &mut cat).unwrap();
+//! // Each interval: read counters, then tick.
+//! let snapshots = vec![Default::default(); 2];
+//! let reports = ctl.tick(&snapshots, &mut cat).unwrap();
+//! assert_eq!(reports.len(), 2);
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod controller;
+pub mod daemon;
+pub mod perf_table;
+pub mod phase;
+pub mod policy;
+pub mod state;
+
+pub use baselines::{SharedCachePolicy, StaticCatPolicy};
+pub use config::{AllocationPolicy, DcatConfig};
+pub use controller::{DcatController, DomainReport, WorkloadHandle};
+pub use perf_table::PerformanceTable;
+pub use phase::{PhaseChange, PhaseDetector};
+pub use policy::CachePolicy;
+pub use state::WorkloadClass;

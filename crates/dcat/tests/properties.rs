@@ -1,0 +1,135 @@
+//! Property-based tests: controller invariants under arbitrary telemetry.
+//!
+//! Whatever counter stream the workloads produce — including adversarial
+//! nonsense — the controller must keep the hardware state legal: at most
+//! the cache's total ways allocated, at least one way per workload,
+//! non-overlapping masks, and Intel-valid CBMs.
+
+use dcat::{DcatConfig, DcatController, WorkloadHandle};
+use perf_events::CounterSnapshot;
+use proptest::prelude::*;
+use resctrl::{CacheController, CatCapabilities, CosId, InMemoryController};
+
+/// One synthetic interval for one domain.
+#[derive(Debug, Clone)]
+struct IntervalSpec {
+    active: bool,
+    mem_per_instr_milli: u64, // 0..=1000
+    miss_rate_milli: u64,     // 0..=1000
+    cpi_milli: u64,           // 500..=80_000
+}
+
+fn interval_strategy() -> impl Strategy<Value = IntervalSpec> {
+    (
+        prop::bool::weighted(0.8),
+        0u64..=1000,
+        0u64..=1000,
+        500u64..=80_000,
+    )
+        .prop_map(|(active, mem, miss, cpi)| IntervalSpec {
+            active,
+            mem_per_instr_milli: mem,
+            miss_rate_milli: miss,
+            cpi_milli: cpi,
+        })
+}
+
+fn delta_of(spec: &IntervalSpec) -> CounterSnapshot {
+    if !spec.active {
+        return CounterSnapshot::default();
+    }
+    let instr = 1_000_000u64;
+    let l1_ref = instr * spec.mem_per_instr_milli / 1000;
+    let llc_ref = l1_ref / 3;
+    CounterSnapshot {
+        l1_ref,
+        llc_ref,
+        llc_miss: llc_ref * spec.miss_rate_milli / 1000,
+        ret_ins: instr,
+        cycles: instr * spec.cpi_milli / 1000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hardware-state legality under arbitrary telemetry.
+    #[test]
+    fn controller_state_always_legal(
+        domains in 1usize..6,
+        reserved in 1u32..4,
+        steps in prop::collection::vec(
+            prop::collection::vec(interval_strategy(), 1..6),
+            2..20,
+        ),
+    ) {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 16);
+        let handles: Vec<WorkloadHandle> = (0..domains)
+            .map(|i| WorkloadHandle::new(
+                format!("d{i}"),
+                vec![(2 * i) as u32, (2 * i + 1) as u32],
+                reserved,
+            ))
+            .collect();
+        let mut ctl =
+            DcatController::new(DcatConfig { settle_intervals: 1, ..DcatConfig::default() },
+                handles, &mut cat).unwrap();
+
+        let mut totals = vec![CounterSnapshot::default(); domains];
+        for step in steps {
+            for (i, total) in totals.iter_mut().enumerate() {
+                let spec = &step[i % step.len()];
+                *total = total.merged_with(&delta_of(spec));
+            }
+            let reports = ctl.tick(&totals, &mut cat).unwrap();
+
+            let total_ways: u32 = reports.iter().map(|r| r.ways).sum();
+            prop_assert!(total_ways <= 20, "oversubscribed: {total_ways}");
+            prop_assert!(reports.iter().all(|r| r.ways >= 1), "zero-way grant");
+            prop_assert!(!cat.has_overlapping_active_masks(), "overlapping masks");
+            for (i, report) in reports.iter().enumerate() {
+                let cos = CosId((i + 1) as u8);
+                let mask = cat.cos_mask(cos).unwrap();
+                prop_assert!(mask.is_valid_for(20, 1), "illegal CBM {mask}");
+                prop_assert_eq!(mask.ways(), report.ways, "mask/report mismatch");
+            }
+        }
+    }
+
+    /// An always-idle domain converges to the minimum allocation and an
+    /// always-hungry-and-improving domain never drops below its baseline.
+    #[test]
+    fn idle_shrinks_and_active_keeps_baseline(reserved in 2u32..5, ticks in 6usize..20) {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 8);
+        let handles = vec![
+            WorkloadHandle::new("idle", vec![0, 1], reserved),
+            WorkloadHandle::new("busy", vec![2, 3], reserved),
+        ];
+        let mut ctl = DcatController::new(
+            DcatConfig { settle_intervals: 1, ..DcatConfig::default() },
+            handles,
+            &mut cat,
+        ).unwrap();
+        let mut busy_total = CounterSnapshot::default();
+        let mut cycles_per_tick = 30_000_000u64;
+        for _ in 0..ticks {
+            // The busy domain improves a little every interval.
+            cycles_per_tick = cycles_per_tick.saturating_sub(1_000_000).max(10_000_000);
+            busy_total = busy_total.merged_with(&CounterSnapshot {
+                l1_ref: 340_000,
+                llc_ref: 120_000,
+                llc_miss: 50_000,
+                ret_ins: 1_000_000,
+                cycles: cycles_per_tick,
+            });
+            let snaps = vec![CounterSnapshot::default(), busy_total];
+            let reports = ctl.tick(&snaps, &mut cat).unwrap();
+            prop_assert!(
+                reports[1].ways >= reserved,
+                "hungry domain below baseline: {} < {reserved}",
+                reports[1].ways
+            );
+        }
+        prop_assert_eq!(ctl.ways_of(0), 1, "idle domain should donate to 1 way");
+    }
+}

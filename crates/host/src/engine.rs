@@ -1,0 +1,684 @@
+//! The epoch-based execution engine.
+//!
+//! One **epoch** models one controller interval (the paper samples every
+//! second). Within an epoch every VM's core receives the same *cycle
+//! budget* — cores run in parallel in real time, so equal wall-clock time
+//! means equal cycles, not equal instructions. Execution is interleaved in
+//! small instruction **slices**, round-robin across VMs, so that the cache
+//! sees concurrent access streams (a noisy neighbor evicts its victim's
+//! lines *while* the victim runs, exactly as on hardware). A core whose
+//! budget is exhausted stops issuing until the next epoch; a fast,
+//! compute-bound core therefore retires many more instructions per epoch
+//! than a memory-stalled one.
+//!
+//! Cycle accounting per slice uses the [`llc_sim::CyclesModel`]:
+//! instructions × CPI_exec plus per-level miss penalties divided by the
+//! workload's memory-level parallelism.
+
+use llc_sim::{
+    CoreCounters, CyclesModel, FrameAllocator, Hierarchy, LatencyModel, PageMapper, WayMask,
+};
+use perf_events::CounterSnapshot;
+use resctrl::{CacheController, CatCapabilities, Cbm, CosId, ResctrlError};
+use workloads::AccessStream;
+
+use crate::topology::{validate_vm_placement, SocketConfig, VmSpec};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Socket model.
+    pub socket: SocketConfig,
+    /// Cycle budget per core per epoch. The default (10 M cycles) keeps
+    /// simulations fast; the ratio between workloads is what matters, not
+    /// the absolute wall-clock length of an interval.
+    pub cycles_per_epoch: u64,
+    /// Instructions per interleaving slice.
+    pub slice_instructions: u64,
+    /// Physical memory pool backing all VMs.
+    pub memory_bytes: u64,
+    /// Frame placement policy.
+    pub frame_policy: llc_sim::FramePolicy,
+    /// Latency parameters.
+    pub latency: LatencyModel,
+    /// RNG seed for frame placement.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Defaults on the paper's Xeon-E5 v4 socket.
+    pub fn xeon_e5_v4() -> Self {
+        EngineConfig {
+            socket: SocketConfig::xeon_e5_v4(),
+            cycles_per_epoch: 10_000_000,
+            slice_instructions: 2_000,
+            memory_bytes: 4 * 1024 * 1024 * 1024,
+            frame_policy: llc_sim::FramePolicy::Randomized,
+            latency: LatencyModel::default(),
+            seed: 0xD_CA7,
+        }
+    }
+}
+
+/// Per-VM results of one epoch.
+#[derive(Debug, Clone)]
+pub struct VmEpochStats {
+    /// VM name (copied from the spec).
+    pub name: String,
+    /// Instructions retired this epoch (all the VM's cores).
+    pub instructions: u64,
+    /// Cycles consumed this epoch.
+    pub cycles: u64,
+    /// Instructions per cycle (0 when idle).
+    pub ipc: f64,
+    /// L1 references.
+    pub l1_ref: u64,
+    /// LLC references.
+    pub llc_ref: u64,
+    /// LLC misses.
+    pub llc_miss: u64,
+    /// `llc_miss / llc_ref`, 0 when no references.
+    pub llc_miss_rate: f64,
+    /// Average data-access latency in cycles.
+    pub avg_access_latency: f64,
+    /// LLC ways currently granted to the VM's cores.
+    pub ways: u32,
+    /// Requests completed this epoch (service workloads only).
+    pub requests_completed: u64,
+    /// LLC lines attributed to the VM at the end of the epoch (the
+    /// simulator's CMT-style occupancy monitoring).
+    pub llc_occupancy_lines: u64,
+}
+
+struct WorkloadRt {
+    stream: Box<dyn AccessStream>,
+    mapper: PageMapper,
+    carry_refs: f64,
+    open_request_cycles: f64,
+    request_latencies: Vec<f64>,
+}
+
+struct VmSlot {
+    spec: VmSpec,
+    workload: Option<WorkloadRt>,
+}
+
+/// The multi-VM socket simulator.
+pub struct Engine {
+    config: EngineConfig,
+    hierarchy: Hierarchy,
+    frames: FrameAllocator,
+    vms: Vec<VmSlot>,
+    cos_masks: Vec<Cbm>,
+    core_cos: Vec<CosId>,
+    epoch: u64,
+}
+
+impl Engine {
+    /// Creates an engine hosting `vms` on the configured socket.
+    ///
+    /// Every core starts with the full LLC mask (the unmanaged shared-cache
+    /// configuration); policies then program masks through [`Engine::cat`].
+    pub fn new(config: EngineConfig, vms: Vec<VmSpec>) -> Result<Self, String> {
+        validate_vm_placement(&config.socket, &vms)?;
+        let caps = CatCapabilities::with_ways(config.socket.llc_ways());
+        Ok(Engine {
+            hierarchy: Hierarchy::new(config.socket.hierarchy),
+            frames: FrameAllocator::new(config.memory_bytes, config.frame_policy, config.seed),
+            vms: vms
+                .into_iter()
+                .map(|spec| VmSlot {
+                    spec,
+                    workload: None,
+                })
+                .collect(),
+            cos_masks: vec![caps.full_mask(); caps.num_closids as usize],
+            core_cos: vec![CosId(0); config.socket.hierarchy.cores as usize],
+            epoch: 0,
+            config,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of hosted VMs.
+    pub fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// The spec of VM `vm`.
+    pub fn vm_spec(&self, vm: usize) -> &VmSpec {
+        &self.vms[vm].spec
+    }
+
+    /// Epochs executed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Direct read access to the hierarchy (for occupancy assertions).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Starts (or replaces) the workload of VM `vm`.
+    pub fn start_workload(&mut self, vm: usize, stream: Box<dyn AccessStream>) {
+        let mapper = PageMapper::new(stream.page_size());
+        self.stop_workload(vm);
+        self.vms[vm].workload = Some(WorkloadRt {
+            stream,
+            mapper,
+            carry_refs: 0.0,
+            open_request_cycles: 0.0,
+            request_latencies: Vec::new(),
+        });
+    }
+
+    /// Stops the workload of VM `vm`, returning its frames to the pool.
+    pub fn stop_workload(&mut self, vm: usize) {
+        if let Some(mut rt) = self.vms[vm].workload.take() {
+            rt.mapper.clear(&mut self.frames);
+        }
+    }
+
+    /// Whether VM `vm` currently runs a workload.
+    pub fn has_workload(&self, vm: usize) -> bool {
+        self.vms[vm].workload.is_some()
+    }
+
+    /// LLC ways currently granted to VM `vm` (its primary core's mask).
+    pub fn vm_ways(&self, vm: usize) -> u32 {
+        self.hierarchy
+            .fill_mask(self.vms[vm].spec.primary_core())
+            .count()
+    }
+
+    /// LLC lines currently attributed to VM `vm` across its cores.
+    pub fn vm_llc_occupancy(&self, vm: usize) -> u64 {
+        self.vms[vm]
+            .spec
+            .cores
+            .iter()
+            .map(|&c| self.hierarchy.llc_occupancy_of_core(c))
+            .sum()
+    }
+
+    /// Drains the request-latency samples (in cycles) recorded for VM `vm`
+    /// since the last drain.
+    pub fn take_request_latencies(&mut self, vm: usize) -> Vec<f64> {
+        match &mut self.vms[vm].workload {
+            Some(rt) => std::mem::take(&mut rt.request_latencies),
+            None => Vec::new(),
+        }
+    }
+
+    /// Monotonic per-VM counter snapshots (sums over each VM's cores) —
+    /// what dCat would read from MSRs.
+    pub fn snapshots(&self) -> Vec<CounterSnapshot> {
+        self.vms
+            .iter()
+            .map(|slot| {
+                let sum = slot
+                    .spec
+                    .cores
+                    .iter()
+                    .fold(CoreCounters::default(), |acc, &c| {
+                        acc.merged_with(&self.hierarchy.counters(c))
+                    });
+                CounterSnapshot::from(sum)
+            })
+            .collect()
+    }
+
+    /// The CAT control-plane adapter for this socket.
+    pub fn cat(&mut self) -> EngineCat<'_> {
+        EngineCat { engine: self }
+    }
+
+    /// Runs one epoch and returns per-VM statistics.
+    pub fn run_epoch(&mut self) -> Vec<VmEpochStats> {
+        let before = self.snapshots();
+        let requests_before: Vec<usize> = self
+            .vms
+            .iter()
+            .map(|s| s.workload.as_ref().map_or(0, |w| w.request_latencies.len()))
+            .collect();
+
+        let budget = self.config.cycles_per_epoch as i64;
+        let mut remaining = vec![budget; self.vms.len()];
+        loop {
+            let mut progressed = false;
+            #[allow(clippy::needless_range_loop)] // `vm` also indexes `self.vms` mutably
+            for vm in 0..self.vms.len() {
+                if remaining[vm] <= 0 || self.vms[vm].workload.is_none() {
+                    continue;
+                }
+                let cycles = self.run_slice(vm);
+                remaining[vm] -= cycles as i64;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.epoch += 1;
+
+        let after = self.snapshots();
+        (0..self.vms.len())
+            .map(|vm| {
+                let delta = after[vm].delta_since(&before[vm]);
+                let counters = CoreCounters {
+                    l1_ref: delta.l1_ref,
+                    // The snapshot does not carry l1_miss; reconstruct a
+                    // lower bound for latency purposes from llc_ref (every
+                    // LLC reference was an L1 and L2 miss).
+                    l1_miss: delta.llc_ref,
+                    llc_ref: delta.llc_ref,
+                    llc_miss: delta.llc_miss,
+                    ret_ins: delta.ret_ins,
+                    cycles: delta.cycles,
+                };
+                let requests_now = self.vms[vm]
+                    .workload
+                    .as_ref()
+                    .map_or(0, |w| w.request_latencies.len());
+                VmEpochStats {
+                    name: self.vms[vm].spec.name.clone(),
+                    instructions: delta.ret_ins,
+                    cycles: delta.cycles,
+                    ipc: if delta.cycles == 0 {
+                        0.0
+                    } else {
+                        delta.ret_ins as f64 / delta.cycles as f64
+                    },
+                    l1_ref: delta.l1_ref,
+                    llc_ref: delta.llc_ref,
+                    llc_miss: delta.llc_miss,
+                    llc_miss_rate: if delta.llc_ref == 0 {
+                        0.0
+                    } else {
+                        delta.llc_miss as f64 / delta.llc_ref as f64
+                    },
+                    avg_access_latency: self.config.latency.average_access_latency(&counters),
+                    ways: self.vm_ways(vm),
+                    requests_completed: (requests_now - requests_before[vm]) as u64,
+                    llc_occupancy_lines: self.vm_llc_occupancy(vm),
+                }
+            })
+            .collect()
+    }
+
+    /// Executes one instruction slice of VM `vm`; returns consumed cycles.
+    fn run_slice(&mut self, vm: usize) -> u64 {
+        let core = self.vms[vm].spec.primary_core();
+        let instrs = self.config.slice_instructions;
+        let slot = &mut self.vms[vm];
+        let rt = slot.workload.as_mut().expect("run_slice on idle VM");
+        let profile = rt.stream.profile();
+
+        let refs_f = instrs as f64 * profile.mem_refs_per_instr + rt.carry_refs;
+        let n_refs = refs_f as u64;
+        rt.carry_refs = refs_f - n_refs as f64;
+
+        // Compute cycles attributed to each reference for request latency
+        // accounting (the instructions executed between two references).
+        let instr_share = if profile.mem_refs_per_instr > 0.0 {
+            profile.cpi_exec / profile.mem_refs_per_instr
+        } else {
+            0.0
+        };
+
+        let before = self.hierarchy.counters(core);
+        for _ in 0..n_refs {
+            let mref = rt.stream.next_access();
+            let paddr = rt
+                .mapper
+                .translate(mref.vaddr, &mut self.frames)
+                .expect("physical memory pool exhausted; raise EngineConfig::memory_bytes");
+            let level = self.hierarchy.access(core, paddr.0, mref.kind);
+            let lat = self.config.latency.latency_of(level);
+            rt.open_request_cycles += lat / profile.mlp + instr_share;
+            if mref.ends_request {
+                rt.request_latencies.push(rt.open_request_cycles);
+                rt.open_request_cycles = 0.0;
+            }
+        }
+        let mut delta = self.hierarchy.counters(core).delta_since(&before);
+        delta.ret_ins = instrs;
+        let cycles =
+            CyclesModel::new(self.config.latency, profile.cpi_exec, profile.mlp).cycles_for(&delta);
+        self.hierarchy.record_instructions(core, instrs);
+        self.hierarchy.record_cycles(core, cycles);
+        cycles
+    }
+
+    fn apply_mask_to_core(&mut self, core: u32) {
+        let cos = self.core_cos[core as usize];
+        let cbm = self.cos_masks[cos.0 as usize];
+        self.hierarchy.set_fill_mask(core, WayMask(cbm.0));
+    }
+}
+
+/// [`CacheController`] adapter over an [`Engine`].
+///
+/// Programming a class re-applies its mask to every associated core, and
+/// associating a core applies the class's mask to it — matching how CAT
+/// MSthe hardware behaves when `IA32_PQR_ASSOC`/`IA32_L3_QOS_MASK` change.
+pub struct EngineCat<'a> {
+    engine: &'a mut Engine,
+}
+
+impl CacheController for EngineCat<'_> {
+    fn capabilities(&self) -> CatCapabilities {
+        CatCapabilities::with_ways(self.engine.config.socket.llc_ways())
+    }
+
+    fn num_cores(&self) -> u32 {
+        self.engine.config.socket.hierarchy.cores
+    }
+
+    fn program_cos(&mut self, cos: CosId, cbm: Cbm) -> Result<(), ResctrlError> {
+        self.validate_cos(cos)?;
+        self.validate_cbm(cbm)?;
+        self.engine.cos_masks[cos.0 as usize] = cbm;
+        for core in 0..self.num_cores() {
+            if self.engine.core_cos[core as usize] == cos {
+                self.engine.apply_mask_to_core(core);
+            }
+        }
+        Ok(())
+    }
+
+    fn assign_core(&mut self, core: u32, cos: CosId) -> Result<(), ResctrlError> {
+        self.validate_cos(cos)?;
+        if core >= self.num_cores() {
+            return Err(ResctrlError::InvalidCore(core));
+        }
+        self.engine.core_cos[core as usize] = cos;
+        self.engine.apply_mask_to_core(core);
+        Ok(())
+    }
+
+    fn cos_mask(&self, cos: CosId) -> Result<Cbm, ResctrlError> {
+        self.validate_cos(cos)?;
+        Ok(self.engine.cos_masks[cos.0 as usize])
+    }
+
+    fn core_cos(&self, core: u32) -> Result<CosId, ResctrlError> {
+        if core >= self.num_cores() {
+            return Err(ResctrlError::InvalidCore(core));
+        }
+        Ok(self.engine.core_cos[core as usize])
+    }
+
+    fn flush_cbm(&mut self, cbm: Cbm) -> Result<(), ResctrlError> {
+        self.engine.hierarchy.flush_ways(llc_sim::WayMask(cbm.0));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::CacheGeometry;
+    use workloads::{Lookbusy, Mlr, RedisModel};
+
+    fn small_config() -> EngineConfig {
+        let mut cfg = EngineConfig::xeon_e5_v4();
+        cfg.socket.hierarchy = llc_sim::HierarchyConfig {
+            cores: 4,
+            l1: CacheGeometry::new(64, 8, 64),
+            l2: CacheGeometry::new(128, 8, 64),
+            llc: CacheGeometry::from_capacity(2 * 1024 * 1024, 8),
+            llc_policy: Default::default(),
+        };
+        cfg.cycles_per_epoch = 500_000;
+        cfg.memory_bytes = 64 * 1024 * 1024;
+        cfg
+    }
+
+    fn two_vm_engine() -> Engine {
+        Engine::new(
+            small_config(),
+            vec![
+                VmSpec::new("a", vec![0, 1], 2),
+                VmSpec::new("b", vec![2, 3], 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn idle_vms_retire_nothing() {
+        let mut e = two_vm_engine();
+        let stats = e.run_epoch();
+        assert_eq!(stats[0].instructions, 0);
+        assert_eq!(stats[0].ipc, 0.0);
+        assert_eq!(e.epoch(), 1);
+    }
+
+    #[test]
+    fn active_vm_consumes_its_cycle_budget() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(Lookbusy::new()));
+        let stats = e.run_epoch();
+        let budget = e.config().cycles_per_epoch;
+        assert!(
+            stats[0].cycles >= budget,
+            "budget not consumed: {}",
+            stats[0].cycles
+        );
+        // One slice of overshoot at most.
+        assert!(stats[0].cycles < budget + 100_000);
+        assert!(stats[0].instructions > 0);
+        assert_eq!(stats[1].instructions, 0);
+    }
+
+    #[test]
+    fn memory_bound_vm_retires_fewer_instructions() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(Lookbusy::new()));
+        e.start_workload(1, Box::new(Mlr::new(8 * 1024 * 1024, 1))); // thrashes 2MB LLC
+        let _ = e.run_epoch();
+        let stats = e.run_epoch();
+        assert!(
+            stats[0].instructions > 3 * stats[1].instructions,
+            "lookbusy {} vs mlr {}",
+            stats[0].instructions,
+            stats[1].instructions
+        );
+        assert!(stats[1].llc_miss_rate > 0.3);
+        assert!(stats[1].avg_access_latency > stats[0].avg_access_latency);
+    }
+
+    #[test]
+    fn stop_workload_frees_frames_and_goes_idle() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(Mlr::new(1024 * 1024, 2)));
+        let _ = e.run_epoch();
+        assert!(e.has_workload(0));
+        e.stop_workload(0);
+        assert!(!e.has_workload(0));
+        let stats = e.run_epoch();
+        assert_eq!(stats[0].instructions, 0);
+    }
+
+    #[test]
+    fn cat_adapter_programs_fill_masks() {
+        let mut e = two_vm_engine();
+        {
+            let mut cat = e.cat();
+            cat.program_cos(CosId(1), Cbm(0b11)).unwrap();
+            cat.assign_core(0, CosId(1)).unwrap();
+            cat.assign_core(1, CosId(1)).unwrap();
+        }
+        assert_eq!(e.vm_ways(0), 2);
+        assert_eq!(e.vm_ways(1), 8); // still full mask
+        {
+            let mut cat = e.cat();
+            // Growing the class updates the already-assigned cores.
+            cat.program_cos(CosId(1), Cbm(0b1111)).unwrap();
+        }
+        assert_eq!(e.vm_ways(0), 4);
+    }
+
+    #[test]
+    fn cat_adapter_validates() {
+        let mut e = two_vm_engine();
+        let mut cat = e.cat();
+        assert!(cat.program_cos(CosId(1), Cbm(0)).is_err());
+        assert!(cat.program_cos(CosId(1), Cbm(0b101)).is_err());
+        assert!(cat.program_cos(CosId(16), Cbm(1)).is_err());
+        assert!(cat.assign_core(99, CosId(1)).is_err());
+    }
+
+    #[test]
+    fn partitioning_isolates_vm_from_noisy_neighbor() {
+        // Victim: small MLR that fits 4 ways; three streaming neighbors.
+        fn build(isolate: bool) -> Engine {
+            let vms: Vec<VmSpec> = (0..4)
+                .map(|i| VmSpec::new(format!("vm{i}"), vec![i as u32], 2))
+                .collect();
+            let mut e = Engine::new(small_config(), vms).unwrap();
+            e.start_workload(0, Box::new(Mlr::new(256 * 1024, 3)));
+            for vm in 1..4 {
+                e.start_workload(vm, Box::new(workloads::Mload::new(8 * 1024 * 1024)));
+            }
+            if isolate {
+                let mut cat = e.cat();
+                cat.program_cos(CosId(1), Cbm(0b1111)).unwrap();
+                cat.program_cos(CosId(2), Cbm(0b1111_0000)).unwrap();
+                cat.assign_core(0, CosId(1)).unwrap();
+                for c in 1..4 {
+                    cat.assign_core(c, CosId(2)).unwrap();
+                }
+            }
+            e
+        }
+
+        let mut shared = build(false);
+        let mut isolated = build(true);
+        for _ in 0..5 {
+            shared.run_epoch();
+            isolated.run_epoch();
+        }
+        let shared_stats = shared.run_epoch();
+        let iso_stats = isolated.run_epoch();
+
+        assert!(
+            iso_stats[0].ipc > 1.5 * shared_stats[0].ipc,
+            "CAT isolation should protect the victim: isolated {} vs shared {}",
+            iso_stats[0].ipc,
+            shared_stats[0].ipc
+        );
+    }
+
+    #[test]
+    fn request_latencies_recorded_for_service_workloads() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(RedisModel::new(10_000, 128, 0.99, 7)));
+        let stats = e.run_epoch();
+        assert!(stats[0].requests_completed > 0);
+        let lats = e.take_request_latencies(0);
+        assert_eq!(lats.len() as u64, stats[0].requests_completed);
+        assert!(lats.iter().all(|&l| l > 0.0));
+        // Drained: second take is empty.
+        assert!(e.take_request_latencies(0).is_empty());
+    }
+
+    #[test]
+    fn occupancy_monitoring_tracks_the_working_set() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(Mlr::new(64 * 1024, 5)));
+        let mut stats = Vec::new();
+        for _ in 0..4 {
+            stats = e.run_epoch();
+        }
+        // 64 KiB = 1024 lines; once warm, occupancy approaches that.
+        let occ = stats[0].llc_occupancy_lines;
+        assert!(occ > 500, "occupancy {occ} too small for a 1024-line WSS");
+        assert!(occ <= 1024 + 128, "occupancy {occ} exceeds the working set");
+        assert_eq!(stats[1].llc_occupancy_lines, 0, "idle VM owns nothing");
+    }
+
+    #[test]
+    fn replacing_a_workload_frees_its_frames() {
+        let mut cfg = small_config();
+        // Pool just big enough for ~2 working sets: leaks would exhaust it.
+        cfg.memory_bytes = 8 * 1024 * 1024;
+        let mut e = Engine::new(cfg, vec![VmSpec::new("a", vec![0, 1], 2)]).unwrap();
+        for round in 0..6 {
+            e.start_workload(0, Box::new(Mlr::new(3 * 1024 * 1024, round)));
+            let _ = e.run_epoch();
+        }
+        // Reaching here without the "pool exhausted" panic proves reuse.
+        assert!(e.has_workload(0));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let build = || {
+            let mut e = two_vm_engine();
+            e.start_workload(0, Box::new(Mlr::new(512 * 1024, 9)));
+            e.start_workload(1, Box::new(workloads::Mload::new(2 * 1024 * 1024)));
+            e
+        };
+        let mut a = build();
+        let mut b = build();
+        for _ in 0..4 {
+            let sa = a.run_epoch();
+            let sb = b.run_epoch();
+            for (x, y) in sa.iter().zip(sb.iter()) {
+                assert_eq!(x.instructions, y.instructions);
+                assert_eq!(x.cycles, y.cycles);
+                assert_eq!(x.llc_miss, y.llc_miss);
+            }
+        }
+    }
+
+    #[test]
+    fn request_latency_accounting_spans_epochs() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(RedisModel::new(5_000, 128, 0.9, 3)));
+        let mut total_requests = 0;
+        let mut total_samples = 0;
+        for _ in 0..3 {
+            let stats = e.run_epoch();
+            total_requests += stats[0].requests_completed;
+            total_samples += e.take_request_latencies(0).len() as u64;
+        }
+        assert!(total_requests > 0);
+        assert_eq!(
+            total_requests, total_samples,
+            "every request yields one sample"
+        );
+    }
+
+    #[test]
+    fn cat_adapter_flush_cbm_clears_the_masked_ways() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(Mlr::new(128 * 1024, 5)));
+        let _ = e.run_epoch();
+        assert!(e.vm_llc_occupancy(0) > 0);
+        {
+            let mut cat = e.cat();
+            // Everything was filled under the full default mask.
+            cat.flush_cbm(Cbm(0xff)).unwrap();
+        }
+        assert_eq!(e.hierarchy().llc_occupancy(), 0, "flush must empty the LLC");
+        assert_eq!(e.vm_llc_occupancy(0), 0);
+    }
+
+    #[test]
+    fn snapshots_aggregate_vm_cores() {
+        let mut e = two_vm_engine();
+        e.start_workload(0, Box::new(Lookbusy::new()));
+        e.run_epoch();
+        let snaps = e.snapshots();
+        assert!(snaps[0].ret_ins > 0);
+        assert_eq!(snaps[1].ret_ins, 0);
+    }
+}

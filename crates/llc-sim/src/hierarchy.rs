@@ -1,0 +1,442 @@
+//! The full memory hierarchy: per-core L1/L2, shared way-partitioned LLC.
+//!
+//! Inclusion is enforced the way Intel's pre-Skylake server parts do it
+//! (and the paper's footnote 3 describes): the LLC is inclusive of the
+//! private caches, so evicting a line from the LLC *back-invalidates* it
+//! from every core's L1 and L2. This is the mechanism by which a noisy
+//! neighbor flushing the LLC also destroys a victim's private-cache
+//! contents — the effect Figure 1 of the paper measures.
+
+use crate::address::PhysAddr;
+use crate::cache::{AccessOutcome, SetAssocCache, WayMask};
+use crate::counters::CoreCounters;
+use crate::geometry::CacheGeometry;
+use crate::replacement::ReplacementPolicy;
+
+/// Kind of memory access. Loads and stores are costed identically by the
+/// latency model; the distinction is kept because workload generators and
+/// the paper's event list (Table 2) both make it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read.
+    Load,
+    /// A write.
+    Store,
+}
+
+/// The hierarchy level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Served by the private L1.
+    L1,
+    /// Served by the private L2.
+    L2,
+    /// Served by the shared LLC.
+    Llc,
+    /// Missed everywhere; served by DRAM.
+    Dram,
+}
+
+/// Shape of a [`Hierarchy`].
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// Number of cores sharing the LLC.
+    pub cores: u32,
+    /// Geometry of each private L1 data cache.
+    pub l1: CacheGeometry,
+    /// Geometry of each private L2.
+    pub l2: CacheGeometry,
+    /// Geometry of the shared LLC.
+    pub llc: CacheGeometry,
+    /// Replacement/insertion policy of the shared LLC (private caches
+    /// stay LRU, as on real parts).
+    pub llc_policy: ReplacementPolicy,
+}
+
+impl Default for HierarchyConfig {
+    /// The paper's evaluation machine: 18-core Xeon E5-2697 v4 with a
+    /// 20-way 45 MiB LLC.
+    fn default() -> Self {
+        HierarchyConfig {
+            cores: 18,
+            l1: CacheGeometry::l1d(),
+            l2: CacheGeometry::l2(),
+            llc: CacheGeometry::xeon_e5_llc(),
+            llc_policy: ReplacementPolicy::Lru,
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// The paper's second machine: 8-core Xeon-D with a 12-way 12 MiB LLC.
+    pub fn xeon_d() -> Self {
+        HierarchyConfig {
+            cores: 8,
+            l1: CacheGeometry::l1d(),
+            l2: CacheGeometry::l2(),
+            llc: CacheGeometry::xeon_d_llc(),
+            llc_policy: ReplacementPolicy::Lru,
+        }
+    }
+}
+
+/// A multi-core cache hierarchy with CAT fill masks on the LLC.
+#[derive(Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    fill_masks: Vec<WayMask>,
+    counters: Vec<CoreCounters>,
+}
+
+impl Hierarchy {
+    /// Creates an empty hierarchy; every core starts with a full fill mask
+    /// (the unmanaged "shared cache" configuration).
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.cores > 0, "hierarchy needs at least one core");
+        let full = WayMask::all(config.llc.ways);
+        Hierarchy {
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l2))
+                .collect(),
+            llc: SetAssocCache::with_policy(config.llc, config.llc_policy),
+            fill_masks: vec![full; config.cores as usize],
+            counters: vec![CoreCounters::default(); config.cores as usize],
+            config,
+        }
+    }
+
+    /// The hierarchy's shape.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.config.cores
+    }
+
+    /// Sets the LLC fill mask for `core` (what programming a CAT class of
+    /// service and associating the core with it achieves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is empty or exceeds the LLC's associativity;
+    /// Intel CAT rejects both.
+    pub fn set_fill_mask(&mut self, core: u32, mask: WayMask) {
+        assert!(!mask.is_empty(), "CAT does not allow a zero-way mask");
+        assert!(
+            mask.ways().all(|w| w < self.config.llc.ways),
+            "mask exceeds LLC associativity"
+        );
+        self.fill_masks[core as usize] = mask;
+    }
+
+    /// The current fill mask of `core`.
+    pub fn fill_mask(&self, core: u32) -> WayMask {
+        self.fill_masks[core as usize]
+    }
+
+    /// Performs one memory access by `core` at physical address `paddr`.
+    ///
+    /// Updates the Table-2 event counters and returns the level that served
+    /// the access.
+    pub fn access(&mut self, core: u32, paddr: u64, _kind: AccessKind) -> HitLevel {
+        let line = PhysAddr(paddr).line();
+        let idx = core as usize;
+        self.counters[idx].l1_ref += 1;
+
+        let l1_mask = WayMask::all(self.config.l1.ways);
+        if self.l1[idx].access(line, l1_mask).is_hit() {
+            return HitLevel::L1;
+        }
+        self.counters[idx].l1_miss += 1;
+
+        let l2_mask = WayMask::all(self.config.l2.ways);
+        if self.l2[idx].probe(line) {
+            // Refresh L2 LRU, then pull the line up into L1.
+            self.l2[idx].access(line, l2_mask);
+            self.fill_l1(idx, line);
+            return HitLevel::L2;
+        }
+        self.counters[idx].llc_ref += 1;
+
+        let llc_mask = self.fill_masks[idx];
+        match self.llc.access_as(line, llc_mask, core) {
+            AccessOutcome::Hit => {
+                self.fill_l2(idx, line);
+                self.fill_l1(idx, line);
+                HitLevel::Llc
+            }
+            AccessOutcome::Miss { evicted } => {
+                self.counters[idx].llc_miss += 1;
+                if let Some(victim) = evicted {
+                    self.back_invalidate(victim);
+                }
+                self.fill_l2(idx, line);
+                self.fill_l1(idx, line);
+                HitLevel::Dram
+            }
+        }
+    }
+
+    /// Fills `line` into `core`'s L1 (it was just looked up and missed).
+    fn fill_l1(&mut self, idx: usize, line: crate::address::LineAddr) {
+        let mask = WayMask::all(self.config.l1.ways);
+        if !self.l1[idx].probe(line) {
+            self.l1[idx].access(line, mask);
+        }
+    }
+
+    /// Fills `line` into `core`'s L2, keeping L1 inclusive in L2.
+    fn fill_l2(&mut self, idx: usize, line: crate::address::LineAddr) {
+        let mask = WayMask::all(self.config.l2.ways);
+        if self.l2[idx].probe(line) {
+            return;
+        }
+        if let AccessOutcome::Miss {
+            evicted: Some(victim),
+        } = self.l2[idx].access(line, mask)
+        {
+            self.l1[idx].invalidate(victim);
+        }
+    }
+
+    /// Inclusive back-invalidation: drop `line` from every private cache.
+    fn back_invalidate(&mut self, line: crate::address::LineAddr) {
+        for idx in 0..self.config.cores as usize {
+            self.l2[idx].invalidate(line);
+            self.l1[idx].invalidate(line);
+        }
+    }
+
+    /// Records `n` retired instructions on `core`.
+    pub fn record_instructions(&mut self, core: u32, n: u64) {
+        self.counters[core as usize].ret_ins += n;
+    }
+
+    /// Records `n` unhalted cycles on `core`.
+    pub fn record_cycles(&mut self, core: u32, n: u64) {
+        self.counters[core as usize].cycles += n;
+    }
+
+    /// The monotonic counters of `core`.
+    pub fn counters(&self, core: u32) -> CoreCounters {
+        self.counters[core as usize]
+    }
+
+    /// Resets the counters of `core` (not the cache contents).
+    pub fn reset_counters(&mut self, core: u32) {
+        self.counters[core as usize].reset();
+    }
+
+    /// LLC lines resident in ways permitted by `mask`.
+    pub fn llc_occupancy_in(&self, mask: WayMask) -> u64 {
+        self.llc.occupancy_in(mask)
+    }
+
+    /// Total LLC lines resident.
+    pub fn llc_occupancy(&self) -> u64 {
+        self.llc.occupancy()
+    }
+
+    /// Whether `paddr`'s line is resident in the LLC.
+    pub fn llc_probe(&self, paddr: u64) -> bool {
+        self.llc.probe(PhysAddr(paddr).line())
+    }
+
+    /// Whether `paddr`'s line is resident in `core`'s L1.
+    pub fn l1_probe(&self, core: u32, paddr: u64) -> bool {
+        self.l1[core as usize].probe(PhysAddr(paddr).line())
+    }
+
+    /// Whether `paddr`'s line is resident in `core`'s L2.
+    pub fn l2_probe(&self, core: u32, paddr: u64) -> bool {
+        self.l2[core as usize].probe(PhysAddr(paddr).line())
+    }
+
+    /// Read-only view of the LLC, for occupancy statistics.
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
+    /// LLC lines filled by `core` (CMT-style occupancy attribution).
+    pub fn llc_occupancy_of_core(&self, core: u32) -> u64 {
+        self.llc.occupancy_of(core)
+    }
+
+    /// Invalidates every LLC line in the ways permitted by `mask`,
+    /// back-invalidating the private caches (the user-level way flush the
+    /// paper's Section 6 calls for after a reallocation).
+    pub fn flush_ways(&mut self, mask: WayMask) -> u64 {
+        let dropped = self.llc.invalidate_ways(mask);
+        for line in &dropped {
+            for idx in 0..self.config.cores as usize {
+                self.l2[idx].invalidate(*line);
+                self.l1[idx].invalidate(*line);
+            }
+        }
+        dropped.len() as u64
+    }
+
+    /// Flushes every cache in the hierarchy.
+    pub fn flush_all(&mut self) {
+        for c in &mut self.l1 {
+            c.flush();
+        }
+        for c in &mut self.l2 {
+            c.flush();
+        }
+        self.llc.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            cores: 2,
+            l1: CacheGeometry::new(4, 2, 64),
+            l2: CacheGeometry::new(8, 2, 64),
+            llc: CacheGeometry::new(16, 4, 64),
+            llc_policy: Default::default(),
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_everywhere_then_hits_l1() {
+        let mut h = tiny();
+        assert_eq!(h.access(0, 0x1000, AccessKind::Load), HitLevel::Dram);
+        assert_eq!(h.access(0, 0x1000, AccessKind::Load), HitLevel::L1);
+        let c = h.counters(0);
+        assert_eq!(c.l1_ref, 2);
+        assert_eq!(c.l1_miss, 1);
+        assert_eq!(c.llc_ref, 1);
+        assert_eq!(c.llc_miss, 1);
+    }
+
+    #[test]
+    fn cross_core_sharing_hits_in_llc() {
+        let mut h = tiny();
+        h.access(0, 0x2000, AccessKind::Load);
+        // Core 1 has never seen the line; its L1/L2 miss but the LLC hits.
+        assert_eq!(h.access(1, 0x2000, AccessKind::Load), HitLevel::Llc);
+        assert_eq!(h.counters(1).llc_miss, 0);
+    }
+
+    #[test]
+    fn llc_eviction_back_invalidates_private_caches() {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            cores: 2,
+            l1: CacheGeometry::new(4, 2, 64),
+            l2: CacheGeometry::new(8, 2, 64),
+            llc: CacheGeometry::new(4, 1, 64), // 1-way LLC: easy to evict
+            llc_policy: Default::default(),
+        });
+        h.access(0, 0, AccessKind::Load);
+        assert!(h.l1_probe(0, 0));
+        // Same LLC set (4 sets, line 4*64=256 bytes later), evicts line 0.
+        h.access(1, 4 * 64, AccessKind::Load);
+        assert!(!h.llc_probe(0));
+        assert!(!h.l1_probe(0, 0), "inclusive LLC must back-invalidate L1");
+        assert!(!h.l2_probe(0, 0), "inclusive LLC must back-invalidate L2");
+    }
+
+    #[test]
+    fn fill_masks_partition_the_llc() {
+        let mut h = tiny();
+        h.set_fill_mask(0, WayMask::from_way_range(0, 2));
+        h.set_fill_mask(1, WayMask::from_way_range(2, 2));
+        for i in 0..200u64 {
+            h.access(0, i * 64, AccessKind::Load);
+            h.access(1, (1 << 20) + i * 64, AccessKind::Load);
+        }
+        let low = h.llc_occupancy_in(WayMask::from_way_range(0, 2));
+        let high = h.llc_occupancy_in(WayMask::from_way_range(2, 2));
+        assert!(low <= 32, "partition 0 overflowed: {low}");
+        assert!(high <= 32, "partition 1 overflowed: {high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-way")]
+    fn empty_mask_rejected() {
+        let mut h = tiny();
+        h.set_fill_mask(0, WayMask(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds LLC associativity")]
+    fn oversized_mask_rejected() {
+        let mut h = tiny();
+        h.set_fill_mask(0, WayMask::from_way_range(0, 5));
+    }
+
+    #[test]
+    fn instruction_and_cycle_recording() {
+        let mut h = tiny();
+        h.record_instructions(1, 100);
+        h.record_cycles(1, 250);
+        assert_eq!(h.counters(1).ret_ins, 100);
+        assert_eq!(h.counters(1).cycles, 250);
+        h.reset_counters(1);
+        assert_eq!(h.counters(1).ret_ins, 0);
+    }
+
+    #[test]
+    fn l2_hit_path_counts_no_llc_ref() {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            cores: 1,
+            l1: CacheGeometry::new(1, 1, 64), // 1-line L1: easy to evict
+            l2: CacheGeometry::new(8, 2, 64),
+            llc: CacheGeometry::new(16, 4, 64),
+            llc_policy: Default::default(),
+        });
+        h.access(0, 0, AccessKind::Load);
+        h.access(0, 64, AccessKind::Load); // evicts line 0 from the L1
+        let before = h.counters(0).llc_ref;
+        assert_eq!(h.access(0, 0, AccessKind::Load), HitLevel::L2);
+        assert_eq!(h.counters(0).llc_ref, before);
+    }
+
+    #[test]
+    fn occupancy_attribution_per_core() {
+        let mut h = tiny();
+        for i in 0..8u64 {
+            h.access(0, i * 64, AccessKind::Load);
+        }
+        h.access(1, 1 << 20, AccessKind::Load);
+        assert_eq!(h.llc_occupancy_of_core(0), 8);
+        assert_eq!(h.llc_occupancy_of_core(1), 1);
+    }
+
+    #[test]
+    fn flush_ways_back_invalidates_private_caches() {
+        let mut h = tiny();
+        h.set_fill_mask(0, WayMask::from_way_range(0, 2));
+        h.access(0, 0x40, AccessKind::Load);
+        assert!(h.l1_probe(0, 0x40));
+        let dropped = h.flush_ways(WayMask::from_way_range(0, 2));
+        assert_eq!(dropped, 1);
+        assert!(!h.llc_probe(0x40));
+        assert!(!h.l1_probe(0, 0x40), "flush must reach the L1 (inclusive)");
+        assert!(!h.l2_probe(0, 0x40));
+    }
+
+    #[test]
+    fn flush_all_empties_hierarchy() {
+        let mut h = tiny();
+        for i in 0..20u64 {
+            h.access(0, i * 64, AccessKind::Store);
+        }
+        h.flush_all();
+        assert_eq!(h.llc_occupancy(), 0);
+        assert_eq!(h.access(0, 0, AccessKind::Load), HitLevel::Dram);
+    }
+}

@@ -1,0 +1,395 @@
+//! Virtual-to-physical translation with 4 KiB and 2 MiB pages.
+//!
+//! The paper's conflict-miss analysis (Figures 2 and 3) hinges on one fact:
+//! a contiguous *virtual* buffer is scattered across *physical* frames, so
+//! the number of lines landing in each LLC set is binomially distributed
+//! rather than uniform, and a way-restricted partition suffers conflict
+//! misses even when its capacity equals the working set. Huge pages reduce
+//! (but, once the working set spans several huge pages, do not eliminate)
+//! the effect.
+//!
+//! [`FrameAllocator`] hands out physical frames either **randomized**
+//! (default OS behavior after memory has been churned) or **contiguous**
+//! (the idealized placement, also used for huge-page interiors which are
+//! physically contiguous by construction). [`PageMapper`] demand-maps
+//! virtual pages on first touch.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::address::{PhysAddr, VirtAddr};
+use crate::coloring::ColorSet;
+
+/// Page size used by a mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSize {
+    /// Regular 4 KiB pages.
+    Small,
+    /// 2 MiB huge pages (x86 PMD-level).
+    Huge,
+}
+
+impl PageSize {
+    /// log2 of the page size in bytes.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        match self {
+            PageSize::Small => 12,
+            PageSize::Huge => 21,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// Number of 4 KiB frames covered by one page of this size.
+    #[inline]
+    pub fn small_frames(self) -> u64 {
+        self.bytes() >> PageSize::Small.shift()
+    }
+}
+
+/// Physical frame placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramePolicy {
+    /// Frames are drawn uniformly at random from the free pool. This models
+    /// a long-running host whose physical memory is fragmented, and is the
+    /// regime in which the paper's conflict misses appear.
+    Randomized,
+    /// Frames are handed out in ascending order, producing physically
+    /// contiguous buffers (the best case for way-restricted partitions).
+    Contiguous,
+}
+
+/// Allocates physical frames from a fixed-size pool.
+///
+/// Internally tracks 4 KiB frames; a huge-page allocation claims a naturally
+/// aligned run of 512 of them.
+#[derive(Debug)]
+pub struct FrameAllocator {
+    total_small_frames: u64,
+    used: HashSet<u64>,
+    bump_next: u64,
+    policy: FramePolicy,
+    rng: SmallRng,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `memory_bytes` of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_bytes` is smaller than one huge page.
+    pub fn new(memory_bytes: u64, policy: FramePolicy, seed: u64) -> Self {
+        assert!(
+            memory_bytes >= PageSize::Huge.bytes(),
+            "physical memory must hold at least one huge page"
+        );
+        FrameAllocator {
+            total_small_frames: memory_bytes >> PageSize::Small.shift(),
+            used: HashSet::new(),
+            bump_next: 0,
+            policy,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_small_frames << PageSize::Small.shift()
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        (self.used.len() as u64) << PageSize::Small.shift()
+    }
+
+    /// Allocates one page of `size`, returning the physical address of its
+    /// first byte, or `None` when the pool is exhausted.
+    pub fn allocate(&mut self, size: PageSize) -> Option<PhysAddr> {
+        self.allocate_colored(size, None)
+    }
+
+    /// Allocates one page whose frame color is permitted by `colors`
+    /// (OS page coloring; see [`crate::coloring`]). `None` colors means
+    /// any frame.
+    pub fn allocate_colored(
+        &mut self,
+        size: PageSize,
+        colors: Option<&ColorSet>,
+    ) -> Option<PhysAddr> {
+        let span = size.small_frames();
+        let slots = self.total_small_frames / span;
+        if slots == 0 {
+            return None;
+        }
+        match self.policy {
+            FramePolicy::Contiguous => self.allocate_bump(span, slots, size, colors),
+            FramePolicy::Randomized => self.allocate_random(span, slots, size, colors),
+        }
+    }
+
+    fn slot_permitted(
+        &self,
+        start_frame: u64,
+        span: u64,
+        size: PageSize,
+        colors: Option<&ColorSet>,
+    ) -> bool {
+        if !self.run_free(start_frame, span) {
+            return false;
+        }
+        match colors {
+            None => true,
+            Some(c) => c.permits_frame(start_frame << PageSize::Small.shift(), size),
+        }
+    }
+
+    fn run_free(&self, start_frame: u64, span: u64) -> bool {
+        (start_frame..start_frame + span).all(|f| !self.used.contains(&f))
+    }
+
+    fn claim(&mut self, start_frame: u64, span: u64) -> PhysAddr {
+        for f in start_frame..start_frame + span {
+            self.used.insert(f);
+        }
+        PhysAddr(start_frame << PageSize::Small.shift())
+    }
+
+    fn allocate_bump(
+        &mut self,
+        span: u64,
+        slots: u64,
+        size: PageSize,
+        colors: Option<&ColorSet>,
+    ) -> Option<PhysAddr> {
+        // Align the bump pointer to the allocation span, then scan forward.
+        let mut slot = self.bump_next.div_ceil(span);
+        let mut scanned = 0;
+        while scanned < slots {
+            let wrapped = slot % slots;
+            let start = wrapped * span;
+            if self.slot_permitted(start, span, size, colors) {
+                self.bump_next = start + span;
+                return Some(self.claim(start, span));
+            }
+            slot += 1;
+            scanned += 1;
+        }
+        None
+    }
+
+    fn allocate_random(
+        &mut self,
+        span: u64,
+        slots: u64,
+        size: PageSize,
+        colors: Option<&ColorSet>,
+    ) -> Option<PhysAddr> {
+        // Rejection-sample aligned slots; fall back to a linear sweep when
+        // the pool (or the color class) is nearly full so allocation never
+        // spuriously fails.
+        for _ in 0..128 {
+            let slot = self.rng.gen_range(0..slots);
+            let start = slot * span;
+            if self.slot_permitted(start, span, size, colors) {
+                return Some(self.claim(start, span));
+            }
+        }
+        let offset = self.rng.gen_range(0..slots);
+        for i in 0..slots {
+            let start = ((offset + i) % slots) * span;
+            if self.slot_permitted(start, span, size, colors) {
+                return Some(self.claim(start, span));
+            }
+        }
+        None
+    }
+
+    /// Releases one page previously returned by [`FrameAllocator::allocate`].
+    pub fn free(&mut self, base: PhysAddr, size: PageSize) {
+        let first = base.0 >> PageSize::Small.shift();
+        for f in first..first + size.small_frames() {
+            self.used.remove(&f);
+        }
+    }
+}
+
+/// Demand-paged virtual address space.
+#[derive(Debug)]
+pub struct PageMapper {
+    page_size: PageSize,
+    table: HashMap<u64, PhysAddr>,
+}
+
+impl PageMapper {
+    /// Creates an empty address space using pages of `page_size`.
+    pub fn new(page_size: PageSize) -> Self {
+        PageMapper {
+            page_size,
+            table: HashMap::new(),
+        }
+    }
+
+    /// The mapper's page size.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Number of pages currently mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Translates `vaddr`, allocating a frame on first touch.
+    ///
+    /// Returns `None` only when the physical pool is exhausted.
+    pub fn translate(&mut self, vaddr: VirtAddr, frames: &mut FrameAllocator) -> Option<PhysAddr> {
+        self.translate_colored(vaddr, frames, None)
+    }
+
+    /// Translates `vaddr`, demand-allocating only frames whose color is
+    /// permitted by `colors` (OS page coloring).
+    pub fn translate_colored(
+        &mut self,
+        vaddr: VirtAddr,
+        frames: &mut FrameAllocator,
+        colors: Option<&ColorSet>,
+    ) -> Option<PhysAddr> {
+        let shift = self.page_size.shift();
+        let vpage = vaddr.page_number(shift);
+        let base = match self.table.get(&vpage) {
+            Some(base) => *base,
+            None => {
+                let base = frames.allocate_colored(self.page_size, colors)?;
+                self.table.insert(vpage, base);
+                base
+            }
+        };
+        Some(PhysAddr(base.0 + vaddr.page_offset(shift)))
+    }
+
+    /// Unmaps everything, returning the frames to `frames`.
+    pub fn clear(&mut self, frames: &mut FrameAllocator) {
+        for (_, base) in self.table.drain() {
+            frames.free(base, self.page_size);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(policy: FramePolicy) -> FrameAllocator {
+        FrameAllocator::new(64 * 1024 * 1024, policy, 42)
+    }
+
+    #[test]
+    fn page_size_arithmetic() {
+        assert_eq!(PageSize::Small.bytes(), 4096);
+        assert_eq!(PageSize::Huge.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Huge.small_frames(), 512);
+    }
+
+    #[test]
+    fn contiguous_allocation_is_sequential() {
+        let mut a = pool(FramePolicy::Contiguous);
+        let p0 = a.allocate(PageSize::Small).unwrap();
+        let p1 = a.allocate(PageSize::Small).unwrap();
+        assert_eq!(p1.0, p0.0 + 4096);
+    }
+
+    #[test]
+    fn randomized_allocation_scatters() {
+        let mut a = pool(FramePolicy::Randomized);
+        let addrs: Vec<u64> = (0..16)
+            .map(|_| a.allocate(PageSize::Small).unwrap().0)
+            .collect();
+        let sequential = addrs.windows(2).all(|w| w[1] == w[0] + 4096);
+        assert!(
+            !sequential,
+            "random placement should not be fully sequential"
+        );
+        // No duplicates.
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), addrs.len());
+    }
+
+    #[test]
+    fn huge_pages_are_naturally_aligned() {
+        let mut a = pool(FramePolicy::Randomized);
+        for _ in 0..8 {
+            let p = a.allocate(PageSize::Huge).unwrap();
+            assert_eq!(p.0 % PageSize::Huge.bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none() {
+        let mut a = FrameAllocator::new(2 * 1024 * 1024, FramePolicy::Contiguous, 1);
+        assert!(a.allocate(PageSize::Huge).is_some());
+        assert!(a.allocate(PageSize::Huge).is_none());
+        assert!(a.allocate(PageSize::Small).is_none());
+    }
+
+    #[test]
+    fn free_makes_frames_reusable() {
+        let mut a = FrameAllocator::new(2 * 1024 * 1024, FramePolicy::Contiguous, 1);
+        let p = a.allocate(PageSize::Huge).unwrap();
+        a.free(p, PageSize::Huge);
+        assert!(a.allocate(PageSize::Huge).is_some());
+    }
+
+    #[test]
+    fn translation_is_stable_and_offset_preserving() {
+        let mut frames = pool(FramePolicy::Randomized);
+        let mut m = PageMapper::new(PageSize::Small);
+        let p1 = m.translate(VirtAddr(0x1234), &mut frames).unwrap();
+        let p2 = m.translate(VirtAddr(0x1234), &mut frames).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.0 & 0xfff, 0x234);
+        // Same page, different offset: same frame.
+        let p3 = m.translate(VirtAddr(0x1000), &mut frames).unwrap();
+        assert_eq!(p3.0 & !0xfff, p1.0 & !0xfff);
+        assert_eq!(m.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn distinct_virtual_pages_get_distinct_frames() {
+        let mut frames = pool(FramePolicy::Randomized);
+        let mut m = PageMapper::new(PageSize::Small);
+        let a = m.translate(VirtAddr(0), &mut frames).unwrap();
+        let b = m.translate(VirtAddr(4096), &mut frames).unwrap();
+        assert_ne!(a.0 >> 12, b.0 >> 12);
+    }
+
+    #[test]
+    fn clear_returns_frames() {
+        let mut frames = FrameAllocator::new(2 * 1024 * 1024, FramePolicy::Contiguous, 1);
+        let mut m = PageMapper::new(PageSize::Small);
+        for i in 0..512u64 {
+            m.translate(VirtAddr(i * 4096), &mut frames).unwrap();
+        }
+        assert!(frames.allocate(PageSize::Small).is_none());
+        m.clear(&mut frames);
+        assert_eq!(m.mapped_pages(), 0);
+        assert!(frames.allocate(PageSize::Small).is_some());
+    }
+
+    #[test]
+    fn huge_page_interior_is_contiguous() {
+        let mut frames = pool(FramePolicy::Randomized);
+        let mut m = PageMapper::new(PageSize::Huge);
+        let base = m.translate(VirtAddr(0), &mut frames).unwrap();
+        let mid = m.translate(VirtAddr(1024 * 1024), &mut frames).unwrap();
+        assert_eq!(mid.0, base.0 + 1024 * 1024);
+    }
+}

@@ -1,0 +1,338 @@
+//! A single cache set: tag store, LRU ordering, and mask-restricted fill.
+//!
+//! The set is the unit where CAT semantics live. A lookup may hit in *any*
+//! way (CAT restricts allocation, not lookup), while a fill may only claim a
+//! way permitted by the requesting core's fill mask, evicting the
+//! least-recently-used line among the permitted ways when they are all
+//! occupied.
+
+use crate::address::LineAddr;
+use crate::cache::WayMask;
+use crate::replacement::ReplacementPolicy;
+
+/// One resident line: its address tag, an LRU timestamp, and the id of
+/// the requestor that filled it (the analogue of Intel CMT's RMID tag,
+/// which is how real hardware attributes LLC occupancy to tenants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineEntry {
+    /// Full line address (the simulator stores the whole line number rather
+    /// than a truncated tag; equality is what matters, not storage economy).
+    pub line: LineAddr,
+    /// Monotonic last-use stamp; larger means more recently used.
+    pub last_use: u64,
+    /// Requestor (core) that brought the line in.
+    pub owner: u32,
+}
+
+/// Result of a fill into a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillResult {
+    /// Way index that received the line.
+    pub way: u32,
+    /// Line that was evicted to make room, if any.
+    pub evicted: Option<LineAddr>,
+}
+
+/// A single set of a set-associative cache.
+#[derive(Debug, Clone)]
+pub struct CacheSet {
+    ways: Vec<Option<LineEntry>>,
+}
+
+impl CacheSet {
+    /// Creates an empty set with the given associativity.
+    pub fn new(ways: u32) -> Self {
+        CacheSet {
+            ways: vec![None; ways as usize],
+        }
+    }
+
+    /// Number of ways in this set.
+    #[inline]
+    pub fn way_count(&self) -> u32 {
+        self.ways.len() as u32
+    }
+
+    /// Looks up a line; on a hit, refreshes its LRU stamp (unless the
+    /// policy does not promote on hits) and returns the way.
+    pub fn lookup(&mut self, line: LineAddr, now: u64) -> Option<u32> {
+        self.lookup_with(line, now, ReplacementPolicy::Lru)
+    }
+
+    /// Policy-aware lookup.
+    pub fn lookup_with(
+        &mut self,
+        line: LineAddr,
+        now: u64,
+        policy: ReplacementPolicy,
+    ) -> Option<u32> {
+        for (idx, slot) in self.ways.iter_mut().enumerate() {
+            if let Some(entry) = slot {
+                if entry.line == line {
+                    if policy.promotes_on_hit() {
+                        entry.last_use = now;
+                    }
+                    return Some(idx as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks residency without perturbing LRU state (a *probe*).
+    pub fn probe(&self, line: LineAddr) -> Option<u32> {
+        self.ways
+            .iter()
+            .position(|slot| slot.map(|e| e.line) == Some(line))
+            .map(|idx| idx as u32)
+    }
+
+    /// Fills `line` into a way permitted by `mask`, evicting the LRU line
+    /// among the permitted ways if none is free. The line is tagged with
+    /// `owner` for occupancy attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` permits no way within this set's associativity;
+    /// CAT forbids empty masks (Intel x86 does not allow a zero-way COS) and
+    /// upper layers validate masks before they reach the set.
+    pub fn fill(&mut self, line: LineAddr, mask: WayMask, now: u64, owner: u32) -> FillResult {
+        self.fill_with(line, mask, now, owner, ReplacementPolicy::Lru, 0)
+    }
+
+    /// Policy-aware fill. `draw` is a pseudo-random value supplied by the
+    /// cache (used by Random victim selection and BIP insertion); passing
+    /// any constant degrades those policies but stays correct.
+    pub fn fill_with(
+        &mut self,
+        line: LineAddr,
+        mask: WayMask,
+        now: u64,
+        owner: u32,
+        policy: ReplacementPolicy,
+        draw: u64,
+    ) -> FillResult {
+        debug_assert!(
+            self.probe(line).is_none(),
+            "fill of a line that is already resident"
+        );
+        // Insertion stamp: BIP inserts at the LRU position (stamp 0) except
+        // one fill in `mru_one_in`.
+        let insert_stamp = match policy {
+            ReplacementPolicy::Bip { mru_one_in } => {
+                if mru_one_in <= 1 || draw.is_multiple_of(u64::from(mru_one_in)) {
+                    now
+                } else {
+                    0
+                }
+            }
+            _ => now,
+        };
+
+        // Prefer an invalid (empty) permitted way; collect candidates.
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut victim: Option<u32> = None;
+        let mut victim_stamp = u64::MAX;
+        for way in 0..self.way_count() {
+            if !mask.contains(way) {
+                continue;
+            }
+            match self.ways[way as usize] {
+                None => {
+                    self.ways[way as usize] = Some(LineEntry {
+                        line,
+                        last_use: insert_stamp,
+                        owner,
+                    });
+                    return FillResult { way, evicted: None };
+                }
+                Some(entry) => {
+                    candidates.push(way);
+                    if entry.last_use < victim_stamp {
+                        victim_stamp = entry.last_use;
+                        victim = Some(way);
+                    }
+                }
+            }
+        }
+        let way = match policy {
+            ReplacementPolicy::Random => *candidates
+                .get((draw % candidates.len().max(1) as u64) as usize)
+                .expect("fill mask must permit at least one way"),
+            // LRU, FIFO, and BIP all evict the oldest stamp; they differ
+            // in when stamps are refreshed (lookup) or assigned (insert).
+            _ => victim.expect("fill mask must permit at least one way"),
+        };
+        let evicted = self.ways[way as usize].map(|e| e.line);
+        self.ways[way as usize] = Some(LineEntry {
+            line,
+            last_use: insert_stamp,
+            owner,
+        });
+        FillResult { way, evicted }
+    }
+
+    /// Invalidates `line` if resident (used for inclusive back-invalidation).
+    ///
+    /// Returns `true` when a line was actually dropped.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        for slot in self.ways.iter_mut() {
+            if slot.map(|e| e.line) == Some(line) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clears every way of the set.
+    pub fn flush(&mut self) {
+        for slot in self.ways.iter_mut() {
+            *slot = None;
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> u32 {
+        self.ways.iter().filter(|s| s.is_some()).count() as u32
+    }
+
+    /// Number of valid lines resident in ways permitted by `mask`.
+    pub fn occupancy_in(&self, mask: WayMask) -> u32 {
+        self.ways
+            .iter()
+            .enumerate()
+            .filter(|(idx, slot)| slot.is_some() && mask.contains(*idx as u32))
+            .count() as u32
+    }
+
+    /// Iterates over resident lines.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.ways.iter().filter_map(|s| s.map(|e| e.line))
+    }
+
+    /// Number of valid lines filled by `owner`.
+    pub fn occupancy_of(&self, owner: u32) -> u32 {
+        self.ways
+            .iter()
+            .filter(|s| s.map(|e| e.owner) == Some(owner))
+            .count() as u32
+    }
+
+    /// Invalidates every line resident in the ways permitted by `mask`,
+    /// returning how many were dropped and which lines they were.
+    pub fn invalidate_ways(&mut self, mask: WayMask) -> Vec<LineAddr> {
+        let mut dropped = Vec::new();
+        for (way, slot) in self.ways.iter_mut().enumerate() {
+            if mask.contains(way as u32) {
+                if let Some(entry) = slot.take() {
+                    dropped.push(entry.line);
+                }
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_mask(ways: u32) -> WayMask {
+        WayMask::from_way_range(0, ways)
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut set = CacheSet::new(4);
+        set.fill(LineAddr(7), full_mask(4), 1, 0);
+        assert!(set.lookup(LineAddr(7), 2).is_some());
+        assert!(set.lookup(LineAddr(8), 3).is_none());
+    }
+
+    #[test]
+    fn fill_prefers_empty_way() {
+        let mut set = CacheSet::new(2);
+        let r1 = set.fill(LineAddr(1), full_mask(2), 1, 0);
+        let r2 = set.fill(LineAddr(2), full_mask(2), 2, 0);
+        assert_eq!(r1.evicted, None);
+        assert_eq!(r2.evicted, None);
+        assert_ne!(r1.way, r2.way);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut set = CacheSet::new(2);
+        set.fill(LineAddr(1), full_mask(2), 1, 0);
+        set.fill(LineAddr(2), full_mask(2), 2, 0);
+        // Touch line 1 so line 2 becomes LRU.
+        set.lookup(LineAddr(1), 3);
+        let r = set.fill(LineAddr(3), full_mask(2), 4, 0);
+        assert_eq!(r.evicted, Some(LineAddr(2)));
+        assert!(set.probe(LineAddr(1)).is_some());
+    }
+
+    #[test]
+    fn masked_fill_only_claims_permitted_ways() {
+        let mut set = CacheSet::new(4);
+        let low = WayMask::from_way_range(0, 2);
+        for i in 0..8 {
+            set.fill(LineAddr(i), low, i, 0);
+        }
+        // Only the two permitted ways are ever occupied.
+        assert_eq!(set.occupancy(), 2);
+        assert_eq!(set.occupancy_in(low), 2);
+        assert_eq!(set.occupancy_in(WayMask::from_way_range(2, 2)), 0);
+    }
+
+    #[test]
+    fn masked_fill_does_not_evict_other_partition() {
+        let mut set = CacheSet::new(4);
+        let low = WayMask::from_way_range(0, 2);
+        let high = WayMask::from_way_range(2, 2);
+        set.fill(LineAddr(100), high, 1, 0);
+        for i in 0..10 {
+            set.fill(LineAddr(i), low, 2 + i, 0);
+        }
+        // The high-partition line survives low-partition thrashing: that is
+        // exactly the isolation CAT provides.
+        assert!(set.probe(LineAddr(100)).is_some());
+    }
+
+    #[test]
+    fn hit_possible_outside_fill_mask() {
+        let mut set = CacheSet::new(4);
+        let high = WayMask::from_way_range(2, 2);
+        set.fill(LineAddr(5), high, 1, 0);
+        // A core whose mask excludes ways 2-3 still *hits* on the line.
+        assert!(set.lookup(LineAddr(5), 2).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut set = CacheSet::new(2);
+        set.fill(LineAddr(9), full_mask(2), 1, 0);
+        assert!(set.invalidate(LineAddr(9)));
+        assert!(!set.invalidate(LineAddr(9)));
+        assert_eq!(set.occupancy(), 0);
+    }
+
+    #[test]
+    fn flush_empties_set() {
+        let mut set = CacheSet::new(4);
+        for i in 0..4 {
+            set.fill(LineAddr(i), full_mask(4), i, 0);
+        }
+        set.flush();
+        assert_eq!(set.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn empty_mask_fill_panics_when_full() {
+        let mut set = CacheSet::new(2);
+        // A mask outside the set's associativity behaves like an empty mask.
+        let bad = WayMask::from_way_range(2, 2);
+        set.fill(LineAddr(1), bad, 1, 0);
+    }
+}

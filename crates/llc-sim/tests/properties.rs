@@ -1,0 +1,125 @@
+//! Property-based tests for the cache simulator's core invariants.
+
+use llc_sim::{
+    AccessKind, CacheGeometry, FrameAllocator, FramePolicy, Hierarchy, HierarchyConfig, LineAddr,
+    PageMapper, PageSize, SetAssocCache, VirtAddr, WayMask,
+};
+use proptest::prelude::*;
+
+fn small_hierarchy(llc_ways: u32) -> Hierarchy {
+    Hierarchy::new(HierarchyConfig {
+        cores: 2,
+        l1: CacheGeometry::new(8, 2, 64),
+        l2: CacheGeometry::new(16, 4, 64),
+        llc: CacheGeometry::new(64, llc_ways, 64),
+        llc_policy: Default::default(),
+    })
+}
+
+proptest! {
+    /// A partition can never hold more lines than sets x permitted ways.
+    #[test]
+    fn partition_occupancy_bounded(
+        lines in prop::collection::vec(0u64..10_000, 1..400),
+        start in 0u32..6,
+        count in 1u32..3,
+    ) {
+        let geometry = CacheGeometry::new(32, 8, 64);
+        let mut cache = SetAssocCache::new(geometry);
+        let mask = WayMask::from_way_range(start, count);
+        for line in lines {
+            cache.access(LineAddr(line), mask);
+        }
+        prop_assert!(cache.occupancy_in(mask) <= u64::from(32 * count));
+        // Nothing leaked outside the permitted ways.
+        prop_assert_eq!(cache.occupancy(), cache.occupancy_in(mask));
+    }
+
+    /// Whatever is resident in a private L1 or L2 is resident in the LLC
+    /// (the inclusive property the paper's footnote 3 describes).
+    #[test]
+    fn hierarchy_is_inclusive(
+        accesses in prop::collection::vec((0u64..1u64 << 16, 0u32..2), 1..500),
+    ) {
+        let mut h = small_hierarchy(8);
+        h.set_fill_mask(0, WayMask::from_way_range(0, 4));
+        h.set_fill_mask(1, WayMask::from_way_range(4, 4));
+        let mut touched = Vec::new();
+        for (addr, core) in accesses {
+            let addr = addr & !63;
+            h.access(core, addr, AccessKind::Load);
+            touched.push((core, addr));
+        }
+        for (core, addr) in touched {
+            if h.l1_probe(core, addr) || h.l2_probe(core, addr) {
+                prop_assert!(
+                    h.llc_probe(addr),
+                    "line {addr:#x} in a private cache but not the LLC"
+                );
+            }
+        }
+    }
+
+    /// Counter arithmetic: l1_ref >= l1_miss >= llc_ref >= llc_miss.
+    #[test]
+    fn counter_ordering_holds(
+        accesses in prop::collection::vec(0u64..1u64 << 20, 1..600),
+    ) {
+        let mut h = small_hierarchy(8);
+        for addr in accesses {
+            h.access(0, addr & !63, AccessKind::Store);
+        }
+        let c = h.counters(0);
+        prop_assert!(c.l1_ref >= c.l1_miss);
+        prop_assert!(c.l1_miss >= c.llc_ref);
+        prop_assert!(c.llc_ref >= c.llc_miss);
+    }
+
+    /// Translation is a function: the same virtual address always maps to
+    /// the same physical address, and distinct pages never share a frame.
+    #[test]
+    fn translation_is_stable_and_injective(
+        pages in prop::collection::vec(0u64..512, 1..64),
+        huge in prop::bool::ANY,
+    ) {
+        let size = if huge { PageSize::Huge } else { PageSize::Small };
+        let mut frames =
+            FrameAllocator::new(2 * 1024 * 1024 * 1024, FramePolicy::Randomized, 7);
+        let mut mapper = PageMapper::new(size);
+        let mut seen = std::collections::HashMap::new();
+        for p in pages {
+            let vaddr = VirtAddr(p * size.bytes());
+            let paddr = mapper.translate(vaddr, &mut frames).unwrap();
+            let again = mapper.translate(vaddr, &mut frames).unwrap();
+            prop_assert_eq!(paddr, again);
+            if let Some(prev) = seen.insert(p, paddr) {
+                prop_assert_eq!(prev, paddr);
+            }
+        }
+        // Injectivity over page frames.
+        let mut frames_used: Vec<u64> = seen.values().map(|a| a.0 >> size.shift()).collect();
+        frames_used.sort_unstable();
+        frames_used.dedup();
+        prop_assert_eq!(frames_used.len(), seen.len());
+    }
+
+    /// The LRU never evicts the most recently used line of a partition.
+    #[test]
+    fn mru_line_survives_one_fill(
+        seed_lines in prop::collection::vec(0u64..64, 2..16),
+        fresh in 64u64..128,
+    ) {
+        let geometry = CacheGeometry::new(1, 8, 64); // single set
+        let mut cache = SetAssocCache::new(geometry);
+        let mask = WayMask::from_way_range(0, 4);
+        for l in &seed_lines {
+            cache.access(LineAddr(*l), mask);
+        }
+        let mru = *seed_lines.last().unwrap();
+        cache.access(LineAddr(fresh), mask);
+        prop_assert!(
+            cache.probe(LineAddr(mru)),
+            "MRU line {mru} evicted by a single fill"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Performance-counter plumbing between the hardware (or simulator) and the
+//! dCat controller.
+//!
+//! The paper's prototype reads five MSR events per core (its Table 2):
+//! LLC misses, LLC references, L1 cache misses/hits, retired instructions,
+//! and unhalted cycles. This crate defines:
+//!
+//! * the event encodings ([`events::PerfEvent`]),
+//! * monotonic [`CounterSnapshot`]s and interval deltas,
+//! * the derived [`IntervalMetrics`] the controller actually reasons about
+//!   (IPC, LLC miss rate, memory accesses per instruction, …),
+//! * smoothing windows ([`window::EwmaWindow`], [`window::SlidingWindow`]),
+//!   and
+//! * the [`TelemetrySource`] trait that abstracts *where* counters come
+//!   from, so the controller is identical whether it is driven by the
+//!   simulator (the `host` crate) or by a real MSR/resctrl reader.
+
+//! # Examples
+//!
+//! ```
+//! use perf_events::{CounterSnapshot, IntervalMetrics};
+//!
+//! let earlier = CounterSnapshot::default();
+//! let later = CounterSnapshot {
+//!     l1_ref: 340_000,
+//!     llc_ref: 120_000,
+//!     llc_miss: 6_000,
+//!     ret_ins: 1_000_000,
+//!     cycles: 2_000_000,
+//! };
+//! let m = IntervalMetrics::between(&earlier, &later);
+//! assert!((m.ipc - 0.5).abs() < 1e-9);
+//! assert!((m.llc_miss_rate - 0.05).abs() < 1e-9);
+//! assert!((m.mem_access_per_instr - 0.34).abs() < 1e-9);
+//! ```
+
+pub mod events;
+pub mod metrics;
+pub mod snapshot;
+pub mod source;
+pub mod window;
+
+pub use events::PerfEvent;
+pub use metrics::IntervalMetrics;
+pub use snapshot::CounterSnapshot;
+pub use source::TelemetrySource;
+pub use window::{EwmaWindow, SlidingWindow};

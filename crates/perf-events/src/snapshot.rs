@@ -1,0 +1,110 @@
+//! Monotonic counter snapshots and interval deltas.
+
+use llc_sim::CoreCounters;
+
+/// A point-in-time reading of the Table-2 counters for one monitoring
+/// domain (a core, or the aggregate of a VM's cores).
+///
+/// Values are monotonic totals; subtract two snapshots with
+/// [`CounterSnapshot::delta_since`] to get an interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// L1 data-cache references (hits + misses).
+    pub l1_ref: u64,
+    /// LLC references.
+    pub llc_ref: u64,
+    /// LLC misses.
+    pub llc_miss: u64,
+    /// Retired instructions.
+    pub ret_ins: u64,
+    /// Unhalted cycles.
+    pub cycles: u64,
+}
+
+impl CounterSnapshot {
+    /// The interval `self - earlier`, saturating at zero per component so a
+    /// counter reset can never produce an underflowed interval.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            l1_ref: self.l1_ref.saturating_sub(earlier.l1_ref),
+            llc_ref: self.llc_ref.saturating_sub(earlier.llc_ref),
+            llc_miss: self.llc_miss.saturating_sub(earlier.llc_miss),
+            ret_ins: self.ret_ins.saturating_sub(earlier.ret_ins),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+        }
+    }
+
+    /// Component-wise sum, used to aggregate the cores of one VM.
+    pub fn merged_with(&self, other: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            l1_ref: self.l1_ref + other.l1_ref,
+            llc_ref: self.llc_ref + other.llc_ref,
+            llc_miss: self.llc_miss + other.llc_miss,
+            ret_ins: self.ret_ins + other.ret_ins,
+            cycles: self.cycles + other.cycles,
+        }
+    }
+}
+
+impl From<CoreCounters> for CounterSnapshot {
+    /// Projects the simulator's per-core counters onto the five events dCat
+    /// reads (the simulator's extra `l1_miss` is dropped; the controller
+    /// never sees it, exactly as on real hardware where it would simply not
+    /// be programmed).
+    fn from(c: CoreCounters) -> Self {
+        CounterSnapshot {
+            l1_ref: c.l1_ref,
+            llc_ref: c.llc_ref,
+            llc_miss: c.llc_miss,
+            ret_ins: c.ret_ins,
+            cycles: c.cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(l1: u64, llc_r: u64, llc_m: u64, ins: u64, cyc: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            l1_ref: l1,
+            llc_ref: llc_r,
+            llc_miss: llc_m,
+            ret_ins: ins,
+            cycles: cyc,
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_componentwise() {
+        let d = snap(10, 8, 4, 100, 200).delta_since(&snap(4, 3, 1, 40, 90));
+        assert_eq!(d, snap(6, 5, 3, 60, 110));
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let d = snap(1, 1, 1, 1, 1).delta_since(&snap(5, 5, 5, 5, 5));
+        assert_eq!(d, CounterSnapshot::default());
+    }
+
+    #[test]
+    fn merge_adds() {
+        let m = snap(1, 2, 3, 4, 5).merged_with(&snap(10, 20, 30, 40, 50));
+        assert_eq!(m, snap(11, 22, 33, 44, 55));
+    }
+
+    #[test]
+    fn from_core_counters_projects_events() {
+        let c = CoreCounters {
+            l1_ref: 7,
+            l1_miss: 3,
+            llc_ref: 2,
+            llc_miss: 1,
+            ret_ins: 20,
+            cycles: 50,
+        };
+        let s = CounterSnapshot::from(c);
+        assert_eq!(s, snap(7, 2, 1, 20, 50));
+    }
+}

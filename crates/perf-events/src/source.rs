@@ -1,0 +1,69 @@
+//! The boundary between the controller and whatever produces counters.
+
+use crate::snapshot::CounterSnapshot;
+
+/// A provider of monotonic counter snapshots per monitoring domain.
+///
+/// A *domain* is the unit dCat manages: one tenant's VM or container,
+/// aggregated over all the cores it owns (the paper averages a multi-core
+/// workload's cores). Domain indices are dense `0..num_domains()`.
+///
+/// Implementations:
+///
+/// * the `host` crate implements this over the simulator's per-core
+///   counters, and
+/// * a production deployment would implement it over `msr`/`perf_event`
+///   reads, with no change to the controller.
+pub trait TelemetrySource {
+    /// Number of monitoring domains.
+    fn num_domains(&self) -> usize;
+
+    /// Reads the monotonic totals for `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `domain >= num_domains()`.
+    fn read_counters(&self, domain: usize) -> CounterSnapshot;
+}
+
+/// A trivial in-memory source, useful for tests of counter consumers.
+#[derive(Debug, Default, Clone)]
+pub struct StaticTelemetry {
+    /// One snapshot per domain, returned verbatim.
+    pub snapshots: Vec<CounterSnapshot>,
+}
+
+impl TelemetrySource for StaticTelemetry {
+    fn num_domains(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    fn read_counters(&self, domain: usize) -> CounterSnapshot {
+        self.snapshots[domain]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_source_round_trips() {
+        let snap = CounterSnapshot {
+            ret_ins: 5,
+            ..CounterSnapshot::default()
+        };
+        let src = StaticTelemetry {
+            snapshots: vec![CounterSnapshot::default(), snap],
+        };
+        assert_eq!(src.num_domains(), 2);
+        assert_eq!(src.read_counters(1).ret_ins, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_domain_panics() {
+        let src = StaticTelemetry::default();
+        let _ = src.read_counters(0);
+    }
+}

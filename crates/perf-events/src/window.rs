@@ -1,0 +1,185 @@
+//! Smoothing windows for noisy counter-derived metrics.
+//!
+//! The paper samples once per second and compares IPCs across intervals;
+//! with short intervals the raw ratios are noisy, so controllers typically
+//! smooth them. Both a fixed-size sliding mean and an exponentially
+//! weighted moving average are provided; the dCat controller uses the
+//! sliding window for its IPC comparisons and experiments can swap either
+//! in.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity sliding-mean window.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    values: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window averaging the most recent `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            capacity,
+            values: VecDeque::with_capacity(capacity),
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest when full.
+    pub fn push(&mut self, value: f64) {
+        if self.values.len() == self.capacity {
+            if let Some(old) = self.values.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.values.push_back(value);
+        self.sum += value;
+    }
+
+    /// Mean of the retained samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.values.len() as f64)
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.values.len() == self.capacity
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaWindow {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl EwmaWindow {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`; larger
+    /// alpha weighs recent samples more.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EwmaWindow { alpha, value: None }
+    }
+
+    /// Feeds a sample and returns the updated average.
+    pub fn push(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average; `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forgets all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_mean_over_partial_fill() {
+        let mut w = SlidingWindow::new(4);
+        assert_eq!(w.mean(), None);
+        w.push(2.0);
+        w.push(4.0);
+        assert_eq!(w.mean(), Some(3.0));
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut w = SlidingWindow::new(2);
+        w.push(10.0);
+        w.push(20.0);
+        w.push(30.0);
+        assert!(w.is_full());
+        assert_eq!(w.mean(), Some(25.0));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn sliding_window_clear() {
+        let mut w = SlidingWindow::new(2);
+        w.push(1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn ewma_first_sample_passes_through() {
+        let mut e = EwmaWindow::new(0.5);
+        assert_eq!(e.push(8.0), 8.0);
+        assert_eq!(e.push(0.0), 4.0);
+        assert_eq!(e.value(), Some(4.0));
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_input() {
+        let mut e = EwmaWindow::new(1.0);
+        e.push(3.0);
+        assert_eq!(e.push(7.0), 7.0);
+    }
+
+    #[test]
+    fn ewma_reset_forgets() {
+        let mut e = EwmaWindow::new(0.3);
+        e.push(5.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = EwmaWindow::new(0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for counter snapshots, metrics, and windows.
+
+use perf_events::{CounterSnapshot, EwmaWindow, IntervalMetrics, SlidingWindow};
+use proptest::prelude::*;
+
+fn snapshot_strategy() -> impl Strategy<Value = CounterSnapshot> {
+    (
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+    )
+        .prop_map(|(l1, lr, lm, ri, cy)| CounterSnapshot {
+            l1_ref: l1,
+            llc_ref: lr,
+            llc_miss: lm,
+            ret_ins: ri,
+            cycles: cy,
+        })
+}
+
+proptest! {
+    /// Deltas never underflow, and `later - earlier + earlier >= earlier`.
+    #[test]
+    fn delta_never_underflows(a in snapshot_strategy(), b in snapshot_strategy()) {
+        let d = a.delta_since(&b);
+        prop_assert!(d.l1_ref <= a.l1_ref.max(b.l1_ref));
+        // Any monotone pair reconstructs exactly.
+        let merged = b.merged_with(&d);
+        if a.l1_ref >= b.l1_ref
+            && a.llc_ref >= b.llc_ref
+            && a.llc_miss >= b.llc_miss
+            && a.ret_ins >= b.ret_ins
+            && a.cycles >= b.cycles
+        {
+            prop_assert_eq!(merged, a);
+        }
+    }
+
+    /// Derived ratios are finite and within their mathematical ranges.
+    #[test]
+    fn metrics_ranges(d in snapshot_strategy()) {
+        let m = IntervalMetrics::from_delta(&d);
+        prop_assert!(m.ipc.is_finite() && m.ipc >= 0.0);
+        prop_assert!(m.mem_access_per_instr.is_finite() && m.mem_access_per_instr >= 0.0);
+        prop_assert!(m.llc_miss_rate.is_finite() && m.llc_miss_rate >= 0.0);
+        if d.llc_miss <= d.llc_ref {
+            prop_assert!(m.llc_miss_rate <= 1.0 + 1e-9);
+        }
+        prop_assert!(m.llc_ref_per_instr().is_finite());
+    }
+
+    /// The sliding window's mean is always within the min/max of its
+    /// retained samples.
+    #[test]
+    fn sliding_mean_bounded(
+        cap in 1usize..16,
+        samples in prop::collection::vec(-1e6f64..1e6, 1..64),
+    ) {
+        let mut w = SlidingWindow::new(cap);
+        for (i, &s) in samples.iter().enumerate() {
+            w.push(s);
+            let start = (i + 1).saturating_sub(cap);
+            let window = &samples[start..=i];
+            let lo = window.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = window.iter().cloned().fold(f64::MIN, f64::max);
+            let mean = w.mean().unwrap();
+            prop_assert!(mean >= lo - 1e-6 && mean <= hi + 1e-6);
+        }
+    }
+
+    /// EWMA stays within the range of observed samples.
+    #[test]
+    fn ewma_bounded(
+        alpha_pct in 1u32..=100,
+        samples in prop::collection::vec(-1e6f64..1e6, 1..64),
+    ) {
+        let mut e = EwmaWindow::new(f64::from(alpha_pct) / 100.0);
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for &s in &samples {
+            lo = lo.min(s);
+            hi = hi.max(s);
+            let v = e.push(s);
+            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
+        }
+    }
+
+    /// `between` equals `from_delta` of the difference.
+    #[test]
+    fn between_matches_delta(earlier in snapshot_strategy(), growth in snapshot_strategy()) {
+        let later = earlier.merged_with(&growth);
+        let a = IntervalMetrics::between(&earlier, &later);
+        let b = IntervalMetrics::from_delta(&later.delta_since(&earlier));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,324 @@
+//! Laying out way *counts* as non-overlapping contiguous CBMs.
+//!
+//! dCat reasons in "number of ways per workload" (the paper allocates and
+//! reclaims one way at a time), but CAT is programmed with contiguous
+//! bitmasks. Something must translate `[3, 7, 1, 1]` into concrete,
+//! non-overlapping runs of ways — and should avoid gratuitously moving a
+//! workload's ways around, because a moved partition starts cold (the
+//! paper's Section 6 notes Intel has no way-flush instruction, so a moved
+//! workload re-warms from DRAM).
+//!
+//! [`LayoutPlanner`] does this translation. Placement is left-to-right in
+//! a *stable order*: groups are placed in the order of their previous
+//! positions, so a group whose way count did not change — and whose
+//! left-neighbors did not change — keeps its exact mask.
+
+use crate::cbm::Cbm;
+use crate::controller::ResctrlError;
+
+/// Translates per-group way counts into concrete non-overlapping CBMs.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutPlanner {
+    cbm_len: u32,
+}
+
+impl LayoutPlanner {
+    /// Creates a planner for a cache with `cbm_len` ways.
+    pub fn new(cbm_len: u32) -> Self {
+        assert!((1..=32).contains(&cbm_len), "cbm_len out of range");
+        LayoutPlanner { cbm_len }
+    }
+
+    /// Number of ways the planner lays out over.
+    pub fn cbm_len(&self) -> u32 {
+        self.cbm_len
+    }
+
+    /// Lays out `counts[i]` ways for each group `i`, left to right.
+    ///
+    /// Fails when a count is zero (CAT forbids empty masks) or the counts
+    /// exceed the cache. Unassigned high ways are the free pool.
+    pub fn layout(&self, counts: &[u32]) -> Result<Vec<Cbm>, ResctrlError> {
+        self.layout_in_order(counts, (0..counts.len()).collect())
+    }
+
+    /// Lays out `counts`, disturbing as few groups as possible.
+    ///
+    /// A moved partition starts cold (there is no way-flush instruction),
+    /// so the cost of a relayout should fall on the group that *changed*,
+    /// never on bystanders — otherwise every growth step of one tenant
+    /// flushes its neighbors, whose IPC blips then confuse any
+    /// feedback-driven controller. The algorithm:
+    ///
+    /// 1. groups whose count is unchanged or shrank keep their start way
+    ///    (a shrink releases its tail);
+    /// 2. a grown group extends in place when the adjacent ways are free;
+    /// 3. otherwise it is first-fit placed into a free gap;
+    /// 4. only if fragmentation leaves no gap does the planner fall back
+    ///    to a full left-to-right repack (ordered by previous position).
+    pub fn layout_stable(
+        &self,
+        counts: &[u32],
+        previous: &[Option<Cbm>],
+    ) -> Result<Vec<Cbm>, ResctrlError> {
+        assert_eq!(
+            counts.len(),
+            previous.len(),
+            "counts/previous length mismatch"
+        );
+        let total: u32 = counts.iter().sum();
+        if total > self.cbm_len {
+            return Err(ResctrlError::InvalidCbm {
+                cbm: Cbm::full(self.cbm_len),
+                reason: format!("requested {total} ways exceed cbm_len={}", self.cbm_len),
+            });
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                return Err(ResctrlError::InvalidCbm {
+                    cbm: Cbm(0),
+                    reason: format!("group {i} requested zero ways"),
+                });
+            }
+        }
+
+        let mut result = vec![Cbm(0); counts.len()];
+        let mut used: u32 = 0;
+        let mut pending: Vec<usize> = Vec::new();
+
+        // Pass 1: keepers and shrinkers hold their start way.
+        for (i, &count) in counts.iter().enumerate() {
+            match previous[i] {
+                Some(prev) if count <= prev.ways() => {
+                    let start = prev.first_way().expect("previous mask non-empty");
+                    let cbm = Cbm::from_way_range(start, count);
+                    result[i] = cbm;
+                    used |= cbm.0;
+                }
+                _ => pending.push(i),
+            }
+        }
+
+        // Pass 2: growers extend in place when the room is free.
+        pending.retain(|&i| {
+            if let Some(prev) = previous[i] {
+                let start = prev.first_way().expect("previous mask non-empty");
+                if start + counts[i] <= self.cbm_len {
+                    let cbm = Cbm::from_way_range(start, counts[i]);
+                    if cbm.0 & used == 0 {
+                        result[i] = cbm;
+                        used |= cbm.0;
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+
+        // Pass 3: first-fit into free gaps (also handles new groups).
+        let mut fragmented = false;
+        for &i in &pending {
+            let count = counts[i];
+            let mut placed = false;
+            for start in 0..=self.cbm_len.saturating_sub(count) {
+                let cbm = Cbm::from_way_range(start, count);
+                if cbm.0 & used == 0 {
+                    result[i] = cbm;
+                    used |= cbm.0;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                fragmented = true;
+                break;
+            }
+        }
+        if !fragmented {
+            return Ok(result);
+        }
+
+        // Pass 4: fragmentation fallback — full repack by previous start.
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by_key(|&i| match previous[i] {
+            Some(cbm) => (0u8, cbm.first_way().unwrap_or(u32::MAX), i),
+            None => (1u8, u32::MAX, i),
+        });
+        self.layout_in_order(counts, order)
+    }
+
+    fn layout_in_order(&self, counts: &[u32], order: Vec<usize>) -> Result<Vec<Cbm>, ResctrlError> {
+        let total: u32 = counts.iter().sum();
+        if total > self.cbm_len {
+            return Err(ResctrlError::InvalidCbm {
+                cbm: Cbm::full(self.cbm_len),
+                reason: format!("requested {total} ways exceed cbm_len={}", self.cbm_len),
+            });
+        }
+        let mut result = vec![Cbm(0); counts.len()];
+        let mut cursor = 0u32;
+        for idx in order {
+            let ways = counts[idx];
+            if ways == 0 {
+                return Err(ResctrlError::InvalidCbm {
+                    cbm: Cbm(0),
+                    reason: format!("group {idx} requested zero ways"),
+                });
+            }
+            result[idx] = Cbm::from_way_range(cursor, ways);
+            cursor += ways;
+        }
+        Ok(result)
+    }
+
+    /// Number of groups whose mask differs between two layouts.
+    pub fn churn(previous: &[Cbm], next: &[Cbm]) -> usize {
+        previous
+            .iter()
+            .zip(next.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_layout_is_non_overlapping_and_packed() {
+        let p = LayoutPlanner::new(20);
+        let masks = p.layout(&[3, 7, 1, 1]).unwrap();
+        assert_eq!(masks[0], Cbm::from_way_range(0, 3));
+        assert_eq!(masks[1], Cbm::from_way_range(3, 7));
+        assert_eq!(masks[2], Cbm::from_way_range(10, 1));
+        assert_eq!(masks[3], Cbm::from_way_range(11, 1));
+        for i in 0..masks.len() {
+            for j in i + 1..masks.len() {
+                assert!(!masks[i].overlaps(masks[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let p = LayoutPlanner::new(8);
+        assert!(p.layout(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn oversubscription_rejected() {
+        let p = LayoutPlanner::new(8);
+        assert!(p.layout(&[5, 4]).is_err());
+        assert!(p.layout(&[4, 4]).is_ok());
+    }
+
+    #[test]
+    fn stable_layout_keeps_unchanged_groups_in_place() {
+        let p = LayoutPlanner::new(20);
+        let first = p.layout(&[3, 7, 2]).unwrap();
+        // Group 1 shrinks 7 -> 5; groups 0 and 2 unchanged.
+        let prev: Vec<Option<Cbm>> = first.iter().copied().map(Some).collect();
+        let second = p.layout_stable(&[3, 5, 2], &prev).unwrap();
+        assert_eq!(
+            second[0], first[0],
+            "leftmost unchanged group keeps its mask"
+        );
+        assert_eq!(second[1].first_way(), Some(3), "group 1 keeps its start");
+        assert_eq!(second[1].ways(), 5);
+        // Group 2 keeps its exact mask — only the shrinker changed.
+        assert_eq!(second[2], first[2]);
+        assert_eq!(LayoutPlanner::churn(&first, &second), 1);
+    }
+
+    #[test]
+    fn stable_layout_leaves_existing_groups_untouched_by_newcomers() {
+        let p = LayoutPlanner::new(20);
+        let prev = vec![Some(Cbm::from_way_range(5, 3)), None];
+        let masks = p.layout_stable(&[3, 2], &prev).unwrap();
+        // The existing group keeps its exact mask; the newcomer takes the
+        // first free gap.
+        assert_eq!(masks[0], Cbm::from_way_range(5, 3));
+        assert_eq!(masks[1], Cbm::from_way_range(0, 2));
+    }
+
+    #[test]
+    fn grower_extends_in_place_when_room_is_free() {
+        let p = LayoutPlanner::new(20);
+        let prev = vec![
+            Some(Cbm::from_way_range(0, 3)),
+            Some(Cbm::from_way_range(10, 3)),
+        ];
+        let masks = p.layout_stable(&[4, 3], &prev).unwrap();
+        assert_eq!(masks[0], Cbm::from_way_range(0, 4), "extended in place");
+        assert_eq!(masks[1], Cbm::from_way_range(10, 3), "bystander untouched");
+    }
+
+    #[test]
+    fn blocked_grower_moves_itself_not_its_neighbor() {
+        let p = LayoutPlanner::new(20);
+        // Group 1 sits directly after group 0, blocking in-place growth.
+        let prev = vec![
+            Some(Cbm::from_way_range(0, 3)),
+            Some(Cbm::from_way_range(3, 3)),
+        ];
+        let masks = p.layout_stable(&[4, 3], &prev).unwrap();
+        assert_eq!(masks[1], Cbm::from_way_range(3, 3), "bystander untouched");
+        assert_eq!(masks[0].ways(), 4);
+        assert!(!masks[0].overlaps(masks[1]));
+        assert_eq!(masks[0].first_way(), Some(6), "grower relocated to the gap");
+    }
+
+    #[test]
+    fn grower_fills_a_middle_gap_without_moving_others() {
+        let p = LayoutPlanner::new(8);
+        let prev = vec![
+            Some(Cbm::from_way_range(0, 3)),
+            Some(Cbm::from_way_range(6, 2)),
+            Some(Cbm::from_way_range(3, 1)),
+        ];
+        let masks = p.layout_stable(&[3, 2, 3], &prev).unwrap();
+        assert_eq!(masks[0], Cbm::from_way_range(0, 3));
+        assert_eq!(masks[1], Cbm::from_way_range(6, 2));
+        assert_eq!(masks[2], Cbm::from_way_range(3, 3), "grew into the gap");
+    }
+
+    #[test]
+    fn fragmentation_falls_back_to_repack() {
+        let p = LayoutPlanner::new(8);
+        // Free ways are {2, 5}: not contiguous, so a new 2-way group can
+        // only be placed by repacking everyone.
+        let prev = vec![
+            Some(Cbm::from_way_range(0, 2)),
+            Some(Cbm::from_way_range(3, 2)),
+            Some(Cbm::from_way_range(6, 2)),
+            None,
+        ];
+        let masks = p.layout_stable(&[2, 2, 2, 2], &prev).unwrap();
+        let union = masks.iter().fold(0u32, |acc, m| acc | m.0);
+        assert_eq!(union.count_ones(), 8, "every way in use after repack");
+        for i in 0..masks.len() {
+            assert!(masks[i].is_contiguous());
+            assert_eq!(masks[i].ways(), 2);
+            for j in i + 1..masks.len() {
+                assert!(!masks[i].overlaps(masks[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn full_allocation_uses_every_way() {
+        let p = LayoutPlanner::new(20);
+        let masks = p.layout(&[10, 10]).unwrap();
+        let union = masks.iter().fold(0u32, |acc, m| acc | m.0);
+        assert_eq!(union, Cbm::full(20).0);
+    }
+
+    #[test]
+    fn churn_counts_differences() {
+        let a = vec![Cbm(1), Cbm(2), Cbm(4)];
+        let b = vec![Cbm(1), Cbm(6), Cbm(4)];
+        assert_eq!(LayoutPlanner::churn(&a, &b), 1);
+        assert_eq!(LayoutPlanner::churn(&a, &a), 0);
+    }
+}

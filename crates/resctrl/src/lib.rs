@@ -1,0 +1,51 @@
+//! Cache Allocation Technology control plane.
+//!
+//! This crate models what Intel's `pqos` library and Linux's resctrl
+//! filesystem expose: **classes of service** (COS), each carrying a
+//! **capacity bitmask** (CBM) over LLC ways, and an assignment from CPU
+//! cores to classes. dCat manipulates partitions only through the
+//! [`CacheController`] trait, so the controller logic is byte-for-byte the
+//! same whether it drives:
+//!
+//! * the in-memory [`mock::InMemoryController`] (unit tests),
+//! * the simulator adapter in the `host` crate (all experiments), or
+//! * the [`fs::FsBackend`] that reads and writes a real
+//!   `/sys/fs/resctrl`-layout directory tree (usable on CAT hardware, and
+//!   exercised in tests against a temporary directory fixture).
+//!
+//! Intel constraints are enforced at this layer: masks must be contiguous
+//! and non-empty (no zero-way class — the paper's footnote 4), at most
+//! `num_closids` classes exist (16 on the paper's machines), and a mask may
+//! not exceed the cache's way count.
+
+//! # Examples
+//!
+//! Program two non-overlapping tenant partitions through the in-memory
+//! backend (the same calls work on [`FsBackend`] pointed at a real
+//! `/sys/fs/resctrl` mount):
+//!
+//! ```
+//! use resctrl::{CacheController, CatCapabilities, Cbm, CosId, InMemoryController, LayoutPlanner};
+//!
+//! let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+//! let layout = LayoutPlanner::new(20).layout(&[4, 6]).unwrap();
+//! for (i, cbm) in layout.iter().enumerate() {
+//!     cat.program_cos(CosId((i + 1) as u8), *cbm).unwrap();
+//! }
+//! cat.assign_core(0, CosId(1)).unwrap();
+//! cat.assign_core(1, CosId(2)).unwrap();
+//! assert!(!layout[0].overlaps(layout[1]));
+//! assert_eq!(cat.cos_mask(CosId(2)).unwrap().ways(), 6);
+//! ```
+
+pub mod cbm;
+pub mod controller;
+pub mod fs;
+pub mod layout;
+pub mod mock;
+
+pub use cbm::Cbm;
+pub use controller::{CacheController, CatCapabilities, CosId, ResctrlError};
+pub use fs::FsBackend;
+pub use layout::LayoutPlanner;
+pub use mock::InMemoryController;

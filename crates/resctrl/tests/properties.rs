@@ -1,0 +1,84 @@
+//! Property-based tests for CBMs, layouts, and the cpus_list codec.
+
+use proptest::prelude::*;
+use resctrl::fs::{format_cpu_list, parse_cpu_list};
+use resctrl::{Cbm, LayoutPlanner};
+
+proptest! {
+    /// from_way_range always yields contiguous masks of the right width.
+    #[test]
+    fn way_range_masks_are_contiguous(start in 0u32..30, count in 1u32..8) {
+        prop_assume!(start + count <= 32);
+        let cbm = Cbm::from_way_range(start, count);
+        prop_assert!(cbm.is_contiguous());
+        prop_assert_eq!(cbm.ways(), count);
+        prop_assert_eq!(cbm.first_way(), Some(start));
+    }
+
+    /// Hex formatting round-trips through the schemata parser.
+    #[test]
+    fn cbm_hex_round_trips(bits in 1u32..=0xf_ffff) {
+        let cbm = Cbm(bits);
+        prop_assert_eq!(Cbm::parse_hex(&cbm.to_string()).unwrap(), cbm);
+    }
+
+    /// Any feasible request yields non-overlapping contiguous masks that
+    /// conserve the requested way counts.
+    #[test]
+    fn layout_is_sound(counts in prop::collection::vec(1u32..5, 1..8)) {
+        let total: u32 = counts.iter().sum();
+        prop_assume!(total <= 20);
+        let planner = LayoutPlanner::new(20);
+        let masks = planner.layout(&counts).unwrap();
+        for (i, mask) in masks.iter().enumerate() {
+            prop_assert!(mask.is_contiguous());
+            prop_assert_eq!(mask.ways(), counts[i]);
+            for other in &masks[i + 1..] {
+                prop_assert!(!mask.overlaps(*other));
+            }
+        }
+    }
+
+    /// Stable relayout is also sound, and unchanged prefixes keep their
+    /// masks exactly.
+    #[test]
+    fn stable_layout_is_sound_and_sticky(
+        counts in prop::collection::vec(1u32..4, 2..7),
+        shrink_idx in 0usize..6,
+    ) {
+        let total: u32 = counts.iter().sum();
+        prop_assume!(total <= 20);
+        prop_assume!(shrink_idx < counts.len());
+        let planner = LayoutPlanner::new(20);
+        let first = planner.layout(&counts).unwrap();
+        let mut next_counts = counts.clone();
+        // Shrinking one group must never move groups to its left.
+        prop_assume!(next_counts[shrink_idx] > 1);
+        next_counts[shrink_idx] -= 1;
+        let prev: Vec<Option<Cbm>> = first.iter().copied().map(Some).collect();
+        let second = planner.layout_stable(&next_counts, &prev).unwrap();
+        for (i, mask) in second.iter().enumerate() {
+            prop_assert!(mask.is_contiguous());
+            prop_assert_eq!(mask.ways(), next_counts[i]);
+            for other in &second[i + 1..] {
+                prop_assert!(!mask.overlaps(*other));
+            }
+        }
+        // Groups laid out before the shrunk one are untouched.
+        for (i, (a, b)) in first.iter().zip(second.iter()).enumerate() {
+            let before_shrunk = a.first_way().unwrap() < first[shrink_idx].first_way().unwrap();
+            if i != shrink_idx && before_shrunk {
+                prop_assert_eq!(a, b, "group {} moved unnecessarily", i);
+            }
+        }
+    }
+
+    /// cpus_list formatting round-trips for arbitrary core sets.
+    #[test]
+    fn cpu_list_round_trips(cores in prop::collection::btree_set(0u32..64, 0..32)) {
+        let cores: Vec<u32> = cores.into_iter().collect();
+        let text = format_cpu_list(&cores);
+        let parsed = parse_cpu_list(&text).unwrap();
+        prop_assert_eq!(parsed, cores);
+    }
+}

@@ -1,0 +1,119 @@
+//! The [`AccessStream`] abstraction shared by every workload model.
+
+use llc_sim::{AccessKind, PageSize, VirtAddr};
+
+/// One memory reference emitted by a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Virtual address touched.
+    pub vaddr: VirtAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Whether this reference completes a request (service models mark
+    /// request boundaries so the engine can record per-request latency;
+    /// batch workloads leave this `false`).
+    pub ends_request: bool,
+}
+
+impl MemRef {
+    /// A plain load that does not end a request.
+    pub fn load(vaddr: u64) -> Self {
+        MemRef {
+            vaddr: VirtAddr(vaddr),
+            kind: AccessKind::Load,
+            ends_request: false,
+        }
+    }
+
+    /// A plain store that does not end a request.
+    pub fn store(vaddr: u64) -> Self {
+        MemRef {
+            vaddr: VirtAddr(vaddr),
+            kind: AccessKind::Store,
+            ends_request: false,
+        }
+    }
+
+    /// Marks this reference as the last one of a request.
+    pub fn ending_request(mut self) -> Self {
+        self.ends_request = true;
+        self
+    }
+}
+
+/// Compute-side characteristics of a workload, consumed by the engine's
+/// cycle model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionProfile {
+    /// Memory references per retired instruction (`l1_ref / ret_ins`). This
+    /// is the paper's phase signature: it depends only on the code, never
+    /// on the cache configuration (paper Figure 5).
+    pub mem_refs_per_instr: f64,
+    /// Cycles per instruction when every reference hits the L1.
+    pub cpi_exec: f64,
+    /// Memory-level parallelism: how many outstanding misses the workload
+    /// sustains. Dependent pointer chases have ~1; prefetched streams ~8.
+    pub mlp: f64,
+}
+
+impl ExecutionProfile {
+    /// Creates a profile, clamping values to sane ranges.
+    pub fn new(mem_refs_per_instr: f64, cpi_exec: f64, mlp: f64) -> Self {
+        ExecutionProfile {
+            mem_refs_per_instr: mem_refs_per_instr.clamp(0.0, 4.0),
+            cpi_exec: cpi_exec.max(0.05),
+            mlp: mlp.max(1.0),
+        }
+    }
+}
+
+/// An infinite generator of memory references.
+///
+/// Streams are infinite; *when* a workload starts and stops is decided by
+/// the scenario schedule in the `host` crate, mirroring how the paper
+/// starts and stops programs inside long-lived VMs.
+pub trait AccessStream {
+    /// Produces the next memory reference.
+    fn next_access(&mut self) -> MemRef;
+
+    /// The stream's current execution profile. Phase-switching composites
+    /// return the profile of the *current* phase.
+    fn profile(&self) -> ExecutionProfile;
+
+    /// Page size backing the stream's buffer (huge pages change physical
+    /// contiguity and therefore conflict misses; paper Figures 2–3).
+    fn page_size(&self) -> PageSize {
+        PageSize::Small
+    }
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Working-set size in bytes, if the model has a well-defined one.
+    fn working_set_bytes(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_constructors() {
+        let l = MemRef::load(0x40);
+        assert_eq!(l.kind, AccessKind::Load);
+        assert!(!l.ends_request);
+        let s = MemRef::store(0x80).ending_request();
+        assert_eq!(s.kind, AccessKind::Store);
+        assert!(s.ends_request);
+    }
+
+    #[test]
+    fn profile_clamps_degenerate_values() {
+        let p = ExecutionProfile::new(-1.0, 0.0, 0.0);
+        assert_eq!(p.mem_refs_per_instr, 0.0);
+        assert!(p.cpi_exec > 0.0);
+        assert_eq!(p.mlp, 1.0);
+    }
+}

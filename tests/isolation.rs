@@ -1,0 +1,157 @@
+//! Cross-crate integration tests for the paper's central guarantees:
+//! performance isolation and the baseline-performance floor.
+
+use dcat_suite::prelude::*;
+
+const MB: u64 = 1024 * 1024;
+
+/// A small socket that keeps test runtimes low while preserving the
+/// capacity relationships (victim working set vs. partition vs. LLC).
+fn small_engine() -> EngineConfig {
+    let mut cfg = EngineConfig::xeon_e5_v4();
+    cfg.socket.hierarchy = HierarchyConfig {
+        cores: 8,
+        l1: CacheGeometry::new(64, 8, 64),
+        l2: CacheGeometry::new(128, 8, 64),
+        llc: CacheGeometry::from_capacity(4 * MB, 16),
+        llc_policy: Default::default(),
+    };
+    cfg.cycles_per_epoch = 600_000;
+    cfg.memory_bytes = 256 * MB;
+    cfg
+}
+
+fn vms() -> Vec<VmSpec> {
+    vec![
+        VmSpec::new("victim", vec![0, 1], 4),
+        VmSpec::new("bully-1", vec![2, 3], 4),
+        VmSpec::new("bully-2", vec![4, 5], 4),
+    ]
+}
+
+fn handles(vms: &[VmSpec]) -> Vec<WorkloadHandle> {
+    vms.iter()
+        .map(|v| WorkloadHandle::new(v.name.clone(), v.cores.clone(), v.reserved_ways))
+        .collect()
+}
+
+/// Runs the victim+bullies scenario; returns the victim's steady IPC.
+fn run_victim(policy: &str, epochs: usize) -> f64 {
+    let vms = vms();
+    let h = handles(&vms);
+    let mut engine = Engine::new(small_engine(), vms).unwrap();
+    let mut policy: Box<dyn CachePolicy> = match policy {
+        "shared" => Box::new(SharedCachePolicy::new(h, &mut engine.cat())),
+        "static" => Box::new(StaticCatPolicy::new(h, &mut engine.cat()).unwrap()),
+        "dcat" => {
+            Box::new(DcatController::new(DcatConfig::default(), h, &mut engine.cat()).unwrap())
+        }
+        _ => unreachable!(),
+    };
+    engine.start_workload(0, Box::new(Mlr::new(MB / 2, 3)));
+    engine.start_workload(1, Box::new(Mload::new(16 * MB)));
+    engine.start_workload(2, Box::new(Mload::new(16 * MB)));
+    let mut tail = 0.0;
+    let mut n = 0;
+    for e in 0..epochs {
+        let stats = engine.run_epoch();
+        let snaps = engine.snapshots();
+        policy.tick(&snaps, &mut engine.cat()).unwrap();
+        if e >= 3 * epochs / 4 {
+            tail += stats[0].ipc;
+            n += 1;
+        }
+    }
+    tail / n as f64
+}
+
+#[test]
+fn static_cat_isolates_the_victim_from_streaming_bullies() {
+    let shared = run_victim("shared", 16);
+    let static_cat = run_victim("static", 16);
+    assert!(
+        static_cat > 1.3 * shared,
+        "static CAT should beat shared under noise: {static_cat} vs {shared}"
+    );
+}
+
+#[test]
+fn dcat_matches_or_beats_static_cat() {
+    let static_cat = run_victim("static", 20);
+    let dcat = run_victim("dcat", 20);
+    assert!(
+        dcat > 0.95 * static_cat,
+        "dCat must preserve the static baseline: {dcat} vs {static_cat}"
+    );
+}
+
+#[test]
+fn dcat_expands_a_hungry_victim_beyond_its_baseline() {
+    // Victim whose working set exceeds its 4-way (1MB) partition.
+    let vms = vms();
+    let h = handles(&vms);
+    let mut engine = Engine::new(small_engine(), vms).unwrap();
+    let mut ctl = DcatController::new(DcatConfig::default(), h, &mut engine.cat()).unwrap();
+    engine.start_workload(0, Box::new(Mlr::new(2 * MB, 3)));
+    engine.start_workload(1, Box::new(Lookbusy::new()));
+    engine.start_workload(2, Box::new(Lookbusy::new()));
+    for _ in 0..24 {
+        engine.run_epoch();
+        let snaps = engine.snapshots();
+        ctl.tick(&snaps, &mut engine.cat()).unwrap();
+    }
+    assert!(
+        engine.vm_ways(0) > 4,
+        "hungry victim stuck at {} ways",
+        engine.vm_ways(0)
+    );
+    assert_eq!(engine.vm_ways(1), 1, "burner should donate to the minimum");
+}
+
+#[test]
+fn total_allocated_ways_never_exceed_the_cache() {
+    let vms = vms();
+    let h = handles(&vms);
+    let mut engine = Engine::new(small_engine(), vms).unwrap();
+    let mut ctl = DcatController::new(DcatConfig::default(), h, &mut engine.cat()).unwrap();
+    engine.start_workload(0, Box::new(Mlr::new(2 * MB, 3)));
+    engine.start_workload(1, Box::new(Mlr::new(2 * MB, 4)));
+    engine.start_workload(2, Box::new(Mload::new(16 * MB)));
+    for _ in 0..20 {
+        engine.run_epoch();
+        let snaps = engine.snapshots();
+        let reports = ctl.tick(&snaps, &mut engine.cat()).unwrap();
+        let total: u32 = reports.iter().map(|r| r.ways).sum();
+        assert!(total <= 16, "allocated {total} of 16 ways");
+        assert!(reports.iter().all(|r| r.ways >= 1), "zero-way allocation");
+    }
+}
+
+#[test]
+fn late_arriving_tenant_is_made_whole_from_its_baseline() {
+    let vms = vms();
+    let h = handles(&vms);
+    let mut engine = Engine::new(small_engine(), vms).unwrap();
+    let mut ctl = DcatController::new(DcatConfig::default(), h, &mut engine.cat()).unwrap();
+    // Tenant 0 grows while the others sleep.
+    engine.start_workload(0, Box::new(Mlr::new(2 * MB, 3)));
+    for _ in 0..16 {
+        engine.run_epoch();
+        let snaps = engine.snapshots();
+        ctl.tick(&snaps, &mut engine.cat()).unwrap();
+    }
+    let grown = engine.vm_ways(0);
+    assert!(grown > 4, "tenant 0 should have grown, has {grown}");
+    // Tenant 1 wakes: it must get its reserved 4 ways promptly.
+    engine.start_workload(1, Box::new(Mlr::new(2 * MB, 9)));
+    for _ in 0..6 {
+        engine.run_epoch();
+        let snaps = engine.snapshots();
+        ctl.tick(&snaps, &mut engine.cat()).unwrap();
+    }
+    assert!(
+        engine.vm_ways(1) >= 4,
+        "woken tenant only has {} ways",
+        engine.vm_ways(1)
+    );
+}

@@ -1,0 +1,98 @@
+//! End-to-end phase-change behavior: a workload that switches between a
+//! random-access phase and a streaming phase must be re-baselined at each
+//! switch, and its stale allocation must be reclaimed.
+
+use dcat_suite::prelude::*;
+use workloads::{phased::Phase, PhasedStream};
+
+const MB: u64 = 1024 * 1024;
+
+fn small_engine() -> EngineConfig {
+    let mut cfg = EngineConfig::xeon_e5_v4();
+    cfg.socket.hierarchy = HierarchyConfig {
+        cores: 4,
+        l1: CacheGeometry::new(64, 8, 64),
+        l2: CacheGeometry::new(128, 8, 64),
+        llc: CacheGeometry::from_capacity(4 * MB, 16),
+        llc_policy: Default::default(),
+    };
+    cfg.cycles_per_epoch = 800_000;
+    cfg.memory_bytes = 256 * MB;
+    cfg
+}
+
+#[test]
+fn phase_switches_trigger_reclaim_and_rebaseline() {
+    let vms = vec![
+        VmSpec::new("phased", vec![0, 1], 4),
+        VmSpec::new("burner", vec![2, 3], 4),
+    ];
+    let handles: Vec<WorkloadHandle> = vms
+        .iter()
+        .map(|v| WorkloadHandle::new(v.name.clone(), v.cores.clone(), v.reserved_ways))
+        .collect();
+    let mut engine = Engine::new(small_engine(), vms).unwrap();
+    let mut ctl = DcatController::new(DcatConfig::default(), handles, &mut engine.cat()).unwrap();
+
+    // MLR-like phase (0.34 refs/instr), then MLOAD-like (0.5), cycling.
+    engine.start_workload(
+        0,
+        Box::new(PhasedStream::cycling(vec![
+            Phase {
+                stream: Box::new(Mlr::new(MB, 3)),
+                accesses: 120_000,
+            },
+            Phase {
+                stream: Box::new(Mload::new(8 * MB)),
+                accesses: 120_000,
+            },
+        ])),
+    );
+    engine.start_workload(1, Box::new(Lookbusy::new()));
+
+    let mut phase_changes = 0;
+    let mut reclaims = 0;
+    for _ in 0..40 {
+        engine.run_epoch();
+        let snaps = engine.snapshots();
+        let reports = ctl.tick(&snaps, &mut engine.cat()).unwrap();
+        if reports[0].phase_changed {
+            phase_changes += 1;
+        }
+        if reports[0].class == WorkloadClass::Reclaim {
+            reclaims += 1;
+            // Reclaim always restores the reserved allocation.
+            assert_eq!(reports[0].ways, 4, "reclaim must restore the baseline");
+        }
+    }
+    assert!(
+        phase_changes >= 2,
+        "cycling workload produced only {phase_changes} phase changes"
+    );
+    assert!(
+        reclaims >= phase_changes,
+        "every phase change starts with a reclaim"
+    );
+}
+
+#[test]
+fn stable_workload_never_phase_changes() {
+    let vms = vec![VmSpec::new("stable", vec![0, 1], 4)];
+    let handles = vec![WorkloadHandle::new("stable", vec![0, 1], 4)];
+    let mut engine = Engine::new(small_engine(), vms).unwrap();
+    let mut ctl = DcatController::new(DcatConfig::default(), handles, &mut engine.cat()).unwrap();
+    engine.start_workload(0, Box::new(Mlr::new(MB, 5)));
+
+    let mut changes_after_start = 0;
+    for epoch in 0..20 {
+        engine.run_epoch();
+        let snaps = engine.snapshots();
+        let reports = ctl.tick(&snaps, &mut engine.cat()).unwrap();
+        // The very first interval legitimately (re)baselines; after that
+        // a constant workload must never look like a new phase.
+        if epoch > 0 && reports[0].phase_changed {
+            changes_after_start += 1;
+        }
+    }
+    assert_eq!(changes_after_start, 0);
+}

@@ -1,0 +1,116 @@
+//! The dCat controller drives a resctrl-filesystem backend unchanged.
+//!
+//! This is the deployment path on real CAT hardware: the controller
+//! manipulates partitions only through the `CacheController` trait, so
+//! pointing it at a `/sys/fs/resctrl`-layout directory tree is all it
+//! takes. The test uses a temporary-directory fixture.
+
+use dcat_suite::prelude::*;
+use resctrl::FsBackend;
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dcat-fsbackend-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn snapshot(l1: u64, llc_r: u64, llc_m: u64, ins: u64, cyc: u64) -> CounterSnapshot {
+    CounterSnapshot {
+        l1_ref: l1,
+        llc_ref: llc_r,
+        llc_miss: llc_m,
+        ret_ins: ins,
+        cycles: cyc,
+    }
+}
+
+#[test]
+fn controller_programs_schemata_files() {
+    let root = temp_root("program");
+    let mut cat = FsBackend::create_fixture(&root, CatCapabilities::with_ways(20), 8).unwrap();
+    let handles = vec![
+        WorkloadHandle::new("vm-a", vec![0, 1], 4),
+        WorkloadHandle::new("vm-b", vec![2, 3], 4),
+    ];
+    let mut ctl = DcatController::new(DcatConfig::default(), handles, &mut cat).unwrap();
+
+    // Initial static partitioning landed in the files.
+    let cos1 = std::fs::read_to_string(root.join("COS1").join("schemata")).unwrap();
+    assert_eq!(cos1.trim(), "L3:0=f");
+    let cos2 = std::fs::read_to_string(root.join("COS2").join("schemata")).unwrap();
+    assert_eq!(cos2.trim(), "L3:0=f0");
+    let cpus1 = std::fs::read_to_string(root.join("COS1").join("cpus_list")).unwrap();
+    assert_eq!(cpus1.trim(), "0-1");
+
+    // Drive a few intervals: vm-a misses hard (grows), vm-b is idle
+    // (donates). The mask changes must appear in the files.
+    let mut total_a = CounterSnapshot::default();
+    for _ in 0..8 {
+        total_a = total_a.merged_with(&snapshot(340_000, 120_000, 60_000, 1_000_000, 20_000_000));
+        let snaps = vec![total_a, CounterSnapshot::default()];
+        ctl.tick(&snaps, &mut cat).unwrap();
+    }
+    assert!(ctl.ways_of(0) > 4, "vm-a should have grown");
+    assert_eq!(ctl.ways_of(1), 1, "idle vm-b should donate");
+
+    let cos1 = std::fs::read_to_string(root.join("COS1").join("schemata")).unwrap();
+    let mask = Cbm::parse_hex(cos1.trim().strip_prefix("L3:0=").unwrap()).unwrap();
+    assert_eq!(mask.ways(), ctl.ways_of(0), "file reflects the controller");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn reopened_backend_sees_controller_state() {
+    let root = temp_root("reopen");
+    {
+        let mut cat = FsBackend::create_fixture(&root, CatCapabilities::with_ways(12), 4).unwrap();
+        let handles = vec![WorkloadHandle::new("only", vec![0, 1], 3)];
+        let _ctl = DcatController::new(DcatConfig::default(), handles, &mut cat).unwrap();
+    }
+    // A fresh process (e.g. a monitoring tool) reads the same state.
+    let reopened = FsBackend::open(&root).unwrap();
+    assert_eq!(reopened.core_cos(0).unwrap(), CosId(1));
+    assert_eq!(reopened.cos_mask(CosId(1)).unwrap().ways(), 3);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn identical_decisions_through_memory_and_filesystem_backends() {
+    let root = temp_root("equiv");
+    let mut fs_cat = FsBackend::create_fixture(&root, CatCapabilities::with_ways(20), 8).unwrap();
+    let mut mem_cat = InMemoryController::new(CatCapabilities::with_ways(20), 8);
+    let handles = || {
+        vec![
+            WorkloadHandle::new("a", vec![0, 1], 3),
+            WorkloadHandle::new("b", vec![2, 3], 3),
+        ]
+    };
+    let mut fs_ctl = DcatController::new(DcatConfig::default(), handles(), &mut fs_cat).unwrap();
+    let mut mem_ctl = DcatController::new(DcatConfig::default(), handles(), &mut mem_cat).unwrap();
+
+    let mut a = CounterSnapshot::default();
+    let mut b = CounterSnapshot::default();
+    for step in 0..10 {
+        a = a.merged_with(&snapshot(
+            340_000,
+            120_000,
+            60_000 - step * 2000,
+            1_000_000,
+            18_000_000,
+        ));
+        b = b.merged_with(&snapshot(20_000, 100, 10, 1_000_000, 800_000));
+        let snaps = vec![a, b];
+        let fs_reports = fs_ctl.tick(&snaps, &mut fs_cat).unwrap();
+        let mem_reports = mem_ctl.tick(&snaps, &mut mem_cat).unwrap();
+        for (f, m) in fs_reports.iter().zip(mem_reports.iter()) {
+            assert_eq!(f.ways, m.ways, "backends diverged at step {step}");
+            assert_eq!(f.class, m.class, "classes diverged at step {step}");
+        }
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
