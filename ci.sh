@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Offline CI gate. Everything here runs without network access: the
+# workspace has no external dependencies (see "Hermetic builds" in
+# README.md), so --offline is load-bearing, not an optimization.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release --offline
+
+echo "==> tests"
+cargo test -q --offline
+
+echo "==> lint gate (fmt, clippy, source scans)"
+cargo run -q -p xtask --offline -- lint
+
+echo "==> lint gate flags a seeded banned-pattern fixture"
+mkdir -p target
+printf 'fn bad() {\n    let x = f.read().unwrap();\n    let m = Cbm(a.0 & b.0);\n    if ipc == 0.0 { }\n}\n' \
+    > target/lint-fixture.rs
+if cargo run -q -p xtask --offline -- scan target/lint-fixture.rs; then
+    echo "ERROR: lint scan passed a fixture seeded with banned patterns" >&2
+    exit 1
+fi
+
+echo "==> model checker (bounded exhaustive)"
+cargo run -q --release -p dcat-verify --offline
+
+echo "CI gate passed"

@@ -1,10 +1,10 @@
 //! Cost of the max-performance DP over performance tables (paper
 //! Section 3.5's search for Max(sum of normalized IPCs)).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dcat::perf_table::{max_performance_split, PerformanceTable};
+use dcat_bench::timing::bench;
 
-fn bench_split(c: &mut Criterion) {
+fn main() {
     // 8 workloads, each with a fully populated 20-way table.
     let tables: Vec<PerformanceTable> = (0..8)
         .map(|i| {
@@ -16,10 +16,7 @@ fn bench_split(c: &mut Criterion) {
         })
         .collect();
     let refs: Vec<&PerformanceTable> = tables.iter().collect();
-    c.bench_function("max_performance_split_8x20", |b| {
-        b.iter(|| max_performance_split(std::hint::black_box(&refs), 20))
+    bench("max_performance_split_8x20", || {
+        max_performance_split(std::hint::black_box(&refs), 20)
     });
 }
-
-criterion_group!(benches, bench_split);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Throughput of the simulated hierarchy's access path (the inner loop of
 //! every experiment).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcat_bench::timing::bench;
 use llc_sim::{AccessKind, CacheGeometry, Hierarchy, HierarchyConfig, WayMask};
 
 fn hierarchy() -> Hierarchy {
@@ -14,27 +14,18 @@ fn hierarchy() -> Hierarchy {
     })
 }
 
-fn bench_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy_access");
-    group.throughput(Throughput::Elements(1));
-
+fn main() {
     let mut warm = hierarchy();
     warm.access(0, 0x1000, AccessKind::Load);
-    group.bench_function("l1_hit", |b| {
-        b.iter(|| warm.access(0, std::hint::black_box(0x1000), AccessKind::Load))
+    bench("hierarchy_access/l1_hit", || {
+        warm.access(0, std::hint::black_box(0x1000), AccessKind::Load)
     });
 
     let mut miss = hierarchy();
     miss.set_fill_mask(0, WayMask::from_way_range(0, 2));
     let mut addr: u64 = 0;
-    group.bench_function("llc_fill_churn", |b| {
-        b.iter(|| {
-            addr = addr.wrapping_add(64 * 8191);
-            miss.access(0, std::hint::black_box(addr % (1 << 30)), AccessKind::Load)
-        })
+    bench("hierarchy_access/llc_fill_churn", || {
+        addr = addr.wrapping_add(64 * 8191);
+        miss.access(0, std::hint::black_box(addr % (1 << 30)), AccessKind::Load)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_access);
-criterion_main!(benches);

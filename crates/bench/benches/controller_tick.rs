@@ -1,12 +1,12 @@
 //! Cost of one dCat controller tick — the paper reports sub-1% CPU
 //! overhead for a 1 s interval; a tick must therefore be microseconds.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dcat::{DcatConfig, DcatController, WorkloadHandle};
+use dcat_bench::timing::bench;
 use perf_events::CounterSnapshot;
 use resctrl::{CatCapabilities, InMemoryController};
 
-fn bench_tick(c: &mut Criterion) {
+fn main() {
     let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 16);
     let handles: Vec<WorkloadHandle> = (0..8)
         .map(|i| WorkloadHandle::new(format!("vm{i}"), vec![2 * i, 2 * i + 1], 2))
@@ -14,20 +14,15 @@ fn bench_tick(c: &mut Criterion) {
     let mut ctl = DcatController::new(DcatConfig::default(), handles, &mut cat).unwrap();
     let mut totals = vec![CounterSnapshot::default(); 8];
     let mut step = 0u64;
-    c.bench_function("dcat_tick_8_domains", |b| {
-        b.iter(|| {
-            step += 1;
-            for (i, t) in totals.iter_mut().enumerate() {
-                t.l1_ref += 340_000 + i as u64;
-                t.llc_ref += 120_000;
-                t.llc_miss += 40_000 + (step % 7) * 1000;
-                t.ret_ins += 1_000_000;
-                t.cycles += 20_000_000;
-            }
-            ctl.tick(std::hint::black_box(&totals), &mut cat).unwrap()
-        })
+    bench("dcat_tick_8_domains", || {
+        step += 1;
+        for (i, t) in totals.iter_mut().enumerate() {
+            t.l1_ref += 340_000 + i as u64;
+            t.llc_ref += 120_000;
+            t.llc_miss += 40_000 + (step % 7) * 1000;
+            t.ret_ins += 1_000_000;
+            t.cycles += 20_000_000;
+        }
+        ctl.tick(std::hint::black_box(&totals), &mut cat).unwrap()
     });
 }
-
-criterion_group!(benches, bench_tick);
-criterion_main!(benches);

@@ -1,32 +1,25 @@
 //! Access-generation throughput of the workload models.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcat_bench::timing::bench;
 use workloads::{spec_catalog, AccessStream, Mload, Mlr, RedisModel, ZipfSampler};
 
-fn bench_streams(c: &mut Criterion) {
-    let mut group = c.benchmark_group("streams");
-    group.throughput(Throughput::Elements(1));
-
+fn main() {
     let mut mlr = Mlr::new(16 * 1024 * 1024, 1);
-    group.bench_function("mlr", |b| b.iter(|| mlr.next_access()));
+    bench("streams/mlr", || mlr.next_access());
 
     let mut mload = Mload::new(60 * 1024 * 1024);
-    group.bench_function("mload", |b| b.iter(|| mload.next_access()));
+    bench("streams/mload", || mload.next_access());
 
     let mut redis = RedisModel::paper_default(3);
-    group.bench_function("redis", |b| b.iter(|| redis.next_access()));
+    bench("streams/redis", || redis.next_access());
 
     let omnetpp = spec_catalog()
         .into_iter()
         .find(|s| s.name == "omnetpp")
         .unwrap();
     let mut spec = omnetpp.stream(5);
-    group.bench_function("spec_omnetpp", |b| b.iter(|| spec.next_access()));
+    bench("streams/spec_omnetpp", || spec.next_access());
 
     let mut zipf = ZipfSampler::new(1_000_000, 0.99, 7);
-    group.bench_function("zipf_sample", |b| b.iter(|| zipf.sample()));
-    group.finish();
+    bench("streams/zipf_sample", || zipf.sample());
 }
-
-criterion_group!(benches, bench_streams);
-criterion_main!(benches);

@@ -18,5 +18,6 @@
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod timing;
 
 pub use scenario::{PolicyKind, RunResult, ScheduleItem, VmPlan};

@@ -9,6 +9,7 @@ use crate::config::{AllocationPolicy, DcatConfig};
 use crate::perf_table::{max_performance_split, PerformanceTable};
 use crate::phase::{PhaseChange, PhaseDetector};
 use crate::state::WorkloadClass;
+use crate::transitions;
 
 /// Static description of one managed workload (a tenant's VM/container).
 #[derive(Debug, Clone)]
@@ -122,14 +123,14 @@ impl Domain {
     }
 }
 
-/// Longest contiguous run of zero bits within the low `total_ways` bits of
-/// `occupied`, as a CBM; `None` when every way is occupied.
-fn longest_free_run(occupied: u32, total_ways: u32) -> Option<Cbm> {
+/// Longest contiguous run of free ways within the low `total_ways` ways
+/// of `occupied`, as a CBM; `None` when every way is occupied.
+fn longest_free_run(occupied: Cbm, total_ways: u32) -> Option<Cbm> {
     let mut best: Option<(u32, u32)> = None; // (start, len)
     let mut run_start = 0;
     let mut run_len = 0;
     for way in 0..total_ways {
-        if occupied & (1 << way) == 0 {
+        if !occupied.contains_way(way) {
             if run_len == 0 {
                 run_start = way;
             }
@@ -251,6 +252,26 @@ impl DcatController {
         &self.domains[i].table
     }
 
+    /// The mask currently programmed for domain `i`, if any.
+    pub fn mask_of(&self, i: usize) -> Option<Cbm> {
+        self.domains[i].cbm
+    }
+
+    /// Per-domain snapshots for invariant checking (the `debug_assert!`
+    /// hook at the end of [`Self::tick`] and the `dcat-verify` model
+    /// checker both audit these).
+    pub fn domain_views(&self) -> Vec<crate::invariants::DomainView> {
+        self.domains
+            .iter()
+            .map(|d| crate::invariants::DomainView {
+                class: d.class,
+                ways: d.ways,
+                reserved_ways: d.reserved(),
+                cbm: d.cbm,
+            })
+            .collect()
+    }
+
     /// Runs one controller interval: collect statistics, detect phase
     /// changes, categorize, and re-allocate.
     ///
@@ -303,6 +324,13 @@ impl DcatController {
         }
         self.grow_from_pool(&mut targets);
         self.apply(&targets, cat)?;
+
+        debug_assert_eq!(
+            crate::invariants::check(&self.domain_views(), self.total_ways, self.config.min_ways),
+            Ok(()),
+            "controller invariants violated after interval {}",
+            self.interval
+        );
 
         Ok(self
             .domains
@@ -436,84 +464,43 @@ impl DcatController {
             d.saw_no_improvement = true;
         }
         let low_llc_use = m.llc_ref_per_instr() <= cfg.llc_ref_per_instr_thr;
-        let negligible_misses = m.llc_miss_rate <= cfg.donor_miss_rate_thr;
-        let high_misses = m.llc_miss_rate > cfg.llc_miss_rate_thr;
         let streaming_cap = d.reserved().saturating_mul(cfg.streaming_multiplier);
 
-        // Step 4: the Figure-6 state machine.
-        d.class = match d.class {
-            WorkloadClass::Reclaim => WorkloadClass::Keeper,
-            WorkloadClass::Streaming => {
-                // Streaming is sticky within a phase: the pattern has no
-                // reuse regardless of allocation.
-                WorkloadClass::Streaming
-            }
-            _ if low_llc_use => {
-                d.donor_mode = DonorMode::Fast;
-                WorkloadClass::Donor
-            }
-            WorkloadClass::Keeper if negligible_misses => {
-                d.donor_mode = DonorMode::Gradual;
-                WorkloadClass::Donor
-            }
-            WorkloadClass::Donor => {
-                if high_misses {
-                    // Shrunk (or started) too small; stop donating.
-                    WorkloadClass::Keeper
-                } else if negligible_misses {
-                    WorkloadClass::Donor
-                } else {
-                    WorkloadClass::Keeper
-                }
-            }
-            WorkloadClass::Keeper => {
-                if high_misses && !d.capped && d.stalled_at != Some(d.ways) {
-                    WorkloadClass::Unknown
-                } else {
-                    WorkloadClass::Keeper
-                }
-            }
-            WorkloadClass::Unknown => {
-                // "Always no performance improvement" is the streaming
-                // signature: the verdict requires that the phase's table
-                // never recorded a meaningful gain over the baseline.
-                let ever_improved = d.table.iter().any(|(_, v)| v > 1.0 + cfg.ipc_imp_thr);
-                match improvement {
-                    Some(imp) if imp > cfg.ipc_imp_thr => WorkloadClass::Receiver,
-                    // Grew as far as allowed (the streaming cap, or the
-                    // pool ran dry) with no payoff ever observed: a cyclic
-                    // pattern that will never reuse its cache.
-                    _ if !ever_improved
-                        && d.saw_no_improvement
-                        && (d.ways >= streaming_cap || d.grow_denied) =>
-                    {
-                        WorkloadClass::Streaming
-                    }
-                    // A workload that did benefit earlier but stalled now:
-                    // keep what it has and stop probing at this size.
-                    Some(_) if ever_improved => {
-                        d.stalled_at = Some(d.ways);
-                        WorkloadClass::Keeper
-                    }
-                    None if d.grow_denied && ever_improved => {
-                        d.stalled_at = Some(d.ways);
-                        WorkloadClass::Keeper
-                    }
-                    _ => WorkloadClass::Unknown,
-                }
-            }
-            WorkloadClass::Receiver => {
-                let stalled = matches!(improvement, Some(imp) if imp < cfg.ipc_imp_thr);
-                if stalled {
-                    d.stalled_at = Some(d.ways);
-                }
-                if !high_misses || stalled {
-                    WorkloadClass::Keeper
-                } else {
-                    WorkloadClass::Receiver
-                }
-            }
+        // Step 4: the Figure-6 state machine, driven by the transition
+        // table in `transitions::FIGURE6`. "Ever improved" is the
+        // streaming tell: the Streaming verdict requires that the phase's
+        // table never recorded a meaningful gain over the baseline.
+        let obs = transitions::Observation {
+            low_llc_use,
+            negligible_misses: m.llc_miss_rate <= cfg.donor_miss_rate_thr,
+            high_misses: m.llc_miss_rate > cfg.llc_miss_rate_thr,
+            improvement: match improvement {
+                Some(imp) if imp > cfg.ipc_imp_thr => transitions::ImprovementSignal::Improved,
+                Some(_) => transitions::ImprovementSignal::Stalled,
+                None => transitions::ImprovementSignal::Unjudged,
+            },
+            ever_improved: d.table.iter().any(|(_, v)| v > 1.0 + cfg.ipc_imp_thr),
+            saw_no_improvement: d.saw_no_improvement,
+            at_growth_limit: d.ways >= streaming_cap || d.grow_denied,
+            grow_denied: d.grow_denied,
+            capped: d.capped,
+            stalled_here: d.stalled_at == Some(d.ways),
         };
+        let rule = transitions::decide(d.class, &obs);
+        if rule.records_stall {
+            d.stalled_at = Some(d.ways);
+        }
+        if rule.to == WorkloadClass::Donor {
+            if obs.low_llc_use {
+                // No LLC use at all: drop straight to the minimum.
+                d.donor_mode = DonorMode::Fast;
+            } else if d.class == WorkloadClass::Keeper {
+                // Negligible misses: release one way at a time instead.
+                d.donor_mode = DonorMode::Gradual;
+            }
+            // A continuing Donor keeps the mode it entered with.
+        }
+        d.class = rule.to;
 
         // Baseline guarantee: a workload sitting below its reserved size
         // whose performance fell below the baseline is restored at once.
@@ -652,23 +639,75 @@ impl DcatController {
                 }
             }
         }
-        for &i in &order {
-            let d = &mut self.domains[i];
-            let desired = if d.recurring {
-                match d.table.preferred_ways(1e-6) {
-                    Some(p) if p > targets[i] => p,
-                    _ => targets[i] + 1,
+        // Projected occupancy after this interval's shrinks: the planner's
+        // shrink pass keeps the *top* `target` ways of a shrinking mask, so
+        // the bottom ways it releases are already free for an adjacent
+        // grower in the same interval. Growth is only granted where the
+        // planner can extend the partition in place — a probe is worth one
+        // adjacent way, never a relocation. There is no way-flush
+        // instruction (paper §6), so a moved partition re-warms from DRAM,
+        // and the cold start costs more than the extra way could return.
+        let mut occupied = Cbm(0);
+        for (j, d) in self.domains.iter().enumerate() {
+            // One-way partitions do not block growth: the planner displaces
+            // them (they hold at most one warm way).
+            if targets[j] <= 1 {
+                continue;
+            }
+            if let Some(m) = d.cbm {
+                let keep = targets[j].min(m.ways());
+                if keep > 0 {
+                    let start = m.first_way().unwrap_or(0) + (m.ways() - keep);
+                    occupied = occupied.union(Cbm::from_way_range(start, keep));
                 }
-            } else {
-                targets[i] + 1
+            }
+        }
+        for &i in &order {
+            let desired = {
+                let d = &self.domains[i];
+                if d.recurring {
+                    match d.table.preferred_ways(1e-6) {
+                        Some(p) if p > targets[i] => p,
+                        _ => targets[i] + 1,
+                    }
+                } else {
+                    targets[i] + 1
+                }
             };
-            let want = desired.saturating_sub(targets[i]).min(free);
-            if want == 0 && desired > targets[i] {
+            let deficit = desired.saturating_sub(targets[i]).min(free);
+            // Grant ways one at a time, each adjacent to the partition as
+            // grown so far (mirroring the planner's superset-run search:
+            // upward first, then downward), stopping at the first way that
+            // would force a relocation.
+            let granted = match self.domains[i].cbm {
+                Some(m) => {
+                    let mut lo = m.first_way().unwrap_or(0);
+                    let mut hi = lo + m.ways();
+                    let mut granted = 0;
+                    while granted < deficit {
+                        if hi < self.total_ways && !occupied.contains_way(hi) {
+                            occupied = occupied.union(Cbm::from_way_range(hi, 1));
+                            hi += 1;
+                        } else if lo > 0 && !occupied.contains_way(lo - 1) {
+                            lo -= 1;
+                            occupied = occupied.union(Cbm::from_way_range(lo, 1));
+                        } else {
+                            break;
+                        }
+                        granted += 1;
+                    }
+                    granted
+                }
+                // Not programmed yet: nothing warm to lose.
+                None => deficit,
+            };
+            let d = &mut self.domains[i];
+            if granted == 0 && desired > targets[i] {
                 d.grow_denied = true;
             } else {
                 d.grow_denied = false;
-                targets[i] += want;
-                free -= want;
+                targets[i] += granted;
+                free -= granted;
             }
         }
     }
@@ -691,15 +730,15 @@ impl DcatController {
         // pass): lines filled under the old mask would otherwise keep
         // hitting — and surviving — in ways their owner can no longer
         // fill, silently extending its effective allocation.
-        let mut lost = 0u32;
+        let mut lost = Cbm(0);
         for (i, cbm) in layout.iter().enumerate() {
             if let Some(old) = self.domains[i].cbm {
-                lost |= old.0 & !cbm.0;
+                lost = lost.union(old.difference(*cbm));
             }
         }
         // The free pool is whatever the tenant masks leave unclaimed; CAT
         // masks must be contiguous, so COS 0 gets the longest free run.
-        let occupied = layout.iter().fold(0u32, |acc, m| acc | m.0);
+        let occupied = layout.iter().fold(Cbm(0), |acc, m| acc.union(*m));
         let default_mask = longest_free_run(occupied, self.total_ways)
             .unwrap_or_else(|| Cbm::from_way_range(self.total_ways - 1, 1));
         cat.program_cos(CosId(0), default_mask)?;
@@ -720,8 +759,8 @@ impl DcatController {
                 d.settle = self.config.settle_intervals;
             }
         }
-        if lost != 0 {
-            cat.flush_cbm(Cbm(lost))?;
+        if !lost.is_empty() {
+            cat.flush_cbm(lost)?;
         }
         Ok(())
     }
@@ -885,6 +924,66 @@ mod tests {
         for w in grow_points.windows(2) {
             assert!(w[1].1 <= w[0].1 + 1, "jumped {} -> {}", w[0].1, w[1].1);
         }
+    }
+
+    /// In-between interval: real LLC use, miss rate between the donor and
+    /// growth thresholds — a Keeper that neither donates nor grows.
+    fn keeper_steady() -> CounterSnapshot {
+        snapshot(340_000, 120_000, 2_000, 1_000_000, 7_000_000)
+    }
+
+    #[test]
+    fn blocked_probe_never_relocates_a_multiway_partition() {
+        // A hungry middle domain is flanked by two multi-way Keepers; the
+        // free pool is not adjacent to it. Growing would force either the
+        // grower or a bystander to relocate — and with no way-flush
+        // instruction a moved partition restarts cold — so the probe is
+        // denied and every multi-way mask stays exactly where it was.
+        let (mut ctl, mut cat) = controller_with(3, 4, fast_config());
+        let mut feeder = Feeder::new(3);
+        let initial: Vec<Cbm> = (1..=3).map(|c| cat.cos_mask(CosId(c)).unwrap()).collect();
+        for _ in 0..8 {
+            feeder.add(0, keeper_steady());
+            feeder.add(1, missing_hard());
+            let snaps = feeder.add(2, keeper_steady()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            assert_eq!(cat.cos_mask(CosId(1)).unwrap(), initial[0]);
+            assert_eq!(cat.cos_mask(CosId(3)).unwrap(), initial[2]);
+            assert!(ctl.ways_of(1) <= 4, "blocked probe must not grow");
+        }
+        assert_eq!(
+            cat.cos_mask(CosId(2)).unwrap(),
+            initial[1],
+            "denied grower keeps its own warm ways too"
+        );
+    }
+
+    #[test]
+    fn dry_pool_probe_resolves_instead_of_sticking_unknown() {
+        // Fully reserved cache: 4 tenants x 5 ways = 20, zero free pool.
+        // The hungry tenant's probe is denied immediately; it must settle
+        // as a Keeper (with the stall recorded for a later retry), not
+        // spin as Unknown forever re-requesting a grow it cannot get.
+        let (mut ctl, mut cat) = controller_with(4, 5, fast_config());
+        let mut feeder = Feeder::new(4);
+        let mut unknown_ticks = 0;
+        for _ in 0..10 {
+            feeder.add(0, missing_hard());
+            for i in 1..3 {
+                feeder.add(i, keeper_steady());
+            }
+            let snaps = feeder.add(3, keeper_steady()).clone();
+            ctl.tick(&snaps, &mut cat).unwrap();
+            if ctl.class_of(0) == WorkloadClass::Unknown {
+                unknown_ticks += 1;
+            }
+            assert_eq!(ctl.ways_of(0), 5, "nothing to grant on a dry pool");
+        }
+        assert_eq!(ctl.class_of(0), WorkloadClass::Keeper);
+        assert!(
+            unknown_ticks <= 2,
+            "probe should resolve within a judged interval, was Unknown for {unknown_ticks} ticks"
+        );
     }
 
     #[test]
@@ -1109,10 +1208,11 @@ mod tests {
         let (mut ctl, mut cat) = controller_with(2, 4, fast_config());
         let idle = vec![CounterSnapshot::default(); 2];
         ctl.tick(&idle, &mut cat).unwrap();
-        // Both domains idle -> 1 way each, keeping their start ways (0 and
-        // 4); COS 0 gets the longest free run (ways 5-19).
+        // Both domains idle -> 1 way each, keeping their *top* ways (3 and
+        // 7, shrink releases toward the left neighbor); COS 0 gets the
+        // longest free run (ways 8-19).
         let cos0 = cat.cos_mask(CosId(0)).unwrap();
-        assert_eq!(cos0.ways(), 15);
+        assert_eq!(cos0.ways(), 12);
         assert!(!cos0.overlaps(cat.cos_mask(CosId(1)).unwrap()));
         assert!(!cos0.overlaps(cat.cos_mask(CosId(2)).unwrap()));
         let _ = ctl;
@@ -1225,15 +1325,18 @@ mod tests {
     #[test]
     fn longest_free_run_selection() {
         use super::longest_free_run;
-        assert_eq!(longest_free_run(0b0, 8), Some(Cbm::from_way_range(0, 8)));
-        assert_eq!(longest_free_run(0b1111_1111, 8), None);
+        assert_eq!(
+            longest_free_run(Cbm(0b0), 8),
+            Some(Cbm::from_way_range(0, 8))
+        );
+        assert_eq!(longest_free_run(Cbm(0b1111_1111), 8), None);
         // Ties go to the earliest run.
         assert_eq!(
-            longest_free_run(0b0001_1000, 8),
+            longest_free_run(Cbm(0b0001_1000), 8),
             Some(Cbm::from_way_range(0, 3))
         );
         assert_eq!(
-            longest_free_run(0b1000_0001, 8),
+            longest_free_run(Cbm(0b1000_0001), 8),
             Some(Cbm::from_way_range(1, 6))
         );
     }

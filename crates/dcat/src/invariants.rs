@@ -1,0 +1,123 @@
+//! Controller-level invariants.
+//!
+//! These are the safety properties every interval of [`crate::DcatController`]
+//! must uphold, independent of workload behavior or configuration:
+//!
+//! * **Way conservation** — the granted way counts never oversubscribe the
+//!   cache.
+//! * **Allocation floor** — no tenant drops below the configured minimum
+//!   (clamped to its contracted reservation; a tenant that reserved less
+//!   than `min_ways` is floored at its reservation instead).
+//! * **Mask/grant agreement** — the programmed CBM of each domain grants
+//!   exactly the way count the controller believes it granted.
+//! * **Hardware legality** — the programmed masks are non-empty,
+//!   contiguous, in range, and pairwise disjoint (delegated to
+//!   [`resctrl::invariants::check_layout`]).
+//!
+//! The same predicates run in three places: a `debug_assert!` at the end of
+//! [`crate::DcatController::tick`], the `dcat-verify` model checker after
+//! every explored transition, and any test that wants a one-call audit of
+//! controller state.
+
+use resctrl::Cbm;
+
+use crate::state::WorkloadClass;
+
+/// Read-only snapshot of one domain, as much as invariant checking needs.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainView {
+    /// Current class in the Figure-6 state machine.
+    pub class: WorkloadClass,
+    /// Ways the controller granted for the next interval.
+    pub ways: u32,
+    /// The tenant's contracted reservation.
+    pub reserved_ways: u32,
+    /// The mask currently programmed, if any has been applied yet.
+    pub cbm: Option<Cbm>,
+}
+
+/// Checks every controller-level invariant over the domains of one
+/// controller. Returns a description of the first violation.
+pub fn check(views: &[DomainView], total_ways: u32, min_ways: u32) -> Result<(), String> {
+    let granted: u32 = views.iter().map(|v| v.ways).sum();
+    if granted > total_ways {
+        return Err(format!(
+            "way conservation violated: {granted} ways granted on a {total_ways}-way cache"
+        ));
+    }
+    for (i, v) in views.iter().enumerate() {
+        let floor = min_ways.min(v.reserved_ways).max(1);
+        if v.ways < floor {
+            return Err(format!(
+                "domain {i} ({:?}) granted {} ways, below its floor of {floor}",
+                v.class, v.ways
+            ));
+        }
+        if let Some(m) = v.cbm {
+            if m.ways() != v.ways {
+                return Err(format!(
+                    "domain {i} ({:?}) mask {m} grants {} ways but the controller granted {}",
+                    v.class,
+                    m.ways(),
+                    v.ways
+                ));
+            }
+        }
+    }
+    let masks: Vec<Cbm> = views.iter().filter_map(|v| v.cbm).collect();
+    resctrl::invariants::check_layout(&masks, total_ways)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(class: WorkloadClass, ways: u32, reserved: u32, cbm: Option<Cbm>) -> DomainView {
+        DomainView {
+            class,
+            ways,
+            reserved_ways: reserved,
+            cbm,
+        }
+    }
+
+    #[test]
+    fn legal_state_accepted() {
+        let views = [
+            view(WorkloadClass::Keeper, 4, 4, Some(Cbm::from_way_range(0, 4))),
+            view(WorkloadClass::Donor, 1, 4, Some(Cbm::from_way_range(7, 1))),
+        ];
+        assert_eq!(check(&views, 20, 1), Ok(()));
+    }
+
+    #[test]
+    fn violations_detected() {
+        // Oversubscription.
+        let over = [
+            view(WorkloadClass::Keeper, 12, 4, None),
+            view(WorkloadClass::Keeper, 12, 4, None),
+        ];
+        assert!(check(&over, 20, 1).is_err());
+        // Below the floor.
+        let starved = [view(WorkloadClass::Donor, 1, 4, None)];
+        assert!(check(&starved, 20, 2).is_err());
+        // A reservation smaller than min_ways lowers the floor.
+        let small_reserved = [view(WorkloadClass::Donor, 1, 1, None)];
+        assert!(check(&small_reserved, 20, 2).is_ok());
+        // Mask width disagrees with the granted count.
+        let lying = [view(
+            WorkloadClass::Keeper,
+            3,
+            3,
+            Some(Cbm::from_way_range(0, 2)),
+        )];
+        assert!(check(&lying, 20, 1).is_err());
+        // Overlapping masks.
+        let overlap = [
+            view(WorkloadClass::Keeper, 2, 2, Some(Cbm::from_way_range(0, 2))),
+            view(WorkloadClass::Keeper, 2, 2, Some(Cbm::from_way_range(1, 2))),
+        ];
+        assert!(check(&overlap, 20, 1).is_err());
+    }
+}

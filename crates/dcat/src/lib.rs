@@ -50,10 +50,12 @@ pub mod baselines;
 pub mod config;
 pub mod controller;
 pub mod daemon;
+pub mod invariants;
 pub mod perf_table;
 pub mod phase;
 pub mod policy;
 pub mod state;
+pub mod transitions;
 
 pub use baselines::{SharedCachePolicy, StaticCatPolicy};
 pub use config::{AllocationPolicy, DcatConfig};

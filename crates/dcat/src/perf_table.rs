@@ -83,7 +83,8 @@ impl PerformanceTable {
             .flatten()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        if max == f64::NEG_INFINITY {
+        // Still at the seed: the table has no finite entries.
+        if max.is_infinite() {
             return None;
         }
         self.entries
@@ -135,7 +136,8 @@ pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> O
             let w = ways as usize;
             for used in w..=total {
                 let prev = dp[used - w];
-                if prev == f64::NEG_INFINITY {
+                // Unreachable budget point (still the -inf seed).
+                if prev.is_infinite() {
                     continue;
                 }
                 let cand = prev + value;
@@ -153,7 +155,7 @@ pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> O
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in dp"))?;
-    if *best == f64::NEG_INFINITY {
+    if best.is_infinite() {
         return None;
     }
     // Walk back through the per-workload choices.

@@ -7,7 +7,7 @@
 
 use dcat::{DcatConfig, DcatController, WorkloadHandle};
 use perf_events::CounterSnapshot;
-use proptest::prelude::*;
+use prop_lite::Gen;
 use resctrl::{CacheController, CatCapabilities, CosId, InMemoryController};
 
 /// One synthetic interval for one domain.
@@ -19,19 +19,13 @@ struct IntervalSpec {
     cpi_milli: u64,           // 500..=80_000
 }
 
-fn interval_strategy() -> impl Strategy<Value = IntervalSpec> {
-    (
-        prop::bool::weighted(0.8),
-        0u64..=1000,
-        0u64..=1000,
-        500u64..=80_000,
-    )
-        .prop_map(|(active, mem, miss, cpi)| IntervalSpec {
-            active,
-            mem_per_instr_milli: mem,
-            miss_rate_milli: miss,
-            cpi_milli: cpi,
-        })
+fn interval_spec(g: &mut Gen) -> IntervalSpec {
+    IntervalSpec {
+        active: g.bool_with(0.8),
+        mem_per_instr_milli: g.u64_in(0, 1000),
+        miss_rate_milli: g.u64_in(0, 1000),
+        cpi_milli: g.u64_in(500, 80_000),
+    }
 }
 
 fn delta_of(spec: &IntervalSpec) -> CounterSnapshot {
@@ -50,30 +44,33 @@ fn delta_of(spec: &IntervalSpec) -> CounterSnapshot {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Hardware-state legality under arbitrary telemetry.
+#[test]
+fn controller_state_always_legal() {
+    prop_lite::run_cases("controller_state_always_legal", 64, |g| {
+        let domains = g.usize_in(1, 5);
+        let reserved = g.u32_in(1, 3);
+        let steps: Vec<Vec<IntervalSpec>> = g.vec_of(2, 19, |g| g.vec_of(1, 5, interval_spec));
 
-    /// Hardware-state legality under arbitrary telemetry.
-    #[test]
-    fn controller_state_always_legal(
-        domains in 1usize..6,
-        reserved in 1u32..4,
-        steps in prop::collection::vec(
-            prop::collection::vec(interval_strategy(), 1..6),
-            2..20,
-        ),
-    ) {
         let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 16);
         let handles: Vec<WorkloadHandle> = (0..domains)
-            .map(|i| WorkloadHandle::new(
-                format!("d{i}"),
-                vec![(2 * i) as u32, (2 * i + 1) as u32],
-                reserved,
-            ))
+            .map(|i| {
+                WorkloadHandle::new(
+                    format!("d{i}"),
+                    vec![(2 * i) as u32, (2 * i + 1) as u32],
+                    reserved,
+                )
+            })
             .collect();
-        let mut ctl =
-            DcatController::new(DcatConfig { settle_intervals: 1, ..DcatConfig::default() },
-                handles, &mut cat).unwrap();
+        let mut ctl = DcatController::new(
+            DcatConfig {
+                settle_intervals: 1,
+                ..DcatConfig::default()
+            },
+            handles,
+            &mut cat,
+        )
+        .unwrap();
 
         let mut totals = vec![CounterSnapshot::default(); domains];
         for step in steps {
@@ -84,32 +81,41 @@ proptest! {
             let reports = ctl.tick(&totals, &mut cat).unwrap();
 
             let total_ways: u32 = reports.iter().map(|r| r.ways).sum();
-            prop_assert!(total_ways <= 20, "oversubscribed: {total_ways}");
-            prop_assert!(reports.iter().all(|r| r.ways >= 1), "zero-way grant");
-            prop_assert!(!cat.has_overlapping_active_masks(), "overlapping masks");
+            assert!(total_ways <= 20, "oversubscribed: {total_ways}");
+            assert!(reports.iter().all(|r| r.ways >= 1), "zero-way grant");
+            assert!(!cat.has_overlapping_active_masks(), "overlapping masks");
             for (i, report) in reports.iter().enumerate() {
                 let cos = CosId((i + 1) as u8);
                 let mask = cat.cos_mask(cos).unwrap();
-                prop_assert!(mask.is_valid_for(20, 1), "illegal CBM {mask}");
-                prop_assert_eq!(mask.ways(), report.ways, "mask/report mismatch");
+                assert!(mask.is_valid_for(20, 1), "illegal CBM {mask}");
+                assert_eq!(mask.ways(), report.ways, "mask/report mismatch");
             }
         }
-    }
+    });
+}
 
-    /// An always-idle domain converges to the minimum allocation and an
-    /// always-hungry-and-improving domain never drops below its baseline.
-    #[test]
-    fn idle_shrinks_and_active_keeps_baseline(reserved in 2u32..5, ticks in 6usize..20) {
+/// An always-idle domain converges to the minimum allocation and an
+/// always-hungry-and-improving domain never drops below its baseline.
+#[test]
+fn idle_shrinks_and_active_keeps_baseline() {
+    prop_lite::run_cases("idle_shrinks_and_active_keeps_baseline", 64, |g| {
+        let reserved = g.u32_in(2, 4);
+        let ticks = g.usize_in(6, 19);
+
         let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 8);
         let handles = vec![
             WorkloadHandle::new("idle", vec![0, 1], reserved),
             WorkloadHandle::new("busy", vec![2, 3], reserved),
         ];
         let mut ctl = DcatController::new(
-            DcatConfig { settle_intervals: 1, ..DcatConfig::default() },
+            DcatConfig {
+                settle_intervals: 1,
+                ..DcatConfig::default()
+            },
             handles,
             &mut cat,
-        ).unwrap();
+        )
+        .unwrap();
         let mut busy_total = CounterSnapshot::default();
         let mut cycles_per_tick = 30_000_000u64;
         for _ in 0..ticks {
@@ -124,12 +130,12 @@ proptest! {
             });
             let snaps = vec![CounterSnapshot::default(), busy_total];
             let reports = ctl.tick(&snaps, &mut cat).unwrap();
-            prop_assert!(
+            assert!(
                 reports[1].ways >= reserved,
                 "hungry domain below baseline: {} < {reserved}",
                 reports[1].ways
             );
         }
-        prop_assert_eq!(ctl.ways_of(0), 1, "idle domain should donate to 1 way");
-    }
+        assert_eq!(ctl.ways_of(0), 1, "idle domain should donate to 1 way");
+    });
 }

@@ -251,13 +251,12 @@ impl Engine {
         let mut remaining = vec![budget; self.vms.len()];
         loop {
             let mut progressed = false;
-            #[allow(clippy::needless_range_loop)] // `vm` also indexes `self.vms` mutably
-            for vm in 0..self.vms.len() {
-                if remaining[vm] <= 0 || self.vms[vm].workload.is_none() {
+            for (vm, rem) in remaining.iter_mut().enumerate() {
+                if *rem <= 0 || self.vms[vm].workload.is_none() {
                     continue;
                 }
                 let cycles = self.run_slice(vm);
-                remaining[vm] -= cycles as i64;
+                *rem -= cycles as i64;
                 progressed = true;
             }
             if !progressed {

@@ -16,8 +16,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smallrng::SmallRng;
 
 use crate::address::{PhysAddr, VirtAddr};
 use crate::coloring::ColorSet;

@@ -4,7 +4,6 @@ use llc_sim::{
     AccessKind, CacheGeometry, FrameAllocator, FramePolicy, Hierarchy, HierarchyConfig, LineAddr,
     PageMapper, PageSize, SetAssocCache, VirtAddr, WayMask,
 };
-use proptest::prelude::*;
 
 fn small_hierarchy(llc_ways: u32) -> Hierarchy {
     Hierarchy::new(HierarchyConfig {
@@ -16,31 +15,32 @@ fn small_hierarchy(llc_ways: u32) -> Hierarchy {
     })
 }
 
-proptest! {
-    /// A partition can never hold more lines than sets x permitted ways.
-    #[test]
-    fn partition_occupancy_bounded(
-        lines in prop::collection::vec(0u64..10_000, 1..400),
-        start in 0u32..6,
-        count in 1u32..3,
-    ) {
+/// A partition can never hold more lines than sets x permitted ways.
+#[test]
+fn partition_occupancy_bounded() {
+    prop_lite::run_cases("partition_occupancy_bounded", 128, |g| {
+        let lines = g.vec_of(1, 399, |g| g.u64_in(0, 9_999));
+        let start = g.u32_in(0, 5);
+        let count = g.u32_in(1, 2);
         let geometry = CacheGeometry::new(32, 8, 64);
         let mut cache = SetAssocCache::new(geometry);
         let mask = WayMask::from_way_range(start, count);
         for line in lines {
             cache.access(LineAddr(line), mask);
         }
-        prop_assert!(cache.occupancy_in(mask) <= u64::from(32 * count));
+        assert!(cache.occupancy_in(mask) <= u64::from(32 * count));
         // Nothing leaked outside the permitted ways.
-        prop_assert_eq!(cache.occupancy(), cache.occupancy_in(mask));
-    }
+        assert_eq!(cache.occupancy(), cache.occupancy_in(mask));
+    });
+}
 
-    /// Whatever is resident in a private L1 or L2 is resident in the LLC
-    /// (the inclusive property the paper's footnote 3 describes).
-    #[test]
-    fn hierarchy_is_inclusive(
-        accesses in prop::collection::vec((0u64..1u64 << 16, 0u32..2), 1..500),
-    ) {
+/// Whatever is resident in a private L1 or L2 is resident in the LLC
+/// (the inclusive property the paper's footnote 3 describes).
+#[test]
+fn hierarchy_is_inclusive() {
+    prop_lite::run_cases("hierarchy_is_inclusive", 64, |g| {
+        let accesses: Vec<(u64, u32)> =
+            g.vec_of(1, 499, |g| (g.u64_in(0, (1u64 << 16) - 1), g.u32_in(0, 1)));
         let mut h = small_hierarchy(8);
         h.set_fill_mask(0, WayMask::from_way_range(0, 4));
         h.set_fill_mask(1, WayMask::from_way_range(4, 4));
@@ -52,63 +52,69 @@ proptest! {
         }
         for (core, addr) in touched {
             if h.l1_probe(core, addr) || h.l2_probe(core, addr) {
-                prop_assert!(
+                assert!(
                     h.llc_probe(addr),
                     "line {addr:#x} in a private cache but not the LLC"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Counter arithmetic: l1_ref >= l1_miss >= llc_ref >= llc_miss.
-    #[test]
-    fn counter_ordering_holds(
-        accesses in prop::collection::vec(0u64..1u64 << 20, 1..600),
-    ) {
+/// Counter arithmetic: l1_ref >= l1_miss >= llc_ref >= llc_miss.
+#[test]
+fn counter_ordering_holds() {
+    prop_lite::run_cases("counter_ordering_holds", 64, |g| {
+        let accesses = g.vec_of(1, 599, |g| g.u64_in(0, (1u64 << 20) - 1));
         let mut h = small_hierarchy(8);
         for addr in accesses {
             h.access(0, addr & !63, AccessKind::Store);
         }
         let c = h.counters(0);
-        prop_assert!(c.l1_ref >= c.l1_miss);
-        prop_assert!(c.l1_miss >= c.llc_ref);
-        prop_assert!(c.llc_ref >= c.llc_miss);
-    }
+        assert!(c.l1_ref >= c.l1_miss);
+        assert!(c.l1_miss >= c.llc_ref);
+        assert!(c.llc_ref >= c.llc_miss);
+    });
+}
 
-    /// Translation is a function: the same virtual address always maps to
-    /// the same physical address, and distinct pages never share a frame.
-    #[test]
-    fn translation_is_stable_and_injective(
-        pages in prop::collection::vec(0u64..512, 1..64),
-        huge in prop::bool::ANY,
-    ) {
-        let size = if huge { PageSize::Huge } else { PageSize::Small };
-        let mut frames =
-            FrameAllocator::new(2 * 1024 * 1024 * 1024, FramePolicy::Randomized, 7);
+/// Translation is a function: the same virtual address always maps to
+/// the same physical address, and distinct pages never share a frame.
+#[test]
+fn translation_is_stable_and_injective() {
+    prop_lite::run_cases("translation_is_stable_and_injective", 64, |g| {
+        let pages = g.vec_of(1, 63, |g| g.u64_in(0, 511));
+        let huge = g.bool_with(0.5);
+        let size = if huge {
+            PageSize::Huge
+        } else {
+            PageSize::Small
+        };
+        let mut frames = FrameAllocator::new(2 * 1024 * 1024 * 1024, FramePolicy::Randomized, 7);
         let mut mapper = PageMapper::new(size);
         let mut seen = std::collections::HashMap::new();
         for p in pages {
             let vaddr = VirtAddr(p * size.bytes());
             let paddr = mapper.translate(vaddr, &mut frames).unwrap();
             let again = mapper.translate(vaddr, &mut frames).unwrap();
-            prop_assert_eq!(paddr, again);
+            assert_eq!(paddr, again);
             if let Some(prev) = seen.insert(p, paddr) {
-                prop_assert_eq!(prev, paddr);
+                assert_eq!(prev, paddr);
             }
         }
         // Injectivity over page frames.
         let mut frames_used: Vec<u64> = seen.values().map(|a| a.0 >> size.shift()).collect();
         frames_used.sort_unstable();
         frames_used.dedup();
-        prop_assert_eq!(frames_used.len(), seen.len());
-    }
+        assert_eq!(frames_used.len(), seen.len());
+    });
+}
 
-    /// The LRU never evicts the most recently used line of a partition.
-    #[test]
-    fn mru_line_survives_one_fill(
-        seed_lines in prop::collection::vec(0u64..64, 2..16),
-        fresh in 64u64..128,
-    ) {
+/// The LRU never evicts the most recently used line of a partition.
+#[test]
+fn mru_line_survives_one_fill() {
+    prop_lite::run_cases("mru_line_survives_one_fill", 128, |g| {
+        let seed_lines = g.vec_of(2, 15, |g| g.u64_in(0, 63));
+        let fresh = g.u64_in(64, 127);
         let geometry = CacheGeometry::new(1, 8, 64); // single set
         let mut cache = SetAssocCache::new(geometry);
         let mask = WayMask::from_way_range(0, 4);
@@ -117,9 +123,9 @@ proptest! {
         }
         let mru = *seed_lines.last().unwrap();
         cache.access(LineAddr(fresh), mask);
-        prop_assert!(
+        assert!(
             cache.probe(LineAddr(mru)),
             "MRU line {mru} evicted by a single fill"
         );
-    }
+    });
 }

@@ -1,31 +1,31 @@
 //! Property-based tests for counter snapshots, metrics, and windows.
 
 use perf_events::{CounterSnapshot, EwmaWindow, IntervalMetrics, SlidingWindow};
-use proptest::prelude::*;
+use prop_lite::Gen;
 
-fn snapshot_strategy() -> impl Strategy<Value = CounterSnapshot> {
-    (
-        0u64..1 << 40,
-        0u64..1 << 40,
-        0u64..1 << 40,
-        0u64..1 << 40,
-        0u64..1 << 40,
-    )
-        .prop_map(|(l1, lr, lm, ri, cy)| CounterSnapshot {
-            l1_ref: l1,
-            llc_ref: lr,
-            llc_miss: lm,
-            ret_ins: ri,
-            cycles: cy,
-        })
+fn snapshot(g: &mut Gen) -> CounterSnapshot {
+    let max = (1u64 << 40) - 1;
+    CounterSnapshot {
+        l1_ref: g.u64_in(0, max),
+        llc_ref: g.u64_in(0, max),
+        llc_miss: g.u64_in(0, max),
+        ret_ins: g.u64_in(0, max),
+        cycles: g.u64_in(0, max),
+    }
 }
 
-proptest! {
-    /// Deltas never underflow, and `later - earlier + earlier >= earlier`.
-    #[test]
-    fn delta_never_underflows(a in snapshot_strategy(), b in snapshot_strategy()) {
+fn signed_sample(g: &mut Gen) -> f64 {
+    (g.f64_unit() - 0.5) * 2e6
+}
+
+/// Deltas never underflow, and `later - earlier + earlier >= earlier`.
+#[test]
+fn delta_never_underflows() {
+    prop_lite::run_cases("delta_never_underflows", 256, |g| {
+        let a = snapshot(g);
+        let b = snapshot(g);
         let d = a.delta_since(&b);
-        prop_assert!(d.l1_ref <= a.l1_ref.max(b.l1_ref));
+        assert!(d.l1_ref <= a.l1_ref.max(b.l1_ref));
         // Any monotone pair reconstructs exactly.
         let merged = b.merged_with(&d);
         if a.l1_ref >= b.l1_ref
@@ -34,30 +34,34 @@ proptest! {
             && a.ret_ins >= b.ret_ins
             && a.cycles >= b.cycles
         {
-            prop_assert_eq!(merged, a);
+            assert_eq!(merged, a);
         }
-    }
+    });
+}
 
-    /// Derived ratios are finite and within their mathematical ranges.
-    #[test]
-    fn metrics_ranges(d in snapshot_strategy()) {
+/// Derived ratios are finite and within their mathematical ranges.
+#[test]
+fn metrics_ranges() {
+    prop_lite::run_cases("metrics_ranges", 256, |g| {
+        let d = snapshot(g);
         let m = IntervalMetrics::from_delta(&d);
-        prop_assert!(m.ipc.is_finite() && m.ipc >= 0.0);
-        prop_assert!(m.mem_access_per_instr.is_finite() && m.mem_access_per_instr >= 0.0);
-        prop_assert!(m.llc_miss_rate.is_finite() && m.llc_miss_rate >= 0.0);
+        assert!(m.ipc.is_finite() && m.ipc >= 0.0);
+        assert!(m.mem_access_per_instr.is_finite() && m.mem_access_per_instr >= 0.0);
+        assert!(m.llc_miss_rate.is_finite() && m.llc_miss_rate >= 0.0);
         if d.llc_miss <= d.llc_ref {
-            prop_assert!(m.llc_miss_rate <= 1.0 + 1e-9);
+            assert!(m.llc_miss_rate <= 1.0 + 1e-9);
         }
-        prop_assert!(m.llc_ref_per_instr().is_finite());
-    }
+        assert!(m.llc_ref_per_instr().is_finite());
+    });
+}
 
-    /// The sliding window's mean is always within the min/max of its
-    /// retained samples.
-    #[test]
-    fn sliding_mean_bounded(
-        cap in 1usize..16,
-        samples in prop::collection::vec(-1e6f64..1e6, 1..64),
-    ) {
+/// The sliding window's mean is always within the min/max of its
+/// retained samples.
+#[test]
+fn sliding_mean_bounded() {
+    prop_lite::run_cases("sliding_mean_bounded", 128, |g| {
+        let cap = g.usize_in(1, 15);
+        let samples = g.vec_of(1, 63, signed_sample);
         let mut w = SlidingWindow::new(cap);
         for (i, &s) in samples.iter().enumerate() {
             w.push(s);
@@ -66,16 +70,17 @@ proptest! {
             let lo = window.iter().cloned().fold(f64::MAX, f64::min);
             let hi = window.iter().cloned().fold(f64::MIN, f64::max);
             let mean = w.mean().unwrap();
-            prop_assert!(mean >= lo - 1e-6 && mean <= hi + 1e-6);
+            assert!(mean >= lo - 1e-6 && mean <= hi + 1e-6);
         }
-    }
+    });
+}
 
-    /// EWMA stays within the range of observed samples.
-    #[test]
-    fn ewma_bounded(
-        alpha_pct in 1u32..=100,
-        samples in prop::collection::vec(-1e6f64..1e6, 1..64),
-    ) {
+/// EWMA stays within the range of observed samples.
+#[test]
+fn ewma_bounded() {
+    prop_lite::run_cases("ewma_bounded", 128, |g| {
+        let alpha_pct = g.u32_in(1, 100);
+        let samples = g.vec_of(1, 63, signed_sample);
         let mut e = EwmaWindow::new(f64::from(alpha_pct) / 100.0);
         let mut lo = f64::MAX;
         let mut hi = f64::MIN;
@@ -83,16 +88,20 @@ proptest! {
             lo = lo.min(s);
             hi = hi.max(s);
             let v = e.push(s);
-            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
+            assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
         }
-    }
+    });
+}
 
-    /// `between` equals `from_delta` of the difference.
-    #[test]
-    fn between_matches_delta(earlier in snapshot_strategy(), growth in snapshot_strategy()) {
+/// `between` equals `from_delta` of the difference.
+#[test]
+fn between_matches_delta() {
+    prop_lite::run_cases("between_matches_delta", 256, |g| {
+        let earlier = snapshot(g);
+        let growth = snapshot(g);
         let later = earlier.merged_with(&growth);
         let a = IntervalMetrics::between(&earlier, &later);
         let b = IntervalMetrics::from_delta(&later.delta_since(&earlier));
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

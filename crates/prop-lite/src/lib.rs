@@ -1,0 +1,184 @@
+//! Deterministic property-test harness.
+//!
+//! A minimal replacement for `proptest` that works offline: every test
+//! case is generated from a seed derived deterministically from the case
+//! index, so a failure is reproducible by construction — rerunning the
+//! test replays the identical inputs. There is no shrinking; instead the
+//! harness reports the failing case index and seed so the case can be
+//! replayed in isolation with [`replay_case`].
+//!
+//! ```
+//! prop_lite::run_cases("example", 64, |g| {
+//!     let x = g.u64_in(0, 1000);
+//!     assert!(x <= 1000);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use smallrng::SmallRng;
+
+/// Per-case input generator handed to the property closure.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SmallRng,
+    case: u32,
+}
+
+impl Gen {
+    fn for_case(name: &str, case: u32) -> Self {
+        Gen {
+            rng: SmallRng::seed_from_u64(case_seed(name, case)),
+            case,
+        }
+    }
+
+    /// The zero-based index of the case being generated.
+    pub fn case(&self) -> u32 {
+        self.case
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "u64_in: empty range {lo}..={hi}");
+        if hi == u64::MAX && lo == 0 {
+            return self.rng.next_u64();
+        }
+        self.rng.gen_range(lo..hi + 1)
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (inclusive).
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A reference to a uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        let i = self.usize_in(0, items.len() - 1);
+        &items[i]
+    }
+
+    /// A vector of `n` values where `n` is uniform in `[min_len, max_len]`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(min_len, max_len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// FNV-1a over the test name, mixed with the case index, so distinct
+/// properties explore distinct input streams.
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Runs `cases` deterministic instances of `property`.
+///
+/// On failure the panic is re-raised after printing the case index and
+/// seed, so the exact inputs can be replayed with [`replay_case`].
+pub fn run_cases(name: &str, cases: u32, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let mut g = Gen::for_case(name, case);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "prop-lite: property '{name}' failed at case {case} \
+                 (seed {:#018x}); replay with prop_lite::replay_case(\"{name}\", {case}, ..)",
+                case_seed(name, case)
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays a single case of a property, for debugging a reported failure.
+pub fn replay_case(name: &str, case: u32, mut property: impl FnMut(&mut Gen)) {
+    let mut g = Gen::for_case(name, case);
+    property(&mut g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        run_cases("det", 16, |g| first.push(g.u64_in(0, 1_000_000)));
+        let mut second: Vec<u64> = Vec::new();
+        run_cases("det", 16, |g| second.push(g.u64_in(0, 1_000_000)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn distinct_names_distinct_streams() {
+        let mut a = Gen::for_case("alpha", 0);
+        let mut b = Gen::for_case("beta", 0);
+        let same = (0..32)
+            .filter(|_| a.u64_in(0, u64::MAX - 1) == b.u64_in(0, u64::MAX - 1))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn replay_matches_run() {
+        let mut seen = 0u64;
+        run_cases("replay", 5, |g| {
+            if g.case() == 3 {
+                seen = g.u64_in(0, 9999);
+            }
+        });
+        let mut replayed = 0u64;
+        replay_case("replay", 3, |g| replayed = g.u64_in(0, 9999));
+        assert_eq!(seen, replayed);
+    }
+
+    #[test]
+    fn bounds_are_inclusive() {
+        run_cases("bounds", 64, |g| {
+            let v = g.u64_in(3, 5);
+            assert!((3..=5).contains(&v));
+            let u = g.usize_in(0, 0);
+            assert_eq!(u, 0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run_cases("fail", 4, |g| {
+            if g.case() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -71,6 +71,30 @@ impl Cbm {
         self.0 & other.0 != 0
     }
 
+    /// Whether way `way` is granted by this mask.
+    #[inline]
+    pub fn contains_way(self, way: u32) -> bool {
+        way < 32 && self.0 & (1u32 << way) != 0
+    }
+
+    /// Set union: ways granted by either mask.
+    #[inline]
+    pub fn union(self, other: Cbm) -> Cbm {
+        Cbm(self.0 | other.0)
+    }
+
+    /// Set intersection: ways granted by both masks.
+    #[inline]
+    pub fn intersection(self, other: Cbm) -> Cbm {
+        Cbm(self.0 & other.0)
+    }
+
+    /// Set difference: ways granted by `self` but not by `other`.
+    #[inline]
+    pub fn difference(self, other: Cbm) -> Cbm {
+        Cbm(self.0 & !other.0)
+    }
+
     /// Whether the mask is valid for a cache of `cbm_len` ways requiring at
     /// least `min_bits` bits: non-empty, contiguous, within range, and wide
     /// enough.
@@ -136,6 +160,16 @@ mod tests {
     fn overlap_detection() {
         assert!(Cbm(0b110).overlaps(Cbm(0b010)));
         assert!(!Cbm(0b110).overlaps(Cbm(0b001)));
+    }
+
+    #[test]
+    fn set_operations() {
+        assert_eq!(Cbm(0b110).union(Cbm(0b011)), Cbm(0b111));
+        assert_eq!(Cbm(0b110).intersection(Cbm(0b011)), Cbm(0b010));
+        assert_eq!(Cbm(0b110).difference(Cbm(0b011)), Cbm(0b100));
+        assert!(Cbm(0b100).contains_way(2));
+        assert!(!Cbm(0b100).contains_way(1));
+        assert!(!Cbm(u32::MAX).contains_way(32));
     }
 
     #[test]

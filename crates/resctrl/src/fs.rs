@@ -88,7 +88,12 @@ pub fn format_cpu_list(cores: &[u32]) -> String {
 }
 
 /// Extracts the L3 mask from a schemata body such as `"L3:0=fffff\n"`.
-fn parse_schemata(body: &str) -> Result<Cbm, ResctrlError> {
+///
+/// Tolerates the formatting the kernel and humans produce: surrounding
+/// whitespace, upper- or lowercase hex, an optional `0x` prefix, other
+/// resource lines (`MB:`), and multiple `;`-separated domains (the first
+/// is taken; the model is single-socket).
+pub fn parse_schemata(body: &str) -> Result<Cbm, ResctrlError> {
     for line in body.lines() {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("L3:") {

@@ -15,6 +15,7 @@
 
 use crate::cbm::Cbm;
 use crate::controller::ResctrlError;
+use crate::invariants;
 
 /// Translates per-group way counts into concrete non-overlapping CBMs.
 #[derive(Debug, Clone, Copy)]
@@ -50,11 +51,20 @@ impl LayoutPlanner {
     /// flushes its neighbors, whose IPC blips then confuse any
     /// feedback-driven controller. The algorithm:
     ///
-    /// 1. groups whose count is unchanged or shrank keep their start way
-    ///    (a shrink releases its tail);
-    /// 2. a grown group extends in place when the adjacent ways are free;
-    /// 3. otherwise it is first-fit placed into a free gap;
-    /// 4. only if fragmentation leaves no gap does the planner fall back
+    /// 1. groups whose count is unchanged keep their exact mask; a shrunk
+    ///    group keeps its *top* ways, releasing from the bottom — freed
+    ///    ways then sit adjacent to the left neighbor, which (with the
+    ///    planner's left-to-right packing) is the likeliest grower, so a
+    ///    later growth extends in place instead of relocating;
+    /// 2. a grown group takes any free contiguous run that contains its
+    ///    previous mask (upward first, then sliding downward) — every way
+    ///    it already warmed stays warm;
+    /// 3. a grower still blocked may displace *one-way* bystanders out of
+    ///    such a run: a single-way group holds at most one warm way, so
+    ///    moving it costs far less than relocating the multi-way grower;
+    /// 4. otherwise it is first-fit placed into a free gap (as are the
+    ///    displaced one-way groups);
+    /// 5. only if fragmentation leaves no gap does the planner fall back
     ///    to a full left-to-right repack (ordered by previous position).
     pub fn layout_stable(
         &self,
@@ -83,48 +93,107 @@ impl LayoutPlanner {
         }
 
         let mut result = vec![Cbm(0); counts.len()];
-        let mut used: u32 = 0;
+        let mut used = Cbm(0);
         let mut pending: Vec<usize> = Vec::new();
 
-        // Pass 1: keepers and shrinkers hold their start way.
+        // Pass 1: keepers hold their mask; shrinkers keep their top ways,
+        // releasing from the bottom toward the left neighbor.
         for (i, &count) in counts.iter().enumerate() {
             match previous[i] {
                 Some(prev) if count <= prev.ways() => {
-                    let start = prev.first_way().expect("previous mask non-empty");
+                    let start =
+                        prev.first_way().expect("previous mask non-empty") + (prev.ways() - count);
                     let cbm = Cbm::from_way_range(start, count);
                     result[i] = cbm;
-                    used |= cbm.0;
+                    used = used.union(cbm);
                 }
                 _ => pending.push(i),
             }
         }
 
-        // Pass 2: growers extend in place when the room is free.
+        // Pass 2: growers take a free run containing their previous mask
+        // (upward first, then sliding downward), keeping every warmed way.
         pending.retain(|&i| {
             if let Some(prev) = previous[i] {
-                let start = prev.first_way().expect("previous mask non-empty");
-                if start + counts[i] <= self.cbm_len {
-                    let cbm = Cbm::from_way_range(start, counts[i]);
-                    if cbm.0 & used == 0 {
-                        result[i] = cbm;
-                        used |= cbm.0;
-                        return false;
+                let count = counts[i];
+                let top = prev.first_way().expect("previous mask non-empty") + prev.ways();
+                let lo = top.saturating_sub(count);
+                let hi = prev.first_way().expect("previous mask non-empty");
+                let mut start = hi;
+                loop {
+                    if start + count <= self.cbm_len {
+                        let cbm = Cbm::from_way_range(start, count);
+                        if !cbm.overlaps(used) {
+                            result[i] = cbm;
+                            used = used.union(cbm);
+                            return false;
+                        }
                     }
+                    if start == lo {
+                        break;
+                    }
+                    start -= 1;
                 }
             }
             true
         });
 
-        // Pass 3: first-fit into free gaps (also handles new groups).
+        // Pass 3: a still-blocked grower may displace one-way groups out
+        // of a run containing its previous mask. The displaced groups are
+        // re-placed first-fit below; each loses at most one warm way,
+        // which is cheaper than the grower losing its whole working set.
+        let mut displaced: Vec<usize> = Vec::new();
+        {
+            let mut firm = Cbm(0);
+            for (j, &m) in result.iter().enumerate() {
+                if !m.is_empty() && counts[j] != 1 {
+                    firm = firm.union(m);
+                }
+            }
+            pending.retain(|&i| {
+                let Some(prev) = previous[i] else { return true };
+                let count = counts[i];
+                let top = prev.first_way().expect("previous mask non-empty") + prev.ways();
+                let lo = top.saturating_sub(count);
+                let hi = prev.first_way().expect("previous mask non-empty");
+                let mut start = hi;
+                loop {
+                    if start + count <= self.cbm_len {
+                        let cbm = Cbm::from_way_range(start, count);
+                        if !cbm.overlaps(firm) {
+                            for j in 0..result.len() {
+                                if j != i && counts[j] == 1 && result[j].overlaps(cbm) {
+                                    used = used.difference(result[j]);
+                                    result[j] = Cbm(0);
+                                    displaced.push(j);
+                                }
+                            }
+                            result[i] = cbm;
+                            used = used.union(cbm);
+                            firm = firm.union(cbm);
+                            return false;
+                        }
+                    }
+                    if start == lo {
+                        break;
+                    }
+                    start -= 1;
+                }
+                true
+            });
+        }
+        pending.extend(displaced);
+
+        // Pass 4: first-fit into free gaps (also handles new groups).
         let mut fragmented = false;
         for &i in &pending {
             let count = counts[i];
             let mut placed = false;
             for start in 0..=self.cbm_len.saturating_sub(count) {
                 let cbm = Cbm::from_way_range(start, count);
-                if cbm.0 & used == 0 {
+                if !cbm.overlaps(used) {
                     result[i] = cbm;
-                    used |= cbm.0;
+                    used = used.union(cbm);
                     placed = true;
                     break;
                 }
@@ -135,16 +204,33 @@ impl LayoutPlanner {
             }
         }
         if !fragmented {
+            debug_assert!(
+                invariants::check_layout(&result, self.cbm_len)
+                    .and_then(|()| invariants::check_counts(&result, counts))
+                    .is_ok(),
+                "layout_stable produced an illegal layout: {:?}",
+                invariants::check_layout(&result, self.cbm_len)
+                    .and_then(|()| invariants::check_counts(&result, counts))
+            );
             return Ok(result);
         }
 
-        // Pass 4: fragmentation fallback — full repack by previous start.
+        // Pass 5: fragmentation fallback — full repack by previous start.
         let mut order: Vec<usize> = (0..counts.len()).collect();
         order.sort_by_key(|&i| match previous[i] {
             Some(cbm) => (0u8, cbm.first_way().unwrap_or(u32::MAX), i),
             None => (1u8, u32::MAX, i),
         });
-        self.layout_in_order(counts, order)
+        let result = self.layout_in_order(counts, order)?;
+        debug_assert!(
+            invariants::check_layout(&result, self.cbm_len)
+                .and_then(|()| invariants::check_counts(&result, counts))
+                .is_ok(),
+            "layout_stable repack produced an illegal layout: {:?}",
+            invariants::check_layout(&result, self.cbm_len)
+                .and_then(|()| invariants::check_counts(&result, counts))
+        );
+        Ok(result)
     }
 
     fn layout_in_order(&self, counts: &[u32], order: Vec<usize>) -> Result<Vec<Cbm>, ResctrlError> {
@@ -224,7 +310,13 @@ mod tests {
             second[0], first[0],
             "leftmost unchanged group keeps its mask"
         );
-        assert_eq!(second[1].first_way(), Some(3), "group 1 keeps its start");
+        // The shrinker keeps its *top* ways, releasing the bottom ones
+        // toward its left neighbor (the likeliest future grower).
+        assert_eq!(
+            second[1].first_way(),
+            Some(5),
+            "group 1 released its bottom ways"
+        );
         assert_eq!(second[1].ways(), 5);
         // Group 2 keeps its exact mask — only the shrinker changed.
         assert_eq!(second[2], first[2]);
@@ -270,6 +362,22 @@ mod tests {
     }
 
     #[test]
+    fn blocked_grower_displaces_one_way_bystander() {
+        let p = LayoutPlanner::new(20);
+        // A one-way group sits directly above the grower; the free pool is
+        // beyond it. The grower keeps all four warmed ways and the one-way
+        // group (at most one warm way to lose) is moved aside.
+        let prev = vec![
+            Some(Cbm::from_way_range(0, 4)),
+            Some(Cbm::from_way_range(4, 1)),
+        ];
+        let masks = p.layout_stable(&[5, 1], &prev).unwrap();
+        assert_eq!(masks[0], Cbm::from_way_range(0, 5), "grower kept its run");
+        assert_eq!(masks[1].ways(), 1);
+        assert!(!masks[0].overlaps(masks[1]));
+    }
+
+    #[test]
     fn grower_fills_a_middle_gap_without_moving_others() {
         let p = LayoutPlanner::new(8);
         let prev = vec![
@@ -295,8 +403,8 @@ mod tests {
             None,
         ];
         let masks = p.layout_stable(&[2, 2, 2, 2], &prev).unwrap();
-        let union = masks.iter().fold(0u32, |acc, m| acc | m.0);
-        assert_eq!(union.count_ones(), 8, "every way in use after repack");
+        let union = masks.iter().fold(Cbm(0), |acc, m| acc.union(*m));
+        assert_eq!(union.ways(), 8, "every way in use after repack");
         for i in 0..masks.len() {
             assert!(masks[i].is_contiguous());
             assert_eq!(masks[i].ways(), 2);
@@ -310,8 +418,8 @@ mod tests {
     fn full_allocation_uses_every_way() {
         let p = LayoutPlanner::new(20);
         let masks = p.layout(&[10, 10]).unwrap();
-        let union = masks.iter().fold(0u32, |acc, m| acc | m.0);
-        assert_eq!(union, Cbm::full(20).0);
+        let union = masks.iter().fold(Cbm(0), |acc, m| acc.union(*m));
+        assert_eq!(union, Cbm::full(20));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod cbm;
 pub mod controller;
 pub mod fs;
+pub mod invariants;
 pub mod layout;
 pub mod mock;
 

@@ -1,0 +1,492 @@
+//! `dcat-verify`: a bounded exhaustive model checker for the dCat
+//! controller.
+//!
+//! The checker drives a real [`DcatController`] against a real
+//! [`InMemoryController`] — no mocked internals — through every point of
+//! an abstracted telemetry lattice, from every reachable
+//! [`WorkloadClass`] start state, across multi-tenant pool shapes and
+//! configuration corners:
+//!
+//! * **telemetry lattice** — LLC use {below, above `llc_ref_per_instr_thr`}
+//!   × miss rate {below `donor_miss_rate_thr`, between the thresholds,
+//!   above `llc_miss_rate_thr`} × IPC delta {well below, at, well above
+//!   the previous interval} × phase change {no, yes};
+//! * **start states** — all six `WorkloadClass` values, reached by a
+//!   scripted telemetry preamble (combinations the controller can never
+//!   reach, e.g. Receiver on a cache with no free pool, are skipped and
+//!   reported, not counted);
+//! * **pool shapes** — 1–4 tenants of 2 reserved ways over a cache with
+//!   0–3 free ways;
+//! * **config corners** — `min_ways` ∈ {1, 2} × `streaming_multiplier`
+//!   ∈ {1, 3} × `settle_intervals` ∈ {1, 3}; `settle_intervals = 0` is
+//!   asserted to be rejected at construction.
+//!
+//! After every tick of every exploration the checker asserts the shared
+//! invariant layer ([`dcat::invariants::check`]: way conservation,
+//! allocation floors, mask/grant agreement, CBM legality) plus the
+//! temporal properties the invariants cannot see from one snapshot:
+//!
+//! * a Reclaim verdict restores the reserved allocation that same tick;
+//! * no Keeper↔Donor oscillation under fixed telemetry (the donor-floor
+//!   ratchet allows one bounded retry, so ≤ 2 edges per direction);
+//! * probe termination: an Unknown workload resolves into Keeper,
+//!   Receiver, or Streaming within a bounded number of fixed-telemetry
+//!   intervals (growth is bounded by the streaming cap and the pool, and
+//!   a denied probe must resolve rather than spin).
+//!
+//! Exit status is non-zero if any property fails or fewer configurations
+//! than the documented floor were explored.
+
+use dcat::{DcatConfig, DcatController, WorkloadClass, WorkloadHandle};
+use perf_events::CounterSnapshot;
+use resctrl::{CatCapabilities, InMemoryController};
+
+/// Instructions retired per synthesized interval.
+const INSTRUCTIONS: f64 = 1_000_000.0;
+/// Memory accesses per instruction defining the phase signature.
+const MAPI_BASE: f64 = 0.3;
+/// Signature after the lattice's phase-change point (a 50% shift, well
+/// past the 10% detection threshold).
+const MAPI_SHIFTED: f64 = 0.45;
+/// Ticks allowed for a preamble to reach its start state before the
+/// (state, pool, config) combination is declared unreachable.
+const MAX_PREAMBLE_TICKS: u32 = 80;
+/// Explored-configuration floor a full run must meet.
+const EXPLORED_FLOOR: usize = 10_000;
+/// Reserved ways per tenant in every pool shape.
+const RESERVED: u32 = 2;
+
+/// One interval of synthetic telemetry, in metric space. The rig inverts
+/// `perf_events::IntervalMetrics`'s formulas to produce counter deltas.
+#[derive(Clone, Copy, Debug)]
+struct Spec {
+    ipc: f64,
+    miss_rate: f64,
+    llc_ref_per_instr: f64,
+    mem_access_per_instr: f64,
+}
+
+impl Spec {
+    /// A steady Keeper: real LLC use, miss rate between the donor and
+    /// growth thresholds, flat IPC. Background tenants run this forever.
+    fn keeper(ipc: f64) -> Spec {
+        Spec {
+            ipc,
+            miss_rate: 0.0175,
+            llc_ref_per_instr: 0.2,
+            mem_access_per_instr: MAPI_BASE,
+        }
+    }
+
+    fn with_miss_rate(self, miss_rate: f64) -> Spec {
+        Spec { miss_rate, ..self }
+    }
+}
+
+/// Accumulates per-interval deltas into the monotonic counter totals the
+/// controller reads.
+struct Rig {
+    totals: Vec<CounterSnapshot>,
+}
+
+impl Rig {
+    fn new(n: usize) -> Rig {
+        Rig {
+            totals: vec![CounterSnapshot::default(); n],
+        }
+    }
+
+    fn tick(&mut self, specs: &[Spec]) -> Vec<CounterSnapshot> {
+        for (t, s) in self.totals.iter_mut().zip(specs) {
+            let llc_ref = s.llc_ref_per_instr * INSTRUCTIONS;
+            t.ret_ins += INSTRUCTIONS as u64;
+            t.cycles += (INSTRUCTIONS / s.ipc).round() as u64;
+            t.l1_ref += (s.mem_access_per_instr * INSTRUCTIONS).round() as u64;
+            t.llc_ref += llc_ref.round() as u64;
+            t.llc_miss += (s.miss_rate * llc_ref).round() as u64;
+        }
+        self.totals.clone()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum MissBand {
+    Negligible,
+    Moderate,
+    High,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum IpcDelta {
+    WellBelow,
+    At,
+    WellAbove,
+}
+
+/// One point of the abstracted telemetry lattice.
+#[derive(Clone, Copy, Debug)]
+struct LatticePoint {
+    low_llc_use: bool,
+    miss: MissBand,
+    ipc: IpcDelta,
+    phase_change: bool,
+}
+
+fn lattice() -> Vec<LatticePoint> {
+    let mut points = Vec::new();
+    for low_llc_use in [false, true] {
+        for miss in [MissBand::Negligible, MissBand::Moderate, MissBand::High] {
+            for ipc in [IpcDelta::WellBelow, IpcDelta::At, IpcDelta::WellAbove] {
+                for phase_change in [false, true] {
+                    points.push(LatticePoint {
+                        low_llc_use,
+                        miss,
+                        ipc,
+                        phase_change,
+                    });
+                }
+            }
+        }
+    }
+    points
+}
+
+impl LatticePoint {
+    /// The concrete telemetry realizing this lattice point, relative to
+    /// the probe tenant's IPC at the end of its preamble.
+    fn spec(&self, base_ipc: f64) -> Spec {
+        Spec {
+            ipc: match self.ipc {
+                IpcDelta::WellBelow => base_ipc * 0.5,
+                IpcDelta::At => base_ipc,
+                IpcDelta::WellAbove => base_ipc * 1.5,
+            },
+            miss_rate: match self.miss {
+                MissBand::Negligible => 0.0025,
+                MissBand::Moderate => 0.0175,
+                MissBand::High => 0.5,
+            },
+            llc_ref_per_instr: if self.low_llc_use { 0.0005 } else { 0.2 },
+            mem_access_per_instr: if self.phase_change {
+                MAPI_SHIFTED
+            } else {
+                MAPI_BASE
+            },
+        }
+    }
+}
+
+/// Pool shape: `tenants` workloads of [`RESERVED`] ways each plus
+/// `free_ways` unreserved ways.
+#[derive(Clone, Copy, Debug)]
+struct Pool {
+    tenants: u32,
+    free_ways: u32,
+}
+
+impl Pool {
+    fn total_ways(&self) -> u32 {
+        self.tenants * RESERVED + self.free_ways
+    }
+}
+
+/// Config corner under test.
+#[derive(Clone, Copy, Debug)]
+struct Corner {
+    min_ways: u32,
+    streaming_multiplier: u32,
+    settle_intervals: u32,
+}
+
+impl Corner {
+    fn config(&self) -> DcatConfig {
+        DcatConfig {
+            min_ways: self.min_ways,
+            streaming_multiplier: self.streaming_multiplier,
+            settle_intervals: self.settle_intervals,
+            ..DcatConfig::default()
+        }
+    }
+}
+
+const ALL_STATES: [WorkloadClass; 6] = [
+    WorkloadClass::Reclaim,
+    WorkloadClass::Keeper,
+    WorkloadClass::Donor,
+    WorkloadClass::Unknown,
+    WorkloadClass::Receiver,
+    WorkloadClass::Streaming,
+];
+
+/// One fully specified exploration.
+#[derive(Clone, Copy, Debug)]
+struct Scenario {
+    corner: Corner,
+    pool: Pool,
+    start: WorkloadClass,
+    point: LatticePoint,
+}
+
+enum Outcome {
+    /// Preamble reached the start state and every property held.
+    Explored { ticks: u32 },
+    /// The controller cannot reach this start state in this pool/config
+    /// (e.g. Receiver with no free pool) — skipped, not counted.
+    Unreachable,
+}
+
+struct Violation {
+    scenario: Scenario,
+    tick: u64,
+    message: String,
+}
+
+/// Asserts the per-tick safety properties; returns the first violation.
+fn check_tick(ctl: &DcatController, corner: &Corner, pool: &Pool) -> Result<(), String> {
+    let views = ctl.domain_views();
+    dcat::invariants::check(&views, pool.total_ways(), corner.min_ways)?;
+    for (i, v) in views.iter().enumerate() {
+        // Reclaim restores the reserved allocation in the same interval
+        // it is declared (the paper gives it absolute priority).
+        if v.class == WorkloadClass::Reclaim && v.ways != v.reserved_ways {
+            return Err(format!(
+                "domain {i} is Reclaim with {} ways (reserved {})",
+                v.ways, v.reserved_ways
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drives one scenario end to end.
+fn run_scenario(s: &Scenario) -> Result<Outcome, Violation> {
+    let n = s.pool.tenants as usize;
+    let probe = n - 1; // adjacent to the free run at the top of the cache
+    let mut cat = InMemoryController::new(
+        CatCapabilities::with_ways(s.pool.total_ways()),
+        s.pool.tenants,
+    );
+    let handles: Vec<WorkloadHandle> = (0..n)
+        .map(|i| WorkloadHandle::new(format!("vm{i}"), vec![i as u32], RESERVED))
+        .collect();
+    let mut ctl = DcatController::new(s.corner.config(), handles, &mut cat)
+        .expect("scenario configs are valid");
+    let mut rig = Rig::new(n);
+
+    // --- Preamble: steer the probe tenant into the start state. ---
+    let mut ipc = 1.0;
+    let mut ticks = 0u32;
+    loop {
+        if ctl.class_of(probe) == s.start {
+            break;
+        }
+        if ticks >= MAX_PREAMBLE_TICKS {
+            return Ok(Outcome::Unreachable);
+        }
+        let current = ctl.class_of(probe);
+        let spec = match s.start {
+            // Reclaim is the first tick's state (a fresh phase); Keeper
+            // follows once the baseline is measured at the reserved size.
+            WorkloadClass::Reclaim | WorkloadClass::Keeper => Spec::keeper(ipc),
+            WorkloadClass::Donor => {
+                if current == WorkloadClass::Keeper {
+                    Spec::keeper(ipc).with_miss_rate(0.0025)
+                } else {
+                    Spec::keeper(ipc)
+                }
+            }
+            WorkloadClass::Unknown | WorkloadClass::Streaming => {
+                if current == WorkloadClass::Keeper || current == WorkloadClass::Unknown {
+                    Spec::keeper(ipc).with_miss_rate(0.5)
+                } else {
+                    Spec::keeper(ipc)
+                }
+            }
+            WorkloadClass::Receiver => match current {
+                // Raise IPC every probing tick so the grown allocation
+                // is judged a clear improvement.
+                WorkloadClass::Unknown => {
+                    ipc *= 1.15;
+                    Spec::keeper(ipc).with_miss_rate(0.5)
+                }
+                WorkloadClass::Keeper => Spec::keeper(ipc).with_miss_rate(0.5),
+                _ => Spec::keeper(ipc),
+            },
+        };
+        let mut specs = vec![Spec::keeper(1.0); n];
+        specs[probe] = spec;
+        let snaps = rig.tick(&specs);
+        ctl.tick(&snaps, &mut cat).map_err(|e| Violation {
+            scenario: *s,
+            tick: ctl.intervals(),
+            message: format!("tick failed: {e}"),
+        })?;
+        check_tick(&ctl, &s.corner, &s.pool).map_err(|m| Violation {
+            scenario: *s,
+            tick: ctl.intervals(),
+            message: m,
+        })?;
+        ticks += 1;
+    }
+
+    // --- Lattice point, then hold it fixed. ---
+    // Long enough to exceed the probe-termination bound: every judged
+    // interval an Unknown either grows (bounded by the streaming cap and
+    // the free pool) or resolves, and judgement comes at most every
+    // settle_intervals + 1 ticks.
+    let cap = RESERVED * s.corner.streaming_multiplier;
+    let hold = (s.corner.settle_intervals + 1) * (cap + s.pool.free_ways + 2) + 6;
+    let spec = s.point.spec(ipc);
+    let mut classes = Vec::with_capacity(hold as usize + 1);
+    for _ in 0..=hold {
+        let mut specs = vec![Spec::keeper(1.0); n];
+        specs[probe] = spec;
+        let snaps = rig.tick(&specs);
+        ctl.tick(&snaps, &mut cat).map_err(|e| Violation {
+            scenario: *s,
+            tick: ctl.intervals(),
+            message: format!("tick failed: {e}"),
+        })?;
+        check_tick(&ctl, &s.corner, &s.pool).map_err(|m| Violation {
+            scenario: *s,
+            tick: ctl.intervals(),
+            message: m,
+        })?;
+        classes.push(ctl.class_of(probe));
+        ticks += 1;
+    }
+
+    // Oscillation: under fixed telemetry the Keeper<->Donor decision is
+    // deterministic, so edges cannot repeat beyond the donor-floor
+    // ratchet's bounded retries after a baseline reclaim.
+    let edges = |from: WorkloadClass, to: WorkloadClass| {
+        classes
+            .windows(2)
+            .filter(|w| w[0] == from && w[1] == to)
+            .count()
+    };
+    let kd = edges(WorkloadClass::Keeper, WorkloadClass::Donor);
+    let dk = edges(WorkloadClass::Donor, WorkloadClass::Keeper);
+    if kd > 2 || dk > 2 {
+        return Err(Violation {
+            scenario: *s,
+            tick: ctl.intervals(),
+            message: format!(
+                "Keeper<->Donor oscillation under fixed telemetry: {kd} K->D, {dk} D->K edges"
+            ),
+        });
+    }
+
+    // Probe termination: the hold outlasts the growth bound, so an
+    // Unknown verdict must have resolved by the end of it.
+    if *classes.last().expect("hold ran") == WorkloadClass::Unknown {
+        return Err(Violation {
+            scenario: *s,
+            tick: ctl.intervals(),
+            message: format!(
+                "probe did not terminate: still Unknown after {hold} fixed-telemetry intervals"
+            ),
+        });
+    }
+
+    Ok(Outcome::Explored { ticks })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let mut corners = Vec::new();
+    for min_ways in [1u32, 2] {
+        for streaming_multiplier in [1u32, 3] {
+            for settle_intervals in [1u32, 3] {
+                corners.push(Corner {
+                    min_ways,
+                    streaming_multiplier,
+                    settle_intervals,
+                });
+            }
+        }
+    }
+    let pools: Vec<Pool> = if smoke {
+        [(1, 1), (2, 0), (3, 2), (4, 3)]
+            .iter()
+            .map(|&(tenants, free_ways)| Pool { tenants, free_ways })
+            .collect()
+    } else {
+        let mut pools = Vec::new();
+        for tenants in 1..=4 {
+            for free_ways in 0..=3 {
+                pools.push(Pool { tenants, free_ways });
+            }
+        }
+        pools
+    };
+
+    // settle_intervals = 0 is not a runnable corner: the controller must
+    // refuse it at construction (an allocation change could never be
+    // judged on warmed telemetry).
+    let mut rejected = 0usize;
+    for corner in &corners {
+        let cfg = DcatConfig {
+            settle_intervals: 0,
+            ..corner.config()
+        };
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(8), 1);
+        let handles = vec![WorkloadHandle::new("vm0", vec![0], RESERVED)];
+        assert!(
+            DcatController::new(cfg, handles, &mut cat).is_err(),
+            "settle_intervals = 0 must be rejected at construction"
+        );
+        rejected += 1;
+    }
+
+    let mut explored = 0usize;
+    let mut skipped = 0usize;
+    let mut total_ticks = 0u64;
+    let mut violations: Vec<Violation> = Vec::new();
+    let points = lattice();
+
+    for corner in &corners {
+        for pool in &pools {
+            for start in ALL_STATES {
+                for point in &points {
+                    let scenario = Scenario {
+                        corner: *corner,
+                        pool: *pool,
+                        start,
+                        point: *point,
+                    };
+                    match run_scenario(&scenario) {
+                        Ok(Outcome::Explored { ticks }) => {
+                            explored += 1;
+                            total_ticks += u64::from(ticks);
+                        }
+                        Ok(Outcome::Unreachable) => skipped += 1,
+                        Err(v) => violations.push(v),
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "dcat-verify: explored {explored} (state, telemetry, pool, config) configurations \
+         ({skipped} unreachable combinations skipped, {rejected} invalid configs rejected \
+         at construction, {total_ticks} controller intervals driven)"
+    );
+
+    if !violations.is_empty() {
+        eprintln!("{} property violations:", violations.len());
+        for v in violations.iter().take(20) {
+            eprintln!("  interval {} of {:?}: {}", v.tick, v.scenario, v.message);
+        }
+        std::process::exit(1);
+    }
+    if !smoke && explored < EXPLORED_FLOOR {
+        eprintln!(
+            "explored {explored} configurations, below the documented floor of {EXPLORED_FLOOR}"
+        );
+        std::process::exit(1);
+    }
+    println!("all invariants and temporal properties held");
+}

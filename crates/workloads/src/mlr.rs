@@ -8,8 +8,7 @@
 //! misses — which is what makes MLR so sensitive to its LLC allocation.
 
 use llc_sim::{PageSize, LINE_SIZE};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smallrng::SmallRng;
 
 use crate::stream::{AccessStream, ExecutionProfile, MemRef};
 

@@ -20,8 +20,7 @@
 //!   (~10–12% gains in the paper).
 
 use llc_sim::LINE_SIZE;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smallrng::SmallRng;
 
 use crate::stream::{AccessStream, ExecutionProfile, MemRef};
 use crate::zipf::ZipfSampler;

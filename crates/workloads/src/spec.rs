@@ -20,8 +20,7 @@
 //! the reproduction needs.
 
 use llc_sim::LINE_SIZE;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smallrng::SmallRng;
 
 use crate::stream::{AccessStream, ExecutionProfile, MemRef};
 
@@ -62,37 +61,60 @@ pub fn spec_catalog() -> Vec<SpecBenchmark> {
     //   cache-friendly    (medium/large WSS, high reuse -> dCat receivers)
     //   streaming         (large WSS, cyclic scans, no reuse)
     vec![
-        // name            wss        hot   p_hot  stream  refs  cpi  mlp
-        bench("perlbench", 2 * MB, 0.60, 0.90, false, 0.30, 0.55, 1.5),
-        bench("bzip2", 7 * MB, 0.50, 0.80, false, 0.32, 0.60, 1.6),
-        bench("gcc", 6 * MB, 0.55, 0.85, false, 0.35, 0.65, 1.5),
-        bench("mcf", 40 * MB, 0.30, 0.70, false, 0.40, 0.80, 1.2),
-        bench("gobmk", 2 * MB, 0.70, 0.90, false, 0.28, 0.60, 1.4),
-        bench("hmmer", MB, 0.80, 0.95, false, 0.42, 0.50, 2.0),
-        bench("sjeng", 512 * 1024, 0.80, 0.95, false, 0.25, 0.55, 1.5),
-        bench("libquantum", 32 * MB, 0.02, 0.05, true, 0.33, 0.50, 7.0),
-        bench("h264ref", 3 * MB, 0.65, 0.90, false, 0.38, 0.55, 2.2),
-        bench("omnetpp", 16 * MB, 0.75, 0.92, false, 0.36, 0.70, 1.1),
-        bench("astar", 14 * MB, 0.70, 0.90, false, 0.34, 0.70, 1.1),
-        bench("xalancbmk", 12 * MB, 0.60, 0.85, false, 0.37, 0.70, 1.3),
-        bench("bwaves", 32 * MB, 0.05, 0.10, true, 0.45, 0.55, 6.5),
-        bench("milc", 48 * MB, 0.04, 0.08, true, 0.40, 0.60, 6.0),
-        bench("cactusADM", 12 * MB, 0.45, 0.75, false, 0.38, 0.65, 2.0),
-        bench("leslie3d", 24 * MB, 0.10, 0.20, true, 0.42, 0.60, 5.5),
-        bench("soplex", 10 * MB, 0.60, 0.85, false, 0.39, 0.70, 1.4),
-        bench("GemsFDTD", 28 * MB, 0.08, 0.15, true, 0.44, 0.60, 5.0),
-        bench("lbm", 64 * MB, 0.03, 0.05, true, 0.46, 0.55, 7.5),
-        bench("sphinx3", 8 * MB, 0.55, 0.85, false, 0.41, 0.65, 1.6),
+        // name            wss      hot core        refs  cpi   mlp
+        bench("perlbench", 2 * MB, reuse(0.60, 0.90), 0.30, 0.55, 1.5),
+        bench("bzip2", 7 * MB, reuse(0.50, 0.80), 0.32, 0.60, 1.6),
+        bench("gcc", 6 * MB, reuse(0.55, 0.85), 0.35, 0.65, 1.5),
+        bench("mcf", 40 * MB, reuse(0.30, 0.70), 0.40, 0.80, 1.2),
+        bench("gobmk", 2 * MB, reuse(0.70, 0.90), 0.28, 0.60, 1.4),
+        bench("hmmer", MB, reuse(0.80, 0.95), 0.42, 0.50, 2.0),
+        bench("sjeng", 512 * 1024, reuse(0.80, 0.95), 0.25, 0.55, 1.5),
+        bench("libquantum", 32 * MB, scan(0.02, 0.05), 0.33, 0.50, 7.0),
+        bench("h264ref", 3 * MB, reuse(0.65, 0.90), 0.38, 0.55, 2.2),
+        bench("omnetpp", 16 * MB, reuse(0.75, 0.92), 0.36, 0.70, 1.1),
+        bench("astar", 14 * MB, reuse(0.70, 0.90), 0.34, 0.70, 1.1),
+        bench("xalancbmk", 12 * MB, reuse(0.60, 0.85), 0.37, 0.70, 1.3),
+        bench("bwaves", 32 * MB, scan(0.05, 0.10), 0.45, 0.55, 6.5),
+        bench("milc", 48 * MB, scan(0.04, 0.08), 0.40, 0.60, 6.0),
+        bench("cactusADM", 12 * MB, reuse(0.45, 0.75), 0.38, 0.65, 2.0),
+        bench("leslie3d", 24 * MB, scan(0.10, 0.20), 0.42, 0.60, 5.5),
+        bench("soplex", 10 * MB, reuse(0.60, 0.85), 0.39, 0.70, 1.4),
+        bench("GemsFDTD", 28 * MB, scan(0.08, 0.15), 0.44, 0.60, 5.0),
+        bench("lbm", 64 * MB, scan(0.03, 0.05), 0.46, 0.55, 7.5),
+        bench("sphinx3", 8 * MB, reuse(0.55, 0.85), 0.41, 0.65, 1.6),
     ]
 }
 
-#[allow(clippy::too_many_arguments)]
-fn bench(
-    name: &'static str,
-    wss_bytes: u64,
+/// How a benchmark touches its working set: the hot-core shape plus
+/// whether the cold remainder is re-referenced or scanned once.
+struct AccessPattern {
     hot_fraction: f64,
     hot_access_prob: f64,
     streaming: bool,
+}
+
+/// A reuse-heavy pattern: cold references are uniform (they may hit).
+fn reuse(hot_fraction: f64, hot_access_prob: f64) -> AccessPattern {
+    AccessPattern {
+        hot_fraction,
+        hot_access_prob,
+        streaming: false,
+    }
+}
+
+/// A streaming pattern: cold references scan cyclically, never reusing.
+fn scan(hot_fraction: f64, hot_access_prob: f64) -> AccessPattern {
+    AccessPattern {
+        hot_fraction,
+        hot_access_prob,
+        streaming: true,
+    }
+}
+
+fn bench(
+    name: &'static str,
+    wss_bytes: u64,
+    pattern: AccessPattern,
     mem_refs_per_instr: f64,
     cpi_exec: f64,
     mlp: f64,
@@ -100,9 +122,9 @@ fn bench(
     SpecBenchmark {
         name,
         wss_bytes,
-        hot_fraction,
-        hot_access_prob,
-        streaming,
+        hot_fraction: pattern.hot_fraction,
+        hot_access_prob: pattern.hot_access_prob,
+        streaming: pattern.streaming,
         mem_refs_per_instr,
         cpi_exec,
         mlp,

@@ -5,8 +5,7 @@
 //! each draw costs O(1). YCSB's default skew `theta = 0.99` is the default
 //! here too.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smallrng::SmallRng;
 
 /// O(1) Zipf-distributed sampler over `0..n`.
 #[derive(Debug, Clone)]
@@ -59,7 +58,7 @@ impl ZipfSampler {
 
     /// Draws one key in `0..n`; key 0 is the most popular.
     pub fn sample(&mut self) -> u64 {
-        let u: f64 = self.rng.gen();
+        let u = self.rng.gen_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;

@@ -1,63 +1,81 @@
 //! Property-based tests for the workload generators.
 
-use proptest::prelude::*;
 use workloads::{
     spec_catalog, AccessStream, ElasticsearchModel, KeySampler, Mload, Mlr, PostgresModel,
     RedisModel, ZipfSampler,
 };
 
-proptest! {
-    /// MLR stays inside its working set and covers it.
-    #[test]
-    fn mlr_addresses_in_bounds(wss_kb in 1u64..512, seed in 0u64..100) {
-        let wss = wss_kb * 1024;
-        prop_assume!(wss >= 64);
+/// MLR stays inside its working set and covers it.
+#[test]
+fn mlr_addresses_in_bounds() {
+    prop_lite::run_cases("mlr_addresses_in_bounds", 128, |g| {
+        let wss = g.u64_in(1, 511) * 1024;
+        let seed = g.u64_in(0, 99);
         let mut mlr = Mlr::new(wss, seed);
         for _ in 0..200 {
-            prop_assert!(mlr.next_access().vaddr.0 < wss);
+            assert!(mlr.next_access().vaddr.0 < wss);
         }
-    }
+    });
+}
 
-    /// MLOAD is exactly sequential modulo the working set.
-    #[test]
-    fn mload_is_sequential(wss_lines in 2u64..1000) {
+/// MLOAD is exactly sequential modulo the working set.
+#[test]
+fn mload_is_sequential() {
+    prop_lite::run_cases("mload_is_sequential", 128, |g| {
+        let wss_lines = g.u64_in(2, 999);
         let mut mload = Mload::new(wss_lines * 64);
         let mut prev = mload.next_access().vaddr.0;
         for _ in 0..300 {
             let cur = mload.next_access().vaddr.0;
-            prop_assert!(cur == prev + 64 || cur == 0, "jump {prev} -> {cur}");
+            assert!(cur == prev + 64 || cur == 0, "jump {prev} -> {cur}");
             prev = cur;
         }
-    }
+    });
+}
 
-    /// Zipf samples stay in range for any population and valid skew.
-    #[test]
-    fn zipf_in_range(n in 1u64..100_000, theta_pct in 0u32..99, seed in 0u64..50) {
+/// Zipf samples stay in range for any population and valid skew.
+#[test]
+fn zipf_in_range() {
+    prop_lite::run_cases("zipf_in_range", 128, |g| {
+        let n = g.u64_in(1, 99_999);
+        let theta_pct = g.u32_in(0, 98);
+        let seed = g.u64_in(0, 49);
         let mut z = ZipfSampler::new(n, f64::from(theta_pct) / 100.0, seed);
         for _ in 0..100 {
-            prop_assert!(z.sample() < n);
+            assert!(z.sample() < n);
         }
-    }
+    });
+}
 
-    /// Two-tier sampling respects the hot/total boundary statistics.
-    #[test]
-    fn two_tier_respects_bounds(hot in 1u64..100, extra in 1u64..1000, seed in 0u64..50) {
+/// Two-tier sampling respects the hot/total boundary statistics.
+#[test]
+fn two_tier_respects_bounds() {
+    prop_lite::run_cases("two_tier_respects_bounds", 128, |g| {
+        let hot = g.u64_in(1, 99);
+        let extra = g.u64_in(1, 999);
+        let seed = g.u64_in(0, 49);
         let total = hot + extra;
         let mut s = KeySampler::two_tier(hot, total, 1.0, seed);
         for _ in 0..100 {
-            prop_assert!(s.sample() < hot, "hot_prob=1 must stay in the hot set");
+            assert!(s.sample() < hot, "hot_prob=1 must stay in the hot set");
         }
         let mut s = KeySampler::two_tier(hot, total, 0.0, seed);
         for _ in 0..100 {
             let k = s.sample();
-            prop_assert!((hot..total).contains(&k), "hot_prob=0 must stay in the tail");
+            assert!(
+                (hot..total).contains(&k),
+                "hot_prob=0 must stay in the tail"
+            );
         }
-    }
+    });
+}
 
-    /// Every service model stays inside its advertised footprint and
-    /// produces complete requests.
-    #[test]
-    fn services_stay_in_footprint(seed in 0u64..20) {
+/// Every service model stays inside its advertised footprint and
+/// produces complete requests.
+#[test]
+fn services_stay_in_footprint() {
+    prop_lite::run_cases("services_stay_in_footprint", 20, |g| {
+        let seed = g.u64_in(0, 19);
         let mut models: Vec<Box<dyn AccessStream>> = vec![
             Box::new(RedisModel::new(10_000, 128, 0.9, seed)),
             Box::new(PostgresModel::new(50_000, seed)),
@@ -68,27 +86,34 @@ proptest! {
             let mut saw_request_end = false;
             for _ in 0..500 {
                 let r = m.next_access();
-                prop_assert!(r.vaddr.0 < wss, "{} outside footprint", m.name());
+                assert!(r.vaddr.0 < wss, "{} outside footprint", m.name());
                 saw_request_end |= r.ends_request;
             }
-            prop_assert!(saw_request_end, "{} never completed a request", m.name());
+            assert!(saw_request_end, "{} never completed a request", m.name());
         }
-    }
+    });
+}
 
-    /// SPEC streams honor their working sets for every catalog entry.
-    #[test]
-    fn spec_streams_in_bounds(seed in 0u64..10, idx in 0usize..20) {
+/// SPEC streams honor their working sets for every catalog entry.
+#[test]
+fn spec_streams_in_bounds() {
+    prop_lite::run_cases("spec_streams_in_bounds", 128, |g| {
+        let seed = g.u64_in(0, 9);
+        let idx = g.usize_in(0, 19);
         let catalog = spec_catalog();
         let bench = catalog[idx % catalog.len()];
         let mut s = bench.stream(seed);
         for _ in 0..300 {
-            prop_assert!(s.next_access().vaddr.0 < bench.wss_bytes);
+            assert!(s.next_access().vaddr.0 < bench.wss_bytes);
         }
-    }
+    });
+}
 
-    /// Profiles are always sane: positive CPI, MLP >= 1, bounded ratio.
-    #[test]
-    fn profiles_are_sane(seed in 0u64..10) {
+/// Profiles are always sane: positive CPI, MLP >= 1, bounded ratio.
+#[test]
+fn profiles_are_sane() {
+    prop_lite::run_cases("profiles_are_sane", 10, |g| {
+        let seed = g.u64_in(0, 9);
         let catalog = spec_catalog();
         let mut streams: Vec<Box<dyn AccessStream>> = vec![
             Box::new(Mlr::new(1 << 20, seed)),
@@ -100,9 +125,9 @@ proptest! {
         }
         for s in &streams {
             let p = s.profile();
-            prop_assert!(p.cpi_exec > 0.0);
-            prop_assert!(p.mlp >= 1.0);
-            prop_assert!(p.mem_refs_per_instr >= 0.0 && p.mem_refs_per_instr <= 4.0);
+            assert!(p.cpi_exec > 0.0);
+            assert!(p.mlp >= 1.0);
+            assert!(p.mem_refs_per_instr >= 0.0 && p.mem_refs_per_instr <= 4.0);
         }
-    }
+    });
 }

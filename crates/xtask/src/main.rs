@@ -1,0 +1,354 @@
+//! Repo automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! `lint` is the repo's gate: `cargo fmt --check`, `cargo clippy
+//! --all-targets -- -D warnings`, and three source scans that encode
+//! rules the stock tools do not know about:
+//!
+//! 1. **No `unwrap()`/`expect()` in privileged I/O paths** — the
+//!    non-test code of `resctrl::fs` (writes kernel interfaces) and
+//!    `dcat::daemon` (long-running control loop) must propagate errors,
+//!    never abort. `unwrap_or*` combinators are fine.
+//! 2. **No raw CBM bit arithmetic outside `resctrl::cbm`** — way masks
+//!    are built and inspected through the `Cbm` API so the contiguity
+//!    and bounds rules live in one audited module. Shifting bits or
+//!    masking `.0` by hand anywhere else in `dcat`, `resctrl`, or
+//!    `host` is flagged. (`llc_sim::WayMask` is its own abstraction and
+//!    is not scanned.)
+//! 3. **No float `==` on telemetry-derived metrics** — IPC, miss rates,
+//!    and normalized values are compared against thresholds, never for
+//!    exact equality; sentinel tests use `is_infinite`/`is_finite`.
+//!
+//! Every scan is self-tested on startup against embedded fixtures
+//! seeded with the banned patterns (and a clean control): a scan that
+//! stops detecting its pattern fails the lint run itself. `scan
+//! <files...>` applies all three scans to arbitrary paths, which CI
+//! uses to prove the gate fails non-zero on a seeded fixture file.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--scan-only")),
+        Some("scan") if args.len() > 1 => scan_files(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--scan-only]");
+            eprintln!("       cargo run -p xtask -- scan <file.rs>...");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask always runs from somewhere inside the workspace.
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        assert!(dir.pop(), "workspace root not found above cwd");
+    }
+}
+
+fn lint(scan_only: bool) -> ExitCode {
+    if let Err(e) = self_test() {
+        eprintln!("lint self-test failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let root = repo_root();
+    let mut failures = 0usize;
+
+    if !scan_only {
+        for (name, cmd_args) in [
+            ("cargo fmt --check", vec!["fmt", "--", "--check"]),
+            (
+                "cargo clippy -D warnings",
+                vec![
+                    "clippy",
+                    "--offline",
+                    "--all-targets",
+                    "--",
+                    "-D",
+                    "warnings",
+                ],
+            ),
+        ] {
+            println!("lint: running {name}");
+            let status = Command::new("cargo")
+                .args(&cmd_args)
+                .current_dir(&root)
+                .status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(_) => {
+                    eprintln!("lint: {name} failed");
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("lint: could not run {name}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    let findings = scan_repo(&root);
+    for f in &findings {
+        eprintln!("lint: {f}");
+    }
+    failures += findings.len();
+
+    if failures == 0 {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn scan_files(paths: &[String]) -> ExitCode {
+    if let Err(e) = self_test() {
+        eprintln!("lint self-test failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut findings = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scan: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        findings.extend(scan_no_unwrap(path, &text));
+        findings.extend(scan_no_raw_cbm_bits(path, &text));
+        findings.extend(scan_no_float_eq(path, &text));
+    }
+    for f in &findings {
+        eprintln!("scan: {f}");
+    }
+    if findings.is_empty() {
+        println!("scan: clean");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Applies each scan to the files its rule governs.
+fn scan_repo(root: &Path) -> Vec<String> {
+    let mut findings = Vec::new();
+
+    for rel in ["crates/resctrl/src/fs.rs", "crates/dcat/src/daemon.rs"] {
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("lint target {rel} unreadable: {e}"));
+        findings.extend(scan_no_unwrap(&path, &text));
+    }
+
+    for dir in ["crates/dcat/src", "crates/resctrl/src", "crates/host/src"] {
+        for path in rust_files(&root.join(dir)) {
+            if path.file_name().is_some_and(|f| f == "cbm.rs") {
+                continue; // the one module allowed to touch raw bits
+            }
+            let text = std::fs::read_to_string(&path).expect("listed file readable");
+            findings.extend(scan_no_raw_cbm_bits(&path, &text));
+        }
+    }
+
+    for dir in ["crates/dcat/src", "crates/perf-events/src"] {
+        for path in rust_files(&root.join(dir)) {
+            let text = std::fs::read_to_string(&path).expect("listed file readable");
+            findings.extend(scan_no_float_eq(&path, &text));
+        }
+    }
+
+    findings
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lines of the file before its `#[cfg(test)]` module, with line numbers.
+fn non_test_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .take_while(|(_, l)| l.trim() != "#[cfg(test)]")
+        .filter(|(_, l)| {
+            let t = l.trim_start();
+            !t.starts_with("//")
+        })
+}
+
+/// Scan 1: no `.unwrap()` / `.expect(` in privileged non-test code.
+fn scan_no_unwrap(path: &Path, text: &str) -> Vec<String> {
+    let mut findings = Vec::new();
+    for (n, line) in non_test_lines(text) {
+        if line.contains(".unwrap()") || line.contains(".expect(") {
+            findings.push(format!(
+                "{}:{n}: unwrap()/expect() in privileged I/O path (propagate the error)",
+                path.display()
+            ));
+        }
+    }
+    findings
+}
+
+/// Scan 2: no raw CBM bit arithmetic outside `resctrl::cbm`.
+///
+/// Flags space-delimited shifts (generics like `Vec<Option<Cbm>>` have
+/// none) and single `&`/`|`/`^` applied to a `.0` field access (logical
+/// `&&`/`||` and float literals like `0.0` do not match).
+fn scan_no_raw_cbm_bits(path: &Path, text: &str) -> Vec<String> {
+    let mut findings = Vec::new();
+    for (n, line) in non_test_lines(text) {
+        let shift = line.contains(" << ") || line.contains(" >> ");
+        let field_bitop = [".0 & ", ".0 | ", ".0 ^ "].iter().any(|pat| {
+            line.match_indices(pat).any(|(i, _)| {
+                // `.0` must be a field access, not the tail of a float
+                // literal (`0.0 & ...` can only be bit arithmetic anyway,
+                // but `prev > 0.0 && x` must not match: require the single
+                // operator not be doubled).
+                let after = &line[i + pat.len()..];
+                let op = pat.as_bytes()[3];
+                !after.starts_with(op as char) && !line[..i].ends_with(|c: char| c.is_ascii_digit())
+            })
+        });
+        if shift || field_bitop {
+            findings.push(format!(
+                "{}:{n}: raw CBM bit arithmetic (use the resctrl::cbm API)",
+                path.display()
+            ));
+        }
+    }
+    findings
+}
+
+/// Scan 3: no float `==` on telemetry-derived metrics.
+fn scan_no_float_eq(path: &Path, text: &str) -> Vec<String> {
+    const METRICS: [&str; 7] = [
+        "ipc",
+        "miss_rate",
+        "llc_miss_rate",
+        "llc_ref_per_instr",
+        "mem_access_per_instr",
+        "norm",
+        "baseline",
+    ];
+    let mut findings = Vec::new();
+    for (n, line) in non_test_lines(text) {
+        let float_eq = line.contains("== f64::")
+            || line.contains("f64::NEG_INFINITY ==")
+            || line.contains("f64::INFINITY ==")
+            || eq_against_float_literal(line);
+        let metric_eq = METRICS
+            .iter()
+            .any(|m| line.contains(&format!("{m} == ")) || line.contains(&format!(" == {m}")));
+        if float_eq || metric_eq {
+            findings.push(format!(
+                "{}:{n}: float equality on a telemetry metric (compare against a threshold)",
+                path.display()
+            ));
+        }
+    }
+    findings
+}
+
+/// Whether the line compares something with `==` against a float literal
+/// (`== 0.0`, `0.5 ==`, ...).
+fn eq_against_float_literal(line: &str) -> bool {
+    line.match_indices("==").any(|(i, _)| {
+        let before = line[..i].trim_end();
+        let after = line[i + 2..].trim_start();
+        is_float_literal_edge(before.rsplit(|c: char| c.is_whitespace()).next())
+            || is_float_literal_edge(after.split(|c: char| c.is_whitespace()).next())
+    })
+}
+
+fn is_float_literal_edge(token: Option<&str>) -> bool {
+    let Some(tok) = token else { return false };
+    let tok = tok.trim_matches(|c: char| "(){},;".contains(c));
+    let mut parts = tok.splitn(2, '.');
+    match (parts.next(), parts.next()) {
+        (Some(a), Some(b)) => {
+            !a.is_empty()
+                && a.chars().all(|c| c.is_ascii_digit())
+                && !b.is_empty()
+                && b.chars()
+                    .all(|c| c.is_ascii_digit() || c == '_' || c == 'f')
+        }
+        _ => false,
+    }
+}
+
+/// Every scan must flag its seeded banned-pattern fixture and pass its
+/// clean control, or the gate itself is broken.
+fn self_test() -> Result<(), String> {
+    let p = Path::new("fixture.rs");
+
+    let banned_unwrap = "let x = file.read().unwrap();\nlet y = map.get(&k).expect(\"present\");\n";
+    if scan_no_unwrap(p, banned_unwrap).len() != 2 {
+        return Err("unwrap scan missed its fixture".into());
+    }
+    let clean_unwrap =
+        "let x = v.unwrap_or_default();\n// .unwrap() in a comment\n#[cfg(test)]\nlet z = v.unwrap();\n";
+    if !scan_no_unwrap(p, clean_unwrap).is_empty() {
+        return Err("unwrap scan flagged clean code".into());
+    }
+
+    let banned_bits = "let m = Cbm(mask.0 & !mask2.0);\nlet top = bits << shift;\n";
+    if scan_no_raw_cbm_bits(p, banned_bits).len() != 2
+        || scan_no_raw_cbm_bits(p, "let x = 1 << 4;\n").len() != 1
+    {
+        return Err("cbm scan missed its fixture".into());
+    }
+    let clean_bits = "let prev: Vec<Option<Cbm>> = masks.clone();\nif prev > 0.0 && x { }\nlet u = a.union(b);\n";
+    if !scan_no_raw_cbm_bits(p, clean_bits).is_empty() {
+        return Err("cbm scan flagged clean code".into());
+    }
+
+    let banned_eq =
+        "if max == f64::NEG_INFINITY { }\nif m.ipc == 0.0 { }\nif miss_rate == thr { }\n";
+    if scan_no_float_eq(p, banned_eq).len() != 3 {
+        return Err("float-eq scan missed its fixture".into());
+    }
+    let clean_eq = "if max.is_infinite() { }\nif m.ipc > 0.0 { }\nif count == 0 { }\n";
+    if !scan_no_float_eq(p, clean_eq).is_empty() {
+        return Err("float-eq scan flagged clean code".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_fixtures_pass_self_test() {
+        self_test().unwrap();
+    }
+
+    #[test]
+    fn float_literal_edges() {
+        assert!(eq_against_float_literal("if x == 0.0 {"));
+        assert!(eq_against_float_literal("assert!(0.5 == y);"));
+        assert!(!eq_against_float_literal("if x == 0 {"));
+        assert!(!eq_against_float_literal("let v = 0.5;"));
+    }
+}
