@@ -17,10 +17,30 @@ cargo run -q -p xtask --offline -- lint
 
 echo "==> lint gate flags a seeded banned-pattern fixture"
 mkdir -p target
-printf 'fn bad() {\n    let x = f.read().unwrap();\n    let m = Cbm(a.0 & b.0);\n    if ipc == 0.0 { }\n}\n' \
+printf 'fn bad() {\n    let x = f.read().unwrap();\n    let m = Cbm(a.0 & b.0);\n    if ipc == 0.0 { }\n    let h = std::thread::spawn(|| ());\n}\n' \
     > target/lint-fixture.rs
 if cargo run -q -p xtask --offline -- scan target/lint-fixture.rs; then
     echo "ERROR: lint scan passed a fixture seeded with banned patterns" >&2
+    exit 1
+fi
+
+echo "==> determinism regression + golden decision traces"
+cargo test -q --release -p dcat-bench --offline --test determinism --test golden_traces
+
+echo "==> daemon end-to-end (fixture resctrl tree + scripted telemetry)"
+cargo test -q -p dcat --offline --test daemon_e2e
+
+echo "==> all experiments: serial vs parallel wall-clock and byte-identity"
+t0=$(date +%s)
+cargo run -q --release -p dcat-bench --offline --bin all_experiments -- --fast --jobs 1 \
+    > target/all_experiments.jobs1.txt
+t1=$(date +%s)
+cargo run -q --release -p dcat-bench --offline --bin all_experiments -- --fast --jobs 2 \
+    > target/all_experiments.jobs2.txt
+t2=$(date +%s)
+echo "all_experiments --fast wall-clock: jobs=1 $((t1 - t0))s, jobs=2 $((t2 - t1))s"
+if ! cmp -s target/all_experiments.jobs1.txt target/all_experiments.jobs2.txt; then
+    echo "ERROR: all_experiments output differs between --jobs 1 and --jobs 2" >&2
     exit 1
 fi
 

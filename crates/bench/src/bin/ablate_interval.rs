@@ -7,15 +7,14 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{Lookbusy, Mlr};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     report::section("Ablation: controller interval (cycles per epoch)");
     let budgets: &[u64] = if fast {
         &[1_000_000, 4_000_000]
     } else {
         &[2_000_000, 10_000_000, 30_000_000]
     };
-    let mut rows = Vec::new();
-    for &budget in budgets {
+    let rows = dcat_bench::Runner::from_env().map(budgets.to_vec(), |_, budget| {
         let mut cfg = paper_engine(fast);
         cfg.cycles_per_epoch = budget;
         // Fix the total simulated cycles across the sweep.
@@ -33,14 +32,14 @@ fn main() {
         let ways = r.ways_series(0);
         let peak = ways.iter().copied().max().unwrap_or(0);
         let first_peak_epoch = ways.iter().position(|&w| w == peak).unwrap_or(0) as u64;
-        rows.push(vec![
+        vec![
             format!("{}M", budget / 1_000_000),
             epochs.to_string(),
             peak.to_string(),
             format!("{}M", first_peak_epoch * budget / 1_000_000),
             format!("{:.2}", r.steady_ipc(0, (epochs / 4) as usize)),
-        ]);
-    }
+        ]
+    });
     report::table(
         &[
             "interval",

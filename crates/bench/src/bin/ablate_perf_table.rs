@@ -5,10 +5,11 @@ use dcat_bench::experiments::fig12_perf_table_reuse::run_with_reuse;
 use dcat_bench::report;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     report::section("Ablation: performance-table reuse");
-    let with = run_with_reuse(fast, true);
-    let without = run_with_reuse(fast, false);
+    let runs = dcat_bench::Runner::from_env()
+        .map(vec![true, false], |_, reuse| run_with_reuse(fast, reuse));
+    let (with, without) = (runs[0].clone(), runs[1].clone());
     report::table(
         &[
             "perf-table reuse",
@@ -28,5 +29,5 @@ fn main() {
             ],
         ],
     );
-    println!("(with reuse, the second run should converge much faster)");
+    report::say("(with reuse, the second run should converge much faster)");
 }

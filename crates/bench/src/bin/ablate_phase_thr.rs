@@ -8,11 +8,10 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{phased::Phase, Lookbusy, Mload, Mlr, PhasedStream};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     report::section("Ablation: phase-change threshold");
     let epochs = if fast { 20 } else { 48 };
-    let mut rows = Vec::new();
-    for thr in [0.02f64, 0.10, 0.50] {
+    let rows = dcat_bench::Runner::from_env().map(vec![0.02f64, 0.10, 0.50], |_, thr| {
         let cfg = DcatConfig {
             phase_change_thr: thr,
             ..DcatConfig::default()
@@ -36,15 +35,15 @@ fn main() {
         }
         let r = run_scenario(PolicyKind::Dcat(cfg), paper_engine(fast), &plans, epochs);
         let changes: usize = r.reports.iter().filter(|e| e[0].phase_changed).count();
-        rows.push(vec![
+        vec![
             format!("{:.0}%", thr * 100.0),
             changes.to_string(),
             format!("{:.2}", r.steady_ipc(0, (epochs / 4) as usize)),
-        ]);
-    }
+        ]
+    });
     report::table(
         &["phase_change_thr", "phase changes detected", "steady IPC"],
         &rows,
     );
-    println!("(too small: spurious reclaims; too large: stale baselines)");
+    report::say("(too small: spurious reclaims; too large: stale baselines)");
 }

@@ -6,10 +6,13 @@ use dcat_bench::experiments::fig14_two_receivers::run_with;
 use dcat_bench::report;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     report::section("Ablation: allocation policy (two receivers + late-comer)");
-    let fair = run_with(DcatConfig::default(), fast);
-    let perf = run_with(DcatConfig::max_performance(), fast);
+    let runs = dcat_bench::Runner::from_env().map(
+        vec![DcatConfig::default(), DcatConfig::max_performance()],
+        |_, cfg| run_with(cfg, fast),
+    );
+    let (fair, perf) = (runs[0].clone(), runs[1].clone());
     report::table(
         &[
             "policy",

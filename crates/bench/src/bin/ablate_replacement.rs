@@ -1,6 +1,6 @@
 //! Ablation: LLC replacement/insertion policy (see the module docs).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::ablate_replacement::run(fast);
 }

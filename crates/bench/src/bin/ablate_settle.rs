@@ -9,11 +9,10 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{Lookbusy, Mlr};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     report::section("Ablation: settle intervals before judging a ways change");
     let epochs = if fast { 16 } else { 44 };
-    let mut rows = Vec::new();
-    for settle in [1u32, 2, 4] {
+    let rows = dcat_bench::Runner::from_env().map(vec![1u32, 2, 4], |_, settle| {
         let cfg = DcatConfig {
             settle_intervals: settle,
             ..DcatConfig::default()
@@ -30,14 +29,14 @@ fn main() {
         let ways = r.ways_series(0);
         let peak = ways.iter().copied().max().unwrap_or(0);
         let first_peak = ways.iter().position(|&w| w == peak).unwrap_or(0);
-        rows.push(vec![
+        vec![
             settle.to_string(),
             peak.to_string(),
             ways.last().unwrap().to_string(),
             first_peak.to_string(),
             format!("{:.2}", r.steady_ipc(0, (epochs / 4) as usize)),
-        ]);
-    }
+        ]
+    });
     report::table(
         &[
             "settle",

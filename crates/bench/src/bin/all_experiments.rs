@@ -1,21 +1,13 @@
-//! Runs every figure/table reproduction in sequence (the full evaluation).
+//! Runs every figure/table reproduction (the full evaluation).
+//!
+//! With `--jobs N` the experiments fan out across worker threads; the
+//! report bytes are identical to a `--jobs 1` run because each
+//! experiment's output is captured and replayed in registry order.
+
+use dcat_bench::experiments::registry;
+use dcat_bench::{Cli, Runner};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    use dcat_bench::experiments as e;
-    e::fig01_interference::run(fast);
-    e::fig02_conflict_latency::run(fast);
-    e::fig03_set_histogram::run(fast);
-    e::fig05_phase_metric::run(fast);
-    e::fig07_lifecycle::run(fast);
-    e::fig08_miss_threshold::run(fast);
-    e::fig09_ipc_threshold::run(fast);
-    e::fig10_dynamic_alloc::run(fast);
-    e::fig11_latency_norm::run(fast);
-    e::fig12_perf_table_reuse::run(fast);
-    e::fig13_streaming::run(fast);
-    e::fig14_two_receivers::run(fast);
-    e::fig15_mixed::run(fast);
-    e::fig17_spec2006::run(fast);
-    e::tab_services::run(fast);
+    let cli = Cli::from_env();
+    Runner::from_env().map(registry(), |_, exp| (exp.run)(cli.fast));
 }

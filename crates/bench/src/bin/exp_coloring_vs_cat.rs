@@ -1,6 +1,6 @@
 //! Extension experiment: CAT vs. OS page coloring at equal capacity.
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::exp_coloring::run(fast);
 }

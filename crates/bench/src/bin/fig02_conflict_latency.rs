@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig02 (see DESIGN.md experiment index).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::fig02_conflict_latency::run(fast);
 }

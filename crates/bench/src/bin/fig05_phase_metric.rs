@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig05 (see DESIGN.md experiment index).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::fig05_phase_metric::run(fast);
 }

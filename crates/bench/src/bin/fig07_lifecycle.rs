@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig07 (see DESIGN.md experiment index).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::fig07_lifecycle::run(fast);
 }

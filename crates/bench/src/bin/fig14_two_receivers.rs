@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig14 (see DESIGN.md experiment index).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::fig14_two_receivers::run(fast);
 }

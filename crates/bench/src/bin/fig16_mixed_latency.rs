@@ -1,6 +1,6 @@
 //! Regenerates Figure 16 (it is produced together with Figure 15).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::fig15_mixed::run(fast);
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 17 and Table 3 (SPEC CPU2006 suite).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::fig17_spec2006::run(fast);
 }

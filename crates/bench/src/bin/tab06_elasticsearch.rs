@@ -1,7 +1,7 @@
 //! Regenerates Table 6 (Elasticsearch under YCSB workload C).
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     dcat_bench::experiments::tab_services::run_service(
         dcat_bench::experiments::tab_services::Service::Elasticsearch,
         fast,

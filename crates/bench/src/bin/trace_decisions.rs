@@ -7,7 +7,7 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{Lookbusy, Mload, RedisModel};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = dcat_bench::Cli::from_env().fast;
     let plans = vec![
         VmPlan::always("service", 4, |s| {
             Box::new(RedisModel::paper_default(700 + s))

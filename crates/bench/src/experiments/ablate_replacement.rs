@@ -56,15 +56,14 @@ pub fn run(fast: bool) -> Vec<ReplacementRow> {
         ("Random", ReplacementPolicy::Random),
         ("BIP (1/32)", ReplacementPolicy::bip()),
     ];
-    let mut rows = Vec::new();
-    for (label, p) in policies {
+    let rows = crate::Runner::from_env().map(policies.to_vec(), |_, (label, p)| {
         let (ipc, latency) = victim_stats(p, fast);
-        rows.push(ReplacementRow {
+        ReplacementRow {
             label,
             ipc,
             latency,
-        });
-    }
+        }
+    });
     let printed: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -79,7 +78,7 @@ pub fn run(fast: bool) -> Vec<ReplacementRow> {
         &["LLC policy", "victim IPC", "victim latency (cyc)"],
         &printed,
     );
-    println!("(scan-resistant insertion protects the victim without any partitioning,");
-    println!(" at the cost of hardware support no shipping LLC provides per-tenant)");
+    report::say("(scan-resistant insertion protects the victim without any partitioning,");
+    report::say(" at the cost of hardware support no shipping LLC provides per-tenant)");
     rows
 }

@@ -65,8 +65,12 @@ fn machine(cfg: HierarchyConfig, wss: u64, fast: bool) -> ColoringRow {
 /// Runs the comparison on both of the paper's machines.
 pub fn run(fast: bool) -> (ColoringRow, ColoringRow) {
     report::section("Extension: CAT way-partitioning vs. OS page coloring (equal capacity)");
-    let xeon_d = machine(HierarchyConfig::xeon_d(), 2 * MB, fast);
-    let xeon_e5 = machine(HierarchyConfig::default(), 4 * MB + MB / 2, fast);
+    let machines = vec![
+        (HierarchyConfig::xeon_d(), 2 * MB),
+        (HierarchyConfig::default(), 4 * MB + MB / 2),
+    ];
+    let out = crate::Runner::from_env().map(machines, |_, (cfg, wss)| machine(cfg, wss, fast));
+    let (xeon_d, xeon_e5) = (out[0], out[1]);
     let rows = vec![
         ("Xeon-D (2MB WSS)", xeon_d),
         ("Xeon-E5 (4.5MB WSS)", xeon_e5),
@@ -90,8 +94,8 @@ pub fn run(fast: bool) -> (ColoringRow, ColoringRow) {
         ],
         &rows,
     );
-    println!("(coloring keeps full associativity: no conflict-miss penalty —");
-    println!(" the flip side is that re-coloring at runtime requires copying pages,");
-    println!(" which is why the paper builds on CAT instead)");
+    report::say("(coloring keeps full associativity: no conflict-miss penalty —");
+    report::say(" the flip side is that re-coloring at runtime requires copying pages,");
+    report::say(" which is why the paper builds on CAT instead)");
     (xeon_d, xeon_e5)
 }

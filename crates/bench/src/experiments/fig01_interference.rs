@@ -53,15 +53,28 @@ fn noisy_plan(name: &str, active: bool) -> VmPlan {
 /// Runs the experiment and prints the figure's bars.
 pub fn run(fast: bool) -> Vec<InterferenceRow> {
     report::section("Figure 1: Impact of cache interference for MLR");
+    // Flatten the 2 working sets x 4 configurations into one task list so
+    // the sweep fans out across the full `--jobs` width.
+    let mut tasks = Vec::new();
+    for wss in [6 * MB, 16 * MB] {
+        tasks.push((PolicyKind::Shared, wss, false));
+        tasks.push((PolicyKind::Shared, wss, true));
+        tasks.push((PolicyKind::StaticCat, wss, true));
+        tasks.push((PolicyKind::StaticCat, wss, false));
+    }
+    let lats = crate::Runner::from_env().map(tasks, |_, (policy, wss, noisy)| {
+        latency(policy, wss, noisy, fast)
+    });
     let mut rows = Vec::new();
     let mut printed = Vec::new();
-    for wss in [6 * MB, 16 * MB] {
+    for (i, wss) in [6 * MB, 16 * MB].into_iter().enumerate() {
+        let l = &lats[i * 4..i * 4 + 4];
         let row = InterferenceRow {
             wss,
-            shared_quiet: latency(PolicyKind::Shared, wss, false, fast),
-            shared_noisy: latency(PolicyKind::Shared, wss, true, fast),
-            cat_noisy: latency(PolicyKind::StaticCat, wss, true, fast),
-            cat_quiet: latency(PolicyKind::StaticCat, wss, false, fast),
+            shared_quiet: l[0],
+            shared_noisy: l[1],
+            cat_noisy: l[2],
+            cat_quiet: l[3],
         };
         printed.push(vec![
             format!("MLR-{}MB", wss / MB),
@@ -82,6 +95,6 @@ pub fn run(fast: bool) -> Vec<InterferenceRow> {
         ],
         &printed,
     );
-    println!("(average data-access latency in cycles; lower is better)");
+    report::say("(average data-access latency in cycles; lower is better)");
     rows
 }

@@ -52,10 +52,15 @@ fn machine(cfg: HierarchyConfig, wss: u64, fast: bool) -> ConflictRow {
 /// Runs both machines and prints the bars.
 pub fn run(fast: bool) -> (ConflictRow, ConflictRow) {
     report::section("Figure 2: Impact of CAT-limited cache size");
-    // Xeon-D: 2 MB working set in a 2-way 2 MB partition.
-    let xeon_d = machine(HierarchyConfig::xeon_d(), 2 * MB, fast);
-    // Xeon-E5: 4.5 MB working set in a 2-way 4.5 MB partition.
-    let xeon_e5 = machine(HierarchyConfig::default(), 4 * MB + MB / 2, fast);
+    // Xeon-D: 2 MB working set in a 2-way 2 MB partition; Xeon-E5: 4.5 MB
+    // working set in a 2-way 4.5 MB partition. Both machines run in
+    // parallel under the sweep runner.
+    let machines = vec![
+        (HierarchyConfig::xeon_d(), 2 * MB),
+        (HierarchyConfig::default(), 4 * MB + MB / 2),
+    ];
+    let rows = crate::Runner::from_env().map(machines, |_, (cfg, wss)| machine(cfg, wss, fast));
+    let (xeon_d, xeon_e5) = (rows[0], rows[1]);
     report::table(
         &[
             "machine",
@@ -78,6 +83,6 @@ pub fn run(fast: bool) -> (ConflictRow, ConflictRow) {
             ],
         ],
     );
-    println!("(average data-access latency in cycles; capacity matches the working set in every CAT case)");
+    report::say("(average data-access latency in cycles; capacity matches the working set in every CAT case)");
     (xeon_d, xeon_e5)
 }

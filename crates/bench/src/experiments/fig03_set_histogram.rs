@@ -75,11 +75,14 @@ pub fn run(_fast: bool) -> Vec<HistogramRow> {
             PageSize::Huge,
         ),
     ];
-    let mut rows = Vec::new();
+    let rows: Vec<HistogramRow> =
+        crate::Runner::from_env().map(configs.to_vec(), |i, (label, llc, wss, page)| {
+            let mut row = map_working_set(llc, wss, page, 42 + i as u64);
+            row.label = label.to_string();
+            row
+        });
     let mut printed = Vec::new();
-    for (i, (label, llc, wss, page)) in configs.into_iter().enumerate() {
-        let mut row = map_working_set(llc, wss, page, 42 + i as u64);
-        row.label = label.to_string();
+    for row in &rows {
         let hist_str = row
             .histogram
             .buckets
@@ -95,11 +98,10 @@ pub fn run(_fast: bool) -> Vec<HistogramRow> {
             .collect::<Vec<_>>()
             .join(" ");
         printed.push(vec![
-            label.to_string(),
+            row.label.clone(),
             format!("{:.1}%", row.frac_3_plus * 100.0),
             hist_str,
         ]);
-        rows.push(row);
     }
     report::table(
         &[
@@ -109,6 +111,6 @@ pub fn run(_fast: bool) -> Vec<HistogramRow> {
         ],
         &printed,
     );
-    println!("(a 2-way partition conflicts wherever 3+ lines share a set)");
+    report::say("(a 2-way partition conflicts wherever 3+ lines share a set)");
     rows
 }

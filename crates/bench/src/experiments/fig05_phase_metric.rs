@@ -6,7 +6,7 @@
 //! code, never on the cache configuration — which is what qualifies it as
 //! dCat's phase signature.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use workloads::{AccessStream, Mload, Mlr};
 
@@ -36,20 +36,18 @@ impl PhaseMetricSeries {
     }
 }
 
-fn sweep(
-    label: &str,
-    fast: bool,
-    factory: Rc<dyn Fn() -> Box<dyn AccessStream>>,
-) -> PhaseMetricSeries {
+/// A stream factory that can cross the sweep runner's thread boundary.
+type SharedFactory = Arc<dyn Fn() -> Box<dyn AccessStream> + Send + Sync>;
+
+fn sweep(label: &str, fast: bool, factory: SharedFactory) -> PhaseMetricSeries {
     let epochs = if fast { 3 } else { 6 };
     let ways_range: Vec<u32> = if fast {
         vec![1, 4, 8]
     } else {
         (1..=8).collect()
     };
-    let mut points = Vec::new();
-    for ways in ways_range {
-        let f = Rc::clone(&factory);
+    let points = crate::Runner::from_env().map(ways_range, |_, ways| {
+        let f = Arc::clone(&factory);
         let plans = vec![VmPlan {
             name: label.to_string(),
             reserved_ways: ways,
@@ -63,8 +61,8 @@ fn sweep(
         } else {
             last[0].l1_ref as f64 / last[0].instructions as f64
         };
-        points.push((ways, metric));
-    }
+        (ways, metric)
+    });
     PhaseMetricSeries {
         label: label.to_string(),
         points,
@@ -74,28 +72,26 @@ fn sweep(
 /// Runs the sweep for MLR and MLOAD at two working-set sizes each.
 pub fn run(fast: bool) -> Vec<PhaseMetricSeries> {
     report::section("Figure 5: memory accesses per instruction vs. allocation");
-    let series = vec![
-        sweep(
+    let workloads: Vec<(&str, SharedFactory)> = vec![
+        (
             "MLR-6MB",
-            fast,
-            Rc::new(|| Box::new(Mlr::new(6 * MB, 1)) as Box<dyn AccessStream>),
+            Arc::new(|| Box::new(Mlr::new(6 * MB, 1)) as Box<dyn AccessStream>),
         ),
-        sweep(
+        (
             "MLR-12MB",
-            fast,
-            Rc::new(|| Box::new(Mlr::new(12 * MB, 2)) as Box<dyn AccessStream>),
+            Arc::new(|| Box::new(Mlr::new(12 * MB, 2)) as Box<dyn AccessStream>),
         ),
-        sweep(
+        (
             "MLOAD-8MB",
-            fast,
-            Rc::new(|| Box::new(Mload::new(8 * MB)) as Box<dyn AccessStream>),
+            Arc::new(|| Box::new(Mload::new(8 * MB)) as Box<dyn AccessStream>),
         ),
-        sweep(
+        (
             "MLOAD-60MB",
-            fast,
-            Rc::new(|| Box::new(Mload::new(60 * MB)) as Box<dyn AccessStream>),
+            Arc::new(|| Box::new(Mload::new(60 * MB)) as Box<dyn AccessStream>),
         ),
     ];
+    let series =
+        crate::Runner::from_env().map(workloads, |_, (label, factory)| sweep(label, fast, factory));
     let header: Vec<String> = std::iter::once("workload".to_string())
         .chain(series[0].points.iter().map(|(w, _)| format!("{w}w")))
         .chain(std::iter::once("spread".to_string()))
@@ -114,6 +110,6 @@ pub fn run(fast: bool) -> Vec<PhaseMetricSeries> {
         })
         .collect();
     report::table(&header_refs, &rows);
-    println!("(flat rows: the signature is independent of the cache allocation)");
+    report::say("(flat rows: the signature is independent of the cache allocation)");
     series
 }

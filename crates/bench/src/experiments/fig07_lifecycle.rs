@@ -22,7 +22,9 @@ pub struct Lifecycle {
     pub streaming_ways: Vec<u32>,
 }
 
-fn timeline(streaming: bool, fast: bool) -> Vec<u32> {
+/// Runs one timeline (panel a or b) and returns the full scenario record —
+/// the golden decision-trace tests snapshot this.
+pub fn run_timeline(streaming: bool, fast: bool) -> crate::RunResult {
     let (start, stop, total) = if fast { (2, 12, 16) } else { (4, 28, 36) };
     let mut plans = vec![VmPlan::scheduled(
         "tenant",
@@ -41,40 +43,41 @@ fn timeline(streaming: bool, fast: bool) -> Vec<u32> {
             Box::new(workloads::Lookbusy::new())
         }));
     }
-    let r = run_scenario(
+    run_scenario(
         PolicyKind::Dcat(paper_dcat()),
         paper_engine(fast),
         &plans,
         total,
-    );
-    r.ways_series(0)
+    )
 }
 
 /// Runs both timelines and prints them.
 pub fn run(fast: bool) -> Lifecycle {
     report::section("Figure 7: example of cache allocation with dCat");
-    let friendly_ways = timeline(false, fast);
-    let streaming_ways = timeline(true, fast);
+    let runs = crate::Runner::from_env().map(vec![false, true], |_, streaming| {
+        run_timeline(streaming, fast).ways_series(0)
+    });
+    let (friendly_ways, streaming_ways) = (runs[0].clone(), runs[1].clone());
     let f: Vec<f64> = friendly_ways.iter().map(|&w| w as f64).collect();
     let s: Vec<f64> = streaming_ways.iter().map(|&w| w as f64).collect();
     report::ascii_series("(a) cache-friendly VM: ways over time", &f, 8);
     report::ascii_series("(b) streaming VM: ways over time", &s, 8);
-    println!(
+    report::say(format!(
         "friendly: {:?}",
         friendly_ways
             .iter()
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
-    println!(
+    ));
+    report::say(format!(
         "streaming: {:?}",
         streaming_ways
             .iter()
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
+    ));
     Lifecycle {
         friendly_ways,
         streaming_ways,

@@ -31,8 +31,7 @@ pub fn run(fast: bool) -> Vec<MissThrPoint> {
         &[0.01, 0.03, 0.05, 0.10, 0.20]
     };
     let epochs = if fast { 14 } else { 40 };
-    let mut points = Vec::new();
-    for &thr in thresholds {
+    let points = crate::Runner::from_env().map(thresholds.to_vec(), |_, thr| {
         let cfg = DcatConfig {
             llc_miss_rate_thr: thr,
             // Keep the donor ("no misses") threshold proportionally below
@@ -49,12 +48,12 @@ pub fn run(fast: bool) -> Vec<MissThrPoint> {
             }));
         }
         let r = run_scenario(PolicyKind::Dcat(cfg), paper_engine(fast), &plans, epochs);
-        points.push(MissThrPoint {
+        MissThrPoint {
             threshold: thr,
             ways: *r.ways_series(0).last().expect("epochs ran"),
             latency: r.steady_latency(0, (epochs / 4) as usize),
-        });
-    }
+        }
+    });
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -73,6 +72,6 @@ pub fn run(fast: bool) -> Vec<MissThrPoint> {
         ],
         &rows,
     );
-    println!("(smaller threshold -> more ways and better latency, at higher pool pressure)");
+    report::say("(smaller threshold -> more ways and better latency, at higher pool pressure)");
     points
 }

@@ -29,8 +29,7 @@ pub fn run(fast: bool) -> Vec<IpcThrPoint> {
         &[0.03, 0.05, 0.10, 0.20, 0.40]
     };
     let epochs = if fast { 14 } else { 40 };
-    let mut points = Vec::new();
-    for &thr in thresholds {
+    let points = crate::Runner::from_env().map(thresholds.to_vec(), |_, thr| {
         let cfg = DcatConfig {
             ipc_imp_thr: thr,
             ..DcatConfig::default()
@@ -44,16 +43,16 @@ pub fn run(fast: bool) -> Vec<IpcThrPoint> {
             }));
         }
         let r = run_scenario(PolicyKind::Dcat(cfg), paper_engine(fast), &plans, epochs);
-        points.push(IpcThrPoint {
+        IpcThrPoint {
             threshold: thr,
             ways: *r.ways_series(0).last().expect("epochs ran"),
-        });
-    }
+        }
+    });
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| vec![format!("{:.0}%", p.threshold * 100.0), p.ways.to_string()])
         .collect();
     report::table(&["ipc_imp_thr", "allocated ways"], &rows);
-    println!("(smaller threshold -> the Receiver keeps growing longer)");
+    report::say("(smaller threshold -> the Receiver keeps growing longer)");
     points
 }

@@ -67,10 +67,9 @@ pub fn run(fast: bool) -> Vec<DynamicAllocRow> {
     } else {
         &[4 * MB, 8 * MB, 12 * MB, 16 * MB]
     };
-    let mut rows = Vec::new();
-    for &wss in sizes {
+    let rows = crate::Runner::from_env().map(sizes.to_vec(), |_, wss| {
         let (row, _) = run_one(wss, fast);
-        println!(
+        report::say(format!(
             "MLR-{:>2}MB  ways over time: {}",
             wss / MB,
             row.ways_series
@@ -78,9 +77,9 @@ pub fn run(fast: bool) -> Vec<DynamicAllocRow> {
                 .map(|w| w.to_string())
                 .collect::<Vec<_>>()
                 .join(",")
-        );
-        rows.push(row);
-    }
+        ));
+        row
+    });
     let printed: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -97,6 +96,6 @@ pub fn run(fast: bool) -> Vec<DynamicAllocRow> {
         &["workload", "final ways", "final norm. IPC", "lookbusy ways"],
         &printed,
     );
-    println!("(larger working sets earn more ways; lookbusy VMs donate down to 1)");
+    report::say("(larger working sets earn more ways; lookbusy VMs donate down to 1)");
     rows
 }

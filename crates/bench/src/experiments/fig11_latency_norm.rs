@@ -46,23 +46,33 @@ pub fn run(fast: bool) -> Vec<LatencyNormRow> {
     } else {
         &[4 * MB, 8 * MB, 12 * MB, 16 * MB]
     };
-    let mut rows = Vec::new();
+    // Flatten the (size x policy) grid so every scenario run is one task.
+    let mut tasks = Vec::new();
     for &wss in sizes {
         // Full cache: MLR alone, unmanaged (it can use every way).
-        let full = steady_latency(PolicyKind::Shared, wss, false, fast);
-        let dcat = steady_latency(
+        tasks.push((PolicyKind::Shared, wss, false));
+        tasks.push((
             PolicyKind::Dcat(crate::experiments::common::paper_dcat()),
             wss,
             true,
-            fast,
-        );
-        let stat = steady_latency(PolicyKind::StaticCat, wss, true, fast);
-        rows.push(LatencyNormRow {
-            wss,
-            dcat_norm: dcat / full,
-            static_norm: stat / full,
-        });
+        ));
+        tasks.push((PolicyKind::StaticCat, wss, true));
     }
+    let lats = crate::Runner::from_env().map(tasks, |_, (policy, wss, neighbors)| {
+        steady_latency(policy, wss, neighbors, fast)
+    });
+    let rows: Vec<LatencyNormRow> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &wss)| {
+            let (full, dcat, stat) = (lats[i * 3], lats[i * 3 + 1], lats[i * 3 + 2]);
+            LatencyNormRow {
+                wss,
+                dcat_norm: dcat / full,
+                static_norm: stat / full,
+            }
+        })
+        .collect();
     let printed: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -77,6 +87,6 @@ pub fn run(fast: bool) -> Vec<LatencyNormRow> {
         &["workload", "dCat / full cache", "static CAT / full cache"],
         &printed,
     );
-    println!("(1.0x = full-cache latency; dCat stays close, static CAT does not)");
+    report::say("(1.0x = full-cache latency; dCat stays close, static CAT does not)");
     rows
 }

@@ -70,7 +70,7 @@ pub fn run(fast: bool) -> PerfTableReuse {
     let result = run_with_reuse(fast, true);
     let series: Vec<f64> = result.ways_series.iter().map(|&w| w as f64).collect();
     report::ascii_series("MLR VM ways over time", &series, 8);
-    println!(
+    report::say(format!(
         "ways: {}",
         result
             .ways_series
@@ -78,10 +78,10 @@ pub fn run(fast: bool) -> PerfTableReuse {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
-    println!(
+    ));
+    report::say(format!(
         "first run reached its peak after {} epochs; second run after {} epochs",
         result.first_run_epochs, result.second_run_epochs
-    );
+    ));
     result
 }

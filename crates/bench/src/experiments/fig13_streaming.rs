@@ -24,9 +24,9 @@ pub struct StreamingRow {
     pub final_ways: u32,
 }
 
-/// Runs the scenario.
-pub fn run(fast: bool) -> StreamingRow {
-    report::section("Figure 13: cache-way allocation and normalized IPC for MLOAD-60MB");
+/// Runs the scenario and returns the full record — the golden
+/// decision-trace tests snapshot this.
+pub fn run_result(fast: bool) -> crate::RunResult {
     let epochs = if fast { 20 } else { 40 };
     let mut plans = vec![VmPlan::always("mload", 3, |_| {
         Box::new(Mload::new(60 * MB))
@@ -36,12 +36,18 @@ pub fn run(fast: bool) -> StreamingRow {
             Box::new(Lookbusy::new())
         }));
     }
-    let r = run_scenario(
+    run_scenario(
         PolicyKind::Dcat(paper_dcat()),
         paper_engine(fast),
         &plans,
         epochs,
-    );
+    )
+}
+
+/// Runs the scenario.
+pub fn run(fast: bool) -> StreamingRow {
+    report::section("Figure 13: cache-way allocation and normalized IPC for MLOAD-60MB");
+    let r = run_result(fast);
     let ways = r.ways_series(0);
     let row = StreamingRow {
         peak_ways: ways.iter().copied().max().unwrap_or(0),
@@ -55,17 +61,17 @@ pub fn run(fast: bool) -> StreamingRow {
     };
     let series: Vec<f64> = row.ways_series.iter().map(|&w| w as f64).collect();
     report::ascii_series("MLOAD VM ways over time", &series, 8);
-    println!(
+    report::say(format!(
         "ways: {}",
         row.ways_series
             .iter()
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
-    println!(
+    ));
+    report::say(format!(
         "peak {} ways (streaming cap = 3x baseline = 9), final {} way(s)",
         row.peak_ways, row.final_ways
-    );
+    ));
     row
 }

@@ -68,7 +68,7 @@ pub fn run_with(cfg: DcatConfig, fast: bool) -> TwoReceivers {
 pub fn run(fast: bool) -> TwoReceivers {
     report::section("Figure 14: two memory-intensive VMs, max-performance policy");
     let result = run_with(DcatConfig::max_performance(), fast);
-    println!(
+    report::say(format!(
         "MLR-8MB  ways: {}",
         result
             .ways_8mb
@@ -76,8 +76,8 @@ pub fn run(fast: bool) -> TwoReceivers {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
-    println!(
+    ));
+    report::say(format!(
         "MLR-12MB ways: {}",
         result
             .ways_12mb
@@ -85,10 +85,10 @@ pub fn run(fast: bool) -> TwoReceivers {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
-    println!(
+    ));
+    report::say(format!(
         "steady total normalized IPC (both VMs): {:.2}",
         result.total_norm_ipc
-    );
+    ));
     result
 }

@@ -43,6 +43,32 @@ fn plans() -> Vec<VmPlan> {
     plans
 }
 
+/// Runs the three scenarios (dCat, static CAT, and the full-cache
+/// reference) in parallel and returns them in that order — the
+/// determinism regression test compares these records across `--jobs`
+/// widths.
+pub fn run_results(fast: bool) -> Vec<crate::RunResult> {
+    let epochs = if fast { 20 } else { 48 };
+    crate::Runner::from_env().map(vec![0usize, 1, 2], |_, which| match which {
+        0 => run_scenario(
+            PolicyKind::Dcat(paper_dcat()),
+            paper_engine(fast),
+            &plans(),
+            epochs,
+        ),
+        1 => run_scenario(PolicyKind::StaticCat, paper_engine(fast), &plans(), epochs),
+        // Full-cache reference: MLR alone with the whole LLC.
+        _ => run_scenario(
+            PolicyKind::Shared,
+            paper_engine(fast),
+            &[VmPlan::always("mlr-8mb", 3, |s| {
+                Box::new(Mlr::new(8 * MB, 400 + s))
+            })],
+            epochs,
+        ),
+    })
+}
+
 /// Runs the scenario under dCat and static CAT plus the full-cache
 /// reference, and prints both figures.
 pub fn run(fast: bool) -> MixedRow {
@@ -50,22 +76,13 @@ pub fn run(fast: bool) -> MixedRow {
     let epochs = if fast { 20 } else { 48 };
     let steady = (epochs / 4) as usize;
 
-    let dcat = run_scenario(
-        PolicyKind::Dcat(paper_dcat()),
-        paper_engine(fast),
-        &plans(),
-        epochs,
-    );
-    let stat = run_scenario(PolicyKind::StaticCat, paper_engine(fast), &plans(), epochs);
-    // Full-cache reference: MLR alone with the whole LLC.
-    let full = run_scenario(
-        PolicyKind::Shared,
-        paper_engine(fast),
-        &[VmPlan::always("mlr-8mb", 3, |s| {
-            Box::new(Mlr::new(8 * MB, 400 + s))
-        })],
-        epochs,
-    );
+    let mut results = run_results(fast);
+    let (dcat, stat, full) = {
+        let full = results.pop().expect("three runs");
+        let stat = results.pop().expect("three runs");
+        let dcat = results.pop().expect("three runs");
+        (dcat, stat, full)
+    };
 
     let n = dcat.reports.len().min(steady);
     let mlr_norm_ipc = dcat.reports[dcat.reports.len() - n..]
@@ -83,26 +100,26 @@ pub fn run(fast: bool) -> MixedRow {
         mload_ipc_ratio: dcat.steady_ipc(1, steady) / stat.steady_ipc(1, steady),
     };
 
-    println!(
+    report::say(format!(
         "MLR   ways: {}",
         row.mlr_ways
             .iter()
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
-    println!(
+    ));
+    report::say(format!(
         "MLOAD ways: {}",
         row.mload_ways
             .iter()
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",")
-    );
-    println!(
+    ));
+    report::say(format!(
         "MLR steady normalized IPC under dCat: {:.2}x",
         row.mlr_norm_ipc
-    );
+    ));
 
     report::section("Figure 16: normalized (to full cache) latency, dCat vs static");
     report::table(

@@ -83,24 +83,23 @@ pub fn run(fast: bool) -> Vec<SpecRow> {
     } else {
         catalog
     };
-    let mut rows = Vec::new();
-    for bench in selection {
+    let rows = crate::Runner::from_env().map(selection, |_, bench| {
         let row = run_one(bench, fast);
-        println!(
+        report::say(format!(
             "  {:<12} dCat {:.2}x  static {:.2}x  (max ways {})",
             row.name, row.dcat_vs_shared, row.static_vs_shared, row.max_ways
-        );
-        rows.push(row);
-    }
+        ));
+        row
+    });
 
     let dcat_geo = report::geo_mean(&rows.iter().map(|r| r.dcat_vs_shared).collect::<Vec<_>>());
     let stat_geo = report::geo_mean(&rows.iter().map(|r| r.static_vs_shared).collect::<Vec<_>>());
-    println!();
-    println!(
+    report::say("");
+    report::say(format!(
         "geo-mean: dCat {} over shared, {} over static (paper: +25% / +15.7%)",
         report::pct(dcat_geo - 1.0),
         report::pct(dcat_geo / stat_geo - 1.0)
-    );
+    ));
 
     report::section("Table 3: maximum cache-ways assigned by dCat");
     let printed: Vec<Vec<String>> = rows

@@ -20,3 +20,124 @@ pub mod fig14_two_receivers;
 pub mod fig15_mixed;
 pub mod fig17_spec2006;
 pub mod tab_services;
+
+/// One entry of the experiment suite: a stable name and a unit-returning
+/// `run(fast)` wrapper, so `all_experiments` can fan the whole suite out
+/// through [`crate::Runner`].
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Stable identifier (matches the binary name where one exists).
+    pub name: &'static str,
+    /// Runs the experiment, printing its report through [`crate::report`].
+    pub run: fn(bool),
+}
+
+/// Every figure/table reproduction, in the paper's presentation order.
+pub fn registry() -> Vec<Experiment> {
+    // Discards each module's structured return value: the suite runner
+    // only needs the printed report.
+    vec![
+        Experiment {
+            name: "fig01_interference",
+            run: |fast| {
+                fig01_interference::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig02_conflict_latency",
+            run: |fast| {
+                fig02_conflict_latency::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig03_set_histogram",
+            run: |fast| {
+                fig03_set_histogram::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig05_phase_metric",
+            run: |fast| {
+                fig05_phase_metric::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig07_lifecycle",
+            run: |fast| {
+                fig07_lifecycle::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig08_miss_threshold",
+            run: |fast| {
+                fig08_miss_threshold::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig09_ipc_threshold",
+            run: |fast| {
+                fig09_ipc_threshold::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig10_dynamic_alloc",
+            run: |fast| {
+                fig10_dynamic_alloc::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig11_latency_norm",
+            run: |fast| {
+                fig11_latency_norm::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig12_perf_table_reuse",
+            run: |fast| {
+                fig12_perf_table_reuse::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig13_streaming",
+            run: |fast| {
+                fig13_streaming::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig14_two_receivers",
+            run: |fast| {
+                fig14_two_receivers::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig15_mixed",
+            run: |fast| {
+                fig15_mixed::run(fast);
+            },
+        },
+        Experiment {
+            name: "fig17_spec2006",
+            run: |fast| {
+                fig17_spec2006::run(fast);
+            },
+        },
+        Experiment {
+            name: "tab_services",
+            run: |fast| {
+                tab_services::run(fast);
+            },
+        },
+        Experiment {
+            name: "ablate_replacement",
+            run: |fast| {
+                ablate_replacement::run(fast);
+            },
+        },
+        Experiment {
+            name: "exp_coloring",
+            run: |fast| {
+                exp_coloring::run(fast);
+            },
+        },
+    ]
+}

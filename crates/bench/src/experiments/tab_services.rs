@@ -171,11 +171,17 @@ fn apply_queueing(table: &mut ServiceTable) {
 /// Runs one service under all three policies and prints its table.
 pub fn run_service(service: Service, fast: bool) -> ServiceTable {
     report::section(service.label());
+    let policies = vec![
+        PolicyKind::Shared,
+        PolicyKind::StaticCat,
+        PolicyKind::Dcat(paper_dcat()),
+    ];
+    let runs = crate::Runner::from_env().map(policies, |_, policy| measure(service, policy, fast));
     let mut t = ServiceTable {
         service,
-        shared: measure(service, PolicyKind::Shared, fast),
-        static_cat: measure(service, PolicyKind::StaticCat, fast),
-        dcat: measure(service, PolicyKind::Dcat(paper_dcat()), fast),
+        shared: runs[0],
+        static_cat: runs[1],
+        dcat: runs[2],
     };
     apply_queueing(&mut t);
     let rows: Vec<Vec<String>> = [
@@ -206,22 +212,19 @@ pub fn run_service(service: Service, fast: bool) -> ServiceTable {
         ],
         &rows,
     );
-    println!(
+    report::say(format!(
         "dCat throughput: {} vs shared, {} vs static; client p99: {} vs static",
         report::pct(t.dcat.throughput / t.shared.throughput - 1.0),
         report::pct(t.dcat.throughput / t.static_cat.throughput - 1.0),
         report::pct(t.dcat.queued_p99 / t.static_cat.queued_p99 - 1.0),
-    );
+    ));
     t
 }
 
 /// Runs all three services.
 pub fn run(fast: bool) -> Vec<ServiceTable> {
-    vec![
-        run_service(Service::Redis, fast),
-        run_service(Service::Postgres, fast),
-        run_service(Service::Elasticsearch, fast),
-    ]
+    let services = vec![Service::Redis, Service::Postgres, Service::Elasticsearch];
+    crate::Runner::from_env().map(services, |_, service| run_service(service, fast))
 }
 
 /// The paper's multi-instance variant: three PostgreSQL VMs next to the
@@ -240,8 +243,12 @@ pub fn run_postgres_multi(fast: bool) -> Vec<f64> {
             VmPlan::always("lookbusy", 3, |_| Box::new(Lookbusy::new())),
         ]
     };
-    let stat = run_scenario(PolicyKind::StaticCat, cfg, &build(), epochs);
-    let dcat = run_scenario(PolicyKind::Dcat(paper_dcat()), cfg, &build(), epochs);
+    let policies = vec![PolicyKind::StaticCat, PolicyKind::Dcat(paper_dcat())];
+    let mut runs = crate::Runner::from_env().map(policies, |_, policy| {
+        run_scenario(policy, cfg, &build(), epochs)
+    });
+    let dcat = runs.pop().expect("two runs");
+    let stat = runs.pop().expect("two runs");
     let half = (epochs / 2) as usize;
     let throughput = |r: &crate::scenario::RunResult, vm: usize| {
         let requests: u64 = r.epochs[half..]

@@ -17,7 +17,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod timing;
 
+pub use runner::{Cli, Runner};
 pub use scenario::{PolicyKind, RunResult, ScheduleItem, VmPlan};

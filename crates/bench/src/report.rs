@@ -1,9 +1,70 @@
 //! Plain-text reporting helpers shared by the experiment binaries.
+//!
+//! All output funnels through [`say`], which writes either to stdout or —
+//! inside a [`capture`] scope — to a thread-local buffer. Parallel sweeps
+//! rely on this: each pool worker captures its task's output, and the
+//! coordinator replays the buffers in task order, so the report bytes are
+//! identical whatever `--jobs` width produced them.
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Stack of capture buffers; empty means "print to stdout".
+    static SINK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Emits one output line (newline appended).
+pub fn say(line: impl AsRef<str>) {
+    let line = line.as_ref();
+    let captured = SINK.with(|s| {
+        let mut stack = s.borrow_mut();
+        match stack.last_mut() {
+            Some(buf) => {
+                buf.push_str(line);
+                buf.push('\n');
+                true
+            }
+            None => false,
+        }
+    });
+    if !captured {
+        println!("{line}");
+    }
+}
+
+/// Emits already-formatted (newline-terminated) text verbatim.
+///
+/// Used to replay a [`capture`]d buffer; nested captures compose because
+/// the replay itself goes through the sink stack.
+pub fn emit_raw(text: &str) {
+    let captured = SINK.with(|s| {
+        let mut stack = s.borrow_mut();
+        match stack.last_mut() {
+            Some(buf) => {
+                buf.push_str(text);
+                true
+            }
+            None => false,
+        }
+    });
+    if !captured {
+        print!("{text}");
+    }
+}
+
+/// Runs `f` with report output redirected into a buffer; returns `f`'s
+/// value and everything it said.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, String) {
+    SINK.with(|s| s.borrow_mut().push(String::new()));
+    let value = f();
+    let out = SINK.with(|s| s.borrow_mut().pop().unwrap_or_default());
+    (value, out)
+}
 
 /// Prints a titled section header.
 pub fn section(title: &str) {
-    println!();
-    println!("== {title} ==");
+    say("");
+    say(format!("== {title} =="));
 }
 
 /// Prints a table: a header row and aligned data rows.
@@ -30,17 +91,14 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
-    println!("{}", fmt_row(&head));
-    println!(
-        "{}",
-        widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>()
-            .join("  ")
-    );
+    say(fmt_row(&head));
+    say(widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  "));
     for row in rows {
-        println!("{}", fmt_row(row));
+        say(fmt_row(row));
     }
 }
 
@@ -80,26 +138,47 @@ pub fn pct(ratio: f64) -> String {
     format!("{:+.1}%", ratio * 100.0)
 }
 
+/// Compact decision trace for golden snapshot tests: one line per epoch
+/// in which any domain's `(class, ways)` changed, listing every domain's
+/// state at that epoch. The format is exact-compare friendly — no floats,
+/// no timing, nothing machine-dependent.
+pub fn decision_trace(reports: &[Vec<dcat::DomainReport>]) -> String {
+    let mut out = String::new();
+    let mut prev: Option<Vec<(String, u32)>> = None;
+    for (epoch, rep) in reports.iter().enumerate() {
+        let state: Vec<(String, u32)> = rep.iter().map(|d| (d.class.to_string(), d.ways)).collect();
+        if prev.as_ref() != Some(&state) {
+            let cells: Vec<String> = rep
+                .iter()
+                .map(|d| format!("{}={}/{}", d.name, d.class, d.ways))
+                .collect();
+            out.push_str(&format!("e{epoch:03} {}\n", cells.join(" ")));
+            prev = Some(state);
+        }
+    }
+    out
+}
+
 /// Renders a small ASCII time-series chart (one char per sample, scaled
 /// into `height` rows). Used by the timeline figures.
 pub fn ascii_series(label: &str, values: &[f64], height: usize) {
     if values.is_empty() {
-        println!("{label}: (no data)");
+        say(format!("{label}: (no data)"));
         return;
     }
     let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
     let min = values.iter().cloned().fold(f64::MAX, f64::min).min(0.0);
     let span = (max - min).max(1e-12);
-    println!("{label} (min={min:.2}, max={max:.2})");
+    say(format!("{label} (min={min:.2}, max={max:.2})"));
     for row in (0..height).rev() {
         let lo = min + span * row as f64 / height as f64;
         let line: String = values
             .iter()
             .map(|&v| if v >= lo { '#' } else { ' ' })
             .collect();
-        println!("  |{line}");
+        say(format!("  |{line}"));
     }
-    println!("  +{}", "-".repeat(values.len()));
+    say(format!("  +{}", "-".repeat(values.len())));
 }
 
 #[cfg(test)]
@@ -141,5 +220,52 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_rejected() {
         table(&["a", "b"], &[vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn capture_collects_say_output() {
+        let (value, out) = capture(|| {
+            say("first");
+            section("title");
+            42
+        });
+        assert_eq!(value, 42);
+        assert_eq!(out, "first\n\n== title ==\n");
+    }
+
+    #[test]
+    fn captures_nest_and_replay_in_order() {
+        let (_, outer) = capture(|| {
+            say("before");
+            let (_, inner) = capture(|| say("inner"));
+            emit_raw(&inner);
+            say("after");
+        });
+        assert_eq!(outer, "before\ninner\nafter\n");
+    }
+
+    #[test]
+    fn decision_trace_emits_only_transitions() {
+        use dcat::{DomainReport, WorkloadClass};
+        let report = |class: WorkloadClass, ways: u32| DomainReport {
+            name: "vm".to_string(),
+            class,
+            ways,
+            ipc: 1.0,
+            norm_ipc: None,
+            llc_miss_rate: 0.0,
+            phase_changed: false,
+            baseline_ipc: None,
+        };
+        let reports = vec![
+            vec![report(WorkloadClass::Unknown, 4)],
+            vec![report(WorkloadClass::Unknown, 4)],
+            vec![report(WorkloadClass::Receiver, 6)],
+            vec![report(WorkloadClass::Receiver, 6)],
+        ];
+        assert_eq!(
+            decision_trace(&reports),
+            "e000 vm=Unknown/4\ne002 vm=Receiver/6\n"
+        );
     }
 }

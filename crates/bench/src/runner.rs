@@ -1,0 +1,187 @@
+//! Shared CLI parsing and the deterministic parallel sweep runner.
+//!
+//! Every experiment binary accepts `--fast` and `--jobs N`. `--jobs`
+//! sets a process-global width consumed by [`Runner::from_env`]; sweeps
+//! inside experiments fan their scenario runs out through
+//! [`Runner::map`], which combines [`host::Pool`]'s index-ordered
+//! execution with [`crate::report::capture`] so each task's printed
+//! output is replayed in task order. The result: the bytes written to
+//! stdout are identical for any jobs width, and `--jobs 1` is simply the
+//! degenerate inline case.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use host::Pool;
+
+use crate::report;
+
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-global sweep width (clamped to at least 1).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-global sweep width.
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed).max(1)
+}
+
+/// Flags shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cli {
+    /// Scaled-down epoch counts and cycle budgets (for tests and CI).
+    pub fast: bool,
+    /// Parallel sweep width.
+    pub jobs: usize,
+}
+
+impl Cli {
+    /// Parses `std::env::args()` and installs `--jobs` globally.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse(&args)
+    }
+
+    /// Parses a flag list (`--fast`, `--jobs N`, `--jobs=N`); unknown
+    /// flags are ignored so binaries can add their own. Installs the
+    /// parsed width via [`set_jobs`].
+    pub fn parse(args: &[String]) -> Self {
+        let mut fast = false;
+        let mut jobs = 1usize;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--fast" {
+                fast = true;
+            } else if arg == "--jobs" {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    jobs = n;
+                }
+            } else if let Some(v) = arg.strip_prefix("--jobs=") {
+                if let Ok(n) = v.parse() {
+                    jobs = n;
+                }
+            }
+        }
+        let cli = Cli {
+            fast,
+            jobs: jobs.max(1),
+        };
+        set_jobs(cli.jobs);
+        cli
+    }
+}
+
+/// Deterministic parallel sweep executor.
+pub struct Runner {
+    pool: Pool,
+}
+
+impl Runner {
+    /// A runner at the process-global `--jobs` width.
+    pub fn from_env() -> Self {
+        Runner::new(jobs())
+    }
+
+    /// A runner at an explicit width (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner {
+            pool: Pool::new(jobs),
+        }
+    }
+
+    /// The runner's width.
+    pub fn jobs(&self) -> usize {
+        self.pool.jobs()
+    }
+
+    /// Runs `f` over every item, in parallel up to the runner's width,
+    /// and returns results in **item order**. Anything a task says
+    /// through [`crate::report`] is captured and replayed in item order
+    /// after the task completes, so stdout bytes never depend on
+    /// completion order or jobs width.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let chunks = self
+            .pool
+            .map(items, |i, item| report::capture(|| f(i, item)));
+        chunks
+            .into_iter()
+            .map(|(value, out)| {
+                report::emit_raw(&out);
+                value
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_parses_flags() {
+        assert_eq!(
+            Cli::parse(&argv(&[])),
+            Cli {
+                fast: false,
+                jobs: 1
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv(&["--fast", "--jobs", "4"])),
+            Cli {
+                fast: true,
+                jobs: 4
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv(&["--jobs=8"])),
+            Cli {
+                fast: false,
+                jobs: 8
+            }
+        );
+        // Degenerate values clamp, junk is ignored.
+        assert_eq!(
+            Cli::parse(&argv(&["--jobs", "0", "--mystery"])),
+            Cli {
+                fast: false,
+                jobs: 1
+            }
+        );
+        set_jobs(1); // do not leak the global into other tests
+    }
+
+    #[test]
+    fn runner_output_is_byte_identical_across_widths() {
+        let run = |jobs: usize| {
+            report::capture(|| {
+                let r = Runner::new(jobs);
+                let sums = r.map((0..24u64).collect(), |i, seed| {
+                    let mut rng = smallrng::SmallRng::seed_from_u64(seed);
+                    let sum = (0..500)
+                        .map(|_| rng.next_u64())
+                        .fold(0u64, u64::wrapping_add);
+                    report::say(format!("task {i}: {sum}"));
+                    sum
+                });
+                sums
+            })
+        };
+        let (v1, out1) = run(1);
+        let (v4, out4) = run(4);
+        assert_eq!(v1, v4);
+        assert_eq!(out1, out4);
+        assert!(out1.starts_with("task 0: "));
+        assert_eq!(out1.lines().count(), 24);
+    }
+}

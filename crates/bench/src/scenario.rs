@@ -163,6 +163,57 @@ impl RunResult {
     pub fn peak_ways(&self, vm: usize) -> u32 {
         self.ways_series(vm).into_iter().max().unwrap_or(0)
     }
+
+    /// Full-precision textual serialization of everything the run
+    /// recorded: every per-epoch engine stat, every policy decision, and
+    /// every request-latency sample. Floats are rendered with `{:?}`
+    /// (shortest round-trip form), so two runs serialize byte-equal iff
+    /// they are bit-identical — this is the determinism regression
+    /// oracle.
+    pub fn serialize(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (e, stats) in self.epochs.iter().enumerate() {
+            for s in stats {
+                let _ = writeln!(
+                    out,
+                    "e{e} vm={} ins={} cyc={} ipc={:?} l1={} llc={} miss={} rate={:?} lat={:?} ways={} req={} occ={}",
+                    s.name,
+                    s.instructions,
+                    s.cycles,
+                    s.ipc,
+                    s.l1_ref,
+                    s.llc_ref,
+                    s.llc_miss,
+                    s.llc_miss_rate,
+                    s.avg_access_latency,
+                    s.ways,
+                    s.requests_completed,
+                    s.llc_occupancy_lines,
+                );
+            }
+        }
+        for (e, reports) in self.reports.iter().enumerate() {
+            for d in reports {
+                let _ = writeln!(
+                    out,
+                    "e{e} dom={} class={} ways={} ipc={:?} norm={:?} miss={:?} phase={} base={:?}",
+                    d.name,
+                    d.class,
+                    d.ways,
+                    d.ipc,
+                    d.norm_ipc,
+                    d.llc_miss_rate,
+                    d.phase_changed,
+                    d.baseline_ipc,
+                );
+            }
+        }
+        for (vm, lats) in self.request_latencies.iter().enumerate() {
+            let _ = writeln!(out, "lat vm={vm} n={} samples={:?}", lats.len(), lats);
+        }
+        out
+    }
 }
 
 /// Runs `plans` under `policy` for `total_epochs` epochs.

@@ -1,0 +1,69 @@
+//! Regression tests for the parallel runner's central guarantee: results
+//! (and report bytes) are identical whatever `--jobs` width produced
+//! them.
+//!
+//! The oracle is [`dcat_bench::RunResult::serialize`], which renders
+//! every per-epoch stat, policy decision, and latency sample with `{:?}`
+//! floats (shortest round-trip form): two serializations are byte-equal
+//! iff the runs are bit-identical.
+//!
+//! The width is a process global (`runner::set_jobs`), so everything
+//! runs inside one `#[test]` to keep the narrow/wide passes from racing.
+
+use dcat_bench::experiments::{fig10_dynamic_alloc, fig15_mixed};
+use dcat_bench::{report, runner, Runner};
+
+const MB: u64 = 1024 * 1024;
+
+/// Runs fig10's working-set sweep at the given width and returns the
+/// serialized runs plus the captured report bytes.
+fn fig10_at(jobs: usize) -> (Vec<String>, String) {
+    runner::set_jobs(jobs);
+    report::capture(|| {
+        Runner::from_env().map(vec![4 * MB, 8 * MB], |_, wss| {
+            let (_, result) = fig10_dynamic_alloc::run_one(wss, true);
+            result.serialize()
+        })
+    })
+}
+
+/// Runs fig15's three scenarios at the given width.
+fn fig15_at(jobs: usize) -> (Vec<String>, String) {
+    runner::set_jobs(jobs);
+    report::capture(|| {
+        fig15_mixed::run_results(true)
+            .iter()
+            .map(|r| r.serialize())
+            .collect()
+    })
+}
+
+#[test]
+fn parallel_runs_are_bit_identical_to_serial_runs() {
+    let (fig10_serial, out10_serial) = fig10_at(1);
+    let (fig10_wide, out10_wide) = fig10_at(4);
+    assert!(
+        !fig10_serial.concat().is_empty(),
+        "fig10 produced no stats to compare"
+    );
+    assert_eq!(
+        fig10_serial, fig10_wide,
+        "fig10 per-epoch stats differ between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(out10_serial, out10_wide, "fig10 report bytes differ");
+
+    let (fig15_serial, out15_serial) = fig15_at(1);
+    let (fig15_wide, out15_wide) = fig15_at(4);
+    assert_eq!(fig15_serial.len(), 3, "fig15 runs dcat/static/full");
+    assert!(
+        !fig15_serial.concat().is_empty(),
+        "fig15 produced no stats to compare"
+    );
+    assert_eq!(
+        fig15_serial, fig15_wide,
+        "fig15 per-epoch stats differ between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(out15_serial, out15_wide, "fig15 report bytes differ");
+
+    runner::set_jobs(1);
+}

@@ -1,0 +1,64 @@
+//! Golden decision-trace snapshots for the two lifecycle figures.
+//!
+//! Each trace is the controller's observable behavior — one line per
+//! epoch in which any domain's `(class, ways)` changed — rendered by
+//! `report::decision_trace`. The traces contain no floats and no timing,
+//! so they are exact-compare stable across machines and `--jobs` widths.
+//!
+//! To regenerate after an intentional controller or seeding change:
+//!
+//! ```sh
+//! DCAT_BLESS=1 cargo test -p dcat-bench --test golden_traces
+//! ```
+
+use std::path::PathBuf;
+
+use dcat_bench::experiments::{fig07_lifecycle, fig13_streaming};
+use dcat_bench::report;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("DCAT_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); run with DCAT_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "decision trace diverged from {}; if the change is intentional, \
+         re-bless with DCAT_BLESS=1",
+        path.display()
+    );
+}
+
+#[test]
+fn fig07_friendly_lifecycle_matches_golden() {
+    let r = fig07_lifecycle::run_timeline(false, true);
+    check_golden("fig07_friendly.trace", &report::decision_trace(&r.reports));
+}
+
+#[test]
+fn fig07_streaming_lifecycle_matches_golden() {
+    let r = fig07_lifecycle::run_timeline(true, true);
+    check_golden("fig07_streaming.trace", &report::decision_trace(&r.reports));
+}
+
+#[test]
+fn fig13_streaming_detection_matches_golden() {
+    let r = fig13_streaming::run_result(true);
+    check_golden("fig13_streaming.trace", &report::decision_trace(&r.reports));
+}

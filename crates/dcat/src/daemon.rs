@@ -124,6 +124,21 @@ pub fn parse_domains(spec: &str) -> Result<Vec<WorkloadHandle>, String> {
 /// Domains missing from a telemetry sample keep their previous totals (an
 /// idle interval), so a slow sampler degrades gracefully.
 pub fn run_daemon(cfg: &DaemonConfig) -> Result<Vec<DomainReport>, ResctrlError> {
+    run_daemon_with(cfg, |_, _| {})
+}
+
+/// [`run_daemon`] with a per-tick observer.
+///
+/// `observe(tick, reports)` is called after every controller interval
+/// (ticks count from 1), before the inter-tick sleep. Integration tests
+/// use the hook to rewrite the telemetry file between ticks — playing the
+/// role of the external sampler without a second thread — and to record
+/// the class/ways trajectory; a monitoring wrapper could export the
+/// reports from it.
+pub fn run_daemon_with(
+    cfg: &DaemonConfig,
+    mut observe: impl FnMut(u64, &[DomainReport]),
+) -> Result<Vec<DomainReport>, ResctrlError> {
     let mut cat = FsBackend::open(&cfg.resctrl_root)?;
     let mut controller = DcatController::new(cfg.dcat, cfg.domains.clone(), &mut cat)?;
     let mut last = vec![CounterSnapshot::default(); cfg.domains.len()];
@@ -144,6 +159,7 @@ pub fn run_daemon(cfg: &DaemonConfig) -> Result<Vec<DomainReport>, ResctrlError>
             }
         }
         final_reports = controller.tick(&last, &mut cat)?;
+        observe(tick, &final_reports);
         if cfg.max_ticks.is_none() || tick < cfg.max_ticks.unwrap_or(0) {
             std::thread::sleep(cfg.interval);
         }

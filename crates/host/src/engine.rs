@@ -20,6 +20,7 @@ use llc_sim::{
 };
 use perf_events::CounterSnapshot;
 use resctrl::{CacheController, CatCapabilities, Cbm, CosId, ResctrlError};
+use smallrng::SmallRng;
 use workloads::AccessStream;
 
 use crate::topology::{validate_vm_placement, SocketConfig, VmSpec};
@@ -41,7 +42,9 @@ pub struct EngineConfig {
     pub frame_policy: llc_sim::FramePolicy,
     /// Latency parameters.
     pub latency: LatencyModel,
-    /// RNG seed for frame placement.
+    /// Root RNG seed. Each VM's frame-placement stream is derived from it
+    /// with [`smallrng::split_seed`] over the VM index, so adding or
+    /// removing one VM never reshuffles another VM's physical frames.
     pub seed: u64,
 }
 
@@ -101,6 +104,10 @@ struct WorkloadRt {
 struct VmSlot {
     spec: VmSpec,
     workload: Option<WorkloadRt>,
+    /// Private frame-placement stream, derived from the engine seed and
+    /// the VM index. It lives on the slot (not the workload) so restarting
+    /// a workload continues the stream rather than rewinding it.
+    placement_rng: SmallRng,
 }
 
 /// The multi-VM socket simulator.
@@ -127,9 +134,14 @@ impl Engine {
             frames: FrameAllocator::new(config.memory_bytes, config.frame_policy, config.seed),
             vms: vms
                 .into_iter()
-                .map(|spec| VmSlot {
+                .enumerate()
+                .map(|(vm, spec)| VmSlot {
                     spec,
                     workload: None,
+                    placement_rng: SmallRng::seed_from_u64(smallrng::split_seed(
+                        config.seed,
+                        vm as u64,
+                    )),
                 })
                 .collect(),
             cos_masks: vec![caps.full_mask(); caps.num_closids as usize],
@@ -330,12 +342,13 @@ impl Engine {
             0.0
         };
 
+        let placement_rng = &mut slot.placement_rng;
         let before = self.hierarchy.counters(core);
         for _ in 0..n_refs {
             let mref = rt.stream.next_access();
             let paddr = rt
                 .mapper
-                .translate(mref.vaddr, &mut self.frames)
+                .translate_with(mref.vaddr, &mut self.frames, placement_rng)
                 .expect("physical memory pool exhausted; raise EngineConfig::memory_bytes");
             let level = self.hierarchy.access(core, paddr.0, mref.kind);
             let lat = self.config.latency.latency_of(level);
@@ -636,6 +649,43 @@ mod tests {
                 assert_eq!(x.llc_miss, y.llc_miss);
             }
         }
+    }
+
+    #[test]
+    fn neighbor_churn_does_not_reshuffle_a_vms_frames() {
+        // Regression test for per-VM placement sub-seeds. VM "a" is CAT-
+        // isolated in the low 4 ways, so its miss trajectory depends only
+        // on its own access stream and its own frame placement. Swapping
+        // the neighbor's workload (and therefore how many frames the
+        // neighbor allocates) must leave "a" bit-identical — under the old
+        // engine-global placement RNG the neighbor's allocations advanced
+        // the shared stream and reshuffled "a"'s frames.
+        let run = |neighbor_wss: u64| {
+            let mut e = two_vm_engine();
+            {
+                let mut cat = e.cat();
+                cat.program_cos(CosId(1), Cbm(0b1111)).unwrap();
+                cat.program_cos(CosId(2), Cbm(0b1111_0000)).unwrap();
+                cat.assign_core(0, CosId(1)).unwrap();
+                cat.assign_core(1, CosId(1)).unwrap();
+                cat.assign_core(2, CosId(2)).unwrap();
+                cat.assign_core(3, CosId(2)).unwrap();
+            }
+            e.start_workload(0, Box::new(Mlr::new(768 * 1024, 9)));
+            e.start_workload(1, Box::new(Mlr::new(neighbor_wss, 5)));
+            let mut trace = Vec::new();
+            for _ in 0..3 {
+                let stats = e.run_epoch();
+                trace.push((
+                    stats[0].instructions,
+                    stats[0].cycles,
+                    stats[0].llc_ref,
+                    stats[0].llc_miss,
+                ));
+            }
+            trace
+        };
+        assert_eq!(run(256 * 1024), run(4 * 1024 * 1024));
     }
 
     #[test]

@@ -33,7 +33,11 @@
 //! ```
 
 pub mod engine;
+pub mod multi;
+pub mod pool;
 pub mod topology;
 
 pub use engine::{Engine, EngineCat, EngineConfig, VmEpochStats};
+pub use multi::MultiSocketEngine;
+pub use pool::Pool;
 pub use topology::{SocketConfig, VmSpec};

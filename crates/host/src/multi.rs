@@ -1,0 +1,197 @@
+//! Multi-socket topologies: several independent sockets simulated in
+//! parallel.
+//!
+//! A dCat deployment manages each socket independently — every socket has
+//! its own LLC, its own CAT classes, and its own controller instance
+//! (the paper runs one daemon per socket). The sockets therefore share
+//! nothing at simulation time, which makes socket-level parallelism safe:
+//! [`MultiSocketEngine::run_epoch`] moves each socket's whole state
+//! (engine, hierarchy, page tables, workload streams) onto a pool worker
+//! for the duration of the epoch and reassembles the per-socket stats in
+//! socket order afterwards.
+//!
+//! Controller ticks stay on the coordinating thread: between epochs the
+//! caller walks sockets with [`MultiSocketEngine::socket_mut`] and drives
+//! each socket's [`crate::EngineCat`] exactly as in the single-socket
+//! flow. Only the data-plane epoch is fanned out.
+//!
+//! Determinism: each socket derives its frame-placement root seed from
+//! the shared config seed with [`smallrng::split_seed`] over the socket
+//! index (and each VM splits again over its VM index), so no RNG stream
+//! is ever shared across threads and the results are bit-identical
+//! whatever the pool width.
+
+use crate::engine::{Engine, EngineConfig, VmEpochStats};
+use crate::pool::Pool;
+use crate::topology::VmSpec;
+
+// Socket state crosses thread boundaries in `run_epoch`; assert the whole
+// engine (hierarchy, frame allocator, page tables, boxed workload streams)
+// is `Send` at compile time so a non-`Send` field added anywhere below
+// fails here with a readable error.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+    assert_send::<VmEpochStats>();
+};
+
+/// Several independent sockets behind one façade.
+pub struct MultiSocketEngine {
+    sockets: Vec<Engine>,
+}
+
+impl MultiSocketEngine {
+    /// Creates one engine per entry of `sockets`, all sharing `config`
+    /// except for the seed: socket `s` uses
+    /// `split_seed(config.seed, s as u64)` as its root seed, so sockets
+    /// hosting identical VM mixes still place frames independently.
+    pub fn new(config: EngineConfig, sockets: Vec<Vec<VmSpec>>) -> Result<Self, String> {
+        if sockets.is_empty() {
+            return Err("a topology needs at least one socket".to_string());
+        }
+        let engines = sockets
+            .into_iter()
+            .enumerate()
+            .map(|(s, vms)| {
+                let mut socket_cfg = config;
+                socket_cfg.seed = smallrng::split_seed(config.seed, s as u64);
+                Engine::new(socket_cfg, vms).map_err(|e| format!("socket {s}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiSocketEngine { sockets: engines })
+    }
+
+    /// Number of sockets.
+    pub fn num_sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Read access to socket `s`.
+    pub fn socket(&self, s: usize) -> &Engine {
+        &self.sockets[s]
+    }
+
+    /// Mutable access to socket `s` — this is where per-socket controller
+    /// ticks happen, on the coordinating thread, between epochs.
+    pub fn socket_mut(&mut self, s: usize) -> &mut Engine {
+        &mut self.sockets[s]
+    }
+
+    /// Runs one epoch on every socket, fanning sockets out across `pool`.
+    ///
+    /// Returns per-socket stats in **socket order** (never completion
+    /// order). Bit-identical for any pool width because sockets share no
+    /// state and no RNG.
+    pub fn run_epoch(&mut self, pool: &Pool) -> Vec<Vec<VmEpochStats>> {
+        let engines = std::mem::take(&mut self.sockets);
+        let mut ran = pool.map(engines, |_, mut engine| {
+            let stats = engine.run_epoch();
+            (engine, stats)
+        });
+        let mut all_stats = Vec::with_capacity(ran.len());
+        for (engine, stats) in ran.drain(..) {
+            self.sockets.push(engine);
+            all_stats.push(stats);
+        }
+        all_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::CacheGeometry;
+    use resctrl::{CacheController, Cbm, CosId};
+    use workloads::{Lookbusy, Mlr};
+
+    fn small_config() -> EngineConfig {
+        let mut cfg = EngineConfig::xeon_e5_v4();
+        cfg.socket.hierarchy = llc_sim::HierarchyConfig {
+            cores: 4,
+            l1: CacheGeometry::new(64, 8, 64),
+            l2: CacheGeometry::new(128, 8, 64),
+            llc: CacheGeometry::from_capacity(2 * 1024 * 1024, 8),
+            llc_policy: Default::default(),
+        };
+        cfg.cycles_per_epoch = 500_000;
+        cfg.memory_bytes = 64 * 1024 * 1024;
+        cfg
+    }
+
+    fn two_socket_engine() -> MultiSocketEngine {
+        let vms = || {
+            vec![
+                VmSpec::new("a", vec![0, 1], 2),
+                VmSpec::new("b", vec![2, 3], 2),
+            ]
+        };
+        let mut m = MultiSocketEngine::new(small_config(), vec![vms(), vms()]).unwrap();
+        for s in 0..2 {
+            let e = m.socket_mut(s);
+            e.start_workload(0, Box::new(Mlr::new(512 * 1024, 9)));
+            e.start_workload(1, Box::new(Lookbusy::new()));
+        }
+        m
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert!(MultiSocketEngine::new(small_config(), vec![]).is_err());
+    }
+
+    #[test]
+    fn parallel_epochs_match_serial_epochs_exactly() {
+        let mut serial = two_socket_engine();
+        let mut parallel = two_socket_engine();
+        let one = Pool::new(1);
+        let many = Pool::new(4);
+        for _ in 0..4 {
+            let a = serial.run_epoch(&one);
+            let b = parallel.run_epoch(&many);
+            assert_eq!(a.len(), b.len());
+            for (sa, sb) in a.iter().zip(b.iter()) {
+                for (x, y) in sa.iter().zip(sb.iter()) {
+                    assert_eq!(x.instructions, y.instructions);
+                    assert_eq!(x.cycles, y.cycles);
+                    assert_eq!(x.llc_ref, y.llc_ref);
+                    assert_eq!(x.llc_miss, y.llc_miss);
+                    assert_eq!(x.ipc.to_bits(), y.ipc.to_bits());
+                    assert_eq!(x.llc_occupancy_lines, y.llc_occupancy_lines);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sockets_place_frames_independently() {
+        // Identical VM mixes on two sockets: same workloads, but distinct
+        // placement sub-seeds, so the cache behaviour need not be equal
+        // line-for-line. What must hold: both sockets make progress and
+        // the stats vectors have the socket-order shape.
+        let mut m = two_socket_engine();
+        let stats = m.run_epoch(&Pool::new(2));
+        assert_eq!(stats.len(), 2);
+        for socket_stats in &stats {
+            assert_eq!(socket_stats.len(), 2);
+            assert!(socket_stats[0].instructions > 0);
+            assert!(socket_stats[1].instructions > 0);
+        }
+    }
+
+    #[test]
+    fn controller_ticks_stay_on_the_coordinator() {
+        // Programming CAT between epochs through socket_mut must only
+        // affect that socket.
+        let mut m = two_socket_engine();
+        let _ = m.run_epoch(&Pool::new(2));
+        {
+            let mut cat = m.socket_mut(0).cat();
+            cat.program_cos(CosId(1), Cbm(0b11)).unwrap();
+            cat.assign_core(0, CosId(1)).unwrap();
+            cat.assign_core(1, CosId(1)).unwrap();
+        }
+        let stats = m.run_epoch(&Pool::new(2));
+        assert_eq!(stats[0][0].ways, 2, "socket 0 VM a throttled");
+        assert_eq!(stats[1][0].ways, 8, "socket 1 untouched");
+    }
+}

@@ -65,3 +65,15 @@ pub use latency::{CyclesModel, LatencyModel};
 pub use paging::{FrameAllocator, FramePolicy, PageMapper, PageSize};
 pub use replacement::ReplacementPolicy;
 pub use stats::SetOccupancyHistogram;
+
+// Socket-level parallelism moves a whole socket's simulator state to a
+// worker thread, so the core state types must stay `Send`. Assert it at
+// compile time: introducing an `Rc` or raw pointer anywhere inside these
+// structures becomes a build error here rather than a distant type error
+// in the `host` crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Hierarchy>();
+    assert_send::<PageMapper>();
+    assert_send::<FrameAllocator>();
+};

@@ -122,6 +122,28 @@ impl FrameAllocator {
         size: PageSize,
         colors: Option<&ColorSet>,
     ) -> Option<PhysAddr> {
+        // Route through the external-RNG path with the allocator's own
+        // stream. The clone-swap sidesteps borrowing `self.rng` while
+        // `self` is mutably borrowed; xoshiro state is four words, so the
+        // copy is free.
+        let mut rng = self.rng.clone();
+        let out = self.allocate_colored_with(size, colors, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    /// Like [`FrameAllocator::allocate_colored`], but randomized placement
+    /// draws from `rng` instead of the allocator's internal stream.
+    ///
+    /// The engine gives every VM its own placement stream (derived from the
+    /// scenario seed and the VM index) so that adding or removing one VM
+    /// never reshuffles another VM's frames.
+    pub fn allocate_colored_with(
+        &mut self,
+        size: PageSize,
+        colors: Option<&ColorSet>,
+        rng: &mut SmallRng,
+    ) -> Option<PhysAddr> {
         let span = size.small_frames();
         let slots = self.total_small_frames / span;
         if slots == 0 {
@@ -129,7 +151,7 @@ impl FrameAllocator {
         }
         match self.policy {
             FramePolicy::Contiguous => self.allocate_bump(span, slots, size, colors),
-            FramePolicy::Randomized => self.allocate_random(span, slots, size, colors),
+            FramePolicy::Randomized => self.allocate_random(span, slots, size, colors, rng),
         }
     }
 
@@ -189,18 +211,19 @@ impl FrameAllocator {
         slots: u64,
         size: PageSize,
         colors: Option<&ColorSet>,
+        rng: &mut SmallRng,
     ) -> Option<PhysAddr> {
         // Rejection-sample aligned slots; fall back to a linear sweep when
         // the pool (or the color class) is nearly full so allocation never
         // spuriously fails.
         for _ in 0..128 {
-            let slot = self.rng.gen_range(0..slots);
+            let slot = rng.gen_range(0..slots);
             let start = slot * span;
             if self.slot_permitted(start, span, size, colors) {
                 return Some(self.claim(start, span));
             }
         }
-        let offset = self.rng.gen_range(0..slots);
+        let offset = rng.gen_range(0..slots);
         for i in 0..slots {
             let start = ((offset + i) % slots) * span;
             if self.slot_permitted(start, span, size, colors) {
@@ -266,6 +289,28 @@ impl PageMapper {
             Some(base) => *base,
             None => {
                 let base = frames.allocate_colored(self.page_size, colors)?;
+                self.table.insert(vpage, base);
+                base
+            }
+        };
+        Some(PhysAddr(base.0 + vaddr.page_offset(shift)))
+    }
+
+    /// Like [`PageMapper::translate`], but demand allocation draws frame
+    /// placement randomness from `rng` (the owning VM's private stream)
+    /// instead of the allocator's shared one.
+    pub fn translate_with(
+        &mut self,
+        vaddr: VirtAddr,
+        frames: &mut FrameAllocator,
+        rng: &mut SmallRng,
+    ) -> Option<PhysAddr> {
+        let shift = self.page_size.shift();
+        let vpage = vaddr.page_number(shift);
+        let base = match self.table.get(&vpage) {
+            Some(base) => *base,
+            None => {
+                let base = frames.allocate_colored_with(self.page_size, None, rng)?;
                 self.table.insert(vpage, base);
                 base
             }
@@ -381,6 +426,46 @@ mod tests {
         m.clear(&mut frames);
         assert_eq!(m.mapped_pages(), 0);
         assert!(frames.allocate(PageSize::Small).is_some());
+    }
+
+    #[test]
+    fn external_rng_controls_random_placement() {
+        // Two allocators with different internal seeds, driven by identical
+        // external streams, must hand out identical frame sequences.
+        let mut a = FrameAllocator::new(64 * 1024 * 1024, FramePolicy::Randomized, 1);
+        let mut b = FrameAllocator::new(64 * 1024 * 1024, FramePolicy::Randomized, 2);
+        let mut ra = SmallRng::seed_from_u64(99);
+        let mut rb = SmallRng::seed_from_u64(99);
+        for _ in 0..32 {
+            let pa = a
+                .allocate_colored_with(PageSize::Small, None, &mut ra)
+                .unwrap();
+            let pb = b
+                .allocate_colored_with(PageSize::Small, None, &mut rb)
+                .unwrap();
+            assert_eq!(pa, pb);
+        }
+        // And the internal-stream path still works after external draws.
+        assert!(a.allocate(PageSize::Small).is_some());
+    }
+
+    #[test]
+    fn translate_with_matches_per_stream_determinism() {
+        let mut frames = pool(FramePolicy::Randomized);
+        let mut m1 = PageMapper::new(PageSize::Small);
+        let mut m2 = PageMapper::new(PageSize::Small);
+        let mut r1 = SmallRng::seed_from_u64(7);
+        let mut r2 = SmallRng::seed_from_u64(7);
+        let mut frames2 = pool(FramePolicy::Randomized);
+        for i in 0..16u64 {
+            let p1 = m1
+                .translate_with(VirtAddr(i * 4096), &mut frames, &mut r1)
+                .unwrap();
+            let p2 = m2
+                .translate_with(VirtAddr(i * 4096), &mut frames2, &mut r2)
+                .unwrap();
+            assert_eq!(p1, p2);
+        }
     }
 
     #[test]

@@ -72,7 +72,12 @@ impl ExecutionProfile {
 /// Streams are infinite; *when* a workload starts and stops is decided by
 /// the scenario schedule in the `host` crate, mirroring how the paper
 /// starts and stops programs inside long-lived VMs.
-pub trait AccessStream {
+///
+/// Streams are `Send` so a whole socket's VM set (engine state plus the
+/// boxed streams it drives) can move to a worker thread when multi-socket
+/// topologies simulate sockets in parallel. Workload models are plain
+/// seeded state machines, so the bound costs implementors nothing.
+pub trait AccessStream: Send {
     /// Produces the next memory reference.
     fn next_access(&mut self) -> MemRef;
 

@@ -1,7 +1,7 @@
 //! Repo automation tasks (`cargo run -p xtask -- <task>`).
 //!
 //! `lint` is the repo's gate: `cargo fmt --check`, `cargo clippy
-//! --all-targets -- -D warnings`, and three source scans that encode
+//! --all-targets -- -D warnings`, and four source scans that encode
 //! rules the stock tools do not know about:
 //!
 //! 1. **No `unwrap()`/`expect()` in privileged I/O paths** — the
@@ -17,11 +17,17 @@
 //! 3. **No float `==` on telemetry-derived metrics** — IPC, miss rates,
 //!    and normalized values are compared against thresholds, never for
 //!    exact equality; sentinel tests use `is_infinite`/`is_finite`.
+//! 4. **No ad-hoc threading outside `host::pool`** — `thread::spawn` /
+//!    `thread::scope` anywhere but `crates/host/src/pool.rs` would
+//!    bypass the deterministic index-ordered pool that guarantees
+//!    `--jobs N` results are bit-identical to serial runs. (`crates/
+//!    xtask` itself is excluded from the repo walk: its embedded scan
+//!    fixtures spell the banned tokens.)
 //!
 //! Every scan is self-tested on startup against embedded fixtures
 //! seeded with the banned patterns (and a clean control): a scan that
 //! stops detecting its pattern fails the lint run itself. `scan
-//! <files...>` applies all three scans to arbitrary paths, which CI
+//! <files...>` applies all four scans to arbitrary paths, which CI
 //! uses to prove the gate fails non-zero on a seeded fixture file.
 
 use std::path::{Path, PathBuf};
@@ -126,6 +132,7 @@ fn scan_files(paths: &[String]) -> ExitCode {
         findings.extend(scan_no_unwrap(path, &text));
         findings.extend(scan_no_raw_cbm_bits(path, &text));
         findings.extend(scan_no_float_eq(path, &text));
+        findings.extend(scan_no_thread_spawn(path, &text));
     }
     for f in &findings {
         eprintln!("scan: {f}");
@@ -163,6 +170,25 @@ fn scan_repo(root: &Path) -> Vec<String> {
         for path in rust_files(&root.join(dir)) {
             let text = std::fs::read_to_string(&path).expect("listed file readable");
             findings.extend(scan_no_float_eq(&path, &text));
+        }
+    }
+
+    // Scan 4 walks every crate except xtask itself (whose embedded scan
+    // fixtures spell the banned tokens) and skips the one allowed module.
+    let crates_dir = root.join("crates");
+    let crate_roots =
+        std::fs::read_dir(&crates_dir).unwrap_or_else(|e| panic!("crates dir unreadable: {e}"));
+    for entry in crate_roots {
+        let crate_dir = entry.expect("dir entry").path();
+        if !crate_dir.is_dir() || crate_dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        for path in rust_files(&crate_dir) {
+            if path.ends_with("host/src/pool.rs") {
+                continue; // the one module allowed to spawn threads
+            }
+            let text = std::fs::read_to_string(&path).expect("listed file readable");
+            findings.extend(scan_no_thread_spawn(&path, &text));
         }
     }
 
@@ -270,25 +296,58 @@ fn scan_no_float_eq(path: &Path, text: &str) -> Vec<String> {
     findings
 }
 
+/// Scan 4: no `thread::spawn` / `thread::scope` outside `host::pool`.
+///
+/// The deterministic pool is the only sanctioned way to go parallel:
+/// it claims work by item index and merges results in item order, which
+/// is what keeps `--jobs N` output bit-identical to `--jobs 1`. A stray
+/// spawn would reintroduce completion-order nondeterminism.
+fn scan_no_thread_spawn(path: &Path, text: &str) -> Vec<String> {
+    let mut findings = Vec::new();
+    for (n, line) in non_test_lines(text) {
+        if line.contains("thread::spawn") || line.contains("thread::scope") {
+            findings.push(format!(
+                "{}:{n}: ad-hoc threading (go through host::pool::Pool)",
+                path.display()
+            ));
+        }
+    }
+    findings
+}
+
 /// Whether the line compares something with `==` against a float literal
 /// (`== 0.0`, `0.5 ==`, ...).
+///
+/// The operand is extracted as the maximal run of literal characters
+/// touching the `==` (not a whitespace split), so literals nested in
+/// calls — `assert!(0.5 == y)` — are still seen.
 fn eq_against_float_literal(line: &str) -> bool {
+    let lit_char = |c: char| c.is_ascii_digit() || c == '.' || c == '_' || c == 'f';
     line.match_indices("==").any(|(i, _)| {
-        let before = line[..i].trim_end();
-        let after = line[i + 2..].trim_start();
-        is_float_literal_edge(before.rsplit(|c: char| c.is_whitespace()).next())
-            || is_float_literal_edge(after.split(|c: char| c.is_whitespace()).next())
+        let before: String = line[..i]
+            .trim_end()
+            .chars()
+            .rev()
+            .take_while(|&c| lit_char(c))
+            .collect();
+        let after: String = line[i + 2..]
+            .trim_start()
+            .chars()
+            .take_while(|&c| lit_char(c))
+            .collect();
+        // `before` is reversed, but a float literal's shape survives
+        // mirroring for this check: digits around a single dot.
+        is_float_literal(&before) || is_float_literal(&after)
     })
 }
 
-fn is_float_literal_edge(token: Option<&str>) -> bool {
-    let Some(tok) = token else { return false };
-    let tok = tok.trim_matches(|c: char| "(){},;".contains(c));
+fn is_float_literal(tok: &str) -> bool {
     let mut parts = tok.splitn(2, '.');
     match (parts.next(), parts.next()) {
         (Some(a), Some(b)) => {
             !a.is_empty()
-                && a.chars().all(|c| c.is_ascii_digit())
+                && a.chars()
+                    .all(|c| c.is_ascii_digit() || c == '_' || c == 'f')
                 && !b.is_empty()
                 && b.chars()
                     .all(|c| c.is_ascii_digit() || c == '_' || c == 'f')
@@ -331,6 +390,17 @@ fn self_test() -> Result<(), String> {
     let clean_eq = "if max.is_infinite() { }\nif m.ipc > 0.0 { }\nif count == 0 { }\n";
     if !scan_no_float_eq(p, clean_eq).is_empty() {
         return Err("float-eq scan flagged clean code".into());
+    }
+
+    let banned_threads =
+        "let h = std::thread::spawn(move || work());\nthread::scope(|s| { s.spawn(|| ()); });\n";
+    if scan_no_thread_spawn(p, banned_threads).len() != 2 {
+        return Err("thread scan missed its fixture".into());
+    }
+    let clean_threads =
+        "let out = pool.map(items, worker);\n// thread::spawn in a comment\nlet t = thread_count;\n";
+    if !scan_no_thread_spawn(p, clean_threads).is_empty() {
+        return Err("thread scan flagged clean code".into());
     }
     Ok(())
 }
