@@ -17,7 +17,7 @@ cargo run -q -p xtask --offline -- lint
 
 echo "==> lint gate flags a seeded banned-pattern fixture"
 mkdir -p target
-printf 'fn bad() {\n    let x = f.read().unwrap();\n    let m = Cbm(a.0 & b.0);\n    if ipc == 0.0 { }\n    let h = std::thread::spawn(|| ());\n}\n' \
+printf 'fn bad() {\n    let x = f.read().unwrap();\n    let m = Cbm(a.0 & b.0);\n    if ipc == 0.0 { }\n    let h = std::thread::spawn(|| ());\n    let t = std::fs::read_to_string(&p)?;\n}\n' \
     > target/lint-fixture.rs
 if cargo run -q -p xtask --offline -- scan target/lint-fixture.rs; then
     echo "ERROR: lint scan passed a fixture seeded with banned patterns" >&2
@@ -29,6 +29,9 @@ cargo test -q --release -p dcat-bench --offline --test determinism --test golden
 
 echo "==> daemon end-to-end (fixture resctrl tree + scripted telemetry)"
 cargo test -q -p dcat --offline --test daemon_e2e
+
+echo "==> daemon fault tolerance (scripted fault schedule, degraded ticks)"
+cargo test -q -p dcat --offline --test daemon_faults
 
 echo "==> all experiments: serial vs parallel wall-clock and byte-identity"
 t0=$(date +%s)

@@ -1,0 +1,6 @@
+//! Daemon resilience sweep under injected fault schedules (see DESIGN.md).
+
+fn main() {
+    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::experiments::fault_sweep::run(fast);
+}

@@ -5,6 +5,7 @@
 pub mod ablate_replacement;
 pub mod common;
 pub mod exp_coloring;
+pub mod fault_sweep;
 pub mod fig01_interference;
 pub mod fig02_conflict_latency;
 pub mod fig03_set_histogram;
@@ -137,6 +138,12 @@ pub fn registry() -> Vec<Experiment> {
             name: "exp_coloring",
             run: |fast| {
                 exp_coloring::run(fast);
+            },
+        },
+        Experiment {
+            name: "fault_sweep",
+            run: |fast| {
+                fault_sweep::run(fast);
             },
         },
     ]

@@ -256,6 +256,7 @@ mod tests {
             llc_miss_rate: 0.0,
             phase_changed: false,
             baseline_ipc: None,
+            skipped: false,
         };
         let reports = vec![
             vec![report(WorkloadClass::Unknown, 4)],

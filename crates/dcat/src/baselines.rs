@@ -50,6 +50,7 @@ impl MetricsTracker {
                     llc_miss_rate: m.llc_miss_rate,
                     phase_changed: false,
                     baseline_ipc: self.baseline_ipc[i],
+                    skipped: false,
                 }
             })
             .collect()

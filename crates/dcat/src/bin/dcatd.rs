@@ -5,6 +5,9 @@
 //! ```text
 //! dcatd --resctrl <root> --telemetry <file> --domains <name:cores:ways;...>
 //!       [--interval-ms <n>] [--ticks <n>] [--max-performance]
+//!       [--retry-attempts <n>] [--retry-backoff-ms <n>] [--quarantine-after <n>]
+//!       [--counter-width-bits <n>]
+//!       [--fault-seed <n> --fault-rate <p> --fault-ticks <n>]
 //! ```
 //!
 //! Example against a fixture tree (no hardware needed):
@@ -16,18 +19,27 @@
 //!
 //! On CAT hardware, point `--resctrl` at `/sys/fs/resctrl` and refresh the
 //! telemetry file from an MSR/perf sampler once per interval.
+//!
+//! Structured per-tick events (retries, degraded ticks, counter wraps,
+//! quarantines) are printed to stderr as `tick=<n> event=<name> ...` lines.
+//! The `--fault-*` flags inject a seeded random fault schedule into both
+//! the telemetry feed and the resctrl backend — for resilience drills
+//! against fixture trees, not for production mounts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dcat::daemon::{parse_domains, run_daemon, DaemonConfig};
+use dcat::daemon::{parse_domains, run_daemon_with, DaemonConfig, ResiliencePolicy};
 use dcat::DcatConfig;
+use resctrl::fault::FaultPlan;
 
 fn usage() -> &'static str {
     "usage: dcatd --resctrl <root> --telemetry <file> \
      --domains <name:cores:ways;...> [--interval-ms <n>] [--ticks <n>] \
-     [--max-performance]"
+     [--max-performance] [--retry-attempts <n>] [--retry-backoff-ms <n>] \
+     [--quarantine-after <n>] [--counter-width-bits <n>] \
+     [--fault-seed <n> --fault-rate <p> --fault-ticks <n>]"
 }
 
 fn parse_args() -> Result<DaemonConfig, String> {
@@ -37,6 +49,10 @@ fn parse_args() -> Result<DaemonConfig, String> {
     let mut interval = Duration::from_secs(1);
     let mut max_ticks = None;
     let mut dcat = DcatConfig::default();
+    let mut resilience = ResiliencePolicy::default();
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate = 0.1f64;
+    let mut fault_ticks: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,28 +60,53 @@ fn parse_args() -> Result<DaemonConfig, String> {
             args.next()
                 .ok_or_else(|| format!("{what} requires a value"))
         };
+        fn num<T: std::str::FromStr>(what: &str, raw: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse().map_err(|e| format!("bad {what}: {e}"))
+        }
         match arg.as_str() {
             "--resctrl" => resctrl_root = Some(PathBuf::from(value("--resctrl")?)),
             "--telemetry" => telemetry_path = Some(PathBuf::from(value("--telemetry")?)),
             "--domains" => domains = Some(parse_domains(&value("--domains")?)?),
             "--interval-ms" => {
-                let ms: u64 = value("--interval-ms")?
-                    .parse()
-                    .map_err(|e| format!("bad --interval-ms: {e}"))?;
-                interval = Duration::from_millis(ms);
+                interval = Duration::from_millis(num("--interval-ms", value("--interval-ms")?)?);
             }
-            "--ticks" => {
-                max_ticks = Some(
-                    value("--ticks")?
-                        .parse()
-                        .map_err(|e| format!("bad --ticks: {e}"))?,
-                );
-            }
+            "--ticks" => max_ticks = Some(num("--ticks", value("--ticks")?)?),
             "--max-performance" => dcat = DcatConfig::max_performance(),
+            "--retry-attempts" => {
+                resilience.retry.max_attempts =
+                    num("--retry-attempts", value("--retry-attempts")?)?;
+            }
+            "--retry-backoff-ms" => {
+                resilience.retry.backoff =
+                    Duration::from_millis(num("--retry-backoff-ms", value("--retry-backoff-ms")?)?);
+            }
+            "--quarantine-after" => {
+                resilience.quarantine_after =
+                    num("--quarantine-after", value("--quarantine-after")?)?;
+            }
+            "--counter-width-bits" => {
+                resilience.counter_width_bits =
+                    num("--counter-width-bits", value("--counter-width-bits")?)?;
+            }
+            "--fault-seed" => fault_seed = Some(num("--fault-seed", value("--fault-seed")?)?),
+            "--fault-rate" => fault_rate = num("--fault-rate", value("--fault-rate")?)?,
+            "--fault-ticks" => fault_ticks = Some(num("--fault-ticks", value("--fault-ticks")?)?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
+    let fault_plan = match fault_seed {
+        Some(seed) => {
+            let ticks = fault_ticks
+                .or(max_ticks)
+                .ok_or("--fault-seed needs --fault-ticks or --ticks")?;
+            Some(FaultPlan::random(seed, ticks, fault_rate))
+        }
+        None => None,
+    };
     Ok(DaemonConfig {
         resctrl_root: resctrl_root.ok_or_else(|| format!("--resctrl is required\n{}", usage()))?,
         telemetry_path: telemetry_path
@@ -74,6 +115,8 @@ fn parse_args() -> Result<DaemonConfig, String> {
         dcat,
         interval,
         max_ticks,
+        resilience,
+        fault_plan,
     })
 }
 
@@ -85,7 +128,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_daemon(&cfg) {
+    let result = run_daemon_with(&cfg, |obs| {
+        for event in obs.events {
+            eprintln!("tick={} {event}", obs.tick);
+        }
+    });
+    match result {
         Ok(reports) => {
             for r in reports {
                 println!(

@@ -58,6 +58,10 @@ pub struct DomainReport {
     pub phase_changed: bool,
     /// The phase's baseline IPC, once established.
     pub baseline_ipc: Option<f64>,
+    /// Whether this domain's interval was skipped (invalid telemetry):
+    /// the metrics fields are zero filler, not measurements, and the
+    /// allocation was held.
+    pub skipped: bool,
 }
 
 /// How a Donor releases capacity.
@@ -281,16 +285,45 @@ impl DcatController {
         snapshots: &[CounterSnapshot],
         cat: &mut dyn CacheController,
     ) -> Result<Vec<DomainReport>, ResctrlError> {
+        let valid = vec![true; snapshots.len()];
+        self.tick_validated(snapshots, &valid, cat)
+    }
+
+    /// [`Self::tick`] with a per-domain validity verdict.
+    ///
+    /// `valid[i] == false` means domain `i`'s interval cannot be trusted
+    /// (its telemetry was missing, stale, or a counter reset): the domain
+    /// is not classified, its settle countdown does not advance, and its
+    /// allocation is **held** — it neither grows, donates, nor counts as
+    /// idle. Its totals are still resynced to `snapshots[i]` so the next
+    /// valid interval subtracts from fresh ground. The daemon uses this
+    /// to skip degraded domains without losing the healthy ones.
+    pub fn tick_validated(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        valid: &[bool],
+        cat: &mut dyn CacheController,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
         assert_eq!(
             snapshots.len(),
             self.domains.len(),
             "one snapshot per domain"
         );
+        assert_eq!(valid.len(), self.domains.len(), "one verdict per domain");
         self.interval += 1;
 
         // Steps 1-4: metrics, phase detection, categorization.
         let mut infos = Vec::with_capacity(self.domains.len());
         for (i, snap) in snapshots.iter().enumerate() {
+            if !valid[i] {
+                // Skipped interval: resync the totals, judge nothing.
+                self.domains[i].last_snapshot = *snap;
+                infos.push((
+                    IntervalMetrics::from_delta(&CounterSnapshot::default()),
+                    false,
+                ));
+                continue;
+            }
             let delta = snap.delta_since(&self.domains[i].last_snapshot);
             self.domains[i].last_snapshot = *snap;
             let metrics = IntervalMetrics::from_delta(&delta);
@@ -304,6 +337,14 @@ impl DcatController {
             .iter()
             .any(|d| d.class == WorkloadClass::Reclaim);
         let mut targets = self.base_targets();
+        // A held domain's target is its current size, whatever its class
+        // asks for: without a trustworthy interval there is no basis to
+        // move it.
+        for (i, ok) in valid.iter().enumerate() {
+            if !ok {
+                targets[i] = self.domains[i].ways;
+            }
+        }
         // A large release (a tenant declared Streaming or gone idle)
         // changes the pool regime: stalled growth probes are worth
         // retrying (the paper's Figure 15 shows the receiver absorbing a
@@ -322,7 +363,7 @@ impl DcatController {
         if self.config.policy == AllocationPolicy::MaxPerformance && reclaimed {
             self.max_performance_retarget(&mut targets);
         }
-        self.grow_from_pool(&mut targets);
+        self.grow_from_pool(&mut targets, valid);
         self.apply(&targets, cat)?;
 
         debug_assert_eq!(
@@ -336,17 +377,22 @@ impl DcatController {
             .domains
             .iter()
             .zip(infos)
-            .map(|(d, (m, phase_changed))| DomainReport {
+            .zip(valid)
+            .map(|((d, (m, phase_changed)), ok)| DomainReport {
                 name: d.handle.name.clone(),
                 class: d.class,
                 ways: d.ways,
                 ipc: m.ipc,
-                norm_ipc: d
-                    .baseline_ipc
-                    .map(|b| if b > 0.0 { m.ipc / b } else { 0.0 }),
+                norm_ipc: if *ok {
+                    d.baseline_ipc
+                        .map(|b| if b > 0.0 { m.ipc / b } else { 0.0 })
+                } else {
+                    None
+                },
                 llc_miss_rate: m.llc_miss_rate,
                 phase_changed,
                 baseline_ipc: d.baseline_ipc,
+                skipped: !*ok,
             })
             .collect())
     }
@@ -624,17 +670,18 @@ impl DcatController {
     /// into Receiver or Streaming sooner), then Receivers; one way per
     /// interval each, except that a recurring phase jumps straight to its
     /// recorded preferred allocation.
-    fn grow_from_pool(&mut self, targets: &mut [u32]) {
+    fn grow_from_pool(&mut self, targets: &mut [u32], valid: &[bool]) {
         let assigned: u32 = targets.iter().sum();
         let mut free = self.total_ways.saturating_sub(assigned);
 
         // Desired totals per candidate.
         let mut order: Vec<usize> = Vec::new();
         for class in [WorkloadClass::Unknown, WorkloadClass::Receiver] {
-            for i in 0..self.domains.len() {
+            for (i, d) in self.domains.iter().enumerate() {
                 // Only freshly judged domains change size; a settling
-                // domain keeps its allocation until its effect is known.
-                if self.domains[i].class == class && self.domains[i].settle == 0 {
+                // domain keeps its allocation until its effect is known,
+                // and a held (invalid-interval) domain was not judged.
+                if d.class == class && d.settle == 0 && valid[i] {
                     order.push(i);
                 }
             }
@@ -741,26 +788,57 @@ impl DcatController {
         let occupied = layout.iter().fold(Cbm(0), |acc, m| acc.union(*m));
         let default_mask = longest_free_run(occupied, self.total_ways)
             .unwrap_or_else(|| Cbm::from_way_range(self.total_ways - 1, 1));
+        // Program in two passes, shrinkers first. A mask that only gives
+        // up ways can never transiently overlap a neighbor, and the ways
+        // it releases are exactly what the growers programmed afterwards
+        // claim — so if a transient write failure aborts the sequence
+        // partway, the mix of old and new masks left behind (in hardware
+        // and in the recorded state, which advances per domain only after
+        // its write succeeds) is still pairwise disjoint and cannot
+        // oversubscribe the cache.
+        let (shrinks, grows): (Vec<usize>, Vec<usize>) = (0..layout.len()).partition(
+            |&i| matches!(self.domains[i].cbm, Some(old) if layout[i].difference(old).is_empty()),
+        );
+        for &i in &shrinks {
+            self.program_domain(i, layout[i], targets[i], cat)?;
+        }
+        // COS 0 moves between the passes: its new run may use ways the
+        // shrinkers just released, while growers may claim ways it held.
         cat.program_cos(CosId(0), default_mask)?;
-        for (i, cbm) in layout.iter().enumerate() {
-            let d = &mut self.domains[i];
-            let first_program = d.cbm.is_none();
-            if d.cbm != Some(*cbm) {
-                cat.program_cos(d.cos, *cbm)?;
-                d.cbm = Some(*cbm);
-            }
-            if first_program {
-                for &core in &d.handle.cores {
-                    cat.assign_core(core, d.cos)?;
-                }
-            }
-            if d.ways != targets[i] {
-                d.ways = targets[i];
-                d.settle = self.config.settle_intervals;
-            }
+        for &i in &grows {
+            self.program_domain(i, layout[i], targets[i], cat)?;
         }
         if !lost.is_empty() {
             cat.flush_cbm(lost)?;
+        }
+        Ok(())
+    }
+
+    /// Programs one domain's mask (if changed), first-time core
+    /// assignment, and records the grant. The recorded state advances
+    /// only after the backend accepted the write, so a failure leaves the
+    /// record matching the hardware.
+    fn program_domain(
+        &mut self,
+        i: usize,
+        cbm: Cbm,
+        target: u32,
+        cat: &mut dyn CacheController,
+    ) -> Result<(), ResctrlError> {
+        let d = &mut self.domains[i];
+        let first_program = d.cbm.is_none();
+        if d.cbm != Some(cbm) {
+            cat.program_cos(d.cos, cbm)?;
+            d.cbm = Some(cbm);
+        }
+        if first_program {
+            for &core in &d.handle.cores {
+                cat.assign_core(core, d.cos)?;
+            }
+        }
+        if d.ways != target {
+            d.ways = target;
+            d.settle = self.config.settle_intervals;
         }
         Ok(())
     }

@@ -18,17 +18,64 @@
 //! tenant-b,20000,100,10,1000000,800000
 //! ```
 //!
+//! # Fault tolerance
+//!
+//! A daemon that runs unattended for hours meets transient failures as a
+//! matter of course, so the loop never dies on one. Telemetry reads and
+//! resctrl writes go through [`resctrl::retry`]'s bounded
+//! retry-with-backoff; when retries exhaust, the tick **degrades**: the
+//! previous allocation is held, a structured [`Event`] records why, and
+//! the loop moves on. Per-domain problems degrade per domain — a wrapped
+//! counter is reconstructed, a reset or stale sample skips just that
+//! domain's interval, and a domain whose telemetry stays missing or
+//! malformed for [`ResiliencePolicy::quarantine_after`] consecutive
+//! ticks is quarantined (allocation frozen, complaints suppressed) until
+//! it produces a good sample again. Only *fatal* errors — controller
+//! logic bugs, see [`resctrl::ErrorSeverity`] — abort the loop.
+//!
 //! The `dcatd` binary wraps [`run_daemon`] with command-line parsing.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use perf_events::CounterSnapshot;
-use resctrl::{FsBackend, ResctrlError};
+use perf_events::{CounterSnapshot, WrapOutcome};
+use resctrl::fault::FaultPlan;
+use resctrl::retry::{with_retries, RetryEvent, RetryPolicy, RetryingController};
+use resctrl::{CacheController, FaultingController, FsBackend, ResctrlError};
 
 use crate::config::DcatConfig;
 use crate::controller::{DcatController, DomainReport, WorkloadHandle};
+use crate::events::{DegradeReason, Event};
+use crate::telemetry::{parse_telemetry_lossy, FaultyTelemetry, FileTelemetry, TelemetryFeed};
+
+/// Recovery knobs for the daemon loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Retry policy for telemetry reads and resctrl writes.
+    pub retry: RetryPolicy,
+    /// Quarantine a domain after this many consecutive ticks of missing
+    /// or malformed telemetry (0 disables quarantine).
+    pub quarantine_after: u32,
+    /// Tolerate this many consecutive repeats of an active domain's
+    /// totals as stale samples (skipping the interval) before accepting
+    /// the repeat as a genuine idle.
+    pub stale_grace_ticks: u32,
+    /// Hardware counter width used to disambiguate wraps from resets.
+    pub counter_width_bits: u32,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            retry: RetryPolicy::default(),
+            quarantine_after: 5,
+            stale_grace_ticks: 2,
+            // The paper's Xeons expose 48-bit fixed/general counters.
+            counter_width_bits: 48,
+        }
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -46,12 +93,34 @@ pub struct DaemonConfig {
     /// Stop after this many ticks (`None` = run forever). Used by tests
     /// and by one-shot invocations.
     pub max_ticks: Option<u64>,
+    /// Recovery knobs.
+    pub resilience: ResiliencePolicy,
+    /// Deterministic fault schedule injected into both the resctrl
+    /// backend and the telemetry feed (`None` = inject nothing). Drives
+    /// the fault-sweep experiments and the end-to-end fault tests.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// Everything one daemon tick produced, handed to the observer hook.
+#[derive(Debug)]
+pub struct TickObservation<'a> {
+    /// 1-based tick number.
+    pub tick: u64,
+    /// Per-domain reports. On a degraded tick these are the *held*
+    /// reports of the last completed tick (empty if none completed yet).
+    pub reports: &'a [DomainReport],
+    /// Structured events this tick generated.
+    pub events: &'a [Event],
+    /// Whether this tick was degraded (no controller decision ran).
+    pub degraded: bool,
 }
 
 /// Parses the telemetry CSV into per-domain snapshots.
 ///
 /// Blank lines and `#` comments are ignored. Returns an error naming the
-/// offending line on any malformed row.
+/// offending line on any malformed row. The daemon loop itself uses
+/// [`crate::telemetry::parse_telemetry_lossy`], which drops bad rows
+/// individually; this strict variant suits one-shot tooling.
 pub fn parse_telemetry(text: &str) -> Result<HashMap<String, CounterSnapshot>, String> {
     let mut out = HashMap::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -89,9 +158,40 @@ pub fn parse_telemetry(text: &str) -> Result<HashMap<String, CounterSnapshot>, S
     Ok(out)
 }
 
+/// Rejects duplicate names and core lists that overlap across domains.
+///
+/// Two domains sharing a core would silently fight over that core's COS
+/// assignment — the last `assign_core` wins and one tenant runs under
+/// the other's mask — and duplicate names make telemetry rows ambiguous.
+pub fn validate_domain_set(domains: &[WorkloadHandle]) -> Result<(), String> {
+    let mut seen_names: HashMap<&str, usize> = HashMap::new();
+    let mut core_owner: HashMap<u32, &str> = HashMap::new();
+    for (i, d) in domains.iter().enumerate() {
+        if let Some(prev) = seen_names.insert(d.name.as_str(), i) {
+            return Err(format!(
+                "duplicate domain name {:?} (domains {prev} and {i})",
+                d.name
+            ));
+        }
+        for &core in &d.cores {
+            if let Some(owner) = core_owner.insert(core, d.name.as_str()) {
+                if owner != d.name {
+                    return Err(format!(
+                        "domains {:?} and {:?} both claim core {core}",
+                        owner, d.name
+                    ));
+                }
+                return Err(format!("domain {:?} lists core {core} twice", d.name));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses a `;`-separated `name:cores:ways` domain spec list, e.g.
 /// `"web:0-1:4;db:2-3,6:6"` (core lists use the cpus_list syntax, so the
-/// domain separator is `;` rather than `,`).
+/// domain separator is `;` rather than `,`). Duplicate names and
+/// overlapping core lists are rejected.
 pub fn parse_domains(spec: &str) -> Result<Vec<WorkloadHandle>, String> {
     let mut handles = Vec::new();
     for part in spec.split(';') {
@@ -116,33 +216,187 @@ pub fn parse_domains(spec: &str) -> Result<Vec<WorkloadHandle>, String> {
     if handles.is_empty() {
         return Err("no domains specified".to_string());
     }
+    validate_domain_set(&handles)?;
     Ok(handles)
 }
 
 /// Runs the daemon loop; returns the reports of the final tick.
-///
-/// Domains missing from a telemetry sample keep their previous totals (an
-/// idle interval), so a slow sampler degrades gracefully.
 pub fn run_daemon(cfg: &DaemonConfig) -> Result<Vec<DomainReport>, ResctrlError> {
-    run_daemon_with(cfg, |_, _| {})
+    run_daemon_with(cfg, |_| {})
+}
+
+fn telemetry_retry_event(e: RetryEvent) -> Event {
+    match e {
+        RetryEvent::Retried { attempt, error, .. } => Event::TelemetryRetried { attempt, error },
+        RetryEvent::Exhausted {
+            attempts, error, ..
+        } => Event::TelemetryExhausted { attempts, error },
+    }
+}
+
+fn resctrl_retry_event(e: RetryEvent) -> Event {
+    match e {
+        RetryEvent::Retried { op, attempt, error } => Event::ResctrlRetried { op, attempt, error },
+        RetryEvent::Exhausted {
+            op,
+            attempts,
+            error,
+        } => Event::ResctrlExhausted {
+            op,
+            attempts,
+            error,
+        },
+    }
+}
+
+/// Per-domain sampling state the loop threads from tick to tick.
+struct DomainState {
+    /// Monotonic totals fed to the controller: the raw samples, rebased
+    /// across counter wraps so they never go backwards.
+    rebased: CounterSnapshot,
+    /// The last raw sample, for wrap-aware delta computation.
+    raw_last: Option<CounterSnapshot>,
+    /// Whether the last valid interval retired instructions (a stale
+    /// sample is only suspicious for an active domain).
+    active: bool,
+    /// Consecutive samples identical to the previous one while active.
+    stale_streak: u32,
+    /// Consecutive ticks with missing/malformed telemetry.
+    bad_streak: u32,
+    /// Frozen: telemetry stayed bad for `quarantine_after` ticks.
+    quarantined: bool,
+    /// Whether any telemetry sample ever named this domain.
+    ever_seen: bool,
+}
+
+impl DomainState {
+    fn new() -> Self {
+        DomainState {
+            rebased: CounterSnapshot::default(),
+            raw_last: None,
+            active: false,
+            stale_streak: 0,
+            bad_streak: 0,
+            quarantined: false,
+            ever_seen: false,
+        }
+    }
+
+    /// Ingests one raw sample; returns whether the interval is valid and
+    /// pushes any per-domain events.
+    fn ingest(
+        &mut self,
+        name: &str,
+        raw: CounterSnapshot,
+        policy: &ResiliencePolicy,
+        events: &mut Vec<Event>,
+    ) -> bool {
+        self.ever_seen = true;
+        self.bad_streak = 0;
+        if self.quarantined {
+            // Back from the dead: resync and spend one tick re-grounding
+            // the totals before trusting an interval again.
+            self.quarantined = false;
+            self.stale_streak = 0;
+            self.raw_last = Some(raw);
+            events.push(Event::DomainRecovered {
+                domain: name.to_string(),
+            });
+            return false;
+        }
+        let Some(prev) = self.raw_last else {
+            // First sample: totals feed the controller directly (its
+            // recorded totals start at zero).
+            self.rebased = raw;
+            self.raw_last = Some(raw);
+            self.active = raw.ret_ins > 0;
+            return true;
+        };
+        if raw == prev && self.active && self.stale_streak < policy.stale_grace_ticks {
+            // An active workload's totals never stand perfectly still; a
+            // verbatim repeat is a wedged sampler until it persists past
+            // the grace (then it is accepted below as a genuine idle).
+            self.stale_streak += 1;
+            events.push(Event::StaleSample {
+                domain: name.to_string(),
+            });
+            return false;
+        }
+        self.stale_streak = 0;
+        match raw.delta_since_wrap_aware(&prev, policy.counter_width_bits) {
+            WrapOutcome::Monotonic(delta) => {
+                self.rebased = self.rebased.merged_with(&delta);
+                self.raw_last = Some(raw);
+                self.active = delta.ret_ins > 0;
+                true
+            }
+            WrapOutcome::Wrapped(delta) => {
+                self.rebased = self.rebased.merged_with(&delta);
+                self.raw_last = Some(raw);
+                self.active = delta.ret_ins > 0;
+                events.push(Event::CounterWrapped {
+                    domain: name.to_string(),
+                });
+                true
+            }
+            WrapOutcome::Invalid => {
+                // A reset: no trustworthy delta exists. Resync so the
+                // next interval subtracts from the new epoch.
+                self.raw_last = Some(raw);
+                events.push(Event::CounterReset {
+                    domain: name.to_string(),
+                });
+                false
+            }
+        }
+    }
+
+    /// Records a tick with no usable sample; returns whether this tick
+    /// crossed the quarantine threshold.
+    fn miss(&mut self, policy: &ResiliencePolicy) -> bool {
+        if self.quarantined {
+            return false;
+        }
+        self.bad_streak += 1;
+        if policy.quarantine_after > 0 && self.bad_streak >= policy.quarantine_after {
+            self.quarantined = true;
+            return true;
+        }
+        false
+    }
 }
 
 /// [`run_daemon`] with a per-tick observer.
 ///
-/// `observe(tick, reports)` is called after every controller interval
-/// (ticks count from 1), before the inter-tick sleep. Integration tests
-/// use the hook to rewrite the telemetry file between ticks — playing the
-/// role of the external sampler without a second thread — and to record
-/// the class/ways trajectory; a monitoring wrapper could export the
-/// reports from it.
+/// `observe` is called once per tick (ticks count from 1), before the
+/// inter-tick sleep, with that tick's [`TickObservation`] — reports,
+/// structured events, and whether the tick was degraded. Integration
+/// tests use the hook to rewrite the telemetry file between ticks —
+/// playing the role of the external sampler without a second thread —
+/// and to record the class/ways trajectory; a monitoring wrapper exports
+/// events from it (`dcatd` prints them to stderr).
 pub fn run_daemon_with(
     cfg: &DaemonConfig,
-    mut observe: impl FnMut(u64, &[DomainReport]),
+    mut observe: impl FnMut(&TickObservation),
 ) -> Result<Vec<DomainReport>, ResctrlError> {
-    let mut cat = FsBackend::open(&cfg.resctrl_root)?;
+    validate_domain_set(&cfg.domains).map_err(ResctrlError::Parse)?;
+    let policy = cfg.resilience;
+    let plan = cfg.fault_plan.clone().unwrap_or_default();
+
+    // Construction is fail-fast: a missing resctrl tree at startup is a
+    // configuration error, not weather.
+    let backend = FsBackend::open(&cfg.resctrl_root)?;
+    let mut cat =
+        RetryingController::new(FaultingController::new(backend, plan.clone()), policy.retry);
     let mut controller = DcatController::new(cfg.dcat, cfg.domains.clone(), &mut cat)?;
-    let mut last = vec![CounterSnapshot::default(); cfg.domains.len()];
-    let mut final_reports = Vec::new();
+    let total_ways = cat.capabilities().cbm_len;
+    let mut feed = FaultyTelemetry::new(FileTelemetry::new(&cfg.telemetry_path), plan);
+
+    let n = cfg.domains.len();
+    let mut states: Vec<DomainState> = (0..n).map(|_| DomainState::new()).collect();
+    let mut snapshots = vec![CounterSnapshot::default(); n];
+    let mut final_reports: Vec<DomainReport> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
     let mut tick = 0u64;
     loop {
         if let Some(max) = cfg.max_ticks {
@@ -151,26 +405,145 @@ pub fn run_daemon_with(
             }
         }
         tick += 1;
-        let text = std::fs::read_to_string(&cfg.telemetry_path)?;
-        let samples = parse_telemetry(&text).map_err(ResctrlError::Parse)?;
-        for (i, handle) in cfg.domains.iter().enumerate() {
-            if let Some(snap) = samples.get(&handle.name) {
-                last[i] = *snap;
+        events.clear();
+        cat.inner_mut().set_tick(tick);
+
+        // Telemetry acquisition, with retries; exhaustion degrades the
+        // whole tick (nothing per-domain can be said without a sample).
+        let mut retry_log = Vec::new();
+        let text = with_retries(policy.retry, "telemetry_read", &mut retry_log, || {
+            feed.read(tick)
+        });
+        events.extend(retry_log.into_iter().map(telemetry_retry_event));
+        let text = match text {
+            Ok(text) => text,
+            Err(e) if e.is_transient() => {
+                events.push(Event::DegradedTick {
+                    reason: DegradeReason::Telemetry,
+                });
+                observe(&TickObservation {
+                    tick,
+                    reports: &final_reports,
+                    events: &events,
+                    degraded: true,
+                });
+                sleep_between_ticks(cfg, tick);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+
+        let (samples, issues) = parse_telemetry_lossy(&text);
+        for issue in issues {
+            // A quarantined domain's rows stay broken tick after tick;
+            // one quarantine event stands in for the stream of
+            // complaints.
+            let suppressed = issue.domain.as_deref().is_some_and(|name| {
+                cfg.domains
+                    .iter()
+                    .position(|d| d.name == name)
+                    .is_some_and(|i| states[i].quarantined)
+            });
+            if !suppressed {
+                events.push(Event::RowMalformed {
+                    domain: issue.domain,
+                    line: issue.line,
+                    message: issue.message,
+                });
             }
         }
-        final_reports = controller.tick(&last, &mut cat)?;
-        observe(tick, &final_reports);
-        if cfg.max_ticks.is_none() || tick < cfg.max_ticks.unwrap_or(0) {
-            std::thread::sleep(cfg.interval);
+
+        let mut valid = vec![true; n];
+        for i in 0..n {
+            let name = &cfg.domains[i].name;
+            match samples.get(name) {
+                Some(raw) => {
+                    valid[i] = states[i].ingest(name, *raw, &policy, &mut events);
+                }
+                None => {
+                    valid[i] = false;
+                    if states[i].miss(&policy) {
+                        events.push(Event::DomainQuarantined {
+                            domain: name.clone(),
+                            after_ticks: states[i].bad_streak,
+                        });
+                    }
+                }
+            }
+            snapshots[i] = states[i].rebased;
         }
+        if tick == 1 {
+            // Satellite check: a domain the sampler never mentions would
+            // otherwise sit silent forever at its initial allocation.
+            for (i, d) in cfg.domains.iter().enumerate() {
+                if !states[i].ever_seen {
+                    events.push(Event::DomainSilent {
+                        domain: d.name.clone(),
+                    });
+                }
+            }
+        }
+
+        let result = controller.tick_validated(&snapshots, &valid, &mut cat);
+        events.extend(cat.take_events().into_iter().map(resctrl_retry_event));
+        let degraded = match result {
+            Ok(reports) => {
+                final_reports = reports;
+                false
+            }
+            Err(e) if e.is_transient() => {
+                events.push(Event::DegradedTick {
+                    reason: DegradeReason::Resctrl,
+                });
+                true
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Audit the recorded allocation even (especially) on degraded
+        // ticks: holding must never leave overlapping masks or starve a
+        // domain below its floor.
+        if let Err(violation) =
+            crate::invariants::check(&controller.domain_views(), total_ways, cfg.dcat.min_ways)
+        {
+            events.push(Event::InvariantViolation { message: violation });
+        }
+
+        observe(&TickObservation {
+            tick,
+            reports: &final_reports,
+            events: &events,
+            degraded,
+        });
+        sleep_between_ticks(cfg, tick);
     }
     Ok(final_reports)
+}
+
+fn sleep_between_ticks(cfg: &DaemonConfig, tick: u64) {
+    let last = cfg.max_ticks.is_some_and(|max| tick >= max);
+    if !last && !cfg.interval.is_zero() {
+        std::thread::sleep(cfg.interval);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use resctrl::CatCapabilities;
+
+    fn base_config(root: PathBuf, domains: Vec<WorkloadHandle>) -> DaemonConfig {
+        DaemonConfig {
+            telemetry_path: root.join("telemetry.csv"),
+            resctrl_root: root,
+            domains,
+            dcat: DcatConfig::default(),
+            interval: Duration::from_millis(0),
+            max_ticks: Some(3),
+            resilience: ResiliencePolicy::default(),
+            fault_plan: None,
+        }
+    }
 
     #[test]
     fn telemetry_parsing_happy_path() {
@@ -207,6 +580,31 @@ mod tests {
     }
 
     #[test]
+    fn domain_spec_rejects_duplicate_names() {
+        let err = parse_domains("web:0-1:4;web:2-3:4").unwrap_err();
+        assert!(err.contains("duplicate domain name"), "{err}");
+    }
+
+    #[test]
+    fn domain_spec_rejects_overlapping_cores() {
+        let err = parse_domains("web:0-2:4;db:2-3:4").unwrap_err();
+        assert!(err.contains("both claim core 2"), "{err}");
+    }
+
+    #[test]
+    fn daemon_rejects_invalid_domain_sets_up_front() {
+        let cfg = base_config(
+            PathBuf::from("/nonexistent"),
+            vec![
+                WorkloadHandle::new("a", vec![0], 1),
+                WorkloadHandle::new("a", vec![1], 1),
+            ],
+        );
+        let err = run_daemon(&cfg).unwrap_err();
+        assert!(err.to_string().contains("duplicate domain name"), "{err}");
+    }
+
+    #[test]
     fn daemon_runs_against_a_fixture_tree() {
         let root = std::env::temp_dir().join(format!(
             "dcatd-test-{}-{:?}",
@@ -216,24 +614,19 @@ mod tests {
         let _ = std::fs::remove_dir_all(&root);
         drop(FsBackend::create_fixture(&root, CatCapabilities::with_ways(20), 8).unwrap());
 
-        let telemetry = root.join("telemetry.csv");
         std::fs::write(
-            &telemetry,
+            root.join("telemetry.csv"),
             "hungry,340000,120000,60000,1000000,20000000\nidle,0,0,0,0,0\n",
         )
         .unwrap();
 
-        let cfg = DaemonConfig {
-            resctrl_root: root.clone(),
-            telemetry_path: telemetry,
-            domains: vec![
+        let cfg = base_config(
+            root.clone(),
+            vec![
                 WorkloadHandle::new("hungry", vec![0, 1], 4),
                 WorkloadHandle::new("idle", vec![2, 3], 4),
             ],
-            dcat: DcatConfig::default(),
-            interval: Duration::from_millis(0),
-            max_ticks: Some(3),
-        };
+        );
         let reports = run_daemon(&cfg).unwrap();
         assert_eq!(reports.len(), 2);
         // The idle domain was recognized and defunded.
@@ -246,14 +639,59 @@ mod tests {
 
     #[test]
     fn daemon_fails_cleanly_without_a_tree() {
-        let cfg = DaemonConfig {
-            resctrl_root: PathBuf::from("/nonexistent/resctrl"),
-            telemetry_path: PathBuf::from("/nonexistent/telemetry"),
-            domains: vec![WorkloadHandle::new("x", vec![0], 1)],
-            dcat: DcatConfig::default(),
-            interval: Duration::from_millis(0),
-            max_ticks: Some(1),
-        };
+        let cfg = base_config(
+            PathBuf::from("/nonexistent/resctrl"),
+            vec![WorkloadHandle::new("x", vec![0], 1)],
+        );
         assert!(run_daemon(&cfg).is_err());
+    }
+
+    #[test]
+    fn silent_domain_is_flagged_after_the_first_interval() {
+        let root = std::env::temp_dir().join(format!(
+            "dcatd-silent-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        drop(FsBackend::create_fixture(&root, CatCapabilities::with_ways(20), 8).unwrap());
+        // Only "loud" ever appears in telemetry; "ghost" is configured
+        // but never sampled.
+        std::fs::write(
+            root.join("telemetry.csv"),
+            "loud,340000,120000,60000,1000000,20000000\n",
+        )
+        .unwrap();
+        let mut cfg = base_config(
+            root.clone(),
+            vec![
+                WorkloadHandle::new("loud", vec![0, 1], 4),
+                WorkloadHandle::new("ghost", vec![2, 3], 4),
+            ],
+        );
+        cfg.max_ticks = Some(7);
+        let mut silent_ticks = Vec::new();
+        let mut quarantine_ticks = Vec::new();
+        run_daemon_with(&cfg, |obs| {
+            for e in obs.events {
+                match e {
+                    Event::DomainSilent { domain } if domain == "ghost" => {
+                        silent_ticks.push(obs.tick);
+                    }
+                    Event::DomainQuarantined { domain, .. } if domain == "ghost" => {
+                        quarantine_ticks.push(obs.tick);
+                    }
+                    _ => {}
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            silent_ticks,
+            vec![1],
+            "warned once, after the first interval"
+        );
+        assert_eq!(quarantine_ticks, vec![5], "default quarantine_after = 5");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -1,0 +1,234 @@
+//! Structured per-tick events from the daemon's recovery paths.
+//!
+//! The daemon used to have exactly two observable behaviors: produce
+//! reports, or die. Everything in between — a retried read, a held
+//! allocation, a quarantined domain — was invisible. [`Event`] makes
+//! that middle ground explicit: every tick of
+//! [`crate::daemon::run_daemon_with`] carries the events it generated
+//! through the observer hook, each rendering as one stable
+//! `key=value`-style log line for operators and as a typed value for
+//! tests, which assert the log records every injected fault.
+
+use std::fmt;
+
+/// Why a tick was degraded (allocations held, no controller decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// Telemetry could not be read after all retries.
+    Telemetry,
+    /// A resctrl write failed after all retries, mid-tick.
+    Resctrl,
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::Telemetry => write!(f, "telemetry"),
+            DegradeReason::Resctrl => write!(f, "resctrl"),
+        }
+    }
+}
+
+/// One structured observation from the daemon loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A telemetry read failed transiently and was retried.
+    TelemetryRetried {
+        /// 1-based attempt that failed.
+        attempt: u32,
+        /// Rendered error.
+        error: String,
+    },
+    /// Telemetry reads exhausted their retries this tick.
+    TelemetryExhausted {
+        /// Total attempts made.
+        attempts: u32,
+        /// Rendered final error.
+        error: String,
+    },
+    /// A telemetry row could not be parsed and was dropped.
+    RowMalformed {
+        /// Domain name, when the row got far enough to reveal one.
+        domain: Option<String>,
+        /// 1-based line number in the telemetry file.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A resctrl write failed transiently and was retried.
+    ResctrlRetried {
+        /// Which operation (e.g. `program_cos`).
+        op: &'static str,
+        /// 1-based attempt that failed.
+        attempt: u32,
+        /// Rendered error.
+        error: String,
+    },
+    /// A resctrl write exhausted its retries.
+    ResctrlExhausted {
+        /// Which operation.
+        op: &'static str,
+        /// Total attempts made.
+        attempts: u32,
+        /// Rendered final error.
+        error: String,
+    },
+    /// The tick was degraded: the previous allocation is held and no
+    /// controller decision was taken.
+    DegradedTick {
+        /// Which failure surface caused it.
+        reason: DegradeReason,
+    },
+    /// A counter wrapped and the interval was reconstructed.
+    CounterWrapped {
+        /// The affected domain.
+        domain: String,
+    },
+    /// A counter jumped backwards implausibly (reset); the domain's
+    /// interval was skipped and its totals resynced.
+    CounterReset {
+        /// The affected domain.
+        domain: String,
+    },
+    /// A sample repeated the previous totals while the domain was
+    /// active; the interval was skipped as stale.
+    StaleSample {
+        /// The affected domain.
+        domain: String,
+    },
+    /// A configured domain has not appeared in any telemetry sample.
+    DomainSilent {
+        /// The affected domain.
+        domain: String,
+    },
+    /// A domain's telemetry stayed missing or malformed for the
+    /// configured number of consecutive ticks; its allocation is frozen
+    /// and further complaints are suppressed until it recovers.
+    DomainQuarantined {
+        /// The affected domain.
+        domain: String,
+        /// Consecutive bad ticks that triggered the quarantine.
+        after_ticks: u32,
+    },
+    /// A quarantined domain produced a good sample again.
+    DomainRecovered {
+        /// The affected domain.
+        domain: String,
+    },
+    /// The post-tick invariant audit failed (held state is still
+    /// serving; this event is the alarm).
+    InvariantViolation {
+        /// The violation, rendered.
+        message: String,
+    },
+}
+
+impl Event {
+    /// Stable event name (the `event=` field of the log line).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::TelemetryRetried { .. } => "telemetry_retried",
+            Event::TelemetryExhausted { .. } => "telemetry_exhausted",
+            Event::RowMalformed { .. } => "row_malformed",
+            Event::ResctrlRetried { .. } => "resctrl_retried",
+            Event::ResctrlExhausted { .. } => "resctrl_exhausted",
+            Event::DegradedTick { .. } => "degraded_tick",
+            Event::CounterWrapped { .. } => "counter_wrapped",
+            Event::CounterReset { .. } => "counter_reset",
+            Event::StaleSample { .. } => "stale_sample",
+            Event::DomainSilent { .. } => "domain_silent",
+            Event::DomainQuarantined { .. } => "domain_quarantined",
+            Event::DomainRecovered { .. } => "domain_recovered",
+            Event::InvariantViolation { .. } => "invariant_violation",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event={}", self.name())?;
+        match self {
+            Event::TelemetryRetried { attempt, error } => {
+                write!(f, " attempt={attempt} error={error:?}")
+            }
+            Event::TelemetryExhausted { attempts, error } => {
+                write!(f, " attempts={attempts} error={error:?}")
+            }
+            Event::RowMalformed {
+                domain,
+                line,
+                message,
+            } => {
+                if let Some(d) = domain {
+                    write!(f, " domain={d}")?;
+                }
+                write!(f, " line={line} message={message:?}")
+            }
+            Event::ResctrlRetried { op, attempt, error } => {
+                write!(f, " op={op} attempt={attempt} error={error:?}")
+            }
+            Event::ResctrlExhausted {
+                op,
+                attempts,
+                error,
+            } => write!(f, " op={op} attempts={attempts} error={error:?}"),
+            Event::DegradedTick { reason } => write!(f, " reason={reason}"),
+            Event::CounterWrapped { domain }
+            | Event::CounterReset { domain }
+            | Event::StaleSample { domain }
+            | Event::DomainSilent { domain }
+            | Event::DomainRecovered { domain } => write!(f, " domain={domain}"),
+            Event::DomainQuarantined {
+                domain,
+                after_ticks,
+            } => write!(f, " domain={domain} after_ticks={after_ticks}"),
+            Event::InvariantViolation { message } => write!(f, " message={message:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_stable_log_lines() {
+        let e = Event::DegradedTick {
+            reason: DegradeReason::Telemetry,
+        };
+        assert_eq!(e.to_string(), "event=degraded_tick reason=telemetry");
+        let e = Event::DomainQuarantined {
+            domain: "vm3".into(),
+            after_ticks: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "event=domain_quarantined domain=vm3 after_ticks=5"
+        );
+        let e = Event::ResctrlRetried {
+            op: "program_cos",
+            attempt: 1,
+            error: "EIO".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "event=resctrl_retried op=program_cos attempt=1 error=\"EIO\""
+        );
+    }
+
+    #[test]
+    fn row_malformed_renders_with_and_without_a_domain() {
+        let anon = Event::RowMalformed {
+            domain: None,
+            line: 4,
+            message: "expected 6 fields".into(),
+        };
+        assert!(!anon.to_string().contains("domain="));
+        let named = Event::RowMalformed {
+            domain: Some("vm1".into()),
+            line: 4,
+            message: "bad l1_ref".into(),
+        };
+        assert!(named.to_string().contains("domain=vm1 line=4"));
+    }
+}

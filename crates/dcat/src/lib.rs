@@ -50,17 +50,24 @@ pub mod baselines;
 pub mod config;
 pub mod controller;
 pub mod daemon;
+pub mod events;
 pub mod invariants;
 pub mod perf_table;
 pub mod phase;
 pub mod policy;
 pub mod state;
+pub mod telemetry;
 pub mod transitions;
 
 pub use baselines::{SharedCachePolicy, StaticCatPolicy};
 pub use config::{AllocationPolicy, DcatConfig};
 pub use controller::{DcatController, DomainReport, WorkloadHandle};
+pub use daemon::{DaemonConfig, ResiliencePolicy, TickObservation};
+pub use events::{DegradeReason, Event};
 pub use perf_table::PerformanceTable;
 pub use phase::{PhaseChange, PhaseDetector};
 pub use policy::CachePolicy;
 pub use state::WorkloadClass;
+pub use telemetry::{
+    parse_telemetry_lossy, FaultyTelemetry, FileTelemetry, RowIssue, TelemetryFeed,
+};

@@ -1,0 +1,344 @@
+//! Telemetry acquisition for the daemon: file reads, lossy parsing, and
+//! the fault-injecting wrapper.
+//!
+//! The daemon never touches the filesystem directly (an `xtask` scan
+//! enforces it): it pulls raw CSV text through a [`TelemetryFeed`],
+//! retries transient failures through [`resctrl::retry::with_retries`],
+//! and parses with [`parse_telemetry_lossy`], which drops malformed rows
+//! individually instead of rejecting the whole sample — a sampler caught
+//! mid-write corrupts one line, not the host.
+//!
+//! [`FaultyTelemetry`] wraps any feed with the telemetry half of a
+//! [`FaultPlan`]: scheduled read errors, truncation, stale (repeated)
+//! samples, and narrowed counters that wrap. Production runs use an
+//! empty plan, which injects nothing.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use perf_events::CounterSnapshot;
+use resctrl::fault::{Fault, FaultPlan};
+use resctrl::ResctrlError;
+
+/// A producer of raw telemetry text, one read per daemon tick.
+pub trait TelemetryFeed {
+    /// Reads the current sample. `tick` is the daemon's 1-based tick,
+    /// used by fault-injecting implementations to follow their schedule.
+    fn read(&mut self, tick: u64) -> Result<String, ResctrlError>;
+}
+
+/// Reads the telemetry CSV an external sampler refreshes.
+#[derive(Debug, Clone)]
+pub struct FileTelemetry {
+    path: PathBuf,
+}
+
+impl FileTelemetry {
+    /// A feed over `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileTelemetry { path: path.into() }
+    }
+
+    /// The file being read.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TelemetryFeed for FileTelemetry {
+    fn read(&mut self, _tick: u64) -> Result<String, ResctrlError> {
+        std::fs::read_to_string(&self.path).map_err(ResctrlError::Io)
+    }
+}
+
+/// One dropped telemetry row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowIssue {
+    /// 1-based line number.
+    pub line: usize,
+    /// The domain name, when the row got far enough to reveal one.
+    pub domain: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// Parses the telemetry CSV, dropping malformed rows individually.
+///
+/// Returns the good rows plus one [`RowIssue`] per dropped row. A
+/// duplicate domain keeps the *first* occurrence (the second is the
+/// suspect one under append-style corruption). Contrast with
+/// [`crate::daemon::parse_telemetry`], which rejects the whole sample —
+/// right for one-shot tools, wrong for a loop that must survive a
+/// sampler caught mid-write.
+pub fn parse_telemetry_lossy(text: &str) -> (HashMap<String, CounterSnapshot>, Vec<RowIssue>) {
+    let mut out = HashMap::new();
+    let mut issues = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let domain = fields
+            .first()
+            .filter(|name| !name.is_empty())
+            .map(|name| name.to_string());
+        if fields.len() != 6 {
+            issues.push(RowIssue {
+                line: lineno + 1,
+                domain,
+                message: format!("expected 6 fields, got {}", fields.len()),
+            });
+            continue;
+        }
+        let mut values = [0u64; 5];
+        let mut bad = None;
+        for (k, (raw, what)) in fields[1..]
+            .iter()
+            .zip(["l1_ref", "llc_ref", "llc_miss", "ret_ins", "cycles"])
+            .enumerate()
+        {
+            match raw.parse() {
+                Ok(v) => values[k] = v,
+                Err(e) => {
+                    bad = Some(format!("bad {what} {raw:?}: {e}"));
+                    break;
+                }
+            }
+        }
+        if let Some(message) = bad {
+            issues.push(RowIssue {
+                line: lineno + 1,
+                domain,
+                message,
+            });
+            continue;
+        }
+        let Some(name) = domain else {
+            issues.push(RowIssue {
+                line: lineno + 1,
+                domain: None,
+                message: "empty domain name".to_string(),
+            });
+            continue;
+        };
+        let snap = CounterSnapshot {
+            l1_ref: values[0],
+            llc_ref: values[1],
+            llc_miss: values[2],
+            ret_ins: values[3],
+            cycles: values[4],
+        };
+        match out.entry(name) {
+            Entry::Occupied(slot) => issues.push(RowIssue {
+                line: lineno + 1,
+                domain: Some(slot.key().clone()),
+                message: "duplicate domain row".to_string(),
+            }),
+            Entry::Vacant(slot) => {
+                slot.insert(snap);
+            }
+        }
+    }
+    (out, issues)
+}
+
+/// A [`TelemetryFeed`] wrapper that injects the telemetry half of a
+/// [`FaultPlan`].
+///
+/// Per scheduled fault kind:
+///
+/// * [`Fault::TelemetryRead`] — every read this tick fails with an
+///   injected I/O error (retries exhaust, the tick degrades);
+/// * [`Fault::TelemetryReadOnce`] — only the first read this tick fails
+///   (one retry absorbs it);
+/// * [`Fault::TelemetryTruncated`] — the text is cut off mid-row;
+/// * [`Fault::TelemetryStale`] — the previous successful sample is
+///   served again;
+/// * [`Fault::CounterWrap`] — from its first scheduled tick onward,
+///   numeric fields are reported modulo `2^wrap_width_bits`, as a
+///   narrow hardware counter would report them.
+#[derive(Debug)]
+pub struct FaultyTelemetry<S> {
+    inner: S,
+    plan: FaultPlan,
+    last_good: Option<String>,
+    calls_this_tick: u32,
+    tick: u64,
+    injected: Vec<(u64, Fault)>,
+}
+
+impl<S: TelemetryFeed> FaultyTelemetry<S> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyTelemetry {
+            inner,
+            plan,
+            last_good: None,
+            calls_this_tick: 0,
+            tick: 0,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Every fault actually injected, as `(tick, fault)` pairs.
+    pub fn injected(&self) -> &[(u64, Fault)] {
+        &self.injected
+    }
+
+    fn narrow_counters(&self, text: &str) -> String {
+        let modulus = 2u64.pow(self.plan.wrap_width_bits());
+        let mut out = String::with_capacity(text.len());
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                out.push_str(line);
+            } else {
+                let narrowed: Vec<String> = line
+                    .split(',')
+                    .enumerate()
+                    .map(|(k, field)| {
+                        if k == 0 {
+                            return field.to_string();
+                        }
+                        match field.trim().parse::<u64>() {
+                            Ok(v) => (v % modulus).to_string(),
+                            Err(_) => field.to_string(),
+                        }
+                    })
+                    .collect();
+                out.push_str(&narrowed.join(","));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl<S: TelemetryFeed> TelemetryFeed for FaultyTelemetry<S> {
+    fn read(&mut self, tick: u64) -> Result<String, ResctrlError> {
+        if tick != self.tick {
+            self.tick = tick;
+            self.calls_this_tick = 0;
+        }
+        let first_call = self.calls_this_tick == 0;
+        self.calls_this_tick += 1;
+
+        if self.plan.contains(tick, Fault::TelemetryRead) {
+            self.injected.push((tick, Fault::TelemetryRead));
+            return Err(ResctrlError::Io(std::io::Error::other(format!(
+                "injected telemetry_read fault at tick {tick}"
+            ))));
+        }
+        if first_call && self.plan.contains(tick, Fault::TelemetryReadOnce) {
+            self.injected.push((tick, Fault::TelemetryReadOnce));
+            return Err(ResctrlError::Io(std::io::Error::other(format!(
+                "injected telemetry_read_once fault at tick {tick}"
+            ))));
+        }
+
+        let mut text = self.inner.read(tick)?;
+        if self.plan.wrap_active_at(tick) {
+            if self.plan.contains(tick, Fault::CounterWrap) {
+                self.injected.push((tick, Fault::CounterWrap));
+            }
+            text = self.narrow_counters(&text);
+        }
+        if self.plan.contains(tick, Fault::TelemetryStale) {
+            if let Some(stale) = &self.last_good {
+                self.injected.push((tick, Fault::TelemetryStale));
+                return Ok(stale.clone());
+            }
+        }
+        if self.plan.contains(tick, Fault::TelemetryTruncated) {
+            self.injected.push((tick, Fault::TelemetryTruncated));
+            let mut cut = text.len() * 3 / 5;
+            while cut > 0 && !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            return Ok(text[..cut].to_string());
+        }
+        self.last_good = Some(text.clone());
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory feed scripted per tick.
+    struct Scripted(Vec<String>);
+
+    impl TelemetryFeed for Scripted {
+        fn read(&mut self, tick: u64) -> Result<String, ResctrlError> {
+            Ok(self.0[(tick - 1) as usize].clone())
+        }
+    }
+
+    #[test]
+    fn lossy_parse_keeps_good_rows_and_reports_bad_ones() {
+        let text = "# header\na,1,2,3,4,5\nb,1,2\nc,x,2,3,4,5\na,9,9,9,9,9\nd,1,2,3,4,5\n";
+        let (rows, issues) = parse_telemetry_lossy(text);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows["a"].l1_ref, 1, "first duplicate occurrence wins");
+        assert_eq!(rows["d"].cycles, 5);
+        assert_eq!(issues.len(), 3);
+        assert_eq!(issues[0].domain.as_deref(), Some("b"));
+        assert!(issues[0].message.contains("expected 6 fields"));
+        assert!(issues[1].message.contains("bad l1_ref"));
+        assert_eq!(issues[2].message, "duplicate domain row");
+    }
+
+    #[test]
+    fn truncated_text_loses_the_tail_row_only() {
+        let text = "a,1,2,3,4,5\nb,10,20,30,40,50\n";
+        let feed = Scripted(vec![text.to_string()]);
+        let plan = FaultPlan::scripted([(1, Fault::TelemetryTruncated)]);
+        let mut faulty = FaultyTelemetry::new(feed, plan);
+        let got = faulty.read(1).unwrap();
+        assert!(got.len() < text.len());
+        let (rows, issues) = parse_telemetry_lossy(&got);
+        assert!(rows.contains_key("a"), "leading rows survive truncation");
+        assert!(!rows.contains_key("b"));
+        assert_eq!(issues.len(), 1);
+        assert_eq!(faulty.injected(), &[(1, Fault::TelemetryTruncated)]);
+    }
+
+    #[test]
+    fn stale_fault_replays_the_previous_sample() {
+        let feed = Scripted(vec!["a,1,1,1,1,1\n".into(), "a,2,2,2,2,2\n".into()]);
+        let plan = FaultPlan::scripted([(2, Fault::TelemetryStale)]);
+        let mut faulty = FaultyTelemetry::new(feed, plan);
+        let first = faulty.read(1).unwrap();
+        let second = faulty.read(2).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn wrap_fault_narrows_totals_stickily() {
+        let feed = Scripted(vec![
+            "a,1,1,1,1,100\n".into(),
+            "a,1,1,1,1,300\n".into(),
+            "a,1,1,1,1,600\n".into(),
+        ]);
+        let plan = FaultPlan::scripted([(2, Fault::CounterWrap)]).with_wrap_width(8);
+        let mut faulty = FaultyTelemetry::new(feed, plan);
+        assert!(faulty.read(1).unwrap().contains(",100"));
+        assert!(faulty.read(2).unwrap().contains(",44"), "300 mod 256");
+        assert!(
+            faulty.read(3).unwrap().contains(",88"),
+            "600 mod 256 — sticky"
+        );
+    }
+
+    #[test]
+    fn read_once_fault_fails_only_the_first_attempt() {
+        let feed = Scripted(vec!["a,1,1,1,1,1\n".into()]);
+        let plan = FaultPlan::scripted([(1, Fault::TelemetryReadOnce)]);
+        let mut faulty = FaultyTelemetry::new(feed, plan);
+        assert!(faulty.read(1).is_err());
+        assert!(faulty.read(1).is_ok(), "the retry within the tick succeeds");
+    }
+}

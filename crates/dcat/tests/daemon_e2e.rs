@@ -108,22 +108,25 @@ fn daemon_promotes_a_receiver_and_reclaims_on_phase_change() {
         },
         interval: Duration::from_millis(0),
         max_ticks: Some(MAX_TICKS),
+        resilience: dcat::daemon::ResiliencePolicy::default(),
+        fault_plan: None,
     };
 
     // (tick, grower class, grower ways, grower phase_changed, quiet ways).
     let mut history: Vec<(u64, WorkloadClass, u32, bool, u32)> = Vec::new();
-    let reports = run_daemon_with(&cfg, |tick, reports| {
-        assert_eq!(reports.len(), 2);
+    let reports = run_daemon_with(&cfg, |obs| {
+        assert_eq!(obs.reports.len(), 2);
+        assert!(!obs.degraded, "fault-free run must never degrade");
         history.push((
-            tick,
-            reports[0].class,
-            reports[0].ways,
-            reports[0].phase_changed,
-            reports[1].ways,
+            obs.tick,
+            obs.reports[0].class,
+            obs.reports[0].ways,
+            obs.reports[0].phase_changed,
+            obs.reports[1].ways,
         ));
         // Play the sampler: accumulate the next interval's deltas into the
         // monotonic totals and rewrite the CSV the daemon reads next tick.
-        grower_total = grower_total.merged_with(&grower_delta(tick + 1));
+        grower_total = grower_total.merged_with(&grower_delta(obs.tick + 1));
         quiet_total = quiet_total.merged_with(&quiet_delta());
         write_telemetry(&telemetry, &grower_total, &quiet_total);
     })

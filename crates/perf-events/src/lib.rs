@@ -42,6 +42,6 @@ pub mod window;
 
 pub use events::PerfEvent;
 pub use metrics::IntervalMetrics;
-pub use snapshot::CounterSnapshot;
+pub use snapshot::{CounterSnapshot, WrapOutcome};
 pub use source::TelemetrySource;
 pub use window::{EwmaWindow, SlidingWindow};

@@ -21,6 +21,28 @@ pub struct CounterSnapshot {
     pub cycles: u64,
 }
 
+/// The verdict of a wrap-aware interval computation.
+///
+/// Hardware counters are narrower than 64 bits (48 bits on the paper's
+/// Xeons, 32 on some hypervisor interfaces), so a live total eventually
+/// reports *less* than the previous sample. Treating that as a zero
+/// delta — which the saturating [`CounterSnapshot::delta_since`] does —
+/// reads a busy interval as idle, and the controller can misclassify it
+/// as a phase change. [`CounterSnapshot::delta_since_wrap_aware`]
+/// distinguishes the three cases instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapOutcome {
+    /// Every component advanced normally.
+    Monotonic(CounterSnapshot),
+    /// At least one component wrapped at the counter width; the delta is
+    /// reconstructed with a width-aware `wrapping_sub`.
+    Wrapped(CounterSnapshot),
+    /// A component went backwards by more than the plausible-wrap bound:
+    /// the counter was reset (or the sample is garbage). There is no
+    /// trustworthy delta; the interval must be skipped.
+    Invalid,
+}
+
 impl CounterSnapshot {
     /// The interval `self - earlier`, saturating at zero per component so a
     /// counter reset can never produce an underflowed interval.
@@ -31,6 +53,72 @@ impl CounterSnapshot {
             llc_miss: self.llc_miss.saturating_sub(earlier.llc_miss),
             ret_ins: self.ret_ins.saturating_sub(earlier.ret_ins),
             cycles: self.cycles.saturating_sub(earlier.cycles),
+        }
+    }
+
+    /// The interval `self - earlier` for counters that are `width_bits`
+    /// wide, distinguishing a genuine wrap from a reset.
+    ///
+    /// A component with `later >= earlier` advances normally. A component
+    /// with `later < earlier` is reconstructed as
+    /// `(later - earlier) mod 2^width_bits`; the reconstruction is
+    /// trusted only when it lands below half the counter range —
+    /// per-interval deltas are minuscule next to the wrap period, so a
+    /// "wrapped delta" of 2^47 cycles means reset, not wrap, and the
+    /// whole interval is [`WrapOutcome::Invalid`].
+    ///
+    /// `earlier` may exceed `2^width_bits` (the daemon rebases totals
+    /// past each wrap); only its low `width_bits` matter to the modular
+    /// subtraction, so the reconstruction stays exact as long as the
+    /// true per-interval delta fits in the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width_bits` is outside `1..=64`.
+    pub fn delta_since_wrap_aware(
+        &self,
+        earlier: &CounterSnapshot,
+        width_bits: u32,
+    ) -> WrapOutcome {
+        assert!(
+            (1..=64).contains(&width_bits),
+            "counter width must be 1..=64 bits"
+        );
+        let mask = if width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width_bits) - 1
+        };
+        let half_range = 1u64 << (width_bits - 1);
+        // Per component: (delta, did it wrap), or None on a reset.
+        let component = |later: u64, earlier: u64| -> Option<(u64, bool)> {
+            if later >= earlier {
+                return Some((later - earlier, false));
+            }
+            let delta = later.wrapping_sub(earlier) & mask;
+            (delta < half_range).then_some((delta, true))
+        };
+        let pairs = [
+            component(self.l1_ref, earlier.l1_ref),
+            component(self.llc_ref, earlier.llc_ref),
+            component(self.llc_miss, earlier.llc_miss),
+            component(self.ret_ins, earlier.ret_ins),
+            component(self.cycles, earlier.cycles),
+        ];
+        let Some(resolved) = pairs.into_iter().collect::<Option<Vec<_>>>() else {
+            return WrapOutcome::Invalid;
+        };
+        let delta = CounterSnapshot {
+            l1_ref: resolved[0].0,
+            llc_ref: resolved[1].0,
+            llc_miss: resolved[2].0,
+            ret_ins: resolved[3].0,
+            cycles: resolved[4].0,
+        };
+        if resolved.iter().any(|(_, wrapped)| *wrapped) {
+            WrapOutcome::Wrapped(delta)
+        } else {
+            WrapOutcome::Monotonic(delta)
         }
     }
 
@@ -86,6 +174,75 @@ mod tests {
     fn delta_saturates() {
         let d = snap(1, 1, 1, 1, 1).delta_since(&snap(5, 5, 5, 5, 5));
         assert_eq!(d, CounterSnapshot::default());
+    }
+
+    #[test]
+    fn wrap_aware_delta_matches_plain_subtraction_when_monotonic() {
+        let earlier = snap(4, 3, 1, 40, 90);
+        let later = snap(10, 8, 4, 100, 200);
+        assert_eq!(
+            later.delta_since_wrap_aware(&earlier, 48),
+            WrapOutcome::Monotonic(snap(6, 5, 3, 60, 110))
+        );
+    }
+
+    #[test]
+    fn wrapped_counter_reconstructs_the_true_delta() {
+        // Regression: `delta_since` collapses a wrap to zero and the
+        // controller reads a busy interval as idle. A 32-bit cycles
+        // counter that advanced by 20M across the wrap boundary must
+        // come back as exactly 20M.
+        let before = (1u64 << 32) - 5_000_000;
+        let after = (before + 20_000_000) & ((1u64 << 32) - 1);
+        let earlier = snap(100, 50, 10, 1_000, before);
+        let later = snap(200, 90, 15, 2_000, after);
+        assert!(after < before, "the fixture must actually wrap");
+        assert_eq!(later.delta_since(&earlier).cycles, 0, "the legacy bug");
+        let WrapOutcome::Wrapped(d) = later.delta_since_wrap_aware(&earlier, 32) else {
+            panic!("expected a wrapped interval");
+        };
+        assert_eq!(d.cycles, 20_000_000);
+        assert_eq!(d.ret_ins, 1_000, "non-wrapped components subtract plainly");
+    }
+
+    #[test]
+    fn wrap_reconstruction_tolerates_rebased_earlier_totals() {
+        // The daemon rebases totals past each wrap, so `earlier` can
+        // exceed the counter range; only its low bits matter.
+        let earlier = snap(0, 0, 0, 0, 3 * (1u64 << 32) + 4_000_000_000);
+        let later = snap(
+            0,
+            0,
+            0,
+            0,
+            (4_000_000_000u64 + 600_000_000) & ((1u64 << 32) - 1),
+        );
+        let WrapOutcome::Wrapped(d) = later.delta_since_wrap_aware(&earlier, 32) else {
+            panic!("expected a wrapped interval");
+        };
+        assert_eq!(d.cycles, 600_000_000);
+    }
+
+    #[test]
+    fn implausible_backward_jump_is_a_reset() {
+        // Dropping from 1B to 12 is not a 32-bit wrap (the reconstructed
+        // delta would be ~3.3B, past half the range): the counter reset.
+        let earlier = snap(0, 0, 0, 0, 1_000_000_000);
+        let later = snap(0, 0, 0, 0, 12);
+        assert_eq!(
+            later.delta_since_wrap_aware(&earlier, 32),
+            WrapOutcome::Invalid
+        );
+    }
+
+    #[test]
+    fn full_width_wraps_are_detected_too() {
+        let earlier = snap(0, 0, 0, 0, u64::MAX - 9);
+        let later = snap(0, 0, 0, 0, 10);
+        let WrapOutcome::Wrapped(d) = later.delta_since_wrap_aware(&earlier, 64) else {
+            panic!("expected a wrapped interval");
+        };
+        assert_eq!(d.cycles, 20);
     }
 
     #[test]

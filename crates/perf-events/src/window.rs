@@ -15,7 +15,14 @@ pub struct SlidingWindow {
     capacity: usize,
     values: VecDeque<f64>,
     sum: f64,
+    evictions_since_rebuild: usize,
 }
+
+/// How many evictions the incremental `sum` may absorb before it is
+/// recomputed from the retained samples. Each `sum - old + new` step can
+/// lose low-order bits when sample magnitudes differ; over a daemon run
+/// of millions of ticks the drift compounds without a periodic rebuild.
+const SUM_REBUILD_EVERY: usize = 4096;
 
 impl SlidingWindow {
     /// Creates a window averaging the most recent `capacity` samples.
@@ -29,6 +36,7 @@ impl SlidingWindow {
             capacity,
             values: VecDeque::with_capacity(capacity),
             sum: 0.0,
+            evictions_since_rebuild: 0,
         }
     }
 
@@ -37,10 +45,15 @@ impl SlidingWindow {
         if self.values.len() == self.capacity {
             if let Some(old) = self.values.pop_front() {
                 self.sum -= old;
+                self.evictions_since_rebuild += 1;
             }
         }
         self.values.push_back(value);
         self.sum += value;
+        if self.evictions_since_rebuild >= SUM_REBUILD_EVERY {
+            self.sum = self.values.iter().sum();
+            self.evictions_since_rebuild = 0;
+        }
     }
 
     /// Mean of the retained samples; `None` when empty.
@@ -71,6 +84,7 @@ impl SlidingWindow {
     pub fn clear(&mut self) {
         self.values.clear();
         self.sum = 0.0;
+        self.evictions_since_rebuild = 0;
     }
 }
 
@@ -152,6 +166,31 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn incremental_sum_does_not_drift_over_a_long_run() {
+        // Regression: the purely incremental `sum` bleeds precision every
+        // time a huge sample transits a window of tiny ones. Push ~1e6
+        // mixed-magnitude samples and demand the mean still matches an
+        // exact recomputation of the retained window.
+        let mut w = SlidingWindow::new(512);
+        let mut tail: VecDeque<f64> = VecDeque::new();
+        for i in 0..1_000_000u64 {
+            let value = if i % 97 == 0 { 1e12 } else { 1.0 };
+            w.push(value);
+            tail.push_back(value);
+            if tail.len() > 512 {
+                tail.pop_front();
+            }
+        }
+        let exact_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let mean = w.mean().unwrap();
+        let rel_err = ((mean - exact_mean) / exact_mean).abs();
+        assert!(
+            rel_err < 1e-9,
+            "window mean drifted: got {mean}, exact {exact_mean}, rel err {rel_err:e}"
+        );
     }
 
     #[test]

@@ -39,6 +39,23 @@ impl CatCapabilities {
     }
 }
 
+/// Coarse severity of a [`ResctrlError`], driving the daemon's
+/// recovery policy.
+///
+/// The split follows what a long-running daemon can actually do about a
+/// failure: transient errors come from the environment (a torn read of a
+/// schemata file, an `EIO` from a flaky sysfs write, a truncated
+/// telemetry sample) and are worth retrying or degrading around; fatal
+/// errors mean the *controller* asked for something the hardware model
+/// forbids — a logic bug that retrying would only repeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorSeverity {
+    /// Environmental; retry with backoff, then degrade the tick.
+    Transient,
+    /// A controller logic bug; propagate and stop.
+    Fatal,
+}
+
 /// Errors surfaced by a CAT backend.
 #[derive(Debug)]
 pub enum ResctrlError {
@@ -58,6 +75,30 @@ pub enum ResctrlError {
     Io(std::io::Error),
     /// A malformed file in a filesystem backend.
     Parse(String),
+}
+
+impl ResctrlError {
+    /// Classifies this error for recovery purposes.
+    ///
+    /// I/O and parse failures are [`ErrorSeverity::Transient`]: on real
+    /// hosts they show up under memory pressure, during concurrent
+    /// resctrl writers, or when a sampler is mid-write. The validation
+    /// variants are [`ErrorSeverity::Fatal`]: the masks and ids the
+    /// controller computes are checked against capabilities it read at
+    /// startup, so a rejection is a bug, not weather.
+    pub fn severity(&self) -> ErrorSeverity {
+        match self {
+            ResctrlError::Io(_) | ResctrlError::Parse(_) => ErrorSeverity::Transient,
+            ResctrlError::InvalidCbm { .. }
+            | ResctrlError::InvalidCos(_)
+            | ResctrlError::InvalidCore(_) => ErrorSeverity::Fatal,
+        }
+    }
+
+    /// Whether this error is worth retrying.
+    pub fn is_transient(&self) -> bool {
+        self.severity() == ErrorSeverity::Transient
+    }
 }
 
 impl fmt::Display for ResctrlError {
@@ -216,5 +257,24 @@ mod tests {
         assert_eq!(e.to_string(), "invalid core index 99");
         let e = ResctrlError::Parse("bad schemata".into());
         assert!(e.to_string().contains("bad schemata"));
+    }
+
+    #[test]
+    fn severity_splits_environment_from_logic_bugs() {
+        let io = ResctrlError::Io(std::io::Error::from(std::io::ErrorKind::Interrupted));
+        let parse = ResctrlError::Parse("torn read".into());
+        assert!(io.is_transient());
+        assert!(parse.is_transient());
+        for fatal in [
+            ResctrlError::InvalidCbm {
+                cbm: Cbm(0),
+                reason: "empty".into(),
+            },
+            ResctrlError::InvalidCos(CosId(99)),
+            ResctrlError::InvalidCore(99),
+        ] {
+            assert_eq!(fatal.severity(), ErrorSeverity::Fatal);
+            assert!(!fatal.is_transient());
+        }
     }
 }

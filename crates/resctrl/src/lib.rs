@@ -40,13 +40,17 @@
 
 pub mod cbm;
 pub mod controller;
+pub mod fault;
 pub mod fs;
 pub mod invariants;
 pub mod layout;
 pub mod mock;
+pub mod retry;
 
 pub use cbm::Cbm;
-pub use controller::{CacheController, CatCapabilities, CosId, ResctrlError};
+pub use controller::{CacheController, CatCapabilities, CosId, ErrorSeverity, ResctrlError};
+pub use fault::{Fault, FaultPlan, FaultingController};
 pub use fs::FsBackend;
 pub use layout::LayoutPlanner;
 pub use mock::InMemoryController;
+pub use retry::{with_retries, RetryEvent, RetryPolicy, RetryingController};

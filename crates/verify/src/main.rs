@@ -39,6 +39,8 @@
 
 use dcat::{DcatConfig, DcatController, WorkloadClass, WorkloadHandle};
 use perf_events::CounterSnapshot;
+use resctrl::fault::{Fault, FaultPlan, FaultingController};
+use resctrl::retry::{RetryPolicy, RetryingController};
 use resctrl::{CatCapabilities, InMemoryController};
 
 /// Instructions retired per synthesized interval.
@@ -392,6 +394,113 @@ fn run_scenario(s: &Scenario) -> Result<Outcome, Violation> {
     Ok(Outcome::Explored { ticks })
 }
 
+/// Ticks each fault-schedule exploration runs for.
+const FAULT_TICKS: u64 = 48;
+/// Injection probability per (tick, fault-kind) draw.
+const FAULT_RATE: f64 = 0.3;
+
+/// Statistics from one fault-schedule exploration.
+struct FaultRun {
+    ticks: u64,
+    degraded: u64,
+    injected: usize,
+}
+
+/// One violation found by the fault-schedule dimension.
+struct FaultViolation {
+    corner: Corner,
+    pool: Pool,
+    seed: u64,
+    tick: u64,
+    message: String,
+}
+
+/// Drives a controller through a seeded random fault schedule and checks
+/// the allocation invariants after **every** tick, degraded or not.
+///
+/// This is the model-checking twin of the daemon's resilient loop:
+/// backend faults are injected by a real [`FaultingController`] under a
+/// real retry wrapper, telemetry faults are abstracted into per-domain
+/// validity flags for [`DcatController::tick_validated`], and a
+/// transient tick failure degrades (the previous allocation stands)
+/// instead of aborting. The temporal properties of the fault-free
+/// dimension (Reclaim timing, probe termination) do not apply — a
+/// degraded tick may legitimately delay them — but the safety invariants
+/// must hold unconditionally.
+fn run_fault_scenario(corner: &Corner, pool: &Pool, seed: u64) -> Result<FaultRun, FaultViolation> {
+    let n = pool.tenants as usize;
+    let probe = n - 1;
+    let plan = FaultPlan::random(seed, FAULT_TICKS, FAULT_RATE);
+    let inner = FaultingController::new(
+        InMemoryController::new(CatCapabilities::with_ways(pool.total_ways()), pool.tenants),
+        plan.clone(),
+    );
+    let mut cat = RetryingController::new(inner, RetryPolicy::immediate(3));
+    let handles: Vec<WorkloadHandle> = (0..n)
+        .map(|i| WorkloadHandle::new(format!("vm{i}"), vec![i as u32], RESERVED))
+        .collect();
+    let mut ctl = DcatController::new(corner.config(), handles, &mut cat)
+        .expect("scenario configs are valid");
+    let mut rig = Rig::new(n);
+    let mut degraded = 0u64;
+
+    for tick in 1..=FAULT_TICKS {
+        cat.inner_mut().set_tick(tick);
+        // Alternate the probe between growth-seeking and donation every
+        // few ticks so masks keep changing and backend faults actually
+        // land on program/assign calls.
+        let spec = if (tick / 4) % 2 == 0 {
+            Spec::keeper(1.0).with_miss_rate(0.5)
+        } else {
+            Spec::keeper(1.0).with_miss_rate(0.0025)
+        };
+        let mut specs = vec![Spec::keeper(1.0); n];
+        specs[probe] = spec;
+        let snaps = rig.tick(&specs);
+
+        // The telemetry half of the schedule, abstracted to what the
+        // daemon's sampling layer would conclude: a whole-file fault
+        // invalidates every domain's interval, a row-level fault just
+        // the probe's. Read-once faults are absorbed by the retry.
+        let mut valid = vec![true; n];
+        if plan.contains(tick, Fault::TelemetryRead) || plan.contains(tick, Fault::TelemetryStale) {
+            valid.fill(false);
+        } else if plan.contains(tick, Fault::TelemetryTruncated) {
+            valid[probe] = false;
+        }
+
+        match ctl.tick_validated(&snaps, &valid, &mut cat) {
+            Ok(_) => {}
+            Err(e) if e.is_transient() => degraded += 1,
+            Err(e) => {
+                return Err(FaultViolation {
+                    corner: *corner,
+                    pool: *pool,
+                    seed,
+                    tick,
+                    message: format!("fatal error under injected faults: {e}"),
+                });
+            }
+        }
+        if let Err(m) =
+            dcat::invariants::check(&ctl.domain_views(), pool.total_ways(), corner.min_ways)
+        {
+            return Err(FaultViolation {
+                corner: *corner,
+                pool: *pool,
+                seed,
+                tick,
+                message: m,
+            });
+        }
+    }
+    Ok(FaultRun {
+        ticks: FAULT_TICKS,
+        degraded,
+        injected: cat.inner_mut().injected().len(),
+    })
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
 
@@ -473,6 +582,53 @@ fn main() {
         "dcat-verify: explored {explored} (state, telemetry, pool, config) configurations \
          ({skipped} unreachable combinations skipped, {rejected} invalid configs rejected \
          at construction, {total_ticks} controller intervals driven)"
+    );
+
+    // --- Fault-schedule dimension: seeded random fault injection. ---
+    let fault_seeds: u64 = if smoke { 2 } else { 8 };
+    let mut fault_runs = 0usize;
+    let mut fault_ticks = 0u64;
+    let mut fault_degraded = 0u64;
+    let mut fault_injected = 0usize;
+    let mut fault_violations: Vec<FaultViolation> = Vec::new();
+    for (ci, corner) in corners.iter().enumerate() {
+        for (pi, pool) in pools.iter().enumerate() {
+            for stream in 0..fault_seeds {
+                let seed = smallrng::split_seed(
+                    0xD_CA7_FA17,
+                    ((ci as u64) << 32) | ((pi as u64) << 16) | stream,
+                );
+                match run_fault_scenario(corner, pool, seed) {
+                    Ok(run) => {
+                        fault_runs += 1;
+                        fault_ticks += run.ticks;
+                        fault_degraded += run.degraded;
+                        fault_injected += run.injected;
+                    }
+                    Err(v) => fault_violations.push(v),
+                }
+            }
+        }
+    }
+    println!(
+        "dcat-verify: fault dimension ran {fault_runs} seeded schedules \
+         ({fault_ticks} ticks, {fault_injected} faults injected, \
+         {fault_degraded} degraded ticks, invariants checked every tick)"
+    );
+    if !fault_violations.is_empty() {
+        eprintln!("{} fault-dimension violations:", fault_violations.len());
+        for v in fault_violations.iter().take(20) {
+            eprintln!(
+                "  tick {} of corner {:?} pool {:?} seed {}: {}",
+                v.tick, v.corner, v.pool, v.seed, v.message
+            );
+        }
+        std::process::exit(1);
+    }
+    assert!(
+        fault_injected > 0 && fault_degraded > 0,
+        "the fault dimension must actually inject faults and degrade ticks \
+         (injected {fault_injected}, degraded {fault_degraded})"
     );
 
     if !violations.is_empty() {

@@ -23,11 +23,16 @@
 //!    `--jobs N` results are bit-identical to serial runs. (`crates/
 //!    xtask` itself is excluded from the repo walk: its embedded scan
 //!    fixtures spell the banned tokens.)
+//! 5. **No direct filesystem I/O in the daemon loop** — `dcat::daemon`
+//!    must reach telemetry through `dcat::telemetry::TelemetryFeed` and
+//!    resctrl through the retry-wrapped controller, so every read/write
+//!    gets the bounded-retry and degraded-tick treatment. A bare
+//!    `std::fs::` call in the loop would bypass the fault taxonomy.
 //!
 //! Every scan is self-tested on startup against embedded fixtures
 //! seeded with the banned patterns (and a clean control): a scan that
 //! stops detecting its pattern fails the lint run itself. `scan
-//! <files...>` applies all four scans to arbitrary paths, which CI
+//! <files...>` applies all five scans to arbitrary paths, which CI
 //! uses to prove the gate fails non-zero on a seeded fixture file.
 
 use std::path::{Path, PathBuf};
@@ -133,6 +138,7 @@ fn scan_files(paths: &[String]) -> ExitCode {
         findings.extend(scan_no_raw_cbm_bits(path, &text));
         findings.extend(scan_no_float_eq(path, &text));
         findings.extend(scan_no_thread_spawn(path, &text));
+        findings.extend(scan_no_direct_io(path, &text));
     }
     for f in &findings {
         eprintln!("scan: {f}");
@@ -154,6 +160,17 @@ fn scan_repo(root: &Path) -> Vec<String> {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("lint target {rel} unreadable: {e}"));
         findings.extend(scan_no_unwrap(&path, &text));
+    }
+
+    // Scan 5 governs the daemon loop alone: `resctrl::fs` and
+    // `dcat::telemetry` are the sanctioned wrappers and may touch the
+    // filesystem directly.
+    {
+        let rel = "crates/dcat/src/daemon.rs";
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("lint target {rel} unreadable: {e}"));
+        findings.extend(scan_no_direct_io(&path, &text));
     }
 
     for dir in ["crates/dcat/src", "crates/resctrl/src", "crates/host/src"] {
@@ -315,6 +332,27 @@ fn scan_no_thread_spawn(path: &Path, text: &str) -> Vec<String> {
     findings
 }
 
+/// Scan 5: no direct filesystem I/O in the daemon loop.
+///
+/// Telemetry reads go through `TelemetryFeed` + `with_retries`, resctrl
+/// writes through the retry-wrapped backend. A bare `std::fs` call in
+/// `dcat::daemon` would dodge the transient/fatal error taxonomy and the
+/// degraded-tick machinery.
+fn scan_no_direct_io(path: &Path, text: &str) -> Vec<String> {
+    const PATTERNS: [&str; 3] = ["std::fs::", "fs::read_to_string(", "fs::write("];
+    let mut findings = Vec::new();
+    for (n, line) in non_test_lines(text) {
+        if PATTERNS.iter().any(|p| line.contains(p)) {
+            findings.push(format!(
+                "{}:{n}: direct filesystem I/O in the daemon loop (go through \
+                 TelemetryFeed and the retry-wrapped controller)",
+                path.display()
+            ));
+        }
+    }
+    findings
+}
+
 /// Whether the line compares something with `==` against a float literal
 /// (`== 0.0`, `0.5 ==`, ...).
 ///
@@ -401,6 +439,15 @@ fn self_test() -> Result<(), String> {
         "let out = pool.map(items, worker);\n// thread::spawn in a comment\nlet t = thread_count;\n";
     if !scan_no_thread_spawn(p, clean_threads).is_empty() {
         return Err("thread scan flagged clean code".into());
+    }
+
+    let banned_io = "let t = std::fs::read_to_string(&path)?;\nfs::write(&path, text)?;\n";
+    if scan_no_direct_io(p, banned_io).len() != 2 {
+        return Err("direct-io scan missed its fixture".into());
+    }
+    let clean_io = "let t = feed.read(tick)?;\n// std::fs:: in a comment\n#[cfg(test)]\nstd::fs::write(&p, t).unwrap();\n";
+    if !scan_no_direct_io(p, clean_io).is_empty() {
+        return Err("direct-io scan flagged clean code".into());
     }
     Ok(())
 }
