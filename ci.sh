@@ -15,14 +15,30 @@ cargo test -q --offline
 echo "==> lint gate (fmt, clippy, source scans)"
 cargo run -q -p xtask --offline -- lint
 
-echo "==> lint gate flags a seeded banned-pattern fixture"
+echo "==> lint gate flags a seeded banned-pattern fixture (one per pass family)"
 mkdir -p target
-printf 'fn bad() {\n    let x = f.read().unwrap();\n    let m = Cbm(a.0 & b.0);\n    if ipc == 0.0 { }\n    let h = std::thread::spawn(|| ());\n    let t = std::fs::read_to_string(&p)?;\n}\n' \
-    > target/lint-fixture.rs
+cat > target/lint-fixture.rs <<'FIXTURE'
+fn bad() {
+    let x = f.read().unwrap();
+    let m = Cbm(a.0 & b.0);
+    if ipc == 0.0 { }
+    let h = std::thread::spawn(|| ());
+    let t = std::fs::read_to_string(&p)?;
+    let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for (k, v) in counts.iter() { use_it(k, v); }
+    let t0 = std::time::Instant::now();
+    let truncated = big_count as u32;
+    let first = fields[0];
+}
+FIXTURE
 if cargo run -q -p xtask --offline -- scan target/lint-fixture.rs; then
     echo "ERROR: lint scan passed a fixture seeded with banned patterns" >&2
     exit 1
 fi
+
+echo "==> lint JSON report against the checked-in baseline"
+cargo run -q -p dcat-lint --offline -- --json --baseline lint-baseline.txt \
+    > target/lint-report.json
 
 echo "==> determinism regression + golden decision traces"
 cargo test -q --release -p dcat-bench --offline --test determinism --test golden_traces

@@ -1,6 +1,6 @@
 //! The dCat controller: the five-step loop of the paper's Figure 4.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use perf_events::{CounterSnapshot, IntervalMetrics};
 use resctrl::{CacheController, Cbm, CosId, LayoutPlanner, ResctrlError};
@@ -88,7 +88,7 @@ struct Domain {
     /// Active phase's table.
     table: PerformanceTable,
     /// Tables of previously seen phases, keyed by quantized signature.
-    archived: HashMap<u64, PerformanceTable>,
+    archived: BTreeMap<u64, PerformanceTable>,
     /// Whether the active table was restored from the archive (a recurring
     /// phase: jump straight to the preferred allocation).
     recurring: bool,
@@ -201,7 +201,7 @@ impl DcatController {
                     last_snapshot: CounterSnapshot::default(),
                     detector: PhaseDetector::new(config.phase_change_thr),
                     table: PerformanceTable::new(total_ways),
-                    archived: HashMap::new(),
+                    archived: BTreeMap::new(),
                     recurring: false,
                     baseline_ipc: None,
                     pending_baseline: true,

@@ -35,7 +35,7 @@
 //!
 //! The `dcatd` binary wraps [`run_daemon`] with command-line parsing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -121,38 +121,34 @@ pub struct TickObservation<'a> {
 /// offending line on any malformed row. The daemon loop itself uses
 /// [`crate::telemetry::parse_telemetry_lossy`], which drops bad rows
 /// individually; this strict variant suits one-shot tooling.
-pub fn parse_telemetry(text: &str) -> Result<HashMap<String, CounterSnapshot>, String> {
-    let mut out = HashMap::new();
+pub fn parse_telemetry(text: &str) -> Result<BTreeMap<String, CounterSnapshot>, String> {
+    let mut out = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != 6 {
+        let &[name, l1_ref, llc_ref, llc_miss, ret_ins, cycles] = fields.as_slice() else {
             return Err(format!(
                 "line {}: expected 6 fields, got {}",
                 lineno + 1,
                 fields.len()
             ));
-        }
+        };
         let parse = |s: &str, what: &str| -> Result<u64, String> {
             s.parse()
                 .map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
         };
         let snap = CounterSnapshot {
-            l1_ref: parse(fields[1], "l1_ref")?,
-            llc_ref: parse(fields[2], "llc_ref")?,
-            llc_miss: parse(fields[3], "llc_miss")?,
-            ret_ins: parse(fields[4], "ret_ins")?,
-            cycles: parse(fields[5], "cycles")?,
+            l1_ref: parse(l1_ref, "l1_ref")?,
+            llc_ref: parse(llc_ref, "llc_ref")?,
+            llc_miss: parse(llc_miss, "llc_miss")?,
+            ret_ins: parse(ret_ins, "ret_ins")?,
+            cycles: parse(cycles, "cycles")?,
         };
-        if out.insert(fields[0].to_string(), snap).is_some() {
-            return Err(format!(
-                "line {}: duplicate domain {:?}",
-                lineno + 1,
-                fields[0]
-            ));
+        if out.insert(name.to_string(), snap).is_some() {
+            return Err(format!("line {}: duplicate domain {name:?}", lineno + 1));
         }
     }
     Ok(out)
@@ -164,8 +160,8 @@ pub fn parse_telemetry(text: &str) -> Result<HashMap<String, CounterSnapshot>, S
 /// assignment — the last `assign_core` wins and one tenant runs under
 /// the other's mask — and duplicate names make telemetry rows ambiguous.
 pub fn validate_domain_set(domains: &[WorkloadHandle]) -> Result<(), String> {
-    let mut seen_names: HashMap<&str, usize> = HashMap::new();
-    let mut core_owner: HashMap<u32, &str> = HashMap::new();
+    let mut seen_names: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut core_owner: BTreeMap<u32, &str> = BTreeMap::new();
     for (i, d) in domains.iter().enumerate() {
         if let Some(prev) = seen_names.insert(d.name.as_str(), i) {
             return Err(format!(
@@ -200,18 +196,18 @@ pub fn parse_domains(spec: &str) -> Result<Vec<WorkloadHandle>, String> {
             continue;
         }
         let pieces: Vec<&str> = part.split(':').collect();
-        if pieces.len() != 3 {
+        let &[name, cores_spec, ways_spec] = pieces.as_slice() else {
             return Err(format!("domain spec {part:?}: expected name:cores:ways"));
-        }
+        };
         let cores =
-            resctrl::fs::parse_cpu_list(pieces[1]).map_err(|e| format!("domain {part:?}: {e}"))?;
+            resctrl::fs::parse_cpu_list(cores_spec).map_err(|e| format!("domain {part:?}: {e}"))?;
         if cores.is_empty() {
             return Err(format!("domain {part:?}: empty core list"));
         }
-        let ways: u32 = pieces[2]
+        let ways: u32 = ways_spec
             .parse()
             .map_err(|e| format!("domain {part:?}: bad ways: {e}"))?;
-        handles.push(WorkloadHandle::new(pieces[0], cores, ways));
+        handles.push(WorkloadHandle::new(name, cores, ways));
     }
     if handles.is_empty() {
         return Err("no domains specified".to_string());
@@ -442,7 +438,8 @@ pub fn run_daemon_with(
                 cfg.domains
                     .iter()
                     .position(|d| d.name == name)
-                    .is_some_and(|i| states[i].quarantined)
+                    .and_then(|i| states.get(i))
+                    .is_some_and(|s| s.quarantined)
             });
             if !suppressed {
                 events.push(Event::RowMalformed {
@@ -454,29 +451,34 @@ pub fn run_daemon_with(
         }
 
         let mut valid = vec![true; n];
-        for i in 0..n {
-            let name = &cfg.domains[i].name;
+        let lanes = cfg
+            .domains
+            .iter()
+            .zip(states.iter_mut())
+            .zip(valid.iter_mut().zip(snapshots.iter_mut()));
+        for ((domain, state), (valid_slot, snap_slot)) in lanes {
+            let name = &domain.name;
             match samples.get(name) {
                 Some(raw) => {
-                    valid[i] = states[i].ingest(name, *raw, &policy, &mut events);
+                    *valid_slot = state.ingest(name, *raw, &policy, &mut events);
                 }
                 None => {
-                    valid[i] = false;
-                    if states[i].miss(&policy) {
+                    *valid_slot = false;
+                    if state.miss(&policy) {
                         events.push(Event::DomainQuarantined {
                             domain: name.clone(),
-                            after_ticks: states[i].bad_streak,
+                            after_ticks: state.bad_streak,
                         });
                     }
                 }
             }
-            snapshots[i] = states[i].rebased;
+            *snap_slot = state.rebased;
         }
         if tick == 1 {
             // Satellite check: a domain the sampler never mentions would
             // otherwise sit silent forever at its initial allocation.
-            for (i, d) in cfg.domains.iter().enumerate() {
-                if !states[i].ever_seen {
+            for (d, state) in cfg.domains.iter().zip(states.iter()) {
+                if !state.ever_seen {
                     events.push(Event::DomainSilent {
                         domain: d.name.clone(),
                     });

@@ -12,6 +12,19 @@
 //! * it documents whether growth ever helped, feeding the
 //!   Unknown → Receiver/Streaming determination.
 
+/// Widens a way count for indexing. `u32 -> usize` cannot truncate on any
+/// supported target; routing through `try_from` keeps the conversion
+/// explicit and the cast-safety lint clean.
+fn widen(ways: u32) -> usize {
+    usize::try_from(ways).expect("u32 fits in usize")
+}
+
+/// Narrows a table index back to a way count. Table sizes are bounded by
+/// `max_ways: u32`, so the conversion cannot fail for in-table indices.
+fn narrow(index: usize) -> u32 {
+    u32::try_from(index).expect("way index fits in u32")
+}
+
 /// Normalized-IPC-per-way-count table for one workload phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerformanceTable {
@@ -28,13 +41,13 @@ impl PerformanceTable {
     pub fn new(max_ways: u32) -> Self {
         assert!(max_ways >= 1, "table needs at least one way");
         PerformanceTable {
-            entries: vec![None; max_ways as usize + 1],
+            entries: vec![None; widen(max_ways) + 1],
         }
     }
 
     /// Maximum way count the table covers.
     pub fn max_ways(&self) -> u32 {
-        (self.entries.len() - 1) as u32
+        narrow(self.entries.len() - 1)
     }
 
     /// Records an observation of `norm_ipc` at `ways`, blending with any
@@ -48,7 +61,7 @@ impl PerformanceTable {
             ways >= 1 && ways <= self.max_ways(),
             "ways {ways} out of table range"
         );
-        let slot = &mut self.entries[ways as usize];
+        let slot = &mut self.entries[widen(ways)];
         *slot = Some(match *slot {
             None => norm_ipc,
             Some(prev) => 0.5 * prev + 0.5 * norm_ipc,
@@ -60,7 +73,7 @@ impl PerformanceTable {
         if ways == 0 || ways > self.max_ways() {
             return None;
         }
-        self.entries[ways as usize]
+        self.entries[widen(ways)]
     }
 
     /// Whether no observation has been recorded yet.
@@ -91,7 +104,7 @@ impl PerformanceTable {
             .iter()
             .enumerate()
             .find(|(_, e)| matches!(e, Some(v) if *v >= max - tolerance))
-            .map(|(w, _)| w as u32)
+            .map(|(w, _)| narrow(w))
     }
 
     /// Iterates over `(ways, norm_ipc)` pairs in ascending way order.
@@ -99,7 +112,7 @@ impl PerformanceTable {
         self.entries
             .iter()
             .enumerate()
-            .filter_map(|(w, e)| e.map(|v| (w as u32, v)))
+            .filter_map(|(w, e)| e.map(|v| (narrow(w), v)))
     }
 
     /// Clears every entry (phase invalidation).
@@ -119,7 +132,7 @@ impl PerformanceTable {
 /// workload, or `None` when some workload has an empty table or no
 /// combination fits the budget.
 pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> Option<Vec<u32>> {
-    let total = total_ways as usize;
+    let total = widen(total_ways);
     // dp[w] = best total value using exactly the workloads processed so
     // far and w ways; choice[i][w] = ways given to workload i in that
     // optimum.
@@ -133,7 +146,7 @@ pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> O
         let mut next = vec![f64::NEG_INFINITY; total + 1];
         let mut choice = vec![0u32; total + 1];
         for (ways, value) in table.iter() {
-            let w = ways as usize;
+            let w = widen(ways);
             for used in w..=total {
                 let prev = dp[used - w];
                 // Unreachable budget point (still the -inf seed).
@@ -163,7 +176,7 @@ pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> O
     for i in (0..tables.len()).rev() {
         let ways = choices[i][used];
         result[i] = ways;
-        used -= ways as usize;
+        used -= widen(ways);
     }
     Some(result)
 }

@@ -92,6 +92,7 @@ impl PhaseDetector {
     /// again" (paper Figure 12).
     pub fn bucket(signature: f64, quantum: f64) -> u64 {
         assert!(quantum > 0.0, "bucket quantum must be positive");
+        // lint: allow(DL008, f64-to-u64 `as` saturates and maps NaN to 0; any stable bucket id works for keying)
         (signature / quantum).round() as u64
     }
 }

@@ -1,8 +1,8 @@
 //! Telemetry acquisition for the daemon: file reads, lossy parsing, and
 //! the fault-injecting wrapper.
 //!
-//! The daemon never touches the filesystem directly (an `xtask` scan
-//! enforces it): it pulls raw CSV text through a [`TelemetryFeed`],
+//! The daemon never touches the filesystem directly (the DL005 lint
+//! pass enforces it): it pulls raw CSV text through a [`TelemetryFeed`],
 //! retries transient failures through [`resctrl::retry::with_retries`],
 //! and parses with [`parse_telemetry_lossy`], which drops malformed rows
 //! individually instead of rejecting the whole sample — a sampler caught
@@ -13,8 +13,8 @@
 //! samples, and narrowed counters that wrap. Production runs use an
 //! empty plan, which injects nothing.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use perf_events::CounterSnapshot;
@@ -71,8 +71,8 @@ pub struct RowIssue {
 /// [`crate::daemon::parse_telemetry`], which rejects the whole sample —
 /// right for one-shot tools, wrong for a loop that must survive a
 /// sampler caught mid-write.
-pub fn parse_telemetry_lossy(text: &str) -> (HashMap<String, CounterSnapshot>, Vec<RowIssue>) {
-    let mut out = HashMap::new();
+pub fn parse_telemetry_lossy(text: &str) -> (BTreeMap<String, CounterSnapshot>, Vec<RowIssue>) {
+    let mut out = BTreeMap::new();
     let mut issues = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -84,29 +84,35 @@ pub fn parse_telemetry_lossy(text: &str) -> (HashMap<String, CounterSnapshot>, V
             .first()
             .filter(|name| !name.is_empty())
             .map(|name| name.to_string());
-        if fields.len() != 6 {
+        let &[_, l1_ref, llc_ref, llc_miss, ret_ins, cycles] = fields.as_slice() else {
             issues.push(RowIssue {
                 line: lineno + 1,
                 domain,
                 message: format!("expected 6 fields, got {}", fields.len()),
             });
             continue;
-        }
-        let mut values = [0u64; 5];
+        };
+        // The first malformed field wins the row's issue report; the
+        // parsed value of a bad field is irrelevant (the row is dropped).
         let mut bad = None;
-        for (k, (raw, what)) in fields[1..]
-            .iter()
-            .zip(["l1_ref", "llc_ref", "llc_miss", "ret_ins", "cycles"])
-            .enumerate()
-        {
+        let mut parse = |raw: &str, what: &str| -> u64 {
             match raw.parse() {
-                Ok(v) => values[k] = v,
+                Ok(v) => v,
                 Err(e) => {
-                    bad = Some(format!("bad {what} {raw:?}: {e}"));
-                    break;
+                    if bad.is_none() {
+                        bad = Some(format!("bad {what} {raw:?}: {e}"));
+                    }
+                    0
                 }
             }
-        }
+        };
+        let snap = CounterSnapshot {
+            l1_ref: parse(l1_ref, "l1_ref"),
+            llc_ref: parse(llc_ref, "llc_ref"),
+            llc_miss: parse(llc_miss, "llc_miss"),
+            ret_ins: parse(ret_ins, "ret_ins"),
+            cycles: parse(cycles, "cycles"),
+        };
         if let Some(message) = bad {
             issues.push(RowIssue {
                 line: lineno + 1,
@@ -122,13 +128,6 @@ pub fn parse_telemetry_lossy(text: &str) -> (HashMap<String, CounterSnapshot>, V
                 message: "empty domain name".to_string(),
             });
             continue;
-        };
-        let snap = CounterSnapshot {
-            l1_ref: values[0],
-            llc_ref: values[1],
-            llc_miss: values[2],
-            ret_ins: values[3],
-            cycles: values[4],
         };
         match out.entry(name) {
             Entry::Occupied(slot) => issues.push(RowIssue {
@@ -257,6 +256,7 @@ impl<S: TelemetryFeed> TelemetryFeed for FaultyTelemetry<S> {
             while cut > 0 && !text.is_char_boundary(cut) {
                 cut -= 1;
             }
+            // lint: allow(DL009, cut is walked back to a char boundary above; a slice at a boundary <= len cannot panic)
             return Ok(text[..cut].to_string());
         }
         self.last_good = Some(text.clone());

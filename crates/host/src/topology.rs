@@ -84,7 +84,9 @@ impl VmSpec {
 
 /// Checks that the VMs' core sets are disjoint and fit the socket.
 pub fn validate_vm_placement(socket: &SocketConfig, vms: &[VmSpec]) -> Result<(), String> {
-    let mut seen = std::collections::HashSet::new();
+    // BTreeSet for hygiene: membership-only today, but nothing downstream
+    // should ever observe hasher-seed iteration order if this grows.
+    let mut seen = std::collections::BTreeSet::new();
     for vm in vms {
         for &core in &vm.cores {
             if core >= socket.hierarchy.cores {

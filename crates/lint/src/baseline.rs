@@ -1,0 +1,114 @@
+//! Checked-in baseline of grandfathered findings.
+//!
+//! The baseline file holds one [`Finding::key`] per line (blank lines
+//! and `#` comments ignored). CI fails only on findings whose key is
+//! absent from the baseline, so legacy debt can be burned down
+//! incrementally without blocking unrelated work. Keys that no longer
+//! match any finding are reported as *stale* so the file shrinks as
+//! debt is paid.
+
+use crate::diagnostics::Finding;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Loads baseline keys. A missing file is an empty baseline.
+pub fn load(path: &Path) -> Result<BTreeSet<String>, String> {
+    if !path.exists() {
+        return Ok(BTreeSet::new());
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("read baseline {}: {e}", path.display()))?;
+    Ok(parse(&text))
+}
+
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Splits findings into (new, grandfathered) and lists stale keys.
+pub fn partition<'a>(
+    findings: &'a [Finding],
+    baseline: &BTreeSet<String>,
+) -> (Vec<&'a Finding>, Vec<&'a Finding>, Vec<String>) {
+    let mut new = Vec::new();
+    let mut old = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for f in findings {
+        let key = f.key();
+        if baseline.contains(&key) {
+            old.push(f);
+        } else {
+            new.push(f);
+        }
+        seen.insert(key);
+    }
+    let stale = baseline
+        .iter()
+        .filter(|k| !seen.contains(*k))
+        .cloned()
+        .collect();
+    (new, old, stale)
+}
+
+/// Serializes findings as a baseline file body.
+pub fn render(findings: &[Finding]) -> String {
+    let mut keys: Vec<String> = findings.iter().map(Finding::key).collect();
+    keys.sort();
+    keys.dedup();
+    let mut out = String::from(
+        "# dcat-lint baseline: grandfathered finding keys (code|path|snippet).\n\
+         # CI fails only on findings NOT listed here. Regenerate with\n\
+         # `cargo run -p dcat-lint -- --write-baseline lint-baseline.txt`.\n",
+    );
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(code: &'static str, snippet: &str) -> Finding {
+        Finding {
+            code,
+            path: "p.rs".into(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn partition_splits_and_reports_stale() {
+        let findings = vec![f("DL001", "a"), f("DL002", "b")];
+        let mut base = BTreeSet::new();
+        base.insert(findings[0].key());
+        base.insert("DL009|gone.rs|x".to_string());
+        let (new, old, stale) = partition(&findings, &base);
+        assert_eq!(new.len(), 1);
+        assert_eq!(old.len(), 1);
+        assert_eq!(stale, vec!["DL009|gone.rs|x".to_string()]);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let b = parse("# header\n\nDL001|p.rs|a\n  DL002|p.rs|b  \n");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let findings = vec![f("DL001", "a"), f("DL001", "a")];
+        let text = render(&findings);
+        let parsed = parse(&text);
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed.contains(&findings[0].key()));
+    }
+}

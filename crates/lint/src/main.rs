@@ -1,0 +1,165 @@
+//! dcat-lint CLI.
+//!
+//! ```text
+//! dcat-lint [--json] [--baseline FILE] [--write-baseline FILE] [--root DIR] [FILE.rs...]
+//! ```
+//!
+//! With no file arguments, runs the scoped repo gate (plus the DL010
+//! spec-drift check) from the workspace root; with files, applies every
+//! per-file pass to them unscoped (the CI fixture mode). Exit status:
+//! 0 when no new findings, 1 when there are, 2 on usage/IO errors.
+
+use dcat_lint::{baseline, check_repo, diagnostics, find_repo_root, scan_files, self_test};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: false,
+        baseline: None,
+        write_baseline: None,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it.next().ok_or("--write-baseline needs a path")?;
+                opts.write_baseline = Some(PathBuf::from(v));
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dcat-lint [--json] [--baseline FILE] [--write-baseline FILE] \
+                     [--root DIR] [FILE.rs...]"
+                        .into(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dcat-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = self_test() {
+        eprintln!("dcat-lint: self-test failed: {e}");
+        return ExitCode::from(2);
+    }
+
+    let file_mode = !opts.files.is_empty();
+    let (report, base_path) = if file_mode {
+        (scan_files(&opts.files), opts.baseline.clone())
+    } else {
+        let root = match opts.root.clone().map(Ok).unwrap_or_else(|| {
+            std::env::current_dir()
+                .map_err(|e| format!("cwd: {e}"))
+                .and_then(|d| find_repo_root(&d))
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("dcat-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let base = opts
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root.join("lint-baseline.txt"));
+        (check_repo(&root), Some(base))
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dcat-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        let body = baseline::render(&report.findings);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("dcat-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "dcat-lint: wrote {} finding key(s) to {}",
+            report.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match base_path
+        .as_deref()
+        .map(baseline::load)
+        .unwrap_or_else(|| Ok(Default::default()))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("dcat-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (new, grandfathered, stale) = baseline::partition(&report.findings, &base);
+
+    if opts.json {
+        let new_owned: Vec<_> = new.iter().map(|f| (*f).clone()).collect();
+        println!(
+            "{}",
+            diagnostics::render_json(
+                &report.findings,
+                &new_owned,
+                report.suppressed.len(),
+                grandfathered.len(),
+                &stale,
+            )
+        );
+    } else {
+        for f in &new {
+            eprintln!("dcat-lint: {}", f.render_human());
+        }
+        for key in &stale {
+            eprintln!("dcat-lint: note: stale baseline entry (debt paid — remove it): {key}");
+        }
+        println!(
+            "dcat-lint: {} finding(s): {} new, {} baselined, {} suppressed by annotation",
+            report.findings.len(),
+            new.len(),
+            grandfathered.len(),
+            report.suppressed.len(),
+        );
+    }
+
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

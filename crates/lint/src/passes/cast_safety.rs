@@ -1,0 +1,74 @@
+//! DL008 — cast safety in counter/delta math.
+//!
+//! `as` casts between numeric types silently truncate, sign-flip, or
+//! round (`u64 as f64` loses precision above 2^53 — reachable by a
+//! rebased 48-bit cycle counter in about a month at 3 GHz; `f64 as u64`
+//! saturates). In the measurement pipeline — `perf-events`,
+//! `llc-sim::counters`, and the controller's delta math — every numeric
+//! `as` must be replaced by `From`/`TryFrom`/checked/wrapping ops, or
+//! carry a `lint: allow(DL008, reason)` proving it cannot lose
+//! information.
+
+use super::expect_count;
+use crate::diagnostics::Sink;
+use crate::lexer::SourceFile;
+
+pub const CODE: &str = "DL008";
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+pub fn run(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        if has_numeric_as_cast(line) {
+            sink.emit(
+                file,
+                n,
+                CODE,
+                "lossy `as` cast in counter/delta math (use From/TryFrom/checked ops, \
+                 or annotate why no information can be lost)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Matches ` as <numeric-type>` with word boundaries on both sides
+/// (`as_ref`, `as_ptr` and type names inside identifiers never match).
+fn has_numeric_as_cast(line: &str) -> bool {
+    line.match_indices(" as ").any(|(i, _)| {
+        let ty: String = line[i + 4..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        NUMERIC_TYPES.contains(&ty.as_str())
+    })
+}
+
+pub fn self_test() -> Result<(), String> {
+    expect_count(
+        "DL008",
+        run,
+        "let x = total as f64;\nlet y = (delta as u32) + 1;\nlet i = idx as usize;\n",
+        3,
+    )?;
+    expect_count(
+        "DL008",
+        run,
+        "let x = f64::from(v);\nlet y = u64::from(small);\nlet r = v.as_ref();\n\
+         let s = \"cycles as f64\";\nlet ok = usize::try_from(n)?;\n",
+        0,
+    )?;
+    expect_count(
+        "DL008",
+        run,
+        "let q = (sig / quantum).round() as u64; // lint: allow(DL008, saturating is fine here)\n",
+        0,
+    )?;
+    // `as` casts to non-numeric types (trait objects, pointers) are the
+    // wall-clock pass's concern, not this one's.
+    expect_count("DL008", run, "let d = x as &dyn Display;\n", 0)?;
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! DL002 — no raw CBM bit arithmetic outside `resctrl::cbm`.
+//!
+//! Way masks are built and inspected through the `Cbm` API so the
+//! contiguity and bounds rules live in one audited module. Flags
+//! space-delimited shifts (generics like `Vec<Option<Cbm>>` have none)
+//! and single `&`/`|`/`^` applied to a `.0` field access (logical
+//! `&&`/`||` and float literals like `0.0` do not match).
+
+use super::expect_count;
+use crate::diagnostics::Sink;
+use crate::lexer::SourceFile;
+
+pub const CODE: &str = "DL002";
+
+pub fn run(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        let shift = line.contains(" << ") || line.contains(" >> ");
+        let field_bitop = [".0 & ", ".0 | ", ".0 ^ "].iter().any(|pat| {
+            line.match_indices(pat).any(|(i, _)| {
+                // `.0` must be a field access, not the tail of a float
+                // literal, and the single operator must not be doubled
+                // (`prev > 0.0 && x` is logical, not bitwise).
+                let after = &line[i + pat.len()..];
+                let op = pat.as_bytes()[3];
+                !after.starts_with(op as char) && !line[..i].ends_with(|c: char| c.is_ascii_digit())
+            })
+        });
+        if shift || field_bitop {
+            sink.emit(
+                file,
+                n,
+                CODE,
+                "raw CBM bit arithmetic (use the resctrl::cbm API)".into(),
+            );
+        }
+    }
+}
+
+pub fn self_test() -> Result<(), String> {
+    expect_count(
+        "DL002",
+        run,
+        "let m = Cbm(mask.0 & !mask2.0);\nlet top = bits << shift;\n",
+        2,
+    )?;
+    expect_count("DL002", run, "let x = 1 << 4;\n", 1)?;
+    expect_count(
+        "DL002",
+        run,
+        "let prev: Vec<Option<Cbm>> = masks.clone();\nif prev > 0.0 && x { }\nlet u = a.union(b);\nlet s = \"a << b\";\n",
+        0,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! DL005 — no direct filesystem I/O in the daemon loop.
+//!
+//! Telemetry reads go through `TelemetryFeed` + `with_retries`, resctrl
+//! writes through the retry-wrapped backend. A bare `std::fs` call in
+//! `dcat::daemon` would dodge the transient/fatal error taxonomy and
+//! the degraded-tick machinery.
+
+use super::expect_count;
+use crate::diagnostics::Sink;
+use crate::lexer::SourceFile;
+
+pub const CODE: &str = "DL005";
+
+const PATTERNS: [&str; 3] = ["std::fs::", "fs::read_to_string(", "fs::write("];
+
+pub fn run(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        if PATTERNS.iter().any(|p| line.contains(p)) {
+            sink.emit(
+                file,
+                n,
+                CODE,
+                "direct filesystem I/O in the daemon loop (go through TelemetryFeed \
+                 and the retry-wrapped controller)"
+                    .into(),
+            );
+        }
+    }
+}
+
+pub fn self_test() -> Result<(), String> {
+    expect_count(
+        "DL005",
+        run,
+        "let t = std::fs::read_to_string(&path)?;\nfs::write(&path, text)?;\n",
+        2,
+    )?;
+    expect_count(
+        "DL005",
+        run,
+        "let t = feed.read(tick)?;\n// std::fs:: in a comment\nlet s = \"std::fs::\";\n#[cfg(test)]\nstd::fs::write(&p, t).unwrap();\n",
+        0,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! DL003 — no float `==` on telemetry-derived metrics.
+//!
+//! IPC, miss rates, and normalized values are compared against
+//! thresholds, never for exact equality; sentinel checks use
+//! `is_infinite` / `is_finite`.
+
+use super::expect_count;
+use crate::diagnostics::Sink;
+use crate::lexer::SourceFile;
+
+pub const CODE: &str = "DL003";
+
+const METRICS: [&str; 7] = [
+    "ipc",
+    "miss_rate",
+    "llc_miss_rate",
+    "llc_ref_per_instr",
+    "mem_access_per_instr",
+    "norm",
+    "baseline",
+];
+
+pub fn run(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        let float_eq = line.contains("== f64::")
+            || line.contains("f64::NEG_INFINITY ==")
+            || line.contains("f64::INFINITY ==")
+            || eq_against_float_literal(line);
+        let metric_eq = METRICS
+            .iter()
+            .any(|m| line.contains(&format!("{m} == ")) || line.contains(&format!(" == {m}")));
+        if float_eq || metric_eq {
+            sink.emit(
+                file,
+                n,
+                CODE,
+                "float equality on a telemetry metric (compare against a threshold)".into(),
+            );
+        }
+    }
+}
+
+/// Whether the line compares something with `==` against a float literal
+/// (`== 0.0`, `0.5 ==`, ...).
+///
+/// The operand is extracted as the maximal run of literal characters
+/// touching the `==` (not a whitespace split), so literals nested in
+/// calls — `assert!(0.5 == y)` — are still seen.
+fn eq_against_float_literal(line: &str) -> bool {
+    let lit_char = |c: char| c.is_ascii_digit() || c == '.' || c == '_' || c == 'f';
+    line.match_indices("==").any(|(i, _)| {
+        let before: String = line[..i]
+            .trim_end()
+            .chars()
+            .rev()
+            .take_while(|&c| lit_char(c))
+            .collect();
+        let after: String = line[i + 2..]
+            .trim_start()
+            .chars()
+            .take_while(|&c| lit_char(c))
+            .collect();
+        // `before` is reversed, but a float literal's shape survives
+        // mirroring for this check: digits around a single dot.
+        is_float_literal(&before) || is_float_literal(&after)
+    })
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let mut parts = tok.splitn(2, '.');
+    match (parts.next(), parts.next()) {
+        (Some(a), Some(b)) => {
+            !a.is_empty()
+                && a.chars()
+                    .all(|c| c.is_ascii_digit() || c == '_' || c == 'f')
+                && !b.is_empty()
+                && b.chars()
+                    .all(|c| c.is_ascii_digit() || c == '_' || c == 'f')
+        }
+        _ => false,
+    }
+}
+
+pub fn self_test() -> Result<(), String> {
+    expect_count(
+        "DL003",
+        run,
+        "if max == f64::NEG_INFINITY { }\nif m.ipc == 0.0 { }\nif miss_rate == thr { }\n",
+        3,
+    )?;
+    expect_count(
+        "DL003",
+        run,
+        "if max.is_infinite() { }\nif m.ipc > 0.0 { }\nif count == 0 { }\nlet s = \"ipc == 0.0\";\n",
+        0,
+    )?;
+    if !eq_against_float_literal("assert!(0.5 == y);") || eq_against_float_literal("if x == 0 {") {
+        return Err("DL003 self-test: float-literal extraction broke".into());
+    }
+    Ok(())
+}

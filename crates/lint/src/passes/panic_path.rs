@@ -1,0 +1,91 @@
+//! DL001 / DL009 — panic-path audit for privileged I/O code.
+//!
+//! `resctrl::fs` writes kernel interfaces and `dcat::daemon` +
+//! `dcat::telemetry` form the long-running control loop: none of them
+//! may abort. DL001 flags `.unwrap()` / `.expect(` (the `unwrap_or*`
+//! combinators are fine); DL009 flags slice/array indexing expressions
+//! (`xs[i]`, `text[..cut]`), which panic on out-of-bounds — use `get`,
+//! iterators, or an inline `lint: allow(DL009, why-it-cannot-panic)`.
+
+use super::expect_count;
+use crate::diagnostics::Sink;
+use crate::lexer::SourceFile;
+
+pub const UNWRAP_CODE: &str = "DL001";
+pub const INDEX_CODE: &str = "DL009";
+
+pub fn run_unwrap(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        if line.contains(".unwrap()") || line.contains(".expect(") {
+            sink.emit(
+                file,
+                n,
+                UNWRAP_CODE,
+                "unwrap()/expect() in privileged I/O path (propagate the error)".into(),
+            );
+        }
+    }
+}
+
+pub fn run_index(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        if has_index_expr(line) {
+            sink.emit(
+                file,
+                n,
+                INDEX_CODE,
+                "slice/array indexing can panic in a privileged path (use get()/iterators, \
+                 or annotate why the index is in bounds)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// A `[` directly preceded by an identifier character, `)`, or `]` is an
+/// index expression. Macro invocations (`vec![`), attributes (`#[`),
+/// slice types (`&[u8]`), and array literals (`= [`) all have a
+/// different preceding character and never match.
+fn has_index_expr(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    line.match_indices('[').any(|(i, _)| {
+        i > 0 && {
+            let prev = bytes[i - 1];
+            prev == b')' || prev == b']' || prev == b'_' || prev.is_ascii_alphanumeric()
+        }
+    })
+}
+
+pub fn self_test() -> Result<(), String> {
+    expect_count(
+        "DL001",
+        run_unwrap,
+        "let x = file.read().unwrap();\nlet y = map.get(&k).expect(\"present\");\n",
+        2,
+    )?;
+    expect_count(
+        "DL001",
+        run_unwrap,
+        "let x = v.unwrap_or_default();\n// .unwrap() in a comment\nlet m = \".unwrap()\";\n#[cfg(test)]\nlet z = v.unwrap();\n",
+        0,
+    )?;
+    expect_count(
+        "DL009",
+        run_index,
+        "let a = xs[i];\nlet b = &text[..cut];\nlet c = rows[0][1];\n",
+        3,
+    )?;
+    expect_count(
+        "DL009",
+        run_index,
+        "let v = vec![1, 2];\n#[derive(Debug)]\nlet s: &[u8] = &raw;\nlet a = [0u64; 5];\nlet g = xs.get(i);\n",
+        0,
+    )?;
+    expect_count(
+        "DL009",
+        run_index,
+        "let ok = xs[i]; // lint: allow(DL009, i < len checked above)\n",
+        0,
+    )?;
+    Ok(())
+}

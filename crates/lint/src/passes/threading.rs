@@ -1,0 +1,41 @@
+//! DL004 — no `thread::spawn` / `thread::scope` outside `host::pool`.
+//!
+//! The deterministic pool is the only sanctioned way to go parallel: it
+//! claims work by item index and merges results in item order, which is
+//! what keeps `--jobs N` output bit-identical to `--jobs 1`. A stray
+//! spawn would reintroduce completion-order nondeterminism.
+
+use super::expect_count;
+use crate::diagnostics::Sink;
+use crate::lexer::SourceFile;
+
+pub const CODE: &str = "DL004";
+
+pub fn run(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        if line.contains("thread::spawn") || line.contains("thread::scope") {
+            sink.emit(
+                file,
+                n,
+                CODE,
+                "ad-hoc threading (go through host::pool::Pool)".into(),
+            );
+        }
+    }
+}
+
+pub fn self_test() -> Result<(), String> {
+    expect_count(
+        "DL004",
+        run,
+        "let h = std::thread::spawn(move || work());\nthread::scope(|s| { s.spawn(|| ()); });\n",
+        2,
+    )?;
+    expect_count(
+        "DL004",
+        run,
+        "let out = pool.map(items, worker);\n// thread::spawn in a comment\nlet s = \"thread::spawn\";\nlet t = thread_count;\n",
+        0,
+    )?;
+    Ok(())
+}

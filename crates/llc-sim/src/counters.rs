@@ -43,12 +43,12 @@ impl CoreCounters {
     /// Component-wise sum, for aggregating the cores of a multi-core VM.
     pub fn merged_with(&self, other: &CoreCounters) -> CoreCounters {
         CoreCounters {
-            l1_ref: self.l1_ref + other.l1_ref,
-            l1_miss: self.l1_miss + other.l1_miss,
-            llc_ref: self.llc_ref + other.llc_ref,
-            llc_miss: self.llc_miss + other.llc_miss,
-            ret_ins: self.ret_ins + other.ret_ins,
-            cycles: self.cycles + other.cycles,
+            l1_ref: self.l1_ref.saturating_add(other.l1_ref),
+            l1_miss: self.l1_miss.saturating_add(other.l1_miss),
+            llc_ref: self.llc_ref.saturating_add(other.llc_ref),
+            llc_miss: self.llc_miss.saturating_add(other.llc_miss),
+            ret_ins: self.ret_ins.saturating_add(other.ret_ins),
+            cycles: self.cycles.saturating_add(other.cycles),
         }
     }
 
@@ -99,6 +99,17 @@ mod tests {
         let m = sample().merged_with(&sample());
         assert_eq!(m.l1_ref, 200);
         assert_eq!(m.cycles, 2000);
+    }
+
+    #[test]
+    fn merge_saturates_at_counter_width() {
+        let mut a = sample();
+        a.cycles = u64::MAX - 1;
+        let mut b = sample();
+        b.cycles = 2;
+        let m = a.merged_with(&b);
+        assert_eq!(m.cycles, u64::MAX);
+        assert_eq!(m.l1_ref, 200, "non-saturating components still add");
     }
 
     #[test]

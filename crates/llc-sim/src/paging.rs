@@ -320,6 +320,12 @@ impl PageMapper {
 
     /// Unmaps everything, returning the frames to `frames`.
     pub fn clear(&mut self, frames: &mut FrameAllocator) {
+        // The page table stays a HashMap (translate() runs per memory
+        // reference; O(1) lookup is the point). Draining it here visits
+        // entries in hasher order, but freeing is commutative: the free
+        // list the allocator rebuilds is a set, and allocation order is
+        // driven by the RNG stream, not by insertion order of frees.
+        // lint: allow(DL006, frees are commutative; no iteration order escapes)
         for (_, base) in self.table.drain() {
             frames.free(base, self.page_size);
         }

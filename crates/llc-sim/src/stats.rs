@@ -6,7 +6,7 @@
 //! partition's *capacity* equals the working set, ~30% of sets receive more
 //! lines than the partition has ways, producing conflict misses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::address::PhysAddr;
 use crate::geometry::CacheGeometry;
@@ -29,8 +29,10 @@ impl SetOccupancyHistogram {
     where
         I: IntoIterator<Item = PhysAddr>,
     {
-        let mut per_set: HashMap<u32, u64> = HashMap::new();
-        let mut seen = std::collections::HashSet::new();
+        // BTreeMap, not HashMap: the histogram fill below iterates the
+        // map, and iteration order must not depend on the hasher seed.
+        let mut per_set: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut seen = std::collections::BTreeSet::new();
         for addr in addrs {
             let line = addr.line();
             if seen.insert(line) {

@@ -34,6 +34,7 @@
 //! assert!((m.mem_access_per_instr - 0.34).abs() < 1e-9);
 //! ```
 
+pub mod convert;
 pub mod events;
 pub mod metrics;
 pub mod snapshot;

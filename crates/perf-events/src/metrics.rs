@@ -1,6 +1,7 @@
 //! Derived per-interval metrics — the quantities dCat's five-step loop
 //! actually reasons about.
 
+use crate::convert::counter_to_f64;
 use crate::snapshot::CounterSnapshot;
 
 /// Metrics of one controller interval, derived from a counter delta.
@@ -31,17 +32,17 @@ impl IntervalMetrics {
         let ipc = if delta.cycles == 0 {
             0.0
         } else {
-            delta.ret_ins as f64 / delta.cycles as f64
+            counter_to_f64(delta.ret_ins) / counter_to_f64(delta.cycles)
         };
         let llc_miss_rate = if delta.llc_ref == 0 {
             0.0
         } else {
-            delta.llc_miss as f64 / delta.llc_ref as f64
+            counter_to_f64(delta.llc_miss) / counter_to_f64(delta.llc_ref)
         };
         let mem_access_per_instr = if delta.ret_ins == 0 {
             0.0
         } else {
-            delta.l1_ref as f64 / delta.ret_ins as f64
+            counter_to_f64(delta.l1_ref) / counter_to_f64(delta.ret_ins)
         };
         IntervalMetrics {
             instructions: delta.ret_ins,
@@ -71,7 +72,7 @@ impl IntervalMetrics {
         if self.instructions == 0 {
             0.0
         } else {
-            self.llc_ref as f64 / self.instructions as f64
+            counter_to_f64(self.llc_ref) / counter_to_f64(self.instructions)
         }
     }
 
@@ -81,7 +82,7 @@ impl IntervalMetrics {
         if self.instructions == 0 {
             0.0
         } else {
-            1000.0 * self.llc_miss as f64 / self.instructions as f64
+            1000.0 * counter_to_f64(self.llc_miss) / counter_to_f64(self.instructions)
         }
     }
 

@@ -125,11 +125,11 @@ impl CounterSnapshot {
     /// Component-wise sum, used to aggregate the cores of one VM.
     pub fn merged_with(&self, other: &CounterSnapshot) -> CounterSnapshot {
         CounterSnapshot {
-            l1_ref: self.l1_ref + other.l1_ref,
-            llc_ref: self.llc_ref + other.llc_ref,
-            llc_miss: self.llc_miss + other.llc_miss,
-            ret_ins: self.ret_ins + other.ret_ins,
-            cycles: self.cycles + other.cycles,
+            l1_ref: self.l1_ref.saturating_add(other.l1_ref),
+            llc_ref: self.llc_ref.saturating_add(other.llc_ref),
+            llc_miss: self.llc_miss.saturating_add(other.llc_miss),
+            ret_ins: self.ret_ins.saturating_add(other.ret_ins),
+            cycles: self.cycles.saturating_add(other.cycles),
         }
     }
 }
@@ -246,9 +246,81 @@ mod tests {
     }
 
     #[test]
+    fn zero_delta_is_monotonic_at_any_width() {
+        let s = snap(5, 5, 5, 5, 5);
+        for width in [1, 2, 32, 63, 64] {
+            assert_eq!(
+                s.delta_since_wrap_aware(&s, width),
+                WrapOutcome::Monotonic(CounterSnapshot::default()),
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_bit_counters_never_report_a_wrap() {
+        // At width 1 the half range is 1, so the only reconstructable
+        // wrapped delta is 0 — a 1 -> 0 transition has delta 1 and must
+        // be rejected as a reset rather than accepted as a wrap.
+        let earlier = snap(0, 0, 0, 0, 1);
+        let later = snap(0, 0, 0, 0, 0);
+        assert_eq!(
+            later.delta_since_wrap_aware(&earlier, 1),
+            WrapOutcome::Invalid
+        );
+    }
+
+    #[test]
+    fn wrapped_delta_just_under_half_range_is_accepted() {
+        let half = 1u64 << 31;
+        let mask = (1u64 << 32) - 1;
+        let earlier_cycles = mask - 10;
+        let later_cycles = (earlier_cycles + (half - 1)) & mask;
+        let earlier = snap(0, 0, 0, 0, earlier_cycles);
+        let later = snap(0, 0, 0, 0, later_cycles);
+        let WrapOutcome::Wrapped(d) = later.delta_since_wrap_aware(&earlier, 32) else {
+            panic!("a wrapped delta of half_range - 1 must still be plausible");
+        };
+        assert_eq!(d.cycles, half - 1);
+    }
+
+    #[test]
+    fn wrapped_delta_at_half_range_is_a_reset() {
+        let half = 1u64 << 31;
+        let mask = (1u64 << 32) - 1;
+        let earlier_cycles = mask - 10;
+        let later_cycles = (earlier_cycles + half) & mask;
+        let earlier = snap(0, 0, 0, 0, earlier_cycles);
+        let later = snap(0, 0, 0, 0, later_cycles);
+        assert_eq!(
+            later.delta_since_wrap_aware(&earlier, 32),
+            WrapOutcome::Invalid
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width must be 1..=64 bits")]
+    fn zero_width_panics() {
+        let s = snap(0, 0, 0, 0, 0);
+        let _ = s.delta_since_wrap_aware(&s, 0);
+    }
+
+    #[test]
     fn merge_adds() {
         let m = snap(1, 2, 3, 4, 5).merged_with(&snap(10, 20, 30, 40, 50));
         assert_eq!(m, snap(11, 22, 33, 44, 55));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let m = snap(u64::MAX, 1, u64::MAX - 1, 0, u64::MAX).merged_with(&snap(
+            1,
+            u64::MAX,
+            1,
+            0,
+            u64::MAX,
+        ));
+        assert_eq!(m, snap(u64::MAX, u64::MAX, u64::MAX, 0, u64::MAX));
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl SlidingWindow {
         if self.values.is_empty() {
             None
         } else {
-            Some(self.sum / self.values.len() as f64)
+            Some(self.sum / crate::convert::len_to_f64(self.values.len()))
         }
     }
 

@@ -69,20 +69,17 @@ pub fn format_cpu_list(cores: &[u32]) -> String {
     sorted.sort_unstable();
     sorted.dedup();
     let mut parts: Vec<String> = Vec::new();
-    let mut i = 0;
-    while i < sorted.len() {
-        let start = sorted[i];
+    let mut iter = sorted.into_iter().peekable();
+    while let Some(start) = iter.next() {
         let mut end = start;
-        while i + 1 < sorted.len() && sorted[i + 1] == end + 1 {
-            i += 1;
-            end = sorted[i];
+        while iter.peek() == Some(&(end + 1)) {
+            end = iter.next().unwrap_or(end);
         }
         if start == end {
             parts.push(start.to_string());
         } else {
             parts.push(format!("{start}-{end}"));
         }
-        i += 1;
     }
     parts.join(",")
 }
@@ -162,7 +159,12 @@ impl FsBackend {
         }
         let mut table = vec![CosId(0); num_cores as usize];
         for (core, cos) in assignment {
-            table[core as usize] = cos;
+            // In-bounds by construction (num_cores = max(core) + 1), but
+            // go through get_mut so a future refactor cannot introduce a
+            // panic path here.
+            if let Some(slot) = table.get_mut(core as usize) {
+                *slot = cos;
+            }
         }
         Ok(FsBackend {
             root,
@@ -259,10 +261,11 @@ impl CacheController for FsBackend {
 
     fn assign_core(&mut self, core: u32, cos: CosId) -> Result<(), ResctrlError> {
         self.validate_cos(cos)?;
-        if core >= self.num_cores {
-            return Err(ResctrlError::InvalidCore(core));
-        }
-        self.assignment[core as usize] = cos;
+        let slot = self
+            .assignment
+            .get_mut(core as usize)
+            .ok_or(ResctrlError::InvalidCore(core))?;
+        *slot = cos;
         self.rewrite_cpus_lists()
     }
 
@@ -273,10 +276,10 @@ impl CacheController for FsBackend {
     }
 
     fn core_cos(&self, core: u32) -> Result<CosId, ResctrlError> {
-        if core >= self.num_cores {
-            return Err(ResctrlError::InvalidCore(core));
-        }
-        Ok(self.assignment[core as usize])
+        self.assignment
+            .get(core as usize)
+            .copied()
+            .ok_or(ResctrlError::InvalidCore(core))
     }
 }
 

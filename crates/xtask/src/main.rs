@@ -1,48 +1,25 @@
 //! Repo automation tasks (`cargo run -p xtask -- <task>`).
 //!
 //! `lint` is the repo's gate: `cargo fmt --check`, `cargo clippy
-//! --all-targets -- -D warnings`, and four source scans that encode
-//! rules the stock tools do not know about:
+//! --all-targets -- -D warnings`, then the `dcat-lint` token-aware
+//! static-analysis engine (see `crates/lint`), which runs the DL001…
+//! DL010 pass catalog against its checked-in baseline
+//! (`lint-baseline.txt`). The regex line-scans that used to live here
+//! were ported into that engine; xtask keeps only the tool
+//! orchestration.
 //!
-//! 1. **No `unwrap()`/`expect()` in privileged I/O paths** — the
-//!    non-test code of `resctrl::fs` (writes kernel interfaces) and
-//!    `dcat::daemon` (long-running control loop) must propagate errors,
-//!    never abort. `unwrap_or*` combinators are fine.
-//! 2. **No raw CBM bit arithmetic outside `resctrl::cbm`** — way masks
-//!    are built and inspected through the `Cbm` API so the contiguity
-//!    and bounds rules live in one audited module. Shifting bits or
-//!    masking `.0` by hand anywhere else in `dcat`, `resctrl`, or
-//!    `host` is flagged. (`llc_sim::WayMask` is its own abstraction and
-//!    is not scanned.)
-//! 3. **No float `==` on telemetry-derived metrics** — IPC, miss rates,
-//!    and normalized values are compared against thresholds, never for
-//!    exact equality; sentinel tests use `is_infinite`/`is_finite`.
-//! 4. **No ad-hoc threading outside `host::pool`** — `thread::spawn` /
-//!    `thread::scope` anywhere but `crates/host/src/pool.rs` would
-//!    bypass the deterministic index-ordered pool that guarantees
-//!    `--jobs N` results are bit-identical to serial runs. (`crates/
-//!    xtask` itself is excluded from the repo walk: its embedded scan
-//!    fixtures spell the banned tokens.)
-//! 5. **No direct filesystem I/O in the daemon loop** — `dcat::daemon`
-//!    must reach telemetry through `dcat::telemetry::TelemetryFeed` and
-//!    resctrl through the retry-wrapped controller, so every read/write
-//!    gets the bounded-retry and degraded-tick treatment. A bare
-//!    `std::fs::` call in the loop would bypass the fault taxonomy.
-//!
-//! Every scan is self-tested on startup against embedded fixtures
-//! seeded with the banned patterns (and a clean control): a scan that
-//! stops detecting its pattern fails the lint run itself. `scan
-//! <files...>` applies all five scans to arbitrary paths, which CI
-//! uses to prove the gate fails non-zero on a seeded fixture file.
+//! `scan <files...>` applies every per-file DL pass, unscoped, to
+//! arbitrary paths — CI uses it to prove the gate fails non-zero on a
+//! seeded fixture file.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--scan-only")),
-        Some("scan") if args.len() > 1 => scan_files(&args[1..]),
+        Some("scan") if args.len() > 1 => scan(&args[1..]),
         _ => {
             eprintln!("usage: cargo run -p xtask -- lint [--scan-only]");
             eprintln!("       cargo run -p xtask -- scan <file.rs>...");
@@ -53,17 +30,12 @@ fn main() -> ExitCode {
 
 fn repo_root() -> PathBuf {
     // xtask always runs from somewhere inside the workspace.
-    let mut dir = std::env::current_dir().expect("cwd");
-    loop {
-        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
-            return dir;
-        }
-        assert!(dir.pop(), "workspace root not found above cwd");
-    }
+    let cwd = std::env::current_dir().expect("cwd");
+    dcat_lint::find_repo_root(&cwd).expect("workspace root above cwd")
 }
 
 fn lint(scan_only: bool) -> ExitCode {
-    if let Err(e) = self_test() {
+    if let Err(e) = dcat_lint::self_test() {
         eprintln!("lint self-test failed: {e}");
         return ExitCode::FAILURE;
     }
@@ -104,11 +76,35 @@ fn lint(scan_only: bool) -> ExitCode {
         }
     }
 
-    let findings = scan_repo(&root);
-    for f in &findings {
-        eprintln!("lint: {f}");
+    println!("lint: running dcat-lint pass catalog");
+    let report = match dcat_lint::check_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: dcat-lint failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = match dcat_lint::baseline::load(&root.join("lint-baseline.txt")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (new, grandfathered, stale) = dcat_lint::baseline::partition(&report.findings, &base);
+    for f in &new {
+        eprintln!("lint: {}", f.render_human());
     }
-    failures += findings.len();
+    for key in &stale {
+        eprintln!("lint: note: stale baseline entry (debt paid — remove it): {key}");
+    }
+    println!(
+        "lint: dcat-lint: {} new, {} baselined, {} suppressed by annotation",
+        new.len(),
+        grandfathered.len(),
+        report.suppressed.len()
+    );
+    failures += new.len();
 
     if failures == 0 {
         println!("lint: clean");
@@ -119,353 +115,26 @@ fn lint(scan_only: bool) -> ExitCode {
     }
 }
 
-fn scan_files(paths: &[String]) -> ExitCode {
-    if let Err(e) = self_test() {
+fn scan(paths: &[String]) -> ExitCode {
+    if let Err(e) = dcat_lint::self_test() {
         eprintln!("lint self-test failed: {e}");
         return ExitCode::FAILURE;
     }
-    let mut findings = Vec::new();
-    for p in paths {
-        let path = Path::new(p);
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("scan: cannot read {p}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        findings.extend(scan_no_unwrap(path, &text));
-        findings.extend(scan_no_raw_cbm_bits(path, &text));
-        findings.extend(scan_no_float_eq(path, &text));
-        findings.extend(scan_no_thread_spawn(path, &text));
-        findings.extend(scan_no_direct_io(path, &text));
+    let paths: Vec<PathBuf> = paths.iter().map(PathBuf::from).collect();
+    let report = match dcat_lint::scan_files(&paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        eprintln!("scan: {}", f.render_human());
     }
-    for f in &findings {
-        eprintln!("scan: {f}");
-    }
-    if findings.is_empty() {
+    if report.findings.is_empty() {
         println!("scan: clean");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
-    }
-}
-
-/// Applies each scan to the files its rule governs.
-fn scan_repo(root: &Path) -> Vec<String> {
-    let mut findings = Vec::new();
-
-    for rel in ["crates/resctrl/src/fs.rs", "crates/dcat/src/daemon.rs"] {
-        let path = root.join(rel);
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("lint target {rel} unreadable: {e}"));
-        findings.extend(scan_no_unwrap(&path, &text));
-    }
-
-    // Scan 5 governs the daemon loop alone: `resctrl::fs` and
-    // `dcat::telemetry` are the sanctioned wrappers and may touch the
-    // filesystem directly.
-    {
-        let rel = "crates/dcat/src/daemon.rs";
-        let path = root.join(rel);
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("lint target {rel} unreadable: {e}"));
-        findings.extend(scan_no_direct_io(&path, &text));
-    }
-
-    for dir in ["crates/dcat/src", "crates/resctrl/src", "crates/host/src"] {
-        for path in rust_files(&root.join(dir)) {
-            if path.file_name().is_some_and(|f| f == "cbm.rs") {
-                continue; // the one module allowed to touch raw bits
-            }
-            let text = std::fs::read_to_string(&path).expect("listed file readable");
-            findings.extend(scan_no_raw_cbm_bits(&path, &text));
-        }
-    }
-
-    for dir in ["crates/dcat/src", "crates/perf-events/src"] {
-        for path in rust_files(&root.join(dir)) {
-            let text = std::fs::read_to_string(&path).expect("listed file readable");
-            findings.extend(scan_no_float_eq(&path, &text));
-        }
-    }
-
-    // Scan 4 walks every crate except xtask itself (whose embedded scan
-    // fixtures spell the banned tokens) and skips the one allowed module.
-    let crates_dir = root.join("crates");
-    let crate_roots =
-        std::fs::read_dir(&crates_dir).unwrap_or_else(|e| panic!("crates dir unreadable: {e}"));
-    for entry in crate_roots {
-        let crate_dir = entry.expect("dir entry").path();
-        if !crate_dir.is_dir() || crate_dir.file_name().is_some_and(|n| n == "xtask") {
-            continue;
-        }
-        for path in rust_files(&crate_dir) {
-            if path.ends_with("host/src/pool.rs") {
-                continue; // the one module allowed to spawn threads
-            }
-            let text = std::fs::read_to_string(&path).expect("listed file readable");
-            findings.extend(scan_no_thread_spawn(&path, &text));
-        }
-    }
-
-    findings
-}
-
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
-    for entry in entries {
-        let path = entry.expect("dir entry").path();
-        if path.is_dir() {
-            out.extend(rust_files(&path));
-        } else if path.extension().is_some_and(|x| x == "rs") {
-            out.push(path);
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Lines of the file before its `#[cfg(test)]` module, with line numbers.
-fn non_test_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
-    text.lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l))
-        .take_while(|(_, l)| l.trim() != "#[cfg(test)]")
-        .filter(|(_, l)| {
-            let t = l.trim_start();
-            !t.starts_with("//")
-        })
-}
-
-/// Scan 1: no `.unwrap()` / `.expect(` in privileged non-test code.
-fn scan_no_unwrap(path: &Path, text: &str) -> Vec<String> {
-    let mut findings = Vec::new();
-    for (n, line) in non_test_lines(text) {
-        if line.contains(".unwrap()") || line.contains(".expect(") {
-            findings.push(format!(
-                "{}:{n}: unwrap()/expect() in privileged I/O path (propagate the error)",
-                path.display()
-            ));
-        }
-    }
-    findings
-}
-
-/// Scan 2: no raw CBM bit arithmetic outside `resctrl::cbm`.
-///
-/// Flags space-delimited shifts (generics like `Vec<Option<Cbm>>` have
-/// none) and single `&`/`|`/`^` applied to a `.0` field access (logical
-/// `&&`/`||` and float literals like `0.0` do not match).
-fn scan_no_raw_cbm_bits(path: &Path, text: &str) -> Vec<String> {
-    let mut findings = Vec::new();
-    for (n, line) in non_test_lines(text) {
-        let shift = line.contains(" << ") || line.contains(" >> ");
-        let field_bitop = [".0 & ", ".0 | ", ".0 ^ "].iter().any(|pat| {
-            line.match_indices(pat).any(|(i, _)| {
-                // `.0` must be a field access, not the tail of a float
-                // literal (`0.0 & ...` can only be bit arithmetic anyway,
-                // but `prev > 0.0 && x` must not match: require the single
-                // operator not be doubled).
-                let after = &line[i + pat.len()..];
-                let op = pat.as_bytes()[3];
-                !after.starts_with(op as char) && !line[..i].ends_with(|c: char| c.is_ascii_digit())
-            })
-        });
-        if shift || field_bitop {
-            findings.push(format!(
-                "{}:{n}: raw CBM bit arithmetic (use the resctrl::cbm API)",
-                path.display()
-            ));
-        }
-    }
-    findings
-}
-
-/// Scan 3: no float `==` on telemetry-derived metrics.
-fn scan_no_float_eq(path: &Path, text: &str) -> Vec<String> {
-    const METRICS: [&str; 7] = [
-        "ipc",
-        "miss_rate",
-        "llc_miss_rate",
-        "llc_ref_per_instr",
-        "mem_access_per_instr",
-        "norm",
-        "baseline",
-    ];
-    let mut findings = Vec::new();
-    for (n, line) in non_test_lines(text) {
-        let float_eq = line.contains("== f64::")
-            || line.contains("f64::NEG_INFINITY ==")
-            || line.contains("f64::INFINITY ==")
-            || eq_against_float_literal(line);
-        let metric_eq = METRICS
-            .iter()
-            .any(|m| line.contains(&format!("{m} == ")) || line.contains(&format!(" == {m}")));
-        if float_eq || metric_eq {
-            findings.push(format!(
-                "{}:{n}: float equality on a telemetry metric (compare against a threshold)",
-                path.display()
-            ));
-        }
-    }
-    findings
-}
-
-/// Scan 4: no `thread::spawn` / `thread::scope` outside `host::pool`.
-///
-/// The deterministic pool is the only sanctioned way to go parallel:
-/// it claims work by item index and merges results in item order, which
-/// is what keeps `--jobs N` output bit-identical to `--jobs 1`. A stray
-/// spawn would reintroduce completion-order nondeterminism.
-fn scan_no_thread_spawn(path: &Path, text: &str) -> Vec<String> {
-    let mut findings = Vec::new();
-    for (n, line) in non_test_lines(text) {
-        if line.contains("thread::spawn") || line.contains("thread::scope") {
-            findings.push(format!(
-                "{}:{n}: ad-hoc threading (go through host::pool::Pool)",
-                path.display()
-            ));
-        }
-    }
-    findings
-}
-
-/// Scan 5: no direct filesystem I/O in the daemon loop.
-///
-/// Telemetry reads go through `TelemetryFeed` + `with_retries`, resctrl
-/// writes through the retry-wrapped backend. A bare `std::fs` call in
-/// `dcat::daemon` would dodge the transient/fatal error taxonomy and the
-/// degraded-tick machinery.
-fn scan_no_direct_io(path: &Path, text: &str) -> Vec<String> {
-    const PATTERNS: [&str; 3] = ["std::fs::", "fs::read_to_string(", "fs::write("];
-    let mut findings = Vec::new();
-    for (n, line) in non_test_lines(text) {
-        if PATTERNS.iter().any(|p| line.contains(p)) {
-            findings.push(format!(
-                "{}:{n}: direct filesystem I/O in the daemon loop (go through \
-                 TelemetryFeed and the retry-wrapped controller)",
-                path.display()
-            ));
-        }
-    }
-    findings
-}
-
-/// Whether the line compares something with `==` against a float literal
-/// (`== 0.0`, `0.5 ==`, ...).
-///
-/// The operand is extracted as the maximal run of literal characters
-/// touching the `==` (not a whitespace split), so literals nested in
-/// calls — `assert!(0.5 == y)` — are still seen.
-fn eq_against_float_literal(line: &str) -> bool {
-    let lit_char = |c: char| c.is_ascii_digit() || c == '.' || c == '_' || c == 'f';
-    line.match_indices("==").any(|(i, _)| {
-        let before: String = line[..i]
-            .trim_end()
-            .chars()
-            .rev()
-            .take_while(|&c| lit_char(c))
-            .collect();
-        let after: String = line[i + 2..]
-            .trim_start()
-            .chars()
-            .take_while(|&c| lit_char(c))
-            .collect();
-        // `before` is reversed, but a float literal's shape survives
-        // mirroring for this check: digits around a single dot.
-        is_float_literal(&before) || is_float_literal(&after)
-    })
-}
-
-fn is_float_literal(tok: &str) -> bool {
-    let mut parts = tok.splitn(2, '.');
-    match (parts.next(), parts.next()) {
-        (Some(a), Some(b)) => {
-            !a.is_empty()
-                && a.chars()
-                    .all(|c| c.is_ascii_digit() || c == '_' || c == 'f')
-                && !b.is_empty()
-                && b.chars()
-                    .all(|c| c.is_ascii_digit() || c == '_' || c == 'f')
-        }
-        _ => false,
-    }
-}
-
-/// Every scan must flag its seeded banned-pattern fixture and pass its
-/// clean control, or the gate itself is broken.
-fn self_test() -> Result<(), String> {
-    let p = Path::new("fixture.rs");
-
-    let banned_unwrap = "let x = file.read().unwrap();\nlet y = map.get(&k).expect(\"present\");\n";
-    if scan_no_unwrap(p, banned_unwrap).len() != 2 {
-        return Err("unwrap scan missed its fixture".into());
-    }
-    let clean_unwrap =
-        "let x = v.unwrap_or_default();\n// .unwrap() in a comment\n#[cfg(test)]\nlet z = v.unwrap();\n";
-    if !scan_no_unwrap(p, clean_unwrap).is_empty() {
-        return Err("unwrap scan flagged clean code".into());
-    }
-
-    let banned_bits = "let m = Cbm(mask.0 & !mask2.0);\nlet top = bits << shift;\n";
-    if scan_no_raw_cbm_bits(p, banned_bits).len() != 2
-        || scan_no_raw_cbm_bits(p, "let x = 1 << 4;\n").len() != 1
-    {
-        return Err("cbm scan missed its fixture".into());
-    }
-    let clean_bits = "let prev: Vec<Option<Cbm>> = masks.clone();\nif prev > 0.0 && x { }\nlet u = a.union(b);\n";
-    if !scan_no_raw_cbm_bits(p, clean_bits).is_empty() {
-        return Err("cbm scan flagged clean code".into());
-    }
-
-    let banned_eq =
-        "if max == f64::NEG_INFINITY { }\nif m.ipc == 0.0 { }\nif miss_rate == thr { }\n";
-    if scan_no_float_eq(p, banned_eq).len() != 3 {
-        return Err("float-eq scan missed its fixture".into());
-    }
-    let clean_eq = "if max.is_infinite() { }\nif m.ipc > 0.0 { }\nif count == 0 { }\n";
-    if !scan_no_float_eq(p, clean_eq).is_empty() {
-        return Err("float-eq scan flagged clean code".into());
-    }
-
-    let banned_threads =
-        "let h = std::thread::spawn(move || work());\nthread::scope(|s| { s.spawn(|| ()); });\n";
-    if scan_no_thread_spawn(p, banned_threads).len() != 2 {
-        return Err("thread scan missed its fixture".into());
-    }
-    let clean_threads =
-        "let out = pool.map(items, worker);\n// thread::spawn in a comment\nlet t = thread_count;\n";
-    if !scan_no_thread_spawn(p, clean_threads).is_empty() {
-        return Err("thread scan flagged clean code".into());
-    }
-
-    let banned_io = "let t = std::fs::read_to_string(&path)?;\nfs::write(&path, text)?;\n";
-    if scan_no_direct_io(p, banned_io).len() != 2 {
-        return Err("direct-io scan missed its fixture".into());
-    }
-    let clean_io = "let t = feed.read(tick)?;\n// std::fs:: in a comment\n#[cfg(test)]\nstd::fs::write(&p, t).unwrap();\n";
-    if !scan_no_direct_io(p, clean_io).is_empty() {
-        return Err("direct-io scan flagged clean code".into());
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn embedded_fixtures_pass_self_test() {
-        self_test().unwrap();
-    }
-
-    #[test]
-    fn float_literal_edges() {
-        assert!(eq_against_float_literal("if x == 0.0 {"));
-        assert!(eq_against_float_literal("assert!(0.5 == y);"));
-        assert!(!eq_against_float_literal("if x == 0 {"));
-        assert!(!eq_against_float_literal("let v = 0.5;"));
     }
 }
