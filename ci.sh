@@ -29,6 +29,7 @@ fn bad() {
     let t0 = std::time::Instant::now();
     let truncated = big_count as u32;
     let first = fields[0];
+    println!("debug {x}");
 }
 FIXTURE
 if cargo run -q -p xtask --offline -- scan target/lint-fixture.rs; then
@@ -40,8 +41,9 @@ echo "==> lint JSON report against the checked-in baseline"
 cargo run -q -p dcat-lint --offline -- --json --baseline lint-baseline.txt \
     > target/lint-report.json
 
-echo "==> determinism regression + golden decision traces"
-cargo test -q --release -p dcat-bench --offline --test determinism --test golden_traces
+echo "==> determinism regression + golden decision traces + golden metrics"
+cargo test -q --release -p dcat-bench --offline --test determinism --test golden_traces \
+    --test golden_metrics
 
 echo "==> daemon end-to-end (fixture resctrl tree + scripted telemetry)"
 cargo test -q -p dcat --offline --test daemon_e2e
@@ -62,6 +64,11 @@ if ! cmp -s target/all_experiments.jobs1.txt target/all_experiments.jobs2.txt; t
     echo "ERROR: all_experiments output differs between --jobs 1 and --jobs 2" >&2
     exit 1
 fi
+
+echo "==> metrics export: one experiment with --metrics-out, validated by obs-dump"
+cargo run -q --release -p dcat-bench --offline --bin fig07_lifecycle -- --fast \
+    --metrics-out target/metrics.prom > target/fig07_lifecycle.txt
+cargo run -q --release -p dcat-obs --offline --bin obs-dump -- --check target/metrics.prom
 
 echo "==> model checker (bounded exhaustive)"
 cargo run -q --release -p dcat-verify --offline

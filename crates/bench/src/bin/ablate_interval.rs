@@ -7,7 +7,11 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{Lookbusy, Mlr};
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     report::section("Ablation: controller interval (cycles per epoch)");
     let budgets: &[u64] = if fast {
         &[1_000_000, 4_000_000]

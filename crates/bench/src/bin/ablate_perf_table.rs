@@ -5,7 +5,11 @@ use dcat_bench::experiments::fig12_perf_table_reuse::run_with_reuse;
 use dcat_bench::report;
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     report::section("Ablation: performance-table reuse");
     let runs = dcat_bench::Runner::from_env()
         .map(vec![true, false], |_, reuse| run_with_reuse(fast, reuse));

@@ -8,7 +8,11 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{phased::Phase, Lookbusy, Mload, Mlr, PhasedStream};
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     report::section("Ablation: phase-change threshold");
     let epochs = if fast { 20 } else { 48 };
     let rows = dcat_bench::Runner::from_env().map(vec![0.02f64, 0.10, 0.50], |_, thr| {

@@ -6,7 +6,11 @@ use dcat_bench::experiments::fig14_two_receivers::run_with;
 use dcat_bench::report;
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     report::section("Ablation: allocation policy (two receivers + late-comer)");
     let runs = dcat_bench::Runner::from_env().map(
         vec![DcatConfig::default(), DcatConfig::max_performance()],

@@ -1,6 +1,10 @@
 //! Ablation: LLC replacement/insertion policy (see the module docs).
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     dcat_bench::experiments::ablate_replacement::run(fast);
 }

@@ -9,7 +9,11 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{Lookbusy, Mlr};
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     report::section("Ablation: settle intervals before judging a ways change");
     let epochs = if fast { 16 } else { 44 };
     let rows = dcat_bench::Runner::from_env().map(vec![1u32, 2, 4], |_, settle| {

@@ -8,6 +8,9 @@ use dcat_bench::experiments::registry;
 use dcat_bench::{Cli, Runner};
 
 fn main() {
-    let cli = Cli::from_env();
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: Cli) {
     Runner::from_env().map(registry(), |_, exp| (exp.run)(cli.fast));
 }

@@ -1,6 +1,10 @@
 //! Extension experiment: CAT vs. OS page coloring at equal capacity.
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     dcat_bench::experiments::exp_coloring::run(fast);
 }

@@ -1,6 +1,10 @@
 //! Daemon resilience sweep under injected fault schedules (see DESIGN.md).
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     dcat_bench::experiments::fault_sweep::run(fast);
 }

@@ -1,6 +1,10 @@
 //! Regenerates the paper's fig08 (see DESIGN.md experiment index).
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     dcat_bench::experiments::fig08_miss_threshold::run(fast);
 }

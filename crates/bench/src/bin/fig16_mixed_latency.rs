@@ -1,6 +1,10 @@
 //! Regenerates Figure 16 (it is produced together with Figure 15).
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     dcat_bench::experiments::fig15_mixed::run(fast);
 }

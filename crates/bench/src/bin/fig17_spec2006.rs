@@ -1,6 +1,10 @@
 //! Regenerates Figure 17 and Table 3 (SPEC CPU2006 suite).
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     dcat_bench::experiments::fig17_spec2006::run(fast);
 }

@@ -1,7 +1,11 @@
 //! Regenerates Table 6 (Elasticsearch under YCSB workload C).
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     dcat_bench::experiments::tab_services::run_service(
         dcat_bench::experiments::tab_services::Service::Elasticsearch,
         fast,

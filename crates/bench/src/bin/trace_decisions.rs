@@ -7,7 +7,11 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{Lookbusy, Mload, RedisModel};
 
 fn main() {
-    let fast = dcat_bench::Cli::from_env().fast;
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    let fast = cli.fast;
     let plans = vec![
         VmPlan::always("service", 4, |s| {
             Box::new(RedisModel::paper_default(700 + s))

@@ -5,6 +5,10 @@ use dcat_bench::scenario::{run_scenario, PolicyKind, VmPlan};
 use workloads::{Lookbusy, Mload, Mlr};
 
 fn main() {
+    dcat_bench::main_with(run);
+}
+
+fn run(_cli: dcat_bench::Cli) {
     let mut plans = vec![
         VmPlan::always("mlr-8mb", 3, |s| Box::new(Mlr::new(8 * MB, 400 + s))),
         VmPlan::always("mload-60mb", 3, |_| Box::new(Mload::new(60 * MB))),

@@ -102,6 +102,7 @@ pub fn run_one(rate: f64, seed: u64, ticks: u64, index: usize) -> SweepRun {
             ..ResiliencePolicy::default()
         },
         fault_plan: (rate > 0.0).then_some(plan),
+        obs: dcat::daemon::ObsOptions::default(),
     };
 
     let mut degraded = 0u64;

@@ -21,5 +21,5 @@ pub mod runner;
 pub mod scenario;
 pub mod timing;
 
-pub use runner::{Cli, Runner};
+pub use runner::{main_with, Cli, Runner};
 pub use scenario::{PolicyKind, RunResult, ScheduleItem, VmPlan};

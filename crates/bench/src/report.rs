@@ -5,12 +5,95 @@
 //! rely on this: each pool worker captures its task's output, and the
 //! coordinator replays the buffers in task order, so the report bytes are
 //! identical whatever `--jobs` width produced them.
+//!
+//! Metrics follow the same discipline: [`record`] writes into the
+//! innermost [`capture_obs`] scope's registry (or a process-global root
+//! outside any scope), the captured [`dcat_obs::Snapshot`] travels back
+//! with the text, and [`emit_obs`] replays it into the enclosing scope.
+//! Because snapshot merge is order-insensitive and the coordinator
+//! replays in item order, the exported metrics are byte-identical for
+//! any `--jobs` width too.
 
 use std::cell::RefCell;
+use std::sync::Mutex;
+
+use dcat_obs::{Registry, Snapshot};
 
 thread_local! {
     /// Stack of capture buffers; empty means "print to stdout".
     static SINK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Stack of capture registries, parallel to `SINK` for [`capture_obs`]
+    /// scopes; empty means "record into the process root".
+    static OBS: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-global fallback registry for metrics recorded outside any
+/// [`capture_obs`] scope — what `--metrics-out` exports at exit.
+static ROOT: Mutex<Option<Registry>> = Mutex::new(None);
+
+/// Records metrics into the innermost [`capture_obs`] scope, or into the
+/// process root when no scope is active on this thread.
+pub fn record(f: impl FnOnce(&mut Registry)) {
+    let mut f = Some(f);
+    let handled = OBS.with(|s| {
+        let mut stack = s.borrow_mut();
+        match stack.last_mut() {
+            Some(reg) => {
+                if let Some(f) = f.take() {
+                    f(reg);
+                }
+                true
+            }
+            None => false,
+        }
+    });
+    if !handled {
+        if let Some(f) = f.take() {
+            let mut root = ROOT.lock().unwrap_or_else(|p| p.into_inner());
+            f(root.get_or_insert_with(Registry::new));
+        }
+    }
+}
+
+/// Replays a captured snapshot into the current scope (or the root),
+/// mirroring what [`emit_raw`] does for text. Nested captures compose:
+/// the replay merges into the enclosing scope's registry.
+pub fn emit_obs(snap: &Snapshot) {
+    let handled = OBS.with(|s| {
+        let mut stack = s.borrow_mut();
+        match stack.last_mut() {
+            Some(reg) => {
+                reg.merge_snapshot(snap);
+                true
+            }
+            None => false,
+        }
+    });
+    if !handled {
+        let mut root = ROOT.lock().unwrap_or_else(|p| p.into_inner());
+        root.get_or_insert_with(Registry::new).merge_snapshot(snap);
+    }
+}
+
+/// [`capture`] plus metrics: runs `f` with both report output and
+/// [`record`]ed metrics redirected; returns the value, the text, and the
+/// metrics snapshot.
+pub fn capture_obs<T>(f: impl FnOnce() -> T) -> (T, String, Snapshot) {
+    OBS.with(|s| s.borrow_mut().push(Registry::new()));
+    let (value, text) = capture(f);
+    let snap = OBS.with(|s| {
+        s.borrow_mut()
+            .pop()
+            .map(|mut reg| reg.take())
+            .unwrap_or_default()
+    });
+    (value, text, snap)
+}
+
+/// Drains the process-root metrics accumulated outside capture scopes.
+pub fn take_root_metrics() -> Snapshot {
+    let mut root = ROOT.lock().unwrap_or_else(|p| p.into_inner());
+    root.take().map(|mut reg| reg.take()).unwrap_or_default()
 }
 
 /// Emits one output line (newline appended).
@@ -242,6 +325,61 @@ mod tests {
             say("after");
         });
         assert_eq!(outer, "before\ninner\nafter\n");
+    }
+
+    #[test]
+    fn capture_obs_collects_text_and_metrics() {
+        let (value, text, snap) = capture_obs(|| {
+            say("hello");
+            record(|r| r.counter_add("runs_total", &[], 1));
+            7
+        });
+        assert_eq!(value, 7);
+        assert_eq!(text, "hello\n");
+        assert_eq!(
+            snap.get("runs_total", &[]),
+            Some(&dcat_obs::MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn nested_capture_obs_scopes_merge_via_emit_obs() {
+        // The worker pattern: an inner scope captures a task's text and
+        // metrics; the coordinator replays both into its own scope.
+        let (_, outer_text, outer_snap) = capture_obs(|| {
+            record(|r| r.counter_add("runs_total", &[], 1));
+            say("before");
+            let (_, inner_text, inner_snap) = capture_obs(|| {
+                say("inner");
+                record(|r| r.counter_add("runs_total", &[], 1));
+                record(|r| r.gauge_set("last_ways", &[], 6.0));
+            });
+            emit_raw(&inner_text);
+            emit_obs(&inner_snap);
+            say("after");
+        });
+        assert_eq!(outer_text, "before\ninner\nafter\n");
+        assert_eq!(
+            outer_snap.get("runs_total", &[]),
+            Some(&dcat_obs::MetricValue::Counter(2)),
+            "inner counter merged into the outer scope"
+        );
+        assert_eq!(
+            outer_snap.get("last_ways", &[]),
+            Some(&dcat_obs::MetricValue::Gauge(6.0))
+        );
+    }
+
+    #[test]
+    fn metrics_outside_any_scope_land_in_the_root() {
+        // Use a metric name unique to this test: the root is process
+        // global and other tests run in the same process.
+        record(|r| r.counter_add("report_root_test_total", &[], 3));
+        let snap = take_root_metrics();
+        assert_eq!(
+            snap.get("report_root_test_total", &[]),
+            Some(&dcat_obs::MetricValue::Counter(3))
+        );
     }
 
     #[test]

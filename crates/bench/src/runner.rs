@@ -9,8 +9,10 @@
 //! stdout are identical for any jobs width, and `--jobs 1` is simply the
 //! degenerate inline case.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use dcat_obs::MetricsSink;
 use host::Pool;
 
 use crate::report;
@@ -28,12 +30,15 @@ pub fn jobs() -> usize {
 }
 
 /// Flags shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
     /// Scaled-down epoch counts and cycle budgets (for tests and CI).
     pub fast: bool,
     /// Parallel sweep width.
     pub jobs: usize,
+    /// Where to export the process-root metrics snapshot on exit
+    /// (Prometheus text, or JSONL when the path ends in `.jsonl`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -43,12 +48,13 @@ impl Cli {
         Self::parse(&args)
     }
 
-    /// Parses a flag list (`--fast`, `--jobs N`, `--jobs=N`); unknown
-    /// flags are ignored so binaries can add their own. Installs the
-    /// parsed width via [`set_jobs`].
+    /// Parses a flag list (`--fast`, `--jobs N`, `--jobs=N`,
+    /// `--metrics-out PATH`); unknown flags are ignored so binaries can
+    /// add their own. Installs the parsed width via [`set_jobs`].
     pub fn parse(args: &[String]) -> Self {
         let mut fast = false;
         let mut jobs = 1usize;
+        let mut metrics_out = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if arg == "--fast" {
@@ -61,14 +67,38 @@ impl Cli {
                 if let Ok(n) = v.parse() {
                     jobs = n;
                 }
+            } else if arg == "--metrics-out" {
+                metrics_out = it.next().map(PathBuf::from);
+            } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
+                metrics_out = Some(PathBuf::from(v));
             }
         }
         let cli = Cli {
             fast,
             jobs: jobs.max(1),
+            metrics_out,
         };
         set_jobs(cli.jobs);
         cli
+    }
+}
+
+/// Standard experiment `main`: parses the [`Cli`], runs `body`, then
+/// honors `--metrics-out` by exporting everything the run [`report::record`]ed
+/// into the process-root registry.
+///
+/// # Panics
+///
+/// Panics if the metrics file cannot be written.
+pub fn main_with(body: impl FnOnce(Cli)) {
+    let cli = Cli::from_env();
+    let metrics_out = cli.metrics_out.clone();
+    body(cli);
+    if let Some(path) = metrics_out {
+        let snap = report::take_root_metrics();
+        if let Err(e) = dcat_obs::FileSink::new(&path).export(&snap) {
+            panic!("metrics export to {}: {e}", path.display());
+        }
     }
 }
 
@@ -97,8 +127,9 @@ impl Runner {
 
     /// Runs `f` over every item, in parallel up to the runner's width,
     /// and returns results in **item order**. Anything a task says
-    /// through [`crate::report`] is captured and replayed in item order
-    /// after the task completes, so stdout bytes never depend on
+    /// through [`crate::report`] — text *and* recorded metrics — is
+    /// captured and replayed in item order after the task completes, so
+    /// stdout bytes and exported metric snapshots never depend on
     /// completion order or jobs width.
     pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
     where
@@ -108,11 +139,12 @@ impl Runner {
     {
         let chunks = self
             .pool
-            .map(items, |i, item| report::capture(|| f(i, item)));
+            .map(items, |i, item| report::capture_obs(|| f(i, item)));
         chunks
             .into_iter()
-            .map(|(value, out)| {
+            .map(|(value, out, metrics)| {
                 report::emit_raw(&out);
+                report::emit_obs(&metrics);
                 value
             })
             .collect()
@@ -129,35 +161,44 @@ mod tests {
 
     #[test]
     fn cli_parses_flags() {
-        assert_eq!(
-            Cli::parse(&argv(&[])),
-            Cli {
-                fast: false,
-                jobs: 1
-            }
-        );
+        let base = Cli {
+            fast: false,
+            jobs: 1,
+            metrics_out: None,
+        };
+        assert_eq!(Cli::parse(&argv(&[])), base);
         assert_eq!(
             Cli::parse(&argv(&["--fast", "--jobs", "4"])),
             Cli {
                 fast: true,
-                jobs: 4
+                jobs: 4,
+                metrics_out: None
             }
         );
         assert_eq!(
             Cli::parse(&argv(&["--jobs=8"])),
             Cli {
                 fast: false,
-                jobs: 8
+                jobs: 8,
+                metrics_out: None
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv(&["--metrics-out", "m.prom"])),
+            Cli {
+                metrics_out: Some(PathBuf::from("m.prom")),
+                ..base.clone()
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv(&["--metrics-out=target/m.jsonl"])),
+            Cli {
+                metrics_out: Some(PathBuf::from("target/m.jsonl")),
+                ..base.clone()
             }
         );
         // Degenerate values clamp, junk is ignored.
-        assert_eq!(
-            Cli::parse(&argv(&["--jobs", "0", "--mystery"])),
-            Cli {
-                fast: false,
-                jobs: 1
-            }
-        );
+        assert_eq!(Cli::parse(&argv(&["--jobs", "0", "--mystery"])), base);
         set_jobs(1); // do not leak the global into other tests
     }
 
@@ -183,5 +224,38 @@ mod tests {
         assert_eq!(out1, out4);
         assert!(out1.starts_with("task 0: "));
         assert_eq!(out1.lines().count(), 24);
+    }
+
+    #[test]
+    fn runner_metrics_are_byte_identical_across_widths() {
+        // Worker metrics funnel through capture_obs/emit_obs; the merged
+        // snapshot (and its rendered exports) must not depend on width.
+        let run = |jobs: usize| {
+            let ((), _text, snap) = report::capture_obs(|| {
+                let r = Runner::new(jobs);
+                let _ = r.map((0..16u64).collect(), |i, seed| {
+                    report::record(|reg| {
+                        reg.counter_add("tasks_total", &[], 1);
+                        let label = if seed % 2 == 0 { "even" } else { "odd" };
+                        reg.counter_add("tasks_by_parity", &[("parity", label)], 1);
+                        reg.histogram_observe(
+                            "task_index",
+                            &[],
+                            dcat_obs::DEFAULT_STEP_BUCKETS,
+                            i as u64,
+                        );
+                    });
+                });
+            });
+            snap
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+        assert_eq!(
+            a.get("tasks_total", &[]),
+            Some(&dcat_obs::MetricValue::Counter(16))
+        );
     }
 }

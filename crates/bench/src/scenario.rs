@@ -4,8 +4,14 @@ use dcat::{
     CachePolicy, DcatConfig, DcatController, DomainReport, SharedCachePolicy, StaticCatPolicy,
     WorkloadHandle,
 };
+use dcat_obs::{FlightRecorder, TickRecord, Tracer, DEFAULT_STEP_BUCKETS};
 use host::{Engine, EngineConfig, VmEpochStats, VmSpec};
 use workloads::AccessStream;
+
+use crate::report;
+
+/// Epochs of spans each scenario's flight recorder retains.
+const FLIGHT_TICKS: usize = 32;
 
 /// One activity window of a VM's workload, in epochs.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +125,11 @@ pub struct RunResult {
     pub reports: Vec<Vec<DomainReport>>,
     /// Request latencies (cycles) accumulated per VM over the whole run.
     pub request_latencies: Vec<Vec<f64>>,
+    /// Flight-recorder dump (JSONL) covering the last [`FLIGHT_TICKS`]
+    /// epochs' pipeline spans. Logical-clock only, so byte-identical
+    /// across runs; deliberately excluded from [`RunResult::serialize`],
+    /// which predates it and anchors the golden determinism oracle.
+    pub flight: String,
 }
 
 impl RunResult {
@@ -247,6 +258,7 @@ pub fn run_scenario(
         .map(|v| WorkloadHandle::new(v.name.clone(), v.cores.clone(), v.reserved_ways))
         .collect();
 
+    let policy_label = policy.label();
     let mut engine = Engine::new(engine_cfg, vms).expect("scenario must fit the socket");
     let mut policy: Box<dyn CachePolicy> = match policy {
         PolicyKind::Shared => Box::new(SharedCachePolicy::new(handles, &mut engine.cat())),
@@ -262,8 +274,11 @@ pub fn run_scenario(
         epochs: Vec::with_capacity(total_epochs as usize),
         reports: Vec::with_capacity(total_epochs as usize),
         request_latencies: vec![Vec::new(); plans.len()],
+        flight: String::new(),
     };
     let mut restart_count = vec![0u64; plans.len()];
+    let mut tracer = Tracer::new();
+    let mut recorder = FlightRecorder::new(FLIGHT_TICKS);
 
     for epoch in 0..total_epochs {
         // Schedule transitions at epoch boundaries.
@@ -279,17 +294,43 @@ pub fn run_scenario(
             }
         }
 
-        let stats = engine.run_epoch();
+        tracer.set_tick(epoch + 1);
+        let stats = tracer.scope("epoch", |_| engine.run_epoch());
         for (i, _) in plans.iter().enumerate() {
             result.request_latencies[i].extend(engine.take_request_latencies(i));
         }
         let snapshots = engine.snapshots();
         let reports = policy
-            .tick(&snapshots, &mut engine.cat())
+            .tick_traced(&snapshots, &mut engine.cat(), &mut tracer)
             .expect("policy tick must succeed");
+        let spans = tracer.drain();
+        report::record(|reg| {
+            reg.counter_add("scenario_epochs_total", &[("policy", policy_label)], 1);
+            for s in &spans {
+                reg.histogram_observe(
+                    "scenario_span_steps",
+                    &[("span", s.name)],
+                    DEFAULT_STEP_BUCKETS,
+                    s.steps(),
+                );
+            }
+        });
+        recorder.record(TickRecord {
+            tick: epoch + 1,
+            degraded: false,
+            spans,
+            events: Vec::new(),
+        });
         result.epochs.push(stats);
         result.reports.push(reports);
     }
+    report::record(|reg| {
+        reg.counter_add("scenario_runs_total", &[("policy", policy_label)], 1);
+    });
+    // The engine's own registry (epochs, per-VM instruction/miss totals,
+    // way gauges) merges into whatever capture scope this run is in.
+    report::emit_obs(&engine.metrics_snapshot());
+    result.flight = recorder.dump_jsonl();
     result
 }
 
@@ -351,6 +392,50 @@ mod tests {
         let plans = vec![VmPlan::idle("idle", 2)];
         let r = run_scenario(PolicyKind::Shared, tiny_engine(), &plans, 3);
         assert_eq!(r.total_instructions(0), 0);
+    }
+
+    #[test]
+    fn scenario_records_spans_and_metrics_into_the_capture_scope() {
+        let plans = || {
+            vec![
+                VmPlan::always("mlr", 2, |s| Box::new(Mlr::new(256 * 1024, s + 1))),
+                VmPlan::always("lookbusy", 2, |_| Box::new(Lookbusy::new())),
+            ]
+        };
+        let (r, _text, snap) = crate::report::capture_obs(|| {
+            run_scenario(
+                PolicyKind::Dcat(DcatConfig::default()),
+                tiny_engine(),
+                &plans(),
+                5,
+            )
+        });
+        assert_eq!(
+            snap.get("scenario_epochs_total", &[("policy", "dcat")]),
+            Some(&dcat_obs::MetricValue::Counter(5))
+        );
+        assert_eq!(
+            snap.get("engine_epochs_total", &[]),
+            Some(&dcat_obs::MetricValue::Counter(5)),
+            "engine registry merged into the scope"
+        );
+        let lines = dcat_obs::check_jsonl(&r.flight).unwrap();
+        assert_eq!(lines, 6, "header + 5 epochs");
+        // dCat's pipeline stages show up alongside the engine epoch span.
+        assert!(r.flight.contains("\"span\":\"epoch\""));
+        assert!(r.flight.contains("\"span\":\"allocate\""));
+
+        // Identical runs produce identical flight dumps and snapshots.
+        let (r2, _t2, snap2) = crate::report::capture_obs(|| {
+            run_scenario(
+                PolicyKind::Dcat(DcatConfig::default()),
+                tiny_engine(),
+                &plans(),
+                5,
+            )
+        });
+        assert_eq!(r.flight, r2.flight);
+        assert_eq!(snap.to_prometheus(), snap2.to_prometheus());
     }
 
     #[test]

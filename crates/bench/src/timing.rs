@@ -35,7 +35,44 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     }
     per_batch_ns.sort_unstable();
     let median = per_batch_ns[per_batch_ns.len() / 2] / u128::from(BATCH);
-    println!("{name}: {median} ns/iter ({} batches)", per_batch_ns.len());
+    crate::report::say(format!(
+        "{name}: {median} ns/iter ({} batches)",
+        per_batch_ns.len()
+    ));
+}
+
+/// Wall-clock [`dcat_obs::CycleSource`]: reports nanoseconds since
+/// construction as "cycles".
+///
+/// This module is the workspace's only sanctioned wall-clock user, so
+/// the one tracer cycle source backed by real time lives here. Attach
+/// it to a [`dcat_obs::Tracer`] for local latency profiling only —
+/// golden-snapshot and determinism paths leave cycles at their default
+/// of zero, and zero-cycle spans render no cycle histograms.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A source whose epoch is the moment of construction.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl dcat_obs::CycleSource for WallClock {
+    fn now_cycles(&mut self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 #[cfg(test)]

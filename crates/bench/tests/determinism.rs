@@ -5,7 +5,9 @@
 //! The oracle is [`dcat_bench::RunResult::serialize`], which renders
 //! every per-epoch stat, policy decision, and latency sample with `{:?}`
 //! floats (shortest round-trip form): two serializations are byte-equal
-//! iff the runs are bit-identical.
+//! iff the runs are bit-identical. The observability layer is held to
+//! the same bar: the rendered Prometheus snapshot and the concatenated
+//! flight-recorder dumps must also be byte-equal across widths.
 //!
 //! The width is a process global (`runner::set_jobs`), so everything
 //! runs inside one `#[test]` to keep the narrow/wide passes from racing.
@@ -15,55 +17,107 @@ use dcat_bench::{report, runner, Runner};
 
 const MB: u64 = 1024 * 1024;
 
-/// Runs fig10's working-set sweep at the given width and returns the
-/// serialized runs plus the captured report bytes.
-fn fig10_at(jobs: usize) -> (Vec<String>, String) {
+/// One width's complete observable output for a fig10 sweep.
+struct Observed {
+    /// `RunResult::serialize()` per run.
+    serials: Vec<String>,
+    /// Captured report bytes.
+    text: String,
+    /// Rendered metrics snapshot.
+    prometheus: String,
+    /// Concatenated flight-recorder dumps, in run order.
+    flights: String,
+}
+
+/// Runs fig10's working-set sweep at the given width.
+fn fig10_at(jobs: usize) -> Observed {
     runner::set_jobs(jobs);
-    report::capture(|| {
+    let (pairs, text, snap) = report::capture_obs(|| {
         Runner::from_env().map(vec![4 * MB, 8 * MB], |_, wss| {
             let (_, result) = fig10_dynamic_alloc::run_one(wss, true);
-            result.serialize()
+            (result.serialize(), result.flight)
         })
-    })
+    });
+    let (serials, flights): (Vec<String>, Vec<String>) = pairs.into_iter().unzip();
+    Observed {
+        serials,
+        text,
+        prometheus: snap.to_prometheus(),
+        flights: flights.concat(),
+    }
 }
 
 /// Runs fig15's three scenarios at the given width.
-fn fig15_at(jobs: usize) -> (Vec<String>, String) {
+fn fig15_at(jobs: usize) -> Observed {
     runner::set_jobs(jobs);
-    report::capture(|| {
+    let (pairs, text, snap) = report::capture_obs(|| {
         fig15_mixed::run_results(true)
             .iter()
-            .map(|r| r.serialize())
-            .collect()
-    })
+            .map(|r| (r.serialize(), r.flight.clone()))
+            .collect::<Vec<_>>()
+    });
+    let (serials, flights): (Vec<String>, Vec<String>) = pairs.into_iter().unzip();
+    Observed {
+        serials,
+        text,
+        prometheus: snap.to_prometheus(),
+        flights: flights.concat(),
+    }
 }
 
 #[test]
 fn parallel_runs_are_bit_identical_to_serial_runs() {
-    let (fig10_serial, out10_serial) = fig10_at(1);
-    let (fig10_wide, out10_wide) = fig10_at(4);
+    let fig10_serial = fig10_at(1);
+    let fig10_wide = fig10_at(4);
     assert!(
-        !fig10_serial.concat().is_empty(),
+        !fig10_serial.serials.concat().is_empty(),
         "fig10 produced no stats to compare"
     );
     assert_eq!(
-        fig10_serial, fig10_wide,
+        fig10_serial.serials, fig10_wide.serials,
         "fig10 per-epoch stats differ between --jobs 1 and --jobs 4"
     );
-    assert_eq!(out10_serial, out10_wide, "fig10 report bytes differ");
-
-    let (fig15_serial, out15_serial) = fig15_at(1);
-    let (fig15_wide, out15_wide) = fig15_at(4);
-    assert_eq!(fig15_serial.len(), 3, "fig15 runs dcat/static/full");
+    assert_eq!(
+        fig10_serial.text, fig10_wide.text,
+        "fig10 report bytes differ"
+    );
     assert!(
-        !fig15_serial.concat().is_empty(),
+        !fig10_serial.prometheus.is_empty(),
+        "fig10 recorded no metrics"
+    );
+    assert_eq!(
+        fig10_serial.prometheus, fig10_wide.prometheus,
+        "fig10 metrics snapshots differ across widths"
+    );
+    assert!(!fig10_serial.flights.is_empty(), "fig10 recorded no spans");
+    assert_eq!(
+        fig10_serial.flights, fig10_wide.flights,
+        "fig10 flight-recorder dumps differ across widths"
+    );
+
+    let fig15_serial = fig15_at(1);
+    let fig15_wide = fig15_at(4);
+    assert_eq!(fig15_serial.serials.len(), 3, "fig15 runs dcat/static/full");
+    assert!(
+        !fig15_serial.serials.concat().is_empty(),
         "fig15 produced no stats to compare"
     );
     assert_eq!(
-        fig15_serial, fig15_wide,
+        fig15_serial.serials, fig15_wide.serials,
         "fig15 per-epoch stats differ between --jobs 1 and --jobs 4"
     );
-    assert_eq!(out15_serial, out15_wide, "fig15 report bytes differ");
+    assert_eq!(
+        fig15_serial.text, fig15_wide.text,
+        "fig15 report bytes differ"
+    );
+    assert_eq!(
+        fig15_serial.prometheus, fig15_wide.prometheus,
+        "fig15 metrics snapshots differ across widths"
+    );
+    assert_eq!(
+        fig15_serial.flights, fig15_wide.flights,
+        "fig15 flight-recorder dumps differ across widths"
+    );
 
     runner::set_jobs(1);
 }

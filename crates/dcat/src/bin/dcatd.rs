@@ -8,6 +8,7 @@
 //!       [--retry-attempts <n>] [--retry-backoff-ms <n>] [--quarantine-after <n>]
 //!       [--counter-width-bits <n>]
 //!       [--fault-seed <n> --fault-rate <p> --fault-ticks <n>]
+//!       [--metrics-out <path>] [--flight-out <path>] [--flight-ticks <n>]
 //! ```
 //!
 //! Example against a fixture tree (no hardware needed):
@@ -25,13 +26,19 @@
 //! The `--fault-*` flags inject a seeded random fault schedule into both
 //! the telemetry feed and the resctrl backend — for resilience drills
 //! against fixture trees, not for production mounts.
+//!
+//! `--metrics-out` writes the daemon's final metrics snapshot on exit
+//! (Prometheus text, or JSONL when the path ends in `.jsonl`);
+//! `--flight-out` writes the flight-recorder dump (last `--flight-ticks`
+//! ticks of spans and events, JSONL). Both validate with `obs-dump --check`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dcat::daemon::{parse_domains, run_daemon_with, DaemonConfig, ResiliencePolicy};
+use dcat::daemon::{parse_domains, run_daemon_observed, DaemonConfig, ResiliencePolicy};
 use dcat::DcatConfig;
+use dcat_obs::{FileSink, MetricsSink};
 use resctrl::fault::FaultPlan;
 
 fn usage() -> &'static str {
@@ -39,10 +46,16 @@ fn usage() -> &'static str {
      --domains <name:cores:ways;...> [--interval-ms <n>] [--ticks <n>] \
      [--max-performance] [--retry-attempts <n>] [--retry-backoff-ms <n>] \
      [--quarantine-after <n>] [--counter-width-bits <n>] \
-     [--fault-seed <n> --fault-rate <p> --fault-ticks <n>]"
+     [--fault-seed <n> --fault-rate <p> --fault-ticks <n>] \
+     [--metrics-out <path>] [--flight-out <path>] [--flight-ticks <n>]"
 }
 
-fn parse_args() -> Result<DaemonConfig, String> {
+struct ObsPaths {
+    metrics_out: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<(DaemonConfig, ObsPaths), String> {
     let mut resctrl_root: Option<PathBuf> = None;
     let mut telemetry_path: Option<PathBuf> = None;
     let mut domains = None;
@@ -53,6 +66,9 @@ fn parse_args() -> Result<DaemonConfig, String> {
     let mut fault_seed: Option<u64> = None;
     let mut fault_rate = 0.1f64;
     let mut fault_ticks: Option<u64> = None;
+    let mut obs = dcat::daemon::ObsOptions::default();
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut flight_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,6 +110,11 @@ fn parse_args() -> Result<DaemonConfig, String> {
             "--fault-seed" => fault_seed = Some(num("--fault-seed", value("--fault-seed")?)?),
             "--fault-rate" => fault_rate = num("--fault-rate", value("--fault-rate")?)?,
             "--fault-ticks" => fault_ticks = Some(num("--fault-ticks", value("--fault-ticks")?)?),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--flight-out" => flight_out = Some(PathBuf::from(value("--flight-out")?)),
+            "--flight-ticks" => {
+                obs.flight_recorder_ticks = num("--flight-ticks", value("--flight-ticks")?)?;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
@@ -107,7 +128,7 @@ fn parse_args() -> Result<DaemonConfig, String> {
         }
         None => None,
     };
-    Ok(DaemonConfig {
+    let cfg = DaemonConfig {
         resctrl_root: resctrl_root.ok_or_else(|| format!("--resctrl is required\n{}", usage()))?,
         telemetry_path: telemetry_path
             .ok_or_else(|| format!("--telemetry is required\n{}", usage()))?,
@@ -117,29 +138,56 @@ fn parse_args() -> Result<DaemonConfig, String> {
         max_ticks,
         resilience,
         fault_plan,
-    })
+        obs,
+    };
+    Ok((
+        cfg,
+        ObsPaths {
+            metrics_out,
+            flight_out,
+        },
+    ))
 }
 
 fn main() -> ExitCode {
-    let cfg = match parse_args() {
-        Ok(cfg) => cfg,
+    let (cfg, paths) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let result = run_daemon_with(&cfg, |obs| {
+    let result = run_daemon_observed(&cfg, |obs| {
         for event in obs.events {
             eprintln!("tick={} {event}", obs.tick);
         }
+        // An anomaly tick carries a flight dump; persist it immediately so
+        // the window survives even if the daemon is killed later.
+        if let (Some(dump), Some(path)) = (obs.flight_dump, paths.flight_out.as_deref()) {
+            if let Err(e) = dcat_obs::write_text(path, dump) {
+                eprintln!("dcatd: writing {}: {e}", path.display());
+            }
+        }
     });
     match result {
-        Ok(reports) => {
-            for r in reports {
+        Ok(outcome) => {
+            for r in &outcome.reports {
                 println!(
                     "{}: {} ways, class {}, ipc {:.3}",
                     r.name, r.ways, r.class, r.ipc
                 );
+            }
+            if let Some(path) = paths.metrics_out.as_deref() {
+                if let Err(e) = FileSink::new(path).export(&outcome.metrics) {
+                    eprintln!("dcatd: writing {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(path) = paths.flight_out.as_deref() {
+                if let Err(e) = dcat_obs::write_text(path, &outcome.flight_dump) {
+                    eprintln!("dcatd: writing {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use dcat_obs::Tracer;
 use perf_events::{CounterSnapshot, IntervalMetrics};
 use resctrl::{CacheController, Cbm, CosId, LayoutPlanner, ResctrlError};
 
@@ -304,6 +305,25 @@ impl DcatController {
         valid: &[bool],
         cat: &mut dyn CacheController,
     ) -> Result<Vec<DomainReport>, ResctrlError> {
+        self.tick_observed(snapshots, valid, cat, &mut Tracer::disabled())
+    }
+
+    /// [`Self::tick_validated`] with pipeline-stage tracing.
+    ///
+    /// Each of the paper's five steps runs as its own span over all domains —
+    /// collect → phase-detect → baseline → categorize → allocate → apply —
+    /// so the tracer sees the same stage boundaries Figure 4 draws. The
+    /// per-domain work is order-independent across stages (each stage
+    /// touches only `domains[i]`), so splitting the loop by stage is
+    /// behavior-identical to the historical per-domain fused loop; the
+    /// golden decision traces pin that.
+    pub fn tick_observed(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        valid: &[bool],
+        cat: &mut dyn CacheController,
+        tracer: &mut Tracer,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
         assert_eq!(
             snapshots.len(),
             self.domains.len(),
@@ -311,60 +331,99 @@ impl DcatController {
         );
         assert_eq!(valid.len(), self.domains.len(), "one verdict per domain");
         self.interval += 1;
+        let n = self.domains.len();
 
-        // Steps 1-4: metrics, phase detection, categorization.
-        let mut infos = Vec::with_capacity(self.domains.len());
-        for (i, snap) in snapshots.iter().enumerate() {
-            if !valid[i] {
-                // Skipped interval: resync the totals, judge nothing.
-                self.domains[i].last_snapshot = *snap;
-                infos.push((
-                    IntervalMetrics::from_delta(&CounterSnapshot::default()),
-                    false,
-                ));
-                continue;
+        // Step 2: collect statistics. Skipped intervals resync the totals
+        // and judge nothing (their metrics stay the zero filler).
+        let metrics: Vec<IntervalMetrics> = tracer.scope("collect", |_| {
+            snapshots
+                .iter()
+                .enumerate()
+                .map(|(i, snap)| {
+                    if !valid[i] {
+                        self.domains[i].last_snapshot = *snap;
+                        return IntervalMetrics::from_delta(&CounterSnapshot::default());
+                    }
+                    let delta = snap.delta_since(&self.domains[i].last_snapshot);
+                    self.domains[i].last_snapshot = *snap;
+                    IntervalMetrics::from_delta(&delta)
+                })
+                .collect()
+        });
+
+        // Step 3: phase detection (idle demotion and rebaselining finish a
+        // domain's classification outright).
+        let mut phase_changed = vec![false; n];
+        let mut classified: Vec<bool> = valid.iter().map(|ok| !ok).collect();
+        tracer.scope("phase_detect", |_| {
+            for i in 0..n {
+                if classified[i] {
+                    continue;
+                }
+                if let Some(fired) = self.phase_stage(i, &metrics[i]) {
+                    phase_changed[i] = fired;
+                    classified[i] = true;
+                }
             }
-            let delta = snap.delta_since(&self.domains[i].last_snapshot);
-            self.domains[i].last_snapshot = *snap;
-            let metrics = IntervalMetrics::from_delta(&delta);
-            let phase_changed = self.classify(i, &metrics);
-            infos.push((metrics, phase_changed));
-        }
+        });
+
+        // Step 1 (deferred): baseline establishment and refresh at the
+        // reserved size, yielding the normalized IPC for categorization.
+        let mut norms: Vec<Option<f64>> = vec![None; n];
+        tracer.scope("baseline", |_| {
+            for i in 0..n {
+                if !classified[i] {
+                    norms[i] = self.baseline_stage(i, &metrics[i]);
+                }
+            }
+        });
+
+        // Step 4: the Figure-6 state machine.
+        tracer.scope("categorize", |_| {
+            for i in 0..n {
+                if let Some(norm) = norms[i] {
+                    self.categorize_stage(i, &metrics[i], norm);
+                }
+            }
+        });
 
         // Step 5: allocation.
-        let reclaimed = self
-            .domains
-            .iter()
-            .any(|d| d.class == WorkloadClass::Reclaim);
-        let mut targets = self.base_targets();
-        // A held domain's target is its current size, whatever its class
-        // asks for: without a trustworthy interval there is no basis to
-        // move it.
-        for (i, ok) in valid.iter().enumerate() {
-            if !ok {
-                targets[i] = self.domains[i].ways;
+        let targets = tracer.scope("allocate", |_| {
+            let reclaimed = self
+                .domains
+                .iter()
+                .any(|d| d.class == WorkloadClass::Reclaim);
+            let mut targets = self.base_targets();
+            // A held domain's target is its current size, whatever its class
+            // asks for: without a trustworthy interval there is no basis to
+            // move it.
+            for (i, ok) in valid.iter().enumerate() {
+                if !ok {
+                    targets[i] = self.domains[i].ways;
+                }
             }
-        }
-        // A large release (a tenant declared Streaming or gone idle)
-        // changes the pool regime: stalled growth probes are worth
-        // retrying (the paper's Figure 15 shows the receiver absorbing a
-        // way the streaming neighbor released).
-        let released = self
-            .domains
-            .iter()
-            .zip(targets.iter())
-            .any(|(d, &t)| d.ways >= t + 2);
-        if released {
-            for d in &mut self.domains {
-                d.stalled_at = None;
+            // A large release (a tenant declared Streaming or gone idle)
+            // changes the pool regime: stalled growth probes are worth
+            // retrying (the paper's Figure 15 shows the receiver absorbing a
+            // way the streaming neighbor released).
+            let released = self
+                .domains
+                .iter()
+                .zip(targets.iter())
+                .any(|(d, &t)| d.ways >= t + 2);
+            if released {
+                for d in &mut self.domains {
+                    d.stalled_at = None;
+                }
             }
-        }
-        self.resolve_deficit(&mut targets);
-        if self.config.policy == AllocationPolicy::MaxPerformance && reclaimed {
-            self.max_performance_retarget(&mut targets);
-        }
-        self.grow_from_pool(&mut targets, valid);
-        self.apply(&targets, cat)?;
+            self.resolve_deficit(&mut targets);
+            if self.config.policy == AllocationPolicy::MaxPerformance && reclaimed {
+                self.max_performance_retarget(&mut targets);
+            }
+            self.grow_from_pool(&mut targets, valid);
+            targets
+        });
+        tracer.scope("apply", |_| self.apply(&targets, cat))?;
 
         debug_assert_eq!(
             crate::invariants::check(&self.domain_views(), self.total_ways, self.config.min_ways),
@@ -376,9 +435,10 @@ impl DcatController {
         Ok(self
             .domains
             .iter()
-            .zip(infos)
+            .zip(metrics)
+            .zip(phase_changed)
             .zip(valid)
-            .map(|((d, (m, phase_changed)), ok)| DomainReport {
+            .map(|(((d, m), phase_changed), ok)| DomainReport {
                 name: d.handle.name.clone(),
                 class: d.class,
                 ways: d.ways,
@@ -397,8 +457,12 @@ impl DcatController {
             .collect())
     }
 
-    /// Steps 2-4 for one domain. Returns whether a phase change fired.
-    fn classify(&mut self, i: usize, m: &IntervalMetrics) -> bool {
+    /// Steps 2-3 for one domain: idle demotion and phase detection.
+    ///
+    /// Returns `Some(phase_change_fired)` when this stage finishes the
+    /// domain's classification for the interval, `None` when the baseline
+    /// and categorization stages should still run.
+    fn phase_stage(&mut self, i: usize, m: &IntervalMetrics) -> Option<bool> {
         let cfg = self.config;
         let d = &mut self.domains[i];
 
@@ -422,8 +486,8 @@ impl DcatController {
             d.saw_no_improvement = false;
             d.capped = false;
             d.stalled_at = None;
-            d.donor_floor = self.config.min_ways;
-            return false;
+            d.donor_floor = cfg.min_ways;
+            return Some(false);
         }
 
         // Step 3: phase detection. Reclaim fires immediately, bypassing
@@ -460,8 +524,19 @@ impl DcatController {
             d.stalled_at = None;
             d.donor_floor = cfg.min_ways;
             d.settle = cfg.settle_intervals;
-            return matches!(change, PhaseChange::Changed { .. });
+            return Some(matches!(change, PhaseChange::Changed { .. }));
         }
+
+        None
+    }
+
+    /// Step 1 for one domain (deferred in the paper's ordering): settle
+    /// countdown, baseline establishment at the reserved size, and baseline
+    /// refresh. Returns the IPC normalized to the baseline when the domain
+    /// should proceed to categorization, `None` when its classification is
+    /// finished for this interval.
+    fn baseline_stage(&mut self, i: usize, m: &IntervalMetrics) -> Option<f64> {
+        let d = &mut self.domains[i];
 
         // Wait for the cache to settle after the last allocation change;
         // judge on the tick where the countdown reaches zero (that
@@ -469,7 +544,7 @@ impl DcatController {
         if d.settle > 0 {
             d.settle -= 1;
             if d.settle > 0 {
-                return false;
+                return None;
             }
         }
 
@@ -484,11 +559,11 @@ impl DcatController {
                 // Leave Reclaim: the workload now competes normally.
                 d.class = WorkloadClass::Keeper;
             }
-            return false;
+            return None;
         }
         let baseline = match d.baseline_ipc {
             Some(b) if b > 0.0 => b,
-            _ => return false,
+            _ => return None,
         };
 
         // The initial baseline is measured on a cold cache; while the
@@ -501,6 +576,14 @@ impl DcatController {
         let baseline = d.baseline_ipc.expect("just set");
         let norm = m.ipc / baseline;
         d.table.record(d.ways, norm);
+        Some(norm)
+    }
+
+    /// Step 4 for one domain: the Figure-6 state machine plus the baseline
+    /// guarantee, fed the normalized IPC from [`Self::baseline_stage`].
+    fn categorize_stage(&mut self, i: usize, m: &IntervalMetrics, norm: f64) {
+        let cfg = self.config;
+        let d = &mut self.domains[i];
 
         let improvement = match d.prev_ipc {
             Some(prev) if prev > 0.0 && d.ways != d.prev_ways => Some((m.ipc - prev) / prev),
@@ -567,7 +650,6 @@ impl DcatController {
 
         d.prev_ipc = Some(m.ipc);
         d.prev_ways = d.ways;
-        false
     }
 
     /// Per-class way targets before pool distribution.

@@ -39,6 +39,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use dcat_obs::{FlightRecorder, Registry, SpanRecord, TickRecord, Tracer, DEFAULT_STEP_BUCKETS};
 use perf_events::{CounterSnapshot, WrapOutcome};
 use resctrl::fault::FaultPlan;
 use resctrl::retry::{with_retries, RetryEvent, RetryPolicy, RetryingController};
@@ -77,6 +78,23 @@ impl Default for ResiliencePolicy {
     }
 }
 
+/// Observability knobs for the daemon loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Flight-recorder window: how many of the most recent ticks' spans
+    /// and events are retained for the post-mortem dump (0 disables the
+    /// recorder entirely).
+    pub flight_recorder_ticks: usize,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            flight_recorder_ticks: 64,
+        }
+    }
+}
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -99,6 +117,8 @@ pub struct DaemonConfig {
     /// backend and the telemetry feed (`None` = inject nothing). Drives
     /// the fault-sweep experiments and the end-to-end fault tests.
     pub fault_plan: Option<FaultPlan>,
+    /// Observability knobs.
+    pub obs: ObsOptions,
 }
 
 /// Everything one daemon tick produced, handed to the observer hook.
@@ -113,6 +133,24 @@ pub struct TickObservation<'a> {
     pub events: &'a [Event],
     /// Whether this tick was degraded (no controller decision ran).
     pub degraded: bool,
+    /// Pipeline-stage spans this tick, in completion order (nested spans
+    /// precede their parents; `tick` closes the list).
+    pub spans: &'a [SpanRecord],
+    /// A flight-recorder JSONL dump, present only on ticks where an
+    /// `InvariantViolation` or `DomainQuarantined` event fired. The daemon
+    /// never writes files itself; the embedder (e.g. `dcatd`) persists it.
+    pub flight_dump: Option<&'a str>,
+}
+
+/// Everything a completed daemon run produced beyond the final reports.
+#[derive(Debug)]
+pub struct DaemonOutcome {
+    /// Reports of the final completed tick.
+    pub reports: Vec<DomainReport>,
+    /// The run's accumulated metrics.
+    pub metrics: dcat_obs::Snapshot,
+    /// Flight-recorder dump of the last ticks, rendered at exit.
+    pub flight_dump: String,
 }
 
 /// Parses the telemetry CSV into per-domain snapshots.
@@ -373,8 +411,17 @@ impl DomainState {
 /// events from it (`dcatd` prints them to stderr).
 pub fn run_daemon_with(
     cfg: &DaemonConfig,
-    mut observe: impl FnMut(&TickObservation),
+    observe: impl FnMut(&TickObservation),
 ) -> Result<Vec<DomainReport>, ResctrlError> {
+    run_daemon_observed(cfg, observe).map(|outcome| outcome.reports)
+}
+
+/// [`run_daemon_with`] returning the full [`DaemonOutcome`] — final
+/// reports plus the run's metrics snapshot and exit flight-recorder dump.
+pub fn run_daemon_observed(
+    cfg: &DaemonConfig,
+    mut observe: impl FnMut(&TickObservation),
+) -> Result<DaemonOutcome, ResctrlError> {
     validate_domain_set(&cfg.domains).map_err(ResctrlError::Parse)?;
     let policy = cfg.resilience;
     let plan = cfg.fault_plan.clone().unwrap_or_default();
@@ -393,6 +440,10 @@ pub fn run_daemon_with(
     let mut snapshots = vec![CounterSnapshot::default(); n];
     let mut final_reports: Vec<DomainReport> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
+    let mut registry = Registry::new();
+    let mut tracer = Tracer::new();
+    let mut recorder = FlightRecorder::new(cfg.obs.flight_recorder_ticks);
+    let mut prev_ways: Vec<Option<u32>> = vec![None; n];
     let mut tick = 0u64;
     loop {
         if let Some(max) = cfg.max_ticks {
@@ -403,123 +454,223 @@ pub fn run_daemon_with(
         tick += 1;
         events.clear();
         cat.inner_mut().set_tick(tick);
+        tracer.set_tick(tick);
+        tracer.enter("tick");
 
         // Telemetry acquisition, with retries; exhaustion degrades the
         // whole tick (nothing per-domain can be said without a sample).
+        tracer.enter("telemetry");
         let mut retry_log = Vec::new();
         let text = with_retries(policy.retry, "telemetry_read", &mut retry_log, || {
             feed.read(tick)
         });
         events.extend(retry_log.into_iter().map(telemetry_retry_event));
         let text = match text {
-            Ok(text) => text,
+            Ok(text) => Some(text),
             Err(e) if e.is_transient() => {
                 events.push(Event::DegradedTick {
                     reason: DegradeReason::Telemetry,
                 });
-                observe(&TickObservation {
-                    tick,
-                    reports: &final_reports,
-                    events: &events,
-                    degraded: true,
-                });
-                sleep_between_ticks(cfg, tick);
-                continue;
+                None
             }
             Err(e) => return Err(e),
         };
 
-        let (samples, issues) = parse_telemetry_lossy(&text);
-        for issue in issues {
-            // A quarantined domain's rows stay broken tick after tick;
-            // one quarantine event stands in for the stream of
-            // complaints.
-            let suppressed = issue.domain.as_deref().is_some_and(|name| {
-                cfg.domains
-                    .iter()
-                    .position(|d| d.name == name)
-                    .and_then(|i| states.get(i))
-                    .is_some_and(|s| s.quarantined)
-            });
-            if !suppressed {
-                events.push(Event::RowMalformed {
-                    domain: issue.domain,
-                    line: issue.line,
-                    message: issue.message,
-                });
+        let degraded = match &text {
+            None => {
+                tracer.exit(); // telemetry
+                true
             }
-        }
-
-        let mut valid = vec![true; n];
-        let lanes = cfg
-            .domains
-            .iter()
-            .zip(states.iter_mut())
-            .zip(valid.iter_mut().zip(snapshots.iter_mut()));
-        for ((domain, state), (valid_slot, snap_slot)) in lanes {
-            let name = &domain.name;
-            match samples.get(name) {
-                Some(raw) => {
-                    *valid_slot = state.ingest(name, *raw, &policy, &mut events);
-                }
-                None => {
-                    *valid_slot = false;
-                    if state.miss(&policy) {
-                        events.push(Event::DomainQuarantined {
-                            domain: name.clone(),
-                            after_ticks: state.bad_streak,
+            Some(text) => {
+                let (samples, issues) = parse_telemetry_lossy(text);
+                for issue in issues {
+                    // A quarantined domain's rows stay broken tick after
+                    // tick; one quarantine event stands in for the stream
+                    // of complaints.
+                    let suppressed = issue.domain.as_deref().is_some_and(|name| {
+                        cfg.domains
+                            .iter()
+                            .position(|d| d.name == name)
+                            .and_then(|i| states.get(i))
+                            .is_some_and(|s| s.quarantined)
+                    });
+                    if !suppressed {
+                        events.push(Event::RowMalformed {
+                            domain: issue.domain,
+                            line: issue.line,
+                            message: issue.message,
                         });
                     }
                 }
+
+                let mut valid = vec![true; n];
+                let lanes = cfg
+                    .domains
+                    .iter()
+                    .zip(states.iter_mut())
+                    .zip(valid.iter_mut().zip(snapshots.iter_mut()));
+                for ((domain, state), (valid_slot, snap_slot)) in lanes {
+                    let name = &domain.name;
+                    match samples.get(name) {
+                        Some(raw) => {
+                            *valid_slot = state.ingest(name, *raw, &policy, &mut events);
+                        }
+                        None => {
+                            *valid_slot = false;
+                            if state.miss(&policy) {
+                                events.push(Event::DomainQuarantined {
+                                    domain: name.clone(),
+                                    after_ticks: state.bad_streak,
+                                });
+                            }
+                        }
+                    }
+                    *snap_slot = state.rebased;
+                }
+                if tick == 1 {
+                    // Satellite check: a domain the sampler never mentions
+                    // would otherwise sit silent forever at its initial
+                    // allocation.
+                    for (d, state) in cfg.domains.iter().zip(states.iter()) {
+                        if !state.ever_seen {
+                            events.push(Event::DomainSilent {
+                                domain: d.name.clone(),
+                            });
+                        }
+                    }
+                }
+                tracer.exit(); // telemetry
+
+                let result = controller.tick_observed(&snapshots, &valid, &mut cat, &mut tracer);
+                events.extend(cat.take_events().into_iter().map(resctrl_retry_event));
+                let degraded = match result {
+                    Ok(reports) => {
+                        final_reports = reports;
+                        false
+                    }
+                    Err(e) if e.is_transient() => {
+                        events.push(Event::DegradedTick {
+                            reason: DegradeReason::Resctrl,
+                        });
+                        true
+                    }
+                    Err(e) => return Err(e),
+                };
+
+                // Audit the recorded allocation even (especially) on
+                // degraded ticks: holding must never leave overlapping
+                // masks or starve a domain below its floor.
+                if let Err(violation) = crate::invariants::check(
+                    &controller.domain_views(),
+                    total_ways,
+                    cfg.dcat.min_ways,
+                ) {
+                    events.push(Event::InvariantViolation { message: violation });
+                }
+                degraded
             }
-            *snap_slot = state.rebased;
+        };
+        tracer.exit(); // tick
+        let spans = tracer.drain();
+
+        registry.counter_add("dcat_ticks_total", &[], 1);
+        if degraded {
+            let reason = if text.is_some() {
+                "resctrl"
+            } else {
+                "telemetry"
+            };
+            registry.counter_add("dcat_degraded_ticks_total", &[("reason", reason)], 1);
         }
-        if tick == 1 {
-            // Satellite check: a domain the sampler never mentions would
-            // otherwise sit silent forever at its initial allocation.
-            for (d, state) in cfg.domains.iter().zip(states.iter()) {
-                if !state.ever_seen {
-                    events.push(Event::DomainSilent {
-                        domain: d.name.clone(),
-                    });
+        for e in &events {
+            registry.counter_add("dcat_events_total", &[("event", e.name())], 1);
+        }
+        for s in &spans {
+            registry.histogram_observe(
+                "dcat_span_steps",
+                &[("span", s.name)],
+                DEFAULT_STEP_BUCKETS,
+                s.steps(),
+            );
+            if s.cycles > 0 {
+                registry.histogram_observe(
+                    "dcat_span_cycles",
+                    &[("span", s.name)],
+                    dcat_obs::CYCLE_BUCKETS,
+                    s.cycles,
+                );
+            }
+        }
+        if !degraded {
+            for (report, prev) in final_reports.iter().zip(prev_ways.iter_mut()) {
+                registry.gauge_set(
+                    "dcat_domain_ways",
+                    &[("domain", &report.name)],
+                    f64::from(report.ways),
+                );
+                if let Some(prev_ways) = *prev {
+                    let moved = u64::from(report.ways.abs_diff(prev_ways));
+                    if moved > 0 {
+                        registry.counter_add(
+                            "dcat_ways_moved_total",
+                            &[("domain", &report.name)],
+                            moved,
+                        );
+                    }
+                }
+                *prev = Some(report.ways);
+                if report.phase_changed {
+                    registry.counter_add(
+                        "dcat_phase_changes_total",
+                        &[("domain", &report.name)],
+                        1,
+                    );
                 }
             }
         }
-
-        let result = controller.tick_validated(&snapshots, &valid, &mut cat);
-        events.extend(cat.take_events().into_iter().map(resctrl_retry_event));
-        let degraded = match result {
-            Ok(reports) => {
-                final_reports = reports;
-                false
+        let mut quarantined: u32 = 0;
+        for s in &states {
+            if s.quarantined {
+                quarantined += 1;
             }
-            Err(e) if e.is_transient() => {
-                events.push(Event::DegradedTick {
-                    reason: DegradeReason::Resctrl,
-                });
-                true
-            }
-            Err(e) => return Err(e),
-        };
-
-        // Audit the recorded allocation even (especially) on degraded
-        // ticks: holding must never leave overlapping masks or starve a
-        // domain below its floor.
-        if let Err(violation) =
-            crate::invariants::check(&controller.domain_views(), total_ways, cfg.dcat.min_ways)
-        {
-            events.push(Event::InvariantViolation { message: violation });
         }
+        registry.gauge_set("dcat_quarantined_domains", &[], f64::from(quarantined));
+
+        recorder.record(TickRecord {
+            tick,
+            degraded,
+            spans: spans.clone(),
+            events: events.iter().map(Event::to_json).collect(),
+        });
+        // A quarantine or invariant violation is exactly the moment a
+        // post-mortem wants the recent window: surface a dump through the
+        // observation so the embedder can persist it without re-running.
+        let flight_dump = if events.iter().any(|e| {
+            matches!(
+                e,
+                Event::InvariantViolation { .. } | Event::DomainQuarantined { .. }
+            )
+        }) {
+            Some(recorder.dump_jsonl())
+        } else {
+            None
+        };
 
         observe(&TickObservation {
             tick,
             reports: &final_reports,
             events: &events,
             degraded,
+            spans: &spans,
+            flight_dump: flight_dump.as_deref(),
         });
         sleep_between_ticks(cfg, tick);
     }
-    Ok(final_reports)
+    Ok(DaemonOutcome {
+        reports: final_reports,
+        metrics: registry.take(),
+        flight_dump: recorder.dump_jsonl(),
+    })
 }
 
 fn sleep_between_ticks(cfg: &DaemonConfig, tick: u64) {
@@ -544,6 +695,7 @@ mod tests {
             max_ticks: Some(3),
             resilience: ResiliencePolicy::default(),
             fault_plan: None,
+            obs: ObsOptions::default(),
         }
     }
 

@@ -123,6 +123,17 @@ pub enum Event {
     },
 }
 
+/// One rendered event field. [`FieldValue::Ident`] is for bare identifiers
+/// (domain names, op names, reasons) that the log line prints unquoted;
+/// [`FieldValue::Text`] is free-form text (error/message strings) that the
+/// log line prints with `{:?}` quoting. Both render as JSON strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    U64(u64),
+    Ident(String),
+    Text(String),
+}
+
 impl Event {
     /// Stable event name (the `event=` field of the log line).
     pub fn name(&self) -> &'static str {
@@ -142,48 +153,91 @@ impl Event {
             Event::InvariantViolation { .. } => "invariant_violation",
         }
     }
-}
 
-impl fmt::Display for Event {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "event={}", self.name())?;
+    /// The event's fields in rendering order — the single source of truth
+    /// behind both the `key=value` log line ([`fmt::Display`]) and the JSON
+    /// object ([`Event::to_json`]).
+    pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        use FieldValue::{Ident, Text, U64};
         match self {
-            Event::TelemetryRetried { attempt, error } => {
-                write!(f, " attempt={attempt} error={error:?}")
-            }
-            Event::TelemetryExhausted { attempts, error } => {
-                write!(f, " attempts={attempts} error={error:?}")
-            }
+            Event::TelemetryRetried { attempt, error } => vec![
+                ("attempt", U64(u64::from(*attempt))),
+                ("error", Text(error.clone())),
+            ],
+            Event::TelemetryExhausted { attempts, error } => vec![
+                ("attempts", U64(u64::from(*attempts))),
+                ("error", Text(error.clone())),
+            ],
             Event::RowMalformed {
                 domain,
                 line,
                 message,
             } => {
+                let mut out = Vec::new();
                 if let Some(d) = domain {
-                    write!(f, " domain={d}")?;
+                    out.push(("domain", Ident(d.clone())));
                 }
-                write!(f, " line={line} message={message:?}")
+                out.push(("line", U64(*line as u64)));
+                out.push(("message", Text(message.clone())));
+                out
             }
-            Event::ResctrlRetried { op, attempt, error } => {
-                write!(f, " op={op} attempt={attempt} error={error:?}")
-            }
+            Event::ResctrlRetried { op, attempt, error } => vec![
+                ("op", Ident((*op).to_string())),
+                ("attempt", U64(u64::from(*attempt))),
+                ("error", Text(error.clone())),
+            ],
             Event::ResctrlExhausted {
                 op,
                 attempts,
                 error,
-            } => write!(f, " op={op} attempts={attempts} error={error:?}"),
-            Event::DegradedTick { reason } => write!(f, " reason={reason}"),
+            } => vec![
+                ("op", Ident((*op).to_string())),
+                ("attempts", U64(u64::from(*attempts))),
+                ("error", Text(error.clone())),
+            ],
+            Event::DegradedTick { reason } => vec![("reason", Ident(reason.to_string()))],
             Event::CounterWrapped { domain }
             | Event::CounterReset { domain }
             | Event::StaleSample { domain }
             | Event::DomainSilent { domain }
-            | Event::DomainRecovered { domain } => write!(f, " domain={domain}"),
+            | Event::DomainRecovered { domain } => vec![("domain", Ident(domain.clone()))],
             Event::DomainQuarantined {
                 domain,
                 after_ticks,
-            } => write!(f, " domain={domain} after_ticks={after_ticks}"),
-            Event::InvariantViolation { message } => write!(f, " message={message:?}"),
+            } => vec![
+                ("domain", Ident(domain.clone())),
+                ("after_ticks", U64(u64::from(*after_ticks))),
+            ],
+            Event::InvariantViolation { message } => vec![("message", Text(message.clone()))],
         }
+    }
+
+    /// Render as a single-line JSON object with a stable shape:
+    /// `{"event":"<name>", <fields in log-line order>}`. Shared by the
+    /// flight recorder and anything else that wants events machine-readable.
+    pub fn to_json(&self) -> String {
+        let mut obj = dcat_obs::json::Obj::new().str_field("event", self.name());
+        for (key, value) in self.fields() {
+            obj = match value {
+                FieldValue::U64(v) => obj.u64_field(key, v),
+                FieldValue::Ident(s) | FieldValue::Text(s) => obj.str_field(key, &s),
+            };
+        }
+        obj.finish()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event={}", self.name())?;
+        for (key, value) in self.fields() {
+            match value {
+                FieldValue::U64(v) => write!(f, " {key}={v}")?,
+                FieldValue::Ident(s) => write!(f, " {key}={s}")?,
+                FieldValue::Text(s) => write!(f, " {key}={s:?}")?,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -213,6 +267,124 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "event=resctrl_retried op=program_cos attempt=1 error=\"EIO\""
+        );
+    }
+
+    #[test]
+    fn json_rendering_round_trips_shape_for_every_variant() {
+        use dcat_obs::json::{self, Value};
+        let variants = vec![
+            Event::TelemetryRetried {
+                attempt: 2,
+                error: "EAGAIN".into(),
+            },
+            Event::TelemetryExhausted {
+                attempts: 3,
+                error: "ENOENT".into(),
+            },
+            Event::RowMalformed {
+                domain: Some("vm1".into()),
+                line: 7,
+                message: "bad ipc".into(),
+            },
+            Event::RowMalformed {
+                domain: None,
+                line: 9,
+                message: "short row".into(),
+            },
+            Event::ResctrlRetried {
+                op: "program_cos",
+                attempt: 1,
+                error: "EIO".into(),
+            },
+            Event::ResctrlExhausted {
+                op: "assign_cos",
+                attempts: 4,
+                error: "EBUSY".into(),
+            },
+            Event::DegradedTick {
+                reason: DegradeReason::Resctrl,
+            },
+            Event::CounterWrapped {
+                domain: "vm0".into(),
+            },
+            Event::CounterReset {
+                domain: "vm0".into(),
+            },
+            Event::StaleSample {
+                domain: "vm2".into(),
+            },
+            Event::DomainSilent {
+                domain: "vm3".into(),
+            },
+            Event::DomainQuarantined {
+                domain: "vm3".into(),
+                after_ticks: 5,
+            },
+            Event::DomainRecovered {
+                domain: "vm3".into(),
+            },
+            Event::InvariantViolation {
+                message: "cbm overlap".into(),
+            },
+        ];
+        for e in variants {
+            let parsed = json::parse(&e.to_json()).expect("event JSON parses");
+            assert_eq!(
+                parsed.get("event").and_then(Value::as_str),
+                Some(e.name()),
+                "event field carries the stable name"
+            );
+            // Every log-line field appears in the JSON object with a
+            // matching value, in the same order after the leading name.
+            match &parsed {
+                Value::Obj(members) => {
+                    let fields = e.fields();
+                    assert_eq!(members.len(), fields.len() + 1);
+                    for ((key, value), (jk, jv)) in fields.iter().zip(&members[1..]) {
+                        assert_eq!(key, jk);
+                        match value {
+                            FieldValue::U64(v) => assert_eq!(jv.as_num(), Some(*v as f64)),
+                            FieldValue::Ident(s) | FieldValue::Text(s) => {
+                                assert_eq!(jv.as_str(), Some(s.as_str()));
+                            }
+                        }
+                    }
+                }
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn json_rendering_escapes_hostile_strings() {
+        use dcat_obs::json::{self, Value};
+        let e = Event::InvariantViolation {
+            message: "quote \" backslash \\ newline \n tab \t done".into(),
+        };
+        let rendered = e.to_json();
+        let parsed = json::parse(&rendered).expect("escaped JSON parses");
+        assert_eq!(
+            parsed.get("message").and_then(Value::as_str),
+            Some("quote \" backslash \\ newline \n tab \t done")
+        );
+        // The rendered line itself must stay single-line.
+        assert!(!rendered.contains('\n'));
+    }
+
+    #[test]
+    fn display_and_json_agree_on_field_order() {
+        let e = Event::DomainQuarantined {
+            domain: "vm3".into(),
+            after_ticks: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "event=domain_quarantined domain=vm3 after_ticks=5"
+        );
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"domain_quarantined\",\"domain\":\"vm3\",\"after_ticks\":5}"
         );
     }
 

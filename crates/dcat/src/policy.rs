@@ -21,6 +21,19 @@ pub trait CachePolicy {
         snapshots: &[CounterSnapshot],
         cat: &mut dyn CacheController,
     ) -> Result<Vec<DomainReport>, ResctrlError>;
+
+    /// [`Self::tick`] with pipeline-stage tracing. Policies without
+    /// internal stages (the shared/static baselines) ignore the tracer;
+    /// dCat records one span per Figure-4 step.
+    fn tick_traced(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        cat: &mut dyn CacheController,
+        tracer: &mut dcat_obs::Tracer,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
+        let _ = tracer;
+        self.tick(snapshots, cat)
+    }
 }
 
 impl CachePolicy for crate::DcatController {
@@ -35,6 +48,16 @@ impl CachePolicy for crate::DcatController {
     ) -> Result<Vec<DomainReport>, ResctrlError> {
         // The inherent method; path syntax picks the inherent impl.
         crate::DcatController::tick(self, snapshots, cat)
+    }
+
+    fn tick_traced(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        cat: &mut dyn CacheController,
+        tracer: &mut dcat_obs::Tracer,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
+        let valid = vec![true; snapshots.len()];
+        self.tick_observed(snapshots, &valid, cat, tracer)
     }
 }
 
@@ -55,5 +78,29 @@ mod tests {
             .tick(&[CounterSnapshot::default()], &mut cat)
             .unwrap();
         assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn dcat_tick_traced_records_one_span_per_pipeline_stage() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 2);
+        let handles = vec![WorkloadHandle::new("w", vec![0, 1], 4)];
+        let mut ctl = DcatController::new(DcatConfig::default(), handles, &mut cat).unwrap();
+        let mut tracer = dcat_obs::Tracer::new();
+        let policy: &mut dyn CachePolicy = &mut ctl;
+        policy
+            .tick_traced(&[CounterSnapshot::default()], &mut cat, &mut tracer)
+            .unwrap();
+        let names: Vec<_> = tracer.drain().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "collect",
+                "phase_detect",
+                "baseline",
+                "categorize",
+                "allocate",
+                "apply"
+            ]
+        );
     }
 }

@@ -110,6 +110,7 @@ fn daemon_promotes_a_receiver_and_reclaims_on_phase_change() {
         max_ticks: Some(MAX_TICKS),
         resilience: dcat::daemon::ResiliencePolicy::default(),
         fault_plan: None,
+        obs: dcat::daemon::ObsOptions::default(),
     };
 
     // (tick, grower class, grower ways, grower phase_changed, quiet ways).

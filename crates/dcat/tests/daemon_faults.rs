@@ -125,6 +125,7 @@ fn run_scenario(
             ..ResiliencePolicy::default()
         },
         fault_plan: plan,
+        obs: dcat::daemon::ObsOptions::default(),
     };
 
     let mut history: Vec<TickRecord> = Vec::new();

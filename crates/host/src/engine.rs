@@ -15,6 +15,7 @@
 //! instructions × CPI_exec plus per-level miss penalties divided by the
 //! workload's memory-level parallelism.
 
+use dcat_obs::{Registry, Snapshot};
 use llc_sim::{
     CoreCounters, CyclesModel, FrameAllocator, Hierarchy, LatencyModel, PageMapper, WayMask,
 };
@@ -119,6 +120,7 @@ pub struct Engine {
     cos_masks: Vec<Cbm>,
     core_cos: Vec<CosId>,
     epoch: u64,
+    metrics: Registry,
 }
 
 impl Engine {
@@ -147,6 +149,7 @@ impl Engine {
             cos_masks: vec![caps.full_mask(); caps.num_closids as usize],
             core_cos: vec![CosId(0); config.socket.hierarchy.cores as usize],
             epoch: 0,
+            metrics: Registry::new(),
             config,
         })
     }
@@ -278,7 +281,7 @@ impl Engine {
         self.epoch += 1;
 
         let after = self.snapshots();
-        (0..self.vms.len())
+        let stats: Vec<VmEpochStats> = (0..self.vms.len())
             .map(|vm| {
                 let delta = after[vm].delta_since(&before[vm]);
                 let counters = CoreCounters {
@@ -319,7 +322,29 @@ impl Engine {
                     llc_occupancy_lines: self.vm_llc_occupancy(vm),
                 }
             })
-            .collect()
+            .collect();
+        self.metrics.counter_add("engine_epochs_total", &[], 1);
+        for s in &stats {
+            let vm = [("vm", s.name.as_str())];
+            self.metrics
+                .counter_add("engine_instructions_total", &vm, s.instructions);
+            self.metrics
+                .counter_add("engine_cycles_total", &vm, s.cycles);
+            self.metrics
+                .counter_add("engine_llc_misses_total", &vm, s.llc_miss);
+            self.metrics
+                .counter_add("engine_requests_total", &vm, s.requests_completed);
+            self.metrics
+                .gauge_set("engine_vm_ways", &vm, f64::from(s.ways));
+        }
+        stats
+    }
+
+    /// Snapshot of the engine's cumulative metrics (epochs run, per-VM
+    /// instruction/cycle/miss totals, current way grants). Pure data —
+    /// merging snapshots from several sockets is order-insensitive.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
     }
 
     /// Executes one instruction slice of VM `vm`; returns consumed cycles.

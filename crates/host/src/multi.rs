@@ -95,6 +95,18 @@ impl MultiSocketEngine {
         }
         all_stats
     }
+
+    /// Merged metrics across all sockets. Counters sum and gauges take
+    /// the maximum, so a VM name shared by several sockets aggregates;
+    /// the merge is order-insensitive, hence identical for any pool
+    /// width (each socket's registry travels with its engine).
+    pub fn metrics_snapshot(&self) -> dcat_obs::Snapshot {
+        let mut merged = dcat_obs::Snapshot::default();
+        for engine in &self.sockets {
+            merged.merge(&engine.metrics_snapshot());
+        }
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +205,29 @@ mod tests {
         let stats = m.run_epoch(&Pool::new(2));
         assert_eq!(stats[0][0].ways, 2, "socket 0 VM a throttled");
         assert_eq!(stats[1][0].ways, 8, "socket 1 untouched");
+    }
+
+    #[test]
+    fn merged_metrics_are_pool_width_invariant() {
+        let mut serial = two_socket_engine();
+        let mut parallel = two_socket_engine();
+        for _ in 0..3 {
+            let _ = serial.run_epoch(&Pool::new(1));
+            let _ = parallel.run_epoch(&Pool::new(4));
+        }
+        let a = serial.metrics_snapshot();
+        let b = parallel.metrics_snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+        assert_eq!(
+            a.get("engine_epochs_total", &[]),
+            Some(&dcat_obs::MetricValue::Counter(6)),
+            "3 epochs x 2 sockets"
+        );
+        // Both sockets host a VM named "a"; their instruction counters sum.
+        assert!(matches!(
+            a.get("engine_instructions_total", &[("vm", "a")]),
+            Some(&dcat_obs::MetricValue::Counter(n)) if n > 0
+        ));
     }
 }

@@ -20,6 +20,7 @@
 //! | DL008 | lossy `as` casts in counter math | perf-events, llc-sim counters, controller delta math |
 //! | DL009 | panicking slice index in privileged I/O | resctrl fs/retry, daemon, telemetry |
 //! | DL010 | FIGURE6 vs DESIGN.md spec drift | transitions.rs + DESIGN.md |
+//! | DL011 | direct stdio macros in library code | all library sources (minus `bench::report`, `obs`, `prop-lite`, bins/tests/benches) |
 //!
 //! Entry points: [`check_repo`] (scoped repo gate), [`scan_files`]
 //! (all passes on arbitrary files, for fixture checks), [`self_test`]
@@ -67,7 +68,10 @@ pub fn find_repo_root(start: &Path) -> Result<PathBuf, String> {
 /// `crates/lint` itself is excluded from the walk entirely (its
 /// fixtures spell every banned token), as is `crates/xtask`.
 fn passes_for(rel: &str) -> Vec<&'static str> {
-    use passes::{cast_safety, cbm_bits, determinism, direct_io, float_eq, panic_path, threading};
+    use passes::{
+        cast_safety, cbm_bits, determinism, direct_io, float_eq, panic_path, print_discipline,
+        threading,
+    };
 
     let privileged_io = [
         "crates/resctrl/src/fs.rs",
@@ -121,6 +125,20 @@ fn passes_for(rel: &str) -> Vec<&'static str> {
         .contains(&rel)
     {
         out.push(cast_safety::CODE);
+    }
+    // Stdio discipline: library code must speak through bench::report.
+    // Exempt the sinks themselves (report.rs, the obs crate), prop-lite
+    // (shrunk counterexamples go straight to the developer), and code
+    // that owns its stdio: binaries, main.rs, tests, benches.
+    let owns_stdio = rel.contains("/bin/")
+        || rel.ends_with("/main.rs")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/");
+    if !owns_stdio
+        && rel != "crates/bench/src/report.rs"
+        && !in_any(&["crates/obs/src/", "crates/prop-lite/src/"])
+    {
+        out.push(print_discipline::CODE);
     }
     out
 }
@@ -300,6 +318,7 @@ mod tests {
         let daemon = passes_for("crates/dcat/src/daemon.rs");
         for code in [
             "DL001", "DL009", "DL002", "DL003", "DL004", "DL005", "DL006", "DL007", "DL008",
+            "DL011",
         ] {
             assert!(daemon.contains(&code), "daemon must run {code}");
         }
@@ -309,11 +328,29 @@ mod tests {
         assert!(!pool.contains(&"DL004"), "pool.rs owns the threads");
         let timing = passes_for("crates/bench/src/timing.rs");
         assert!(!timing.contains(&"DL007"), "timing.rs owns the clock");
+        assert!(timing.contains(&"DL011"), "timing.rs must report via say");
         let counters = passes_for("crates/llc-sim/src/counters.rs");
         assert!(counters.contains(&"DL008"));
         let snapshot = passes_for("crates/perf-events/src/snapshot.rs");
         assert!(snapshot.contains(&"DL008"));
         assert!(snapshot.contains(&"DL003"));
+        // DL011 exemptions: the sinks, prop-lite, and stdio owners.
+        for exempt in [
+            "crates/bench/src/report.rs",
+            "crates/obs/src/metrics.rs",
+            "crates/prop-lite/src/lib.rs",
+            "crates/dcat/src/bin/dcatd.rs",
+            "crates/obs/src/bin/obs_dump.rs",
+            "crates/bench/src/bin/fig07_lifecycle.rs",
+            "crates/bench/tests/determinism.rs",
+            "crates/bench/benches/controller_tick.rs",
+        ] {
+            assert!(
+                !passes_for(exempt).contains(&"DL011"),
+                "{exempt} owns its stdio"
+            );
+        }
+        assert!(passes_for("crates/bench/src/scenario.rs").contains(&"DL011"));
     }
 
     #[test]

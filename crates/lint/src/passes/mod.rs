@@ -9,6 +9,7 @@ pub mod determinism;
 pub mod direct_io;
 pub mod float_eq;
 pub mod panic_path;
+pub mod print_discipline;
 pub mod spec_drift;
 pub mod threading;
 
@@ -19,7 +20,7 @@ use crate::lexer::SourceFile;
 pub const DL000: &str = "DL000";
 
 /// All per-file pass codes in catalog order (DL010 is repo-level).
-pub const FILE_PASS_CODES: [&str; 9] = [
+pub const FILE_PASS_CODES: [&str; 10] = [
     panic_path::UNWRAP_CODE,
     cbm_bits::CODE,
     float_eq::CODE,
@@ -29,6 +30,7 @@ pub const FILE_PASS_CODES: [&str; 9] = [
     determinism::WALL_CLOCK_CODE,
     cast_safety::CODE,
     panic_path::INDEX_CODE,
+    print_discipline::CODE,
 ];
 
 /// Every diagnostic code the engine can emit (for allow validation).
@@ -51,6 +53,7 @@ pub fn run_pass(code: &str, file: &SourceFile, sink: &mut Sink) {
         c if c == determinism::HASH_ITER_CODE => determinism::run_hash_iter(file, sink),
         c if c == determinism::WALL_CLOCK_CODE => determinism::run_wall_clock(file, sink),
         c if c == cast_safety::CODE => cast_safety::run(file, sink),
+        c if c == print_discipline::CODE => print_discipline::run(file, sink),
         other => unreachable!("unknown pass code {other}"),
     }
 }
@@ -64,6 +67,7 @@ pub fn self_test_all() -> Result<(), String> {
     direct_io::self_test()?;
     determinism::self_test()?;
     cast_safety::self_test()?;
+    print_discipline::self_test()?;
     spec_drift::self_test()?;
     Ok(())
 }

@@ -1,0 +1,57 @@
+//! DL011 — no ad-hoc `println!` / `eprintln!` / `dbg!` in library code.
+//!
+//! All report text funnels through `bench::report::say`, which is what
+//! makes `--jobs N` output byte-identical: capture scopes buffer each
+//! task's lines and the coordinator replays them in item order. A stray
+//! `println!` in library code bypasses the sink stack, interleaves
+//! nondeterministically under parallel sweeps, and never reaches the
+//! captured report. `dbg!` additionally writes file/line noise to
+//! stderr. Binaries own their stdio, `bench::report` and the obs crate
+//! *are* the sanctioned sinks, and `prop-lite` reports shrunk
+//! counterexamples straight to the developer.
+
+use super::expect_count;
+use crate::diagnostics::Sink;
+use crate::lexer::SourceFile;
+
+pub const CODE: &str = "DL011";
+
+const PATTERNS: [&str; 6] = [
+    "println!(",
+    "eprintln!(",
+    "print!(",
+    "eprint!(",
+    "dbg!(",
+    "dbg!()",
+];
+
+pub fn run(file: &SourceFile, sink: &mut Sink) {
+    for (n, line) in file.code_lines() {
+        if PATTERNS.iter().any(|p| line.contains(p)) {
+            sink.emit(
+                file,
+                n,
+                CODE,
+                "direct stdio macro in library code (route text through \
+                 bench::report::say so capture scopes stay byte-deterministic)"
+                    .into(),
+            );
+        }
+    }
+}
+
+pub fn self_test() -> Result<(), String> {
+    expect_count(
+        "DL011",
+        run,
+        "println!(\"x = {x}\");\neprintln!(\"warn\");\nlet y = dbg!(x + 1);\n",
+        3,
+    )?;
+    expect_count(
+        "DL011",
+        run,
+        "report::say(format!(\"x = {x}\"));\n// println!(\"in a comment\")\nlet s = \"println!(\";\n",
+        0,
+    )?;
+    Ok(())
+}

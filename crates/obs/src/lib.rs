@@ -1,0 +1,34 @@
+//! dcat-obs: deterministic observability for the dCat reproduction.
+//!
+//! Three pillars, all dependency-free and all safe to leave enabled in the
+//! byte-identity determinism regression:
+//!
+//! 1. **Metrics registry** ([`metrics`]) — counters, gauges, and fixed-bucket
+//!    histograms keyed by static name + label set. Snapshots are B-tree
+//!    backed and merge commutatively, so per-worker registries from
+//!    `host::pool` / `MultiSocketEngine` collapse to the same bytes in any
+//!    permutation. Exports: Prometheus text and JSONL via [`MetricsSink`].
+//! 2. **Logical-clock tracing** ([`trace`]) — span enter/exit for each daemon
+//!    pipeline stage and engine epoch, timed in ticks/epochs by default and
+//!    in cycles only when a [`CycleSource`] (implemented in `bench::timing`,
+//!    the one wall-clock-sanctioned module) is explicitly installed.
+//! 3. **Flight recorder** ([`recorder`]) — a bounded ring of the last K
+//!    ticks' spans + events, dumped as JSONL on `InvariantViolation`,
+//!    `DomainQuarantined`, or daemon exit.
+//!
+//! [`json`] holds the hand-rolled escaping/builder/parser shared by all
+//! renderers, and [`promcheck`] the validators behind `obs-dump --check`.
+
+pub mod json;
+pub mod metrics;
+pub mod promcheck;
+pub mod recorder;
+pub mod trace;
+
+pub use metrics::{
+    write_text, FileSink, Histogram, MetricKey, MetricValue, MetricsSink, Registry, Snapshot,
+    CYCLE_BUCKETS, DEFAULT_STEP_BUCKETS,
+};
+pub use promcheck::{check_jsonl, check_prometheus, PromSummary};
+pub use recorder::{FlightRecorder, TickRecord};
+pub use trace::{CycleSource, SpanRecord, Tracer};

@@ -1,0 +1,540 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms keyed by
+//! static name + label set.
+//!
+//! Determinism contract: a [`Snapshot`] is a B-tree over (name, labels), so
+//! rendering order never depends on insertion order, and [`Snapshot::merge`]
+//! is commutative and associative (counters add, gauges max, histograms add
+//! element-wise over identical static buckets). Per-worker registries merged
+//! in any permutation therefore produce byte-identical exports — the property
+//! `host::pool` and `MultiSocketEngine` rely on under `--jobs N`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default bucket bounds for logical-step histograms (spans measured in
+/// logical-clock steps).
+pub const DEFAULT_STEP_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
+
+/// Default bucket bounds for cycle histograms (spans measured by an opt-in
+/// wall-clock [`crate::trace::CycleSource`]).
+pub const CYCLE_BUCKETS: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// Identity of one time series: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub name: &'static str,
+    /// Sorted by label name at construction.
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &'static str, labels: &[(&'static str, &str)]) -> Self {
+        let mut labels: Vec<(&'static str, String)> =
+            labels.iter().map(|(k, v)| (*k, (*v).to_string())).collect();
+        labels.sort_by(|a, b| a.0.cmp(b.0));
+        MetricKey { name, labels }
+    }
+}
+
+/// Fixed-bucket histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing. The implicit final
+    /// bucket is +Inf.
+    pub bounds: &'static [u64],
+    /// One count per bound, plus the +Inf bucket at the end.
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge with mismatched bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
+    }
+}
+
+/// One metric value. The kind is fixed by the first touch of a key; mixing
+/// kinds under one name is a programmer error and panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Commutative merge: counters add, gauges keep the max, histograms add
+    /// element-wise.
+    fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                if *b > *a {
+                    *a = *b;
+                }
+            }
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            (a, b) => panic!(
+                "metric kind mismatch in merge: {} vs {}",
+                a.kind(),
+                b.kind()
+            ),
+        }
+    }
+}
+
+/// A mutable metrics registry. Writers call the typed record methods; readers
+/// take a [`Snapshot`].
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    entries: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn counter_add(&mut self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        let key = MetricKey::new(name, labels);
+        match self.entries.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    pub fn gauge_set(&mut self, name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+        let key = MetricKey::new(name, labels);
+        match self.entries.entry(key).or_insert(MetricValue::Gauge(value)) {
+            MetricValue::Gauge(v) => *v = value,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    pub fn histogram_observe(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        bounds: &'static [u64],
+        value: u64,
+    ) {
+        let key = MetricKey::new(name, labels);
+        match self
+            .entries
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Copy the current contents into an immutable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Drain the registry into a snapshot, leaving it empty.
+    pub fn take(&mut self) -> Snapshot {
+        Snapshot {
+            entries: std::mem::take(&mut self.entries),
+        }
+    }
+
+    /// Fold a snapshot back into this registry (same merge rules as
+    /// [`Snapshot::merge`]).
+    pub fn merge_snapshot(&mut self, snap: &Snapshot) {
+        merge_maps(&mut self.entries, &snap.entries);
+    }
+}
+
+fn merge_maps(
+    into: &mut BTreeMap<MetricKey, MetricValue>,
+    from: &BTreeMap<MetricKey, MetricValue>,
+) {
+    for (key, value) in from {
+        match into.get_mut(key) {
+            Some(existing) => existing.merge(value),
+            None => {
+                into.insert(key.clone(), value.clone());
+            }
+        }
+    }
+}
+
+/// An immutable, order-insensitive view of a registry, suitable for merging
+/// across workers and rendering.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Snapshot {
+    entries: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl Snapshot {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.entries.iter()
+    }
+
+    pub fn get(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Option<&MetricValue> {
+        self.entries.get(&MetricKey::new(name, labels))
+    }
+
+    /// Merge another snapshot into this one. Commutative and associative:
+    /// counters add, gauges keep the max, histograms add element-wise.
+    pub fn merge(&mut self, other: &Snapshot) {
+        merge_maps(&mut self.entries, &other.entries);
+    }
+
+    /// Render in Prometheus text exposition format. Families appear in name
+    /// order with a `# TYPE` header each; series within a family follow
+    /// label order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for (key, value) in &self.entries {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} {}", key.name, value.kind());
+                last_name = key.name;
+            }
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", key.name, prom_labels(&key.labels, &[]));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v:?}", key.name, prom_labels(&key.labels, &[]));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        cumulative += h.counts[i];
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            key.name,
+                            prom_labels(&key.labels, &[("le", &bound.to_string())]),
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        key.name,
+                        prom_labels(&key.labels, &[("le", "+Inf")]),
+                        h.count,
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        key.name,
+                        prom_labels(&key.labels, &[]),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        key.name,
+                        prom_labels(&key.labels, &[]),
+                        h.count,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as JSONL: one self-describing object per series.
+    pub fn to_jsonl(&self) -> String {
+        use crate::json::{array, Obj};
+        let mut out = String::new();
+        for (key, value) in &self.entries {
+            let mut obj = Obj::new().str_field("name", key.name);
+            let mut labels = Obj::new();
+            for (k, v) in &key.labels {
+                labels = labels.str_field(k, v);
+            }
+            obj = obj.raw_field("labels", &labels.finish());
+            let line = match value {
+                MetricValue::Counter(v) => obj
+                    .str_field("kind", "counter")
+                    .u64_field("value", *v)
+                    .finish(),
+                MetricValue::Gauge(v) => obj
+                    .str_field("kind", "gauge")
+                    .raw_field("value", &format_json_f64(*v))
+                    .finish(),
+                MetricValue::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .bounds
+                        .iter()
+                        .enumerate()
+                        .map(|(i, b)| {
+                            Obj::new()
+                                .u64_field("le", *b)
+                                .u64_field("count", h.counts[i])
+                                .finish()
+                        })
+                        .collect();
+                    obj.str_field("kind", "histogram")
+                        .raw_field("buckets", &array(&buckets))
+                        .u64_field("inf_count", h.counts[h.bounds.len()])
+                        .u64_field("sum", h.sum)
+                        .u64_field("count", h.count)
+                        .finish()
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render an f64 as a JSON-safe token (`NaN`/`inf` are not valid JSON; the
+/// registry never produces them from deterministic sims, but don't emit
+/// garbage if one slips through).
+fn format_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn prom_labels(labels: &[(&'static str, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, k: &str, v: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    };
+    for (k, v) in labels {
+        push(&mut out, &mut first, k, v);
+    }
+    for (k, v) in extra {
+        push(&mut out, &mut first, k, v);
+    }
+    out.push('}');
+    out
+}
+
+/// Destination for exported snapshots.
+pub trait MetricsSink {
+    fn export(&mut self, snap: &Snapshot) -> Result<(), String>;
+}
+
+/// File-backed sink. The format follows the extension: `.jsonl` writes JSONL,
+/// anything else writes Prometheus text.
+#[derive(Debug)]
+pub struct FileSink {
+    path: std::path::PathBuf,
+}
+
+impl FileSink {
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        FileSink { path: path.into() }
+    }
+}
+
+impl MetricsSink for FileSink {
+    fn export(&mut self, snap: &Snapshot) -> Result<(), String> {
+        let text = if self.path.extension().is_some_and(|e| e == "jsonl") {
+            snap.to_jsonl()
+        } else {
+            snap.to_prometheus()
+        };
+        write_text(&self.path, &text)
+    }
+}
+
+/// Write a text artifact (metrics export, flight-recorder dump) to disk.
+pub fn write_text(path: &std::path::Path, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("ticks_total", &[], 3);
+        r.counter_add("events_total", &[("event", "degraded_tick")], 2);
+        r.counter_add("events_total", &[("event", "counter_reset")], 1);
+        r.gauge_set("domain_ways", &[("domain", "vm0")], 6.0);
+        r.histogram_observe("span_steps", &[("span", "apply")], DEFAULT_STEP_BUCKETS, 3);
+        r.histogram_observe("span_steps", &[("span", "apply")], DEFAULT_STEP_BUCKETS, 70);
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_keys_are_label_order_insensitive() {
+        let mut r = Registry::new();
+        r.counter_add("x", &[("a", "1"), ("b", "2")], 1);
+        r.counter_add("x", &[("b", "2"), ("a", "1")], 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap.get("x", &[("a", "1"), ("b", "2")]),
+            Some(&MetricValue::Counter(3))
+        );
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = sample().snapshot();
+        let mut extra = Registry::new();
+        extra.counter_add("ticks_total", &[], 5);
+        extra.gauge_set("domain_ways", &[("domain", "vm0")], 4.0);
+        extra.histogram_observe("span_steps", &[("span", "apply")], DEFAULT_STEP_BUCKETS, 1);
+        let b = extra.snapshot();
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_prometheus(), ba.to_prometheus());
+        // Counter added, gauge kept the max.
+        assert_eq!(ab.get("ticks_total", &[]), Some(&MetricValue::Counter(8)));
+        assert_eq!(
+            ab.get("domain_ways", &[("domain", "vm0")]),
+            Some(&MetricValue::Gauge(6.0))
+        );
+        a.merge(&b);
+        assert_eq!(a, ab);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_complete() {
+        let text = sample().snapshot().to_prometheus();
+        let expected = "\
+# TYPE domain_ways gauge
+domain_ways{domain=\"vm0\"} 6.0
+# TYPE events_total counter
+events_total{event=\"counter_reset\"} 1
+events_total{event=\"degraded_tick\"} 2
+# TYPE span_steps histogram
+span_steps_bucket{span=\"apply\",le=\"1\"} 0
+span_steps_bucket{span=\"apply\",le=\"2\"} 0
+span_steps_bucket{span=\"apply\",le=\"4\"} 1
+span_steps_bucket{span=\"apply\",le=\"8\"} 1
+span_steps_bucket{span=\"apply\",le=\"16\"} 1
+span_steps_bucket{span=\"apply\",le=\"32\"} 1
+span_steps_bucket{span=\"apply\",le=\"64\"} 1
+span_steps_bucket{span=\"apply\",le=\"+Inf\"} 2
+span_steps_sum{span=\"apply\"} 73
+span_steps_count{span=\"apply\"} 2
+# TYPE ticks_total counter
+ticks_total 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn jsonl_rendering_parses_line_by_line() {
+        let text = sample().snapshot().to_jsonl();
+        for line in text.lines() {
+            let v = crate::json::parse(line).expect("every JSONL line parses");
+            assert!(v.get("name").is_some());
+            assert!(v.get("kind").is_some());
+        }
+        assert_eq!(text.lines().count(), sample().snapshot().len());
+    }
+
+    #[test]
+    fn take_drains_the_registry() {
+        let mut r = sample();
+        let snap = r.take();
+        assert!(!snap.is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as")]
+    fn kind_mismatch_panics() {
+        let mut r = Registry::new();
+        r.counter_add("x", &[], 1);
+        r.gauge_set("x", &[], 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_prometheus_output() {
+        let mut r = Registry::new();
+        for v in [1, 1, 2, 5, 100] {
+            r.histogram_observe("h", &[], DEFAULT_STEP_BUCKETS, v);
+        }
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("h_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("h_bucket{le=\"2\"} 3\n"));
+        assert!(text.contains("h_bucket{le=\"8\"} 4\n"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("h_sum 109\n"));
+        assert!(text.contains("h_count 5\n"));
+    }
+}

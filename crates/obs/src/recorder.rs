@@ -1,0 +1,153 @@
+//! Flight recorder: a bounded ring buffer of the last K ticks' spans and
+//! events, dumped as JSONL on invariant violations, quarantines, or exit.
+//!
+//! The dump format is line-oriented: a header object first, then one object
+//! per retained tick, oldest first. Everything is rendered through
+//! [`crate::json`], so `obs-dump --check` can validate a dump with the same
+//! escaping rules the writer used.
+
+use crate::json::{array, Obj};
+use crate::trace::SpanRecord;
+use std::collections::VecDeque;
+
+/// Everything the recorder retains about one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRecord {
+    pub tick: u64,
+    pub degraded: bool,
+    pub spans: Vec<SpanRecord>,
+    /// Pre-rendered JSON objects (e.g. `Event::to_json`).
+    pub events: Vec<String>,
+}
+
+impl TickRecord {
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self.spans.iter().map(SpanRecord::to_json).collect();
+        Obj::new()
+            .u64_field("tick", self.tick)
+            .bool_field("degraded", self.degraded)
+            .raw_field("spans", &array(&spans))
+            .raw_field("events", &array(&self.events))
+            .finish()
+    }
+}
+
+/// Bounded ring of [`TickRecord`]s. Capacity 0 disables recording.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: VecDeque<TickRecord>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    pub fn record(&mut self, rec: TickRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(rec);
+    }
+
+    /// Render the retained window as JSONL: a header line, then one line per
+    /// tick, oldest first.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = Obj::new()
+            .str_field("record", "flight_header")
+            .u64_field("capacity", self.capacity as u64)
+            .u64_field("retained", self.ring.len() as u64)
+            .u64_field("dropped", self.dropped)
+            .finish();
+        out.push('\n');
+        for rec in &self.ring {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tick: u64) -> TickRecord {
+        TickRecord {
+            tick,
+            degraded: tick % 2 == 0,
+            spans: vec![SpanRecord {
+                name: "tick",
+                tick,
+                depth: 0,
+                enter_step: 1,
+                exit_step: 2,
+                cycles: 0,
+            }],
+            events: vec!["{\"event\":\"degraded_tick\",\"reason\":\"telemetry\"}".to_string()],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_k_ticks() {
+        let mut fr = FlightRecorder::new(3);
+        for t in 1..=5 {
+            fr.record(rec(t));
+        }
+        assert_eq!(fr.len(), 3);
+        let dump = fr.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let header = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("capacity").and_then(|v| v.as_num()), Some(3.0));
+        assert_eq!(header.get("retained").and_then(|v| v.as_num()), Some(3.0));
+        assert_eq!(header.get("dropped").and_then(|v| v.as_num()), Some(2.0));
+        let first = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(first.get("tick").and_then(|v| v.as_num()), Some(3.0));
+        let last = crate::json::parse(lines[3]).unwrap();
+        assert_eq!(last.get("tick").and_then(|v| v.as_num()), Some(5.0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(rec(1));
+        assert!(fr.is_empty());
+        let dump = fr.dump_jsonl();
+        assert_eq!(dump.lines().count(), 1);
+    }
+
+    #[test]
+    fn every_dump_line_parses_as_json() {
+        let mut fr = FlightRecorder::new(8);
+        for t in 1..=4 {
+            fr.record(rec(t));
+        }
+        for line in fr.dump_jsonl().lines() {
+            crate::json::parse(line).expect("dump line parses");
+        }
+    }
+}
