@@ -37,9 +37,85 @@ if cargo run -q -p xtask --offline -- scan target/lint-fixture.rs; then
     exit 1
 fi
 
+echo "==> interprocedural passes flag seeded laundering the token engine alone misses"
+cat > target/lint-interproc-helper.rs <<'FIXTURE'
+use std::collections::HashMap;
+
+// The only HashMap evidence lives in this file; the sibling fixture
+// that iterates the returned map never names the type.
+fn build_index() -> HashMap<String, u64> {
+    let mut m = HashMap::new();
+    m.insert("k".to_string(), 1);
+    m
+}
+FIXTURE
+cat > target/lint-interproc-fixture.rs <<'FIXTURE'
+// DL012: the HashMap type only arrives through a cross-file call
+// return; the token-level DL006 pass cannot type `m` here.
+fn drain() -> u64 {
+    let m = build_index();
+    let mut sum = 0;
+    for v in m.values() {
+        sum += v;
+    }
+    sum
+}
+
+// DL013: integer division by a variable one call from the entry; no
+// token pass covers divide-by-zero at all.
+fn share(total: u64, groups: u64) -> u64 {
+    total / groups
+}
+
+// DL014: way counts and byte counts added together type-check fine;
+// only unit inference from the names catches the mix.
+fn pressure(total_ways: u32, dirty_bytes: u32) -> u32 {
+    total_ways + dirty_bytes
+}
+
+fn entry() -> u64 {
+    let a = drain();
+    let b = share(a, 3);
+    let _c = pressure(4, 4096);
+    a + b
+}
+FIXTURE
+if cargo run -q -p dcat-lint --offline -- target/lint-interproc-fixture.rs \
+    target/lint-interproc-helper.rs; then
+    echo "ERROR: interprocedural passes missed the seeded laundering fixture" >&2
+    exit 1
+fi
+cargo run -q -p dcat-lint --offline -- --json target/lint-interproc-fixture.rs \
+    target/lint-interproc-helper.rs > target/lint-interproc-report.json || true
+if grep -o '"code":"DL0[0-9][0-9]"' target/lint-interproc-report.json | grep -qv 'DL01[234]'; then
+    echo "ERROR: fixture tripped a token-level pass; it no longer proves the interprocedural value-add" >&2
+    exit 1
+fi
+for code in DL012 DL013 DL014; do
+    if ! grep -q "\"code\":\"$code\"" target/lint-interproc-report.json; then
+        echo "ERROR: seeded $code laundering was not caught" >&2
+        exit 1
+    fi
+done
+
 echo "==> lint JSON report against the checked-in baseline"
 cargo run -q -p dcat-lint --offline -- --json --baseline lint-baseline.txt \
     > target/lint-report.json
+
+echo "==> full-workspace lint wall-clock budget (10s)"
+# The top-level release build only covers the root package's tree, so
+# compile dcat-lint here, outside the timed window: the budget is for
+# the analysis, not for rustc.
+cargo build -q --release -p dcat-lint --offline
+t_lint0=$(date +%s)
+./target/release/dcat-lint > /dev/null
+t_lint1=$(date +%s)
+lint_secs=$((t_lint1 - t_lint0))
+echo "dcat-lint full-workspace wall-clock: ${lint_secs}s"
+if [ "$lint_secs" -gt 10 ]; then
+    echo "ERROR: full-workspace lint took ${lint_secs}s (budget 10s)" >&2
+    exit 1
+fi
 
 echo "==> determinism regression + golden decision traces + golden metrics"
 cargo test -q --release -p dcat-bench --offline --test determinism --test golden_traces \

@@ -464,7 +464,9 @@ impl DcatController {
     /// and categorization stages should still run.
     fn phase_stage(&mut self, i: usize, m: &IntervalMetrics) -> Option<bool> {
         let cfg = self.config;
-        let d = &mut self.domains[i];
+        // Out-of-range index means the domain set changed mid-tick; skip
+        // the interval rather than panic (ticks degrade, they never die).
+        let d = self.domains.get_mut(i)?;
 
         // An idle domain (no retired instructions) donates everything and
         // forgets its phase; its next activity is a fresh phase.
@@ -494,7 +496,12 @@ impl DcatController {
         // settling (it has the highest priority in the paper).
         let change = d.detector.observe(m.mem_access_per_instr);
         if change.requires_rebaseline() {
-            let new_sig = d.detector.signature().expect("observe set the signature");
+            // `observe` always leaves a signature behind a rebaseline
+            // verdict; if that invariant ever breaks, treat the interval
+            // as settled rather than panic mid-tick.
+            let Some(new_sig) = d.detector.signature() else {
+                return Some(false);
+            };
             let new_bucket = PhaseDetector::bucket(new_sig, cfg.phase_bucket_quantum);
             if let PhaseChange::Changed { previous, .. } = change {
                 let old_bucket = PhaseDetector::bucket(previous, cfg.phase_bucket_quantum);
@@ -536,7 +543,7 @@ impl DcatController {
     /// should proceed to categorization, `None` when its classification is
     /// finished for this interval.
     fn baseline_stage(&mut self, i: usize, m: &IntervalMetrics) -> Option<f64> {
-        let d = &mut self.domains[i];
+        let d = self.domains.get_mut(i)?;
 
         // Wait for the cache to settle after the last allocation change;
         // judge on the tick where the countdown reaches zero (that
@@ -569,11 +576,13 @@ impl DcatController {
         // The initial baseline is measured on a cold cache; while the
         // workload runs at its reserved size, keep the estimate fresh so
         // the guarantee and the normalizations track the warmed-up truth.
-        if d.ways == d.reserved() {
+        let baseline = if d.ways == d.reserved() {
             let refreshed = 0.5 * baseline + 0.5 * m.ipc;
             d.baseline_ipc = Some(refreshed);
-        }
-        let baseline = d.baseline_ipc.expect("just set");
+            refreshed
+        } else {
+            baseline
+        };
         let norm = m.ipc / baseline;
         d.table.record(d.ways, norm);
         Some(norm)
@@ -583,7 +592,9 @@ impl DcatController {
     /// guarantee, fed the normalized IPC from [`Self::baseline_stage`].
     fn categorize_stage(&mut self, i: usize, m: &IntervalMetrics, norm: f64) {
         let cfg = self.config;
-        let d = &mut self.domains[i];
+        let Some(d) = self.domains.get_mut(i) else {
+            return;
+        };
 
         let improvement = match d.prev_ipc {
             Some(prev) if prev > 0.0 && d.ways != d.prev_ways => Some((m.ipc - prev) / prev),
@@ -907,7 +918,12 @@ impl DcatController {
         target: u32,
         cat: &mut dyn CacheController,
     ) -> Result<(), ResctrlError> {
-        let d = &mut self.domains[i];
+        // The caller derives `i` from the layout it just planned over
+        // `self.domains`; an out-of-range index means the plan is stale,
+        // and skipping the program beats panicking with CAT half-written.
+        let Some(d) = self.domains.get_mut(i) else {
+            return Ok(());
+        };
         let first_program = d.cbm.is_none();
         if d.cbm != Some(cbm) {
             cat.program_cos(d.cos, cbm)?;

@@ -14,15 +14,17 @@
 
 /// Widens a way count for indexing. `u32 -> usize` cannot truncate on any
 /// supported target; routing through `try_from` keeps the conversion
-/// explicit and the cast-safety lint clean.
+/// explicit and the cast-safety lint clean. The fallback is unreachable
+/// and merely keeps the tick path panic-free.
 fn widen(ways: u32) -> usize {
-    usize::try_from(ways).expect("u32 fits in usize")
+    usize::try_from(ways).unwrap_or(usize::MAX)
 }
 
 /// Narrows a table index back to a way count. Table sizes are bounded by
-/// `max_ways: u32`, so the conversion cannot fail for in-table indices.
+/// `max_ways: u32`, so the conversion cannot fail for in-table indices;
+/// the saturating fallback keeps the tick path panic-free regardless.
 fn narrow(index: usize) -> u32 {
-    u32::try_from(index).expect("way index fits in u32")
+    u32::try_from(index).unwrap_or(u32::MAX)
 }
 
 /// Normalized-IPC-per-way-count table for one workload phase.
@@ -137,7 +139,9 @@ pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> O
     // far and w ways; choice[i][w] = ways given to workload i in that
     // optimum.
     let mut dp = vec![f64::NEG_INFINITY; total + 1];
-    dp[0] = 0.0;
+    if let Some(base) = dp.first_mut() {
+        *base = 0.0;
+    }
     let mut choices: Vec<Vec<u32>> = Vec::with_capacity(tables.len());
     for table in tables {
         if table.is_empty() {
@@ -148,7 +152,9 @@ pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> O
         for (ways, value) in table.iter() {
             let w = widen(ways);
             for used in w..=total {
-                let prev = dp[used - w];
+                let Some(&prev) = dp.get(used - w) else {
+                    continue;
+                };
                 // Unreachable budget point (still the -inf seed).
                 if prev.is_infinite() {
                     continue;
@@ -164,10 +170,7 @@ pub fn max_performance_split(tables: &[&PerformanceTable], total_ways: u32) -> O
         choices.push(choice);
     }
     // Best budget point.
-    let (mut used, best) = dp
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in dp"))?;
+    let (mut used, best) = dp.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
     if best.is_infinite() {
         return None;
     }

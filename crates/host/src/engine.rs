@@ -393,8 +393,15 @@ impl Engine {
     }
 
     fn apply_mask_to_core(&mut self, core: u32) {
-        let cos = self.core_cos[core as usize];
-        let cbm = self.cos_masks[cos.0 as usize];
+        // Both tables are sized from the validated socket config; an
+        // out-of-range id means the caller skipped validation, and
+        // leaving the fill mask untouched beats panicking mid-apply.
+        let Some(&cos) = self.core_cos.get(core as usize) else {
+            return;
+        };
+        let Some(&cbm) = self.cos_masks.get(cos.0 as usize) else {
+            return;
+        };
         self.hierarchy.set_fill_mask(core, WayMask(cbm.0));
     }
 }
@@ -420,9 +427,12 @@ impl CacheController for EngineCat<'_> {
     fn program_cos(&mut self, cos: CosId, cbm: Cbm) -> Result<(), ResctrlError> {
         self.validate_cos(cos)?;
         self.validate_cbm(cbm)?;
-        self.engine.cos_masks[cos.0 as usize] = cbm;
+        let Some(slot) = self.engine.cos_masks.get_mut(cos.0 as usize) else {
+            return Err(ResctrlError::InvalidCos(cos));
+        };
+        *slot = cbm;
         for core in 0..self.num_cores() {
-            if self.engine.core_cos[core as usize] == cos {
+            if self.engine.core_cos.get(core as usize) == Some(&cos) {
                 self.engine.apply_mask_to_core(core);
             }
         }
@@ -431,10 +441,10 @@ impl CacheController for EngineCat<'_> {
 
     fn assign_core(&mut self, core: u32, cos: CosId) -> Result<(), ResctrlError> {
         self.validate_cos(cos)?;
-        if core >= self.num_cores() {
+        let Some(slot) = self.engine.core_cos.get_mut(core as usize) else {
             return Err(ResctrlError::InvalidCore(core));
-        }
-        self.engine.core_cos[core as usize] = cos;
+        };
+        *slot = cos;
         self.engine.apply_mask_to_core(core);
         Ok(())
     }
@@ -452,7 +462,7 @@ impl CacheController for EngineCat<'_> {
     }
 
     fn flush_cbm(&mut self, cbm: Cbm) -> Result<(), ResctrlError> {
-        self.engine.hierarchy.flush_ways(llc_sim::WayMask(cbm.0));
+        self.engine.hierarchy.flush_mask(llc_sim::WayMask(cbm.0));
         Ok(())
     }
 }

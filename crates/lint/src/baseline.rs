@@ -54,18 +54,46 @@ pub fn partition<'a>(
     (new, old, stale)
 }
 
+/// The header written when the baseline file has none of its own.
+pub const DEFAULT_HEADER: &str =
+    "# dcat-lint baseline: grandfathered finding keys (code|path|snippet).\n\
+     # CI fails only on findings NOT listed here. Regenerate with\n\
+     # `cargo run -p dcat-lint -- --write-baseline lint-baseline.txt`.\n";
+
+/// Extracts the leading comment/blank block of an existing baseline file
+/// so a rewrite keeps any hand-written notes above the keys.
+pub fn header_of(text: &str) -> Option<String> {
+    let mut header = String::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('#') || t.is_empty() {
+            header.push_str(line);
+            header.push('\n');
+        } else {
+            break;
+        }
+    }
+    (!header.trim().is_empty()).then_some(header)
+}
+
 /// Serializes findings as a baseline file body.
 pub fn render(findings: &[Finding]) -> String {
+    render_with_header(findings, None)
+}
+
+/// Serializes findings under `header` (the default header when `None`).
+pub fn render_with_header(findings: &[Finding], header: Option<&str>) -> String {
     let mut keys: Vec<String> = findings.iter().map(Finding::key).collect();
     keys.sort();
     keys.dedup();
-    let mut out = String::from(
-        "# dcat-lint baseline: grandfathered finding keys (code|path|snippet).\n\
-         # CI fails only on findings NOT listed here. Regenerate with\n\
-         # `cargo run -p dcat-lint -- --write-baseline lint-baseline.txt`.\n",
-    );
+    render_keys(keys.iter().map(String::as_str), header)
+}
+
+/// Serializes an already-deduplicated key sequence under `header`.
+pub fn render_keys<'a>(keys: impl Iterator<Item = &'a str>, header: Option<&str>) -> String {
+    let mut out = String::from(header.unwrap_or(DEFAULT_HEADER));
     for k in keys {
-        out.push_str(&k);
+        out.push_str(k);
         out.push('\n');
     }
     out
@@ -82,6 +110,7 @@ mod tests {
             line: 1,
             message: String::new(),
             snippet: snippet.into(),
+            trace: Vec::new(),
         }
     }
 
@@ -110,5 +139,23 @@ mod tests {
         let parsed = parse(&text);
         assert_eq!(parsed.len(), 1);
         assert!(parsed.contains(&findings[0].key()));
+    }
+
+    #[test]
+    fn rewrite_preserves_hand_written_header() {
+        let old = "# team notes: keep until Q3\n# second line\n\nDL001|p.rs|a\n";
+        let header = header_of(old).expect("header detected");
+        let text = render_with_header(&[f("DL002", "b")], Some(&header));
+        assert!(text.starts_with("# team notes: keep until Q3\n# second line\n\n"));
+        assert!(text.ends_with("DL002|p.rs|b\n"));
+        // A body with no header block falls back to the default.
+        assert_eq!(header_of("DL001|p.rs|a\n"), None);
+        assert!(render_with_header(&[], None).starts_with("# dcat-lint baseline"));
+    }
+
+    #[test]
+    fn render_keys_keeps_given_order() {
+        let text = render_keys(["k2", "k1"].into_iter(), Some("# h\n"));
+        assert_eq!(text, "# h\nk2\nk1\n");
     }
 }

@@ -14,6 +14,9 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source line, truncated; part of the baseline key.
     pub snippet: String,
+    /// Entry→sink call chain (qualified fn names) for interprocedural
+    /// findings; empty for per-file passes. Not part of the key.
+    pub trace: Vec<String>,
 }
 
 impl Finding {
@@ -30,10 +33,15 @@ impl Finding {
     }
 
     pub fn render_human(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} {}:{}: {}\n    > {}",
             self.code, self.path, self.line, self.message, self.snippet
-        )
+        );
+        if !self.trace.is_empty() {
+            out.push_str("\n    via ");
+            out.push_str(&self.trace.join(" -> "));
+        }
+        out
     }
 }
 
@@ -59,6 +67,7 @@ impl Sink {
             line,
             message,
             snippet,
+            trace: Vec::new(),
         };
         if file.is_allowed(line, code) {
             self.suppressed.push(finding);
@@ -109,15 +118,23 @@ pub fn render_json(
     suppressed: usize,
     baselined: usize,
     stale_baseline: &[String],
+    callgraph: Option<&crate::model::GraphSummary>,
+    unresolved_calls: &[String],
 ) -> String {
     let one = |f: &Finding| {
+        let trace: Vec<String> = f
+            .trace
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect();
         format!(
-            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\",\"key\":\"{}\"}}",
+            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\",\"trace\":[{}],\"key\":\"{}\"}}",
             f.code,
             json_escape(&f.path),
             f.line,
             json_escape(&f.message),
             json_escape(&f.snippet),
+            trace.join(","),
             json_escape(&f.key()),
         )
     };
@@ -127,8 +144,25 @@ pub fn render_json(
         .iter()
         .map(|k| format!("\"{}\"", json_escape(k)))
         .collect();
+    let graph = callgraph
+        .map(|g| {
+            // The unresolved bucket is part of the report (no silent
+            // drops): every call edge the resolver gave up on is listed.
+            let calls: Vec<String> = unresolved_calls
+                .iter()
+                .map(|u| format!("\"{}\"", json_escape(u)))
+                .collect();
+            format!(
+                ",\"callgraph\":{{\"functions\":{},\"edges\":{},\"unresolved\":{},\"unresolved_calls\":[{}]}}",
+                g.functions,
+                g.edges,
+                g.unresolved,
+                calls.join(",")
+            )
+        })
+        .unwrap_or_default();
     format!(
-        "{{\"findings\":[{}],\"new_findings\":[{}],\"counts\":{{\"total\":{},\"new\":{},\"suppressed\":{},\"baselined\":{}}},\"stale_baseline\":[{}]}}",
+        "{{\"findings\":[{}],\"new_findings\":[{}],\"counts\":{{\"total\":{},\"new\":{},\"suppressed\":{},\"baselined\":{}}},\"stale_baseline\":[{}]{}}}",
         all.join(","),
         fresh.join(","),
         findings.len(),
@@ -136,6 +170,7 @@ pub fn render_json(
         suppressed,
         baselined,
         stale.join(","),
+        graph,
     )
 }
 
@@ -150,6 +185,7 @@ mod tests {
             line: 3,
             message: "m".into(),
             snippet: snippet.into(),
+            trace: Vec::new(),
         }
     }
 
@@ -165,9 +201,29 @@ mod tests {
 
     #[test]
     fn json_report_escapes_quotes() {
-        let out = render_json(&[f("DL001", "say \"hi\"")], &[], 0, 1, &[]);
+        let out = render_json(&[f("DL001", "say \"hi\"")], &[], 0, 1, &[], None, &[]);
         assert!(out.contains("say \\\"hi\\\""));
         assert!(out.contains("\"baselined\":1"));
+        assert!(out.contains("\"trace\":[]"));
+        assert!(!out.contains("callgraph"));
+    }
+
+    #[test]
+    fn json_report_carries_trace_and_graph() {
+        let mut t = f("DL012", "m.values()");
+        t.trace = vec!["dcat::a".into(), "dcat::b".into()];
+        let g = crate::model::GraphSummary {
+            functions: 10,
+            edges: 20,
+            unresolved: 3,
+        };
+        let unresolved = vec!["crates/x/src/a.rs:3: `z.sample` (ambiguous)".to_string()];
+        let out = render_json(&[t.clone()], &[], 0, 0, &[], Some(&g), &unresolved);
+        assert!(out.contains("\"trace\":[\"dcat::a\",\"dcat::b\"]"));
+        assert!(out.contains(
+            "\"callgraph\":{\"functions\":10,\"edges\":20,\"unresolved\":3,\"unresolved_calls\":[\"crates/x/src/a.rs:3: `z.sample` (ambiguous)\"]}"
+        ));
+        assert!(t.render_human().contains("via dcat::a -> dcat::b"));
     }
 
     #[test]

@@ -1,22 +1,28 @@
 //! dcat-lint CLI.
 //!
 //! ```text
-//! dcat-lint [--json] [--baseline FILE] [--write-baseline FILE] [--root DIR] [FILE.rs...]
+//! dcat-lint [--json] [--baseline FILE] [--write-baseline FILE]
+//!           [--prune-stale] [--root DIR] [FILE.rs...]
 //! ```
 //!
-//! With no file arguments, runs the scoped repo gate (plus the DL010
-//! spec-drift check) from the workspace root; with files, applies every
-//! per-file pass to them unscoped (the CI fixture mode). Exit status:
-//! 0 when no new findings, 1 when there are, 2 on usage/IO errors.
+//! With no file arguments, runs the scoped repo gate (per-file passes,
+//! the DL010 spec-drift check, and the interprocedural DL012-DL014
+//! passes over the workspace call graph) from the workspace root; with
+//! files, applies every pass to them unscoped (the CI fixture mode).
+//! Exit status: 0 when clean, 1 on new findings *or* stale baseline
+//! entries (debt paid but not recorded), 2 on usage/IO errors.
+//! `--prune-stale` rewrites the baseline dropping stale keys (keeping
+//! any hand-written header comments) instead of failing on them.
 
 use dcat_lint::{baseline, check_repo, diagnostics, find_repo_root, scan_files, self_test};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Opts {
     json: bool,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    prune_stale: bool,
     root: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
@@ -26,6 +32,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         json: false,
         baseline: None,
         write_baseline: None,
+        prune_stale: false,
         root: None,
         files: Vec::new(),
     };
@@ -33,6 +40,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => opts.json = true,
+            "--prune-stale" => opts.prune_stale = true,
             "--baseline" => {
                 let v = it.next().ok_or("--baseline needs a path")?;
                 opts.baseline = Some(PathBuf::from(v));
@@ -48,7 +56,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: dcat-lint [--json] [--baseline FILE] [--write-baseline FILE] \
-                     [--root DIR] [FILE.rs...]"
+                     [--prune-stale] [--root DIR] [FILE.rs...]"
                         .into(),
                 )
             }
@@ -57,6 +65,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         }
     }
     Ok(opts)
+}
+
+/// Leading comment block of an existing baseline file, if any.
+fn header_of_file(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    baseline::header_of(&text)
 }
 
 fn main() -> ExitCode {
@@ -103,7 +117,9 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &opts.write_baseline {
-        let body = baseline::render(&report.findings);
+        // A rewrite keeps any hand-written notes above the keys.
+        let header = header_of_file(path);
+        let body = baseline::render_with_header(&report.findings, header.as_deref());
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("dcat-lint: write {}: {e}", path.display());
             return ExitCode::from(2);
@@ -129,6 +145,31 @@ fn main() -> ExitCode {
     };
     let (new, grandfathered, stale) = baseline::partition(&report.findings, &base);
 
+    let mut pruned = false;
+    if opts.prune_stale && !stale.is_empty() {
+        let Some(path) = base_path.as_deref() else {
+            eprintln!("dcat-lint: --prune-stale needs a baseline file (use --baseline)");
+            return ExitCode::from(2);
+        };
+        let header = header_of_file(path);
+        let body = baseline::render_keys(
+            base.iter()
+                .filter(|k| !stale.contains(*k))
+                .map(String::as_str),
+            header.as_deref(),
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("dcat-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "dcat-lint: pruned {} stale baseline entrie(s) from {}",
+            stale.len(),
+            path.display()
+        );
+        pruned = true;
+    }
+
     if opts.json {
         let new_owned: Vec<_> = new.iter().map(|f| (*f).clone()).collect();
         println!(
@@ -139,14 +180,25 @@ fn main() -> ExitCode {
                 report.suppressed.len(),
                 grandfathered.len(),
                 &stale,
+                report.callgraph.as_ref(),
+                &report.unresolved,
             )
         );
     } else {
         for f in &new {
             eprintln!("dcat-lint: {}", f.render_human());
         }
-        for key in &stale {
-            eprintln!("dcat-lint: note: stale baseline entry (debt paid — remove it): {key}");
+        if !pruned {
+            for key in &stale {
+                eprintln!("dcat-lint: error: stale baseline entry (debt paid — remove it or run --prune-stale): {key}");
+            }
+        }
+        if let Some(g) = &report.callgraph {
+            println!(
+                "dcat-lint: call graph: {} function(s), {} edge(s), {} unresolved call(s) \
+                 (full list under --json)",
+                g.functions, g.edges, g.unresolved
+            );
         }
         println!(
             "dcat-lint: {} finding(s): {} new, {} baselined, {} suppressed by annotation",
@@ -157,7 +209,9 @@ fn main() -> ExitCode {
         );
     }
 
-    if new.is_empty() {
+    // Stale entries fail the gate: a paid-off key left in the baseline
+    // would silently re-admit the finding if it ever came back.
+    if new.is_empty() && (pruned || stale.is_empty()) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

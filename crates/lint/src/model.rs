@@ -1,0 +1,1225 @@
+//! Workspace symbol table and call graph.
+//!
+//! [`Workspace::from_sources`] ingests every source file (as
+//! `(repo-relative path, text)`), lexes and parses each one, assigns
+//! crate idents and module paths from the directory layout, and resolves
+//! a call graph:
+//!
+//! - **Path calls** (`foo(…)`, `module::foo(…)`, `Type::method(…)`,
+//!   `Self::new(…)`) resolve through the caller's `use` aliases (groups,
+//!   renames, globs), `crate`/`self`/`super` prefixes, and the module
+//!   tree derived from file paths.
+//! - **Method calls** (`recv.m(…)`) resolve by receiver-name heuristics:
+//!   `self` binds to the enclosing impl type; a receiver whose type is
+//!   known (parameter, `let x: T`, or a `let x = call()` whose callee
+//!   resolved) binds to that type's impl (or, for `dyn Trait` /
+//!   `impl Trait` receivers, to *every* workspace impl of the trait);
+//!   otherwise a method name defined exactly once in the workspace
+//!   resolves uniquely.
+//! - Everything else lands in an explicit **unresolved bucket** that the
+//!   engine reports rather than hides — a call the graph cannot follow
+//!   is a hole in every interprocedural guarantee downstream. Calls to
+//!   names defined nowhere in the workspace (std, core) are classified
+//!   external and excluded by construction.
+//!
+//! The graph is deterministic: units are sorted by path, functions carry
+//! parse order, adjacency lists are sorted and deduplicated, and every
+//! index is a `BTreeMap`.
+
+use crate::lexer::SourceFile;
+use crate::parse::{parse_file, FnItem, ParsedFile};
+use crate::tokens::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file in the workspace with its lexed and parsed forms.
+pub struct SourceUnit {
+    pub file: SourceFile,
+    pub parsed: ParsedFile,
+    pub crate_ident: String,
+    /// Module path of the file itself (`["controller"]`,
+    /// `["bin", "dcatd"]`); inline `mod` blocks extend it per item.
+    pub file_module: Vec<String>,
+}
+
+/// One function node in the call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    pub unit: usize,
+    /// Index into `units[unit].parsed.fns`.
+    pub item: usize,
+    pub crate_ident: String,
+    /// Full module path (file module + inline modules).
+    pub module: Vec<String>,
+    pub name: String,
+    pub impl_ty: Option<String>,
+    pub trait_name: Option<String>,
+    pub is_test: bool,
+    /// `crate::module::Type::name` — the display identity used in
+    /// traces and the fixture tests.
+    pub qualified: String,
+}
+
+/// A call site the resolver could not follow.
+#[derive(Debug, Clone)]
+pub struct Unresolved {
+    pub caller: usize,
+    pub line: usize,
+    /// The call as written (`recv.method` or `a::b::f`).
+    pub call: String,
+    pub reason: String,
+}
+
+/// Summary counters surfaced in human and JSON output.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSummary {
+    pub functions: usize,
+    pub edges: usize,
+    pub unresolved: usize,
+}
+
+pub struct Workspace {
+    pub units: Vec<SourceUnit>,
+    pub fns: Vec<FnNode>,
+    /// `edges[f]` = sorted, deduped `(callee, line-of-call)` pairs.
+    pub edges: Vec<Vec<(usize, usize)>>,
+    pub unresolved: Vec<Unresolved>,
+    /// Per-function local value types (`name -> type text`), including
+    /// parameter types and `let` bindings whose initializer resolved.
+    pub locals: Vec<BTreeMap<String, String>>,
+}
+
+impl Workspace {
+    pub fn summary(&self) -> GraphSummary {
+        GraphSummary {
+            functions: self.fns.len(),
+            edges: self.edges.iter().map(Vec::len).sum(),
+            unresolved: self.unresolved.len(),
+        }
+    }
+
+    pub fn fn_item(&self, f: usize) -> &FnItem {
+        &self.units[self.fns[f].unit].parsed.fns[self.fns[f].item]
+    }
+
+    pub fn unit_of(&self, f: usize) -> &SourceUnit {
+        &self.units[self.fns[f].unit]
+    }
+
+    /// Builds the workspace from `(repo-relative path, text)` pairs.
+    /// `crate_idents` maps the directory name under `crates/` to the
+    /// crate's ident (`bench` → `dcat_bench`); unmapped directories
+    /// default to the underscored directory name. Paths outside
+    /// `crates/*/src/` are grouped into a synthetic `fixture` crate, one
+    /// module per file stem (the CI scan mode).
+    pub fn from_sources(
+        sources: &[(String, String)],
+        crate_idents: &BTreeMap<String, String>,
+    ) -> Workspace {
+        let mut keyed: Vec<(String, &String, &String)> =
+            sources.iter().map(|(p, t)| (p.clone(), p, t)).collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut units = Vec::new();
+        for (_, path, text) in keyed {
+            let file = SourceFile::parse(path, text);
+            let scrubbed: String = file
+                .lines
+                .iter()
+                .map(|l| l.scrubbed.as_str())
+                .collect::<Vec<_>>()
+                .join("\n");
+            let parsed = parse_file(&scrubbed);
+            let (crate_ident, file_module) = locate(path, crate_idents);
+            units.push(SourceUnit {
+                file,
+                parsed,
+                crate_ident,
+                file_module,
+            });
+        }
+        let mut ws = Workspace {
+            units,
+            fns: Vec::new(),
+            edges: Vec::new(),
+            unresolved: Vec::new(),
+            locals: Vec::new(),
+        };
+        ws.build_nodes();
+        let idx = Indexes::build(&ws);
+        ws.resolve_calls(&idx);
+        ws
+    }
+
+    fn build_nodes(&mut self) {
+        for (u, unit) in self.units.iter().enumerate() {
+            for (i, f) in unit.parsed.fns.iter().enumerate() {
+                let mut module = unit.file_module.clone();
+                module.extend(f.modules.iter().cloned());
+                let mut qualified = unit.crate_ident.clone();
+                for m in &module {
+                    qualified.push_str("::");
+                    qualified.push_str(m);
+                }
+                if let Some(owner) = f.impl_ty.as_ref().or(f.trait_name.as_ref()) {
+                    qualified.push_str("::");
+                    qualified.push_str(owner);
+                }
+                qualified.push_str("::");
+                qualified.push_str(&f.name);
+                self.fns.push(FnNode {
+                    unit: u,
+                    item: i,
+                    crate_ident: unit.crate_ident.clone(),
+                    module,
+                    name: f.name.clone(),
+                    impl_ty: f.impl_ty.clone(),
+                    trait_name: f.trait_name.clone(),
+                    is_test: f.is_test,
+                    qualified,
+                });
+            }
+        }
+        self.edges = vec![Vec::new(); self.fns.len()];
+        self.locals = vec![BTreeMap::new(); self.fns.len()];
+    }
+
+    fn resolve_calls(&mut self, idx: &Indexes) {
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.fns.len()];
+        let mut locals: Vec<BTreeMap<String, String>> = vec![BTreeMap::new(); self.fns.len()];
+        let mut unresolved = Vec::new();
+        for f in 0..self.fns.len() {
+            let item = self.fn_item(f);
+            let Some((body_start, body_end)) = item.body else {
+                continue;
+            };
+            let mut ltypes: BTreeMap<String, String> = item
+                .params
+                .iter()
+                .filter(|(n, _)| n != "_")
+                .map(|(n, t)| (n.clone(), t.clone()))
+                .collect();
+            // First sub-pass: explicitly typed `let` bindings.
+            collect_typed_lets(
+                &self.units[self.fns[f].unit].parsed.tokens,
+                body_start,
+                body_end,
+                &mut ltypes,
+            );
+            // Second sub-pass: call extraction (and `let x = call()`
+            // return-type inference, which needs resolution).
+            let calls = extract_calls(
+                &self.units[self.fns[f].unit].parsed.tokens,
+                body_start,
+                body_end,
+            );
+            for call in calls {
+                match self.resolve_one(f, &call, &ltypes, idx) {
+                    Resolution::Fns(targets) => {
+                        if let Some(bind) = &call.binds {
+                            // All targets agreeing on a hash-carrying
+                            // return is the useful case; take the first
+                            // target's return type (deterministic).
+                            if let Some(&t0) = targets.first() {
+                                if let Some(ret) = &self.fn_item(t0).ret {
+                                    ltypes.entry(bind.clone()).or_insert_with(|| ret.clone());
+                                }
+                            }
+                        }
+                        for t in targets {
+                            edges[f].push((t, call.line));
+                        }
+                    }
+                    Resolution::External => {}
+                    Resolution::Unresolved(reason) => {
+                        unresolved.push(Unresolved {
+                            caller: f,
+                            line: call.line,
+                            call: call.display(),
+                            reason,
+                        });
+                    }
+                }
+            }
+            edges[f].sort();
+            edges[f].dedup();
+            locals[f] = ltypes;
+        }
+        self.edges = edges;
+        self.locals = locals;
+        self.unresolved = unresolved;
+    }
+
+    fn resolve_one(
+        &self,
+        caller: usize,
+        call: &Call,
+        ltypes: &BTreeMap<String, String>,
+        idx: &Indexes,
+    ) -> Resolution {
+        match &call.kind {
+            CallKind::Path(segments) => self.resolve_path(caller, segments, idx),
+            CallKind::Method { receiver, name } => {
+                self.resolve_method(caller, receiver, name, ltypes, idx)
+            }
+        }
+    }
+
+    fn resolve_path(&self, caller: usize, segments: &[String], idx: &Indexes) -> Resolution {
+        let node = &self.fns[caller];
+        let name = segments.last().cloned().unwrap_or_default();
+        // Variant constructors / struct paths: a Capitalized terminal
+        // segment is not a function call (workspace fns are snake_case).
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            return Resolution::External;
+        }
+        let mut prefix: Vec<String> = segments[..segments.len() - 1].to_vec();
+
+        // Splice `use` aliases on the head segment.
+        if let Some(head) = prefix.first().cloned() {
+            if !matches!(head.as_str(), "crate" | "self" | "super" | "Self") {
+                if let Some(full) = idx.alias(self.fns[caller].unit, &head) {
+                    let mut spliced = full.clone();
+                    spliced.extend(prefix[1..].iter().cloned());
+                    prefix = spliced;
+                }
+            }
+        } else {
+            // Bare `f(…)`: same module, then aliased name, then globs,
+            // then crate-unique, then workspace-unique free fn.
+            if let Some(t) = idx.free(&node.crate_ident, &node.module, &name) {
+                return Resolution::Fns(vec![t]);
+            }
+            if let Some(full) = idx.alias(node.unit, &name) {
+                return self.resolve_path(caller, &full.to_vec(), idx);
+            }
+            for glob in idx.globs(node.unit) {
+                if let Some((cr, mods)) = idx.as_module(&glob, node) {
+                    if let Some(t) = idx.free(&cr, &mods, &name) {
+                        return Resolution::Fns(vec![t]);
+                    }
+                }
+            }
+            if let Some(t) = idx.unique_free_in_crate(&node.crate_ident, &name) {
+                return Resolution::Fns(vec![t]);
+            }
+            return match idx.free_by_name.get(&name) {
+                None => Resolution::External,
+                Some(c) if c.len() == 1 => Resolution::Fns(c.clone()),
+                Some(c) => Resolution::Unresolved(format!(
+                    "free fn `{name}` is defined in {} places and no path disambiguates",
+                    c.len()
+                )),
+            };
+        }
+
+        // `Self::f` / `Type::f`: terminal prefix segment names a type.
+        let penult = prefix.last().cloned().unwrap_or_default();
+        let penult_is_type = penult == "Self"
+            || penult
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase());
+        if penult_is_type {
+            let ty = if penult == "Self" {
+                match &node.impl_ty {
+                    Some(t) => t.clone(),
+                    None => return Resolution::Unresolved("`Self::` outside an impl".into()),
+                }
+            } else {
+                penult
+            };
+            return self.resolve_on_type(&ty, &name, idx);
+        }
+
+        // Module path: normalize crate/self/super heads against the
+        // caller's location, then look the module up in the tree.
+        if let Some((cr, mods)) = idx.as_module(&prefix, node) {
+            if let Some(t) = idx.free(&cr, &mods, &name) {
+                return Resolution::Fns(vec![t]);
+            }
+            if idx.module_exists(&cr, &mods) {
+                // The module exists but the fn is not in it: an
+                // unparsed macro-generated fn or a re-export.
+                return if idx.name_known(&name) {
+                    Resolution::Unresolved(format!(
+                        "`{}::{name}` not found in resolved module",
+                        mods.join("::")
+                    ))
+                } else {
+                    Resolution::External
+                };
+            }
+        }
+        if idx.name_known(&name) {
+            Resolution::Unresolved(format!(
+                "path `{}` did not resolve to a module or type",
+                segments.join("::")
+            ))
+        } else {
+            Resolution::External
+        }
+    }
+
+    fn resolve_on_type(&self, ty: &str, method: &str, idx: &Indexes) -> Resolution {
+        if let Some(targets) = idx
+            .methods_by_type
+            .get(&(ty.to_string(), method.to_string()))
+        {
+            return Resolution::Fns(targets.clone());
+        }
+        // Trait-dispatch: `Tr::m` or a type whose trait impl inherits a
+        // default body.
+        if idx.traits.contains(ty) {
+            return self.resolve_trait_method(ty, method, idx);
+        }
+        for tr in idx.traits_of_type(ty) {
+            if let Some(&d) = idx.trait_defaults.get(&(tr.clone(), method.to_string())) {
+                return Resolution::Fns(vec![d]);
+            }
+        }
+        if idx.name_known(method) {
+            if idx.types.contains(ty) {
+                Resolution::Unresolved(format!("no method `{method}` found on `{ty}`"))
+            } else {
+                // The type itself is foreign (Vec, Option): external.
+                Resolution::External
+            }
+        } else {
+            Resolution::External
+        }
+    }
+
+    fn resolve_trait_method(&self, tr: &str, method: &str, idx: &Indexes) -> Resolution {
+        let mut targets = Vec::new();
+        for ty in idx.impls_of_trait(tr) {
+            if let Some(ts) =
+                idx.trait_impl_methods
+                    .get(&(tr.to_string(), ty.clone(), method.to_string()))
+            {
+                targets.extend(ts.iter().copied());
+            } else if let Some(&d) = idx
+                .trait_defaults
+                .get(&(tr.to_string(), method.to_string()))
+            {
+                targets.push(d);
+            }
+        }
+        if targets.is_empty() {
+            if let Some(&d) = idx
+                .trait_defaults
+                .get(&(tr.to_string(), method.to_string()))
+            {
+                targets.push(d);
+            }
+        }
+        targets.sort();
+        targets.dedup();
+        if targets.is_empty() {
+            if idx.name_known(method) {
+                Resolution::Unresolved(format!("no impl of `{tr}` defines `{method}`"))
+            } else {
+                Resolution::External
+            }
+        } else {
+            Resolution::Fns(targets)
+        }
+    }
+
+    fn resolve_method(
+        &self,
+        caller: usize,
+        receiver: &str,
+        name: &str,
+        ltypes: &BTreeMap<String, String>,
+        idx: &Indexes,
+    ) -> Resolution {
+        if !idx.method_known(name) {
+            return Resolution::External;
+        }
+        let node = &self.fns[caller];
+        if receiver == "self" {
+            if let Some(ty) = &node.impl_ty {
+                return match self.resolve_on_type(ty, name, idx) {
+                    // A self-call that misses the impl table is still
+                    // worth surfacing (macro-generated methods).
+                    Resolution::External => {
+                        Resolution::Unresolved(format!("self.{name} not found on `{ty}`"))
+                    }
+                    r => r,
+                };
+            }
+            if let Some(tr) = &node.trait_name {
+                // `self.m()` inside a trait default body dispatches to
+                // every impl of the trait.
+                return self.resolve_trait_method(tr, name, idx);
+            }
+            return Resolution::Unresolved(format!("self.{name} outside an impl"));
+        }
+        if let Some(ty) = ltypes.get(receiver) {
+            if let Some(tr) = dyn_trait_of(ty) {
+                if idx.traits.contains(&tr) {
+                    return self.resolve_trait_method(&tr, name, idx);
+                }
+            }
+            let base = base_type_name(ty);
+            if !base.is_empty() {
+                if idx.traits.contains(&base) {
+                    return self.resolve_trait_method(&base, name, idx);
+                }
+                if idx.types.contains(&base) {
+                    return self.resolve_on_type(&base, name, idx);
+                }
+                // Known-foreign receiver (Vec<_>, Option<_>…): the
+                // method belongs to std even if a workspace method
+                // shares the name. Unknown base types fall through to
+                // the unique-name heuristic below.
+                if STD_TYPES.contains(&base.as_str()) {
+                    return Resolution::External;
+                }
+            }
+        }
+        // Unknown receiver: the unique-name heuristic. Std trait and
+        // container method names never resolve this way — `.next()` on
+        // an iterator must not bind to a workspace `next` just because
+        // the name happens to be unique (typed receivers still resolve).
+        if STD_METHODS.contains(&name) {
+            return Resolution::External;
+        }
+        match idx.methods_by_name.get(name) {
+            Some(c) if c.len() == 1 => Resolution::Fns(c.clone()),
+            Some(c) => Resolution::Unresolved(format!(
+                "method `.{name}(…)` on untyped receiver `{receiver}` is ambiguous \
+                 ({} candidates)",
+                c.len()
+            )),
+            None => Resolution::External,
+        }
+    }
+}
+
+enum Resolution {
+    Fns(Vec<usize>),
+    External,
+    Unresolved(String),
+}
+
+/// Standard-library receiver types whose methods are never workspace
+/// methods, even on a name collision.
+/// Ubiquitous std trait/container method names, excluded from the
+/// unique-name method heuristic (a `.next()`/`.len()`/`.clone()` on an
+/// untyped receiver is overwhelmingly a std call).
+const STD_METHODS: [&str; 24] = [
+    "next",
+    "clone",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "drop",
+    "from",
+    "into",
+    "to_string",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "iter",
+    "new",
+];
+
+const STD_TYPES: [&str; 24] = [
+    "Vec", "VecDeque", "Option", "Result", "Box", "Rc", "Arc", "String", "str", "HashMap",
+    "HashSet", "BTreeMap", "BTreeSet", "Mutex", "RwLock", "Cell", "RefCell", "Path", "PathBuf",
+    "Duration", "Instant", "Iterator", "Range", "Cow",
+];
+
+/// `(crate_ident, file module path)` from a repo-relative path.
+fn locate(path: &str, crate_idents: &BTreeMap<String, String>) -> (String, Vec<String>) {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() >= 4 && parts[2] == "src" {
+        let dir = parts[1];
+        let ident = crate_idents
+            .get(dir)
+            .cloned()
+            .unwrap_or_else(|| dir.replace('-', "_"));
+        let mut module: Vec<String> = parts[3..].iter().map(|s| s.to_string()).collect();
+        if let Some(last) = module.last_mut() {
+            *last = last.trim_end_matches(".rs").to_string();
+        }
+        match module.last().map(String::as_str) {
+            Some("lib") => {
+                module.pop();
+            }
+            Some("mod") => {
+                module.pop();
+            }
+            _ => {}
+        }
+        (ident, module)
+    } else {
+        let stem = parts
+            .last()
+            .map(|s| s.trim_end_matches(".rs"))
+            .unwrap_or("file");
+        ("fixture".to_string(), vec![stem.to_string()])
+    }
+}
+
+/// Strips `&`, `mut`, and whitespace; returns the trait name of a
+/// `dyn Trait` / `impl Trait` type, if that is what it is.
+fn dyn_trait_of(ty: &str) -> Option<String> {
+    let t = ty.replace('&', " ");
+    let toks: Vec<&str> = t.split_whitespace().collect();
+    for (i, w) in toks.iter().enumerate() {
+        if *w == "dyn" || *w == "impl" {
+            return toks.get(i + 1).map(|s| {
+                s.split('<')
+                    .next()
+                    .unwrap_or(s)
+                    .trim_end_matches('>')
+                    .to_string()
+            });
+        }
+    }
+    None
+}
+
+/// Base type name of a type string: `&mut Vec<CounterSnapshot>` → `Vec`,
+/// `resctrl::InMemoryController` → `InMemoryController`.
+fn base_type_name(ty: &str) -> String {
+    let t = ty.replace(['&', '(', ')'], " ").replace("mut ", " ");
+    let first = t.split_whitespace().next().unwrap_or("");
+    let no_generics = first.split('<').next().unwrap_or(first);
+    no_generics
+        .rsplit("::")
+        .next()
+        .unwrap_or(no_generics)
+        .to_string()
+}
+
+/// `let [mut] name: Type = …` bindings inside a body token range.
+fn collect_typed_lets(toks: &[Tok], start: usize, end: usize, out: &mut BTreeMap<String, String>) {
+    let mut i = start;
+    while i < end {
+        if toks[i].is_kw("let") {
+            let mut j = i + 1;
+            if j < end && toks[j].is_kw("mut") {
+                j += 1;
+            }
+            if j < end && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                if j + 1 < end && toks[j + 1].is(":") {
+                    let ty_start = j + 2;
+                    let mut k = ty_start;
+                    let mut depth = 0isize;
+                    while k < end {
+                        match toks[k].text.as_str() {
+                            "<" | "(" | "[" => depth += 1,
+                            ">" | ")" | "]" => depth -= 1,
+                            "=" | ";" if depth <= 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    out.insert(name, crate::parse::join_tokens(&toks[ty_start..k]));
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// One syntactic call site found in a body.
+struct Call {
+    kind: CallKind,
+    line: usize,
+    /// `Some(name)` when the call is the initializer of `let name = …`.
+    binds: Option<String>,
+}
+
+enum CallKind {
+    Path(Vec<String>),
+    Method { receiver: String, name: String },
+}
+
+impl Call {
+    fn display(&self) -> String {
+        match &self.kind {
+            CallKind::Path(p) => p.join("::"),
+            CallKind::Method { receiver, name } => format!("{receiver}.{name}"),
+        }
+    }
+}
+
+/// Keywords that can precede `(` without being calls.
+const NON_CALL_KEYWORDS: [&str; 24] = [
+    "if", "while", "match", "for", "loop", "return", "break", "continue", "in", "as", "let",
+    "else", "move", "ref", "mut", "box", "await", "dyn", "impl", "fn", "use", "pub", "where",
+    "unsafe",
+];
+
+/// Walks a body token range and extracts path and method call sites.
+fn extract_calls(toks: &[Tok], start: usize, end: usize) -> Vec<Call> {
+    let mut calls = Vec::new();
+    let mut pending_let: Option<(String, usize)> = None; // (name, tokens seen since `=`)
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        // Track `let name = …` so the first call directly after `=` can
+        // record a binding for return-type inference.
+        if t.is_kw("let") {
+            let mut j = i + 1;
+            if j < end && toks[j].is_kw("mut") {
+                j += 1;
+            }
+            if j < end && toks[j].kind == TokKind::Ident && j + 1 < end && toks[j + 1].is("=") {
+                pending_let = Some((toks[j].text.clone(), 0));
+                i = j + 2;
+                continue;
+            }
+        }
+        if t.is(";") {
+            pending_let = None;
+        }
+        // The binding survives only while the tokens since `=` still look
+        // like a plain call-chain initializer (`a.b.c()`, `Foo::bar()`,
+        // `&make()`). Control flow (`if`/`match`), operators, or blocks
+        // mean the first call is *inside* the initializer expression, not
+        // the initializer itself — inferring its return type there would
+        // mistype the binding.
+        if pending_let.is_some() {
+            let call_prefix = (t.kind == TokKind::Ident
+                && (!NON_CALL_KEYWORDS.contains(&t.text.as_str()) || t.is_kw("mut")))
+                || t.is(".")
+                || t.is("::")
+                || t.is("&")
+                || t.is("(");
+            if !call_prefix {
+                pending_let = None;
+            }
+        }
+
+        // Method call: `. name (` or `. name ::<…> (`.
+        if t.is(".")
+            && i + 1 < end
+            && toks[i + 1].kind == TokKind::Ident
+            && !toks[i + 1].text.is_empty()
+        {
+            let after = call_paren_after(toks, i + 2, end);
+            if let Some(_paren) = after {
+                let receiver = if i > start {
+                    match &toks[i - 1] {
+                        r if r.kind == TokKind::Ident => r.text.clone(),
+                        r if r.is(")") || r.is("]") => "<expr>".to_string(),
+                        _ => "<expr>".to_string(),
+                    }
+                } else {
+                    "<expr>".to_string()
+                };
+                let binds = take_bind(&mut pending_let);
+                calls.push(Call {
+                    kind: CallKind::Method {
+                        receiver,
+                        name: toks[i + 1].text.clone(),
+                    },
+                    line: toks[i + 1].line,
+                    binds,
+                });
+                i += 2;
+                continue;
+            }
+        }
+
+        // Path call: IDENT (:: IDENT)* [::<…>] ( — collected backwards
+        // from the ident adjacent to `(`.
+        if t.kind == TokKind::Ident
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            && (i == start || !toks[i - 1].is(".") && !toks[i - 1].is("fn"))
+        {
+            // Macro invocation `name!(…)` is not a fn call.
+            if i + 1 < end && toks[i + 1].is("!") {
+                i += 2;
+                continue;
+            }
+            if call_paren_after(toks, i + 1, end).is_some() {
+                // Gather preceding `seg::`s.
+                let mut segments = vec![t.text.clone()];
+                let mut k = i;
+                while k >= 2 + start && toks[k - 1].is("::") && (toks[k - 2].kind == TokKind::Ident)
+                {
+                    segments.insert(0, toks[k - 2].text.clone());
+                    k -= 2;
+                }
+                let binds = take_bind(&mut pending_let);
+                calls.push(Call {
+                    kind: CallKind::Path(segments),
+                    line: t.line,
+                    binds,
+                });
+            }
+        }
+        i += 1;
+    }
+    calls
+}
+
+/// A binding is only attributed to the *first* call after the `=`.
+fn take_bind(pending: &mut Option<(String, usize)>) -> Option<String> {
+    match pending.take() {
+        Some((name, 0)) => Some(name),
+        _ => None,
+    }
+}
+
+/// Is there a call-opening `(` at `i`, allowing one turbofish between?
+/// Returns the index of the `(`.
+fn call_paren_after(toks: &[Tok], i: usize, end: usize) -> Option<usize> {
+    if i < end && toks[i].is("(") {
+        return Some(i);
+    }
+    if i + 1 < end && toks[i].is("::") && toks[i + 1].is("<") {
+        let mut depth = 0isize;
+        let mut j = i + 1;
+        while j < end {
+            match toks[j].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (j + 1 < end && toks[j + 1].is("(")).then_some(j + 1);
+                    }
+                }
+                ";" | "{" => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// Lookup tables built once per workspace.
+struct Indexes {
+    /// (crate, module-joined, fn-name) → node.
+    free_fns: BTreeMap<(String, String, String), usize>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    free_by_crate_name: BTreeMap<(String, String), Vec<usize>>,
+    /// (type, method) → nodes (inherent + every trait impl).
+    methods_by_type: BTreeMap<(String, String), Vec<usize>>,
+    /// (trait, type, method) → nodes.
+    trait_impl_methods: BTreeMap<(String, String, String), Vec<usize>>,
+    /// (trait, method) → default-body node.
+    trait_defaults: BTreeMap<(String, String), usize>,
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    traits: BTreeSet<String>,
+    types: BTreeSet<String>,
+    trait_impls: BTreeMap<String, BTreeSet<String>>,
+    type_traits: BTreeMap<String, BTreeSet<String>>,
+    modules: BTreeSet<(String, String)>,
+    crates: BTreeSet<String>,
+    known_names: BTreeSet<String>,
+    known_methods: BTreeSet<String>,
+    /// unit → alias → path.
+    aliases: Vec<BTreeMap<String, Vec<String>>>,
+    glob_imports: Vec<Vec<Vec<String>>>,
+}
+
+impl Indexes {
+    fn build(ws: &Workspace) -> Indexes {
+        let mut ix = Indexes {
+            free_fns: BTreeMap::new(),
+            free_by_name: BTreeMap::new(),
+            free_by_crate_name: BTreeMap::new(),
+            methods_by_type: BTreeMap::new(),
+            trait_impl_methods: BTreeMap::new(),
+            trait_defaults: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            traits: BTreeSet::new(),
+            types: BTreeSet::new(),
+            trait_impls: BTreeMap::new(),
+            type_traits: BTreeMap::new(),
+            modules: BTreeSet::new(),
+            crates: BTreeSet::new(),
+            known_names: BTreeSet::new(),
+            known_methods: BTreeSet::new(),
+            aliases: Vec::new(),
+            glob_imports: Vec::new(),
+        };
+        for unit in &ws.units {
+            ix.crates.insert(unit.crate_ident.clone());
+            // Every prefix of the file module is a module.
+            for k in 0..=unit.file_module.len() {
+                ix.modules
+                    .insert((unit.crate_ident.clone(), unit.file_module[..k].join("::")));
+            }
+            for ty in &unit.parsed.types {
+                if ty.is_trait {
+                    ix.traits.insert(ty.name.clone());
+                } else {
+                    ix.types.insert(ty.name.clone());
+                }
+            }
+            let mut amap = BTreeMap::new();
+            let mut globs = Vec::new();
+            for a in &unit.parsed.uses {
+                if a.alias == "*" {
+                    globs.push(a.path.clone());
+                } else {
+                    amap.insert(a.alias.clone(), a.path.clone());
+                }
+            }
+            ix.aliases.push(amap);
+            ix.glob_imports.push(globs);
+        }
+        for (f, node) in ws.fns.iter().enumerate() {
+            let item = ws.fn_item(f);
+            ix.known_names.insert(node.name.clone());
+            if node.is_test {
+                continue;
+            }
+            match (&node.impl_ty, &node.trait_name) {
+                (Some(ty), tr) => {
+                    ix.methods_by_type
+                        .entry((ty.clone(), node.name.clone()))
+                        .or_default()
+                        .push(f);
+                    ix.methods_by_name
+                        .entry(node.name.clone())
+                        .or_default()
+                        .push(f);
+                    ix.known_methods.insert(node.name.clone());
+                    if let Some(tr) = tr {
+                        ix.trait_impl_methods
+                            .entry((tr.clone(), ty.clone(), node.name.clone()))
+                            .or_default()
+                            .push(f);
+                        ix.trait_impls
+                            .entry(tr.clone())
+                            .or_default()
+                            .insert(ty.clone());
+                        ix.type_traits
+                            .entry(ty.clone())
+                            .or_default()
+                            .insert(tr.clone());
+                    }
+                }
+                (None, Some(tr)) => {
+                    // Trait-decl method (sig or default body).
+                    ix.known_methods.insert(node.name.clone());
+                    if item.body.is_some() {
+                        ix.trait_defaults.insert((tr.clone(), node.name.clone()), f);
+                        ix.methods_by_name
+                            .entry(node.name.clone())
+                            .or_default()
+                            .push(f);
+                    }
+                }
+                (None, None) => {
+                    ix.free_fns.insert(
+                        (
+                            node.crate_ident.clone(),
+                            node.module.join("::"),
+                            node.name.clone(),
+                        ),
+                        f,
+                    );
+                    ix.free_by_name
+                        .entry(node.name.clone())
+                        .or_default()
+                        .push(f);
+                    ix.free_by_crate_name
+                        .entry((node.crate_ident.clone(), node.name.clone()))
+                        .or_default()
+                        .push(f);
+                    // Inline modules become modules too.
+                    for k in 0..=node.module.len() {
+                        ix.modules
+                            .insert((node.crate_ident.clone(), node.module[..k].join("::")));
+                    }
+                }
+            }
+        }
+        ix
+    }
+
+    fn alias(&self, unit: usize, name: &str) -> Option<&Vec<String>> {
+        self.aliases.get(unit).and_then(|m| m.get(name))
+    }
+
+    fn globs(&self, unit: usize) -> Vec<Vec<String>> {
+        self.glob_imports.get(unit).cloned().unwrap_or_default()
+    }
+
+    fn free(&self, cr: &str, module: &[String], name: &str) -> Option<usize> {
+        self.free_fns
+            .get(&(cr.to_string(), module.join("::"), name.to_string()))
+            .copied()
+    }
+
+    fn unique_free_in_crate(&self, cr: &str, name: &str) -> Option<usize> {
+        match self
+            .free_by_crate_name
+            .get(&(cr.to_string(), name.to_string()))
+        {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    fn module_exists(&self, cr: &str, module: &[String]) -> bool {
+        self.modules.contains(&(cr.to_string(), module.join("::")))
+    }
+
+    fn name_known(&self, name: &str) -> bool {
+        self.known_names.contains(name)
+    }
+
+    fn method_known(&self, name: &str) -> bool {
+        self.known_methods.contains(name)
+    }
+
+    fn traits_of_type(&self, ty: &str) -> Vec<String> {
+        self.type_traits
+            .get(ty)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn impls_of_trait(&self, tr: &str) -> Vec<String> {
+        self.trait_impls
+            .get(tr)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Normalizes a path prefix to `(crate, module)` if it denotes a
+    /// module: handles `crate`, leading `self`/`super`, crate idents,
+    /// and module paths relative to the caller's module or crate root.
+    fn as_module(&self, prefix: &[String], node: &FnNode) -> Option<(String, Vec<String>)> {
+        if prefix.is_empty() {
+            return Some((node.crate_ident.clone(), node.module.clone()));
+        }
+        let mut segs: Vec<String> = prefix.to_vec();
+        let (cr, mut base): (String, Vec<String>) = match segs[0].as_str() {
+            "crate" => {
+                segs.remove(0);
+                (node.crate_ident.clone(), Vec::new())
+            }
+            "self" => {
+                segs.remove(0);
+                (node.crate_ident.clone(), node.module.clone())
+            }
+            "super" => {
+                let mut m = node.module.clone();
+                while segs.first().map(String::as_str) == Some("super") {
+                    segs.remove(0);
+                    m.pop();
+                }
+                (node.crate_ident.clone(), m)
+            }
+            head if self.crates.contains(head) || self.crates.contains(&head.replace('-', "_")) => {
+                let cr = head.replace('-', "_");
+                segs.remove(0);
+                (cr, Vec::new())
+            }
+            _ => {
+                // Relative: try caller's module first, then crate root.
+                let mut rel = node.module.clone();
+                rel.extend(segs.iter().cloned());
+                if self.module_exists(&node.crate_ident, &rel) {
+                    return Some((node.crate_ident.clone(), rel));
+                }
+                (node.crate_ident.clone(), Vec::new())
+            }
+        };
+        base.extend(segs);
+        Some((cr, base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect();
+        Workspace::from_sources(&sources, &BTreeMap::new())
+    }
+
+    fn find(w: &Workspace, q: &str) -> usize {
+        w.fns
+            .iter()
+            .position(|f| f.qualified == q)
+            .unwrap_or_else(|| {
+                panic!(
+                    "fn {q} not found; have: {:?}",
+                    w.fns.iter().map(|f| &f.qualified).collect::<Vec<_>>()
+                )
+            })
+    }
+
+    fn has_edge(w: &Workspace, from: &str, to: &str) -> bool {
+        let f = find(w, from);
+        let t = find(w, to);
+        w.edges[f].iter().any(|(c, _)| *c == t)
+    }
+
+    #[test]
+    fn cross_module_free_fn_call_resolves() {
+        let w = ws(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "pub mod util;\nuse crate::util::helper;\npub fn entry() { helper(); util::other(); }\n",
+            ),
+            (
+                "crates/alpha/src/util.rs",
+                "pub fn helper() {}\npub fn other() { helper(); }\n",
+            ),
+        ]);
+        assert!(has_edge(&w, "alpha::entry", "alpha::util::helper"));
+        assert!(has_edge(&w, "alpha::entry", "alpha::util::other"));
+        assert!(has_edge(&w, "alpha::util::other", "alpha::util::helper"));
+    }
+
+    #[test]
+    fn cross_crate_call_through_use() {
+        let w = ws(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "use beta::engine::spin;\npub fn entry() {\n    spin();\n    beta::engine::spin();\n}\n",
+            ),
+            ("crates/beta/src/lib.rs", "pub mod engine;\n"),
+            ("crates/beta/src/engine.rs", "pub fn spin() {}\n"),
+        ]);
+        let f = find(&w, "alpha::entry");
+        assert_eq!(w.edges[f].len(), 2, "two call sites, one callee each");
+        assert!(has_edge(&w, "alpha::entry", "beta::engine::spin"));
+    }
+
+    #[test]
+    fn method_resolution_by_receiver_type_and_self() {
+        let w = ws(&[(
+            "crates/alpha/src/lib.rs",
+            "pub struct Ctl;\nimpl Ctl {\n    pub fn tick(&mut self) { self.step(); }\n    fn step(&mut self) {}\n}\n\
+             pub fn drive(c: &mut Ctl) { c.tick(); }\n",
+        )]);
+        assert!(has_edge(&w, "alpha::Ctl::tick", "alpha::Ctl::step"));
+        assert!(has_edge(&w, "alpha::drive", "alpha::Ctl::tick"));
+    }
+
+    #[test]
+    fn dyn_trait_receiver_fans_out_to_all_impls() {
+        let w = ws(&[(
+            "crates/alpha/src/lib.rs",
+            "pub trait Backend { fn go(&self); }\npub struct A;\npub struct B;\n\
+             impl Backend for A { fn go(&self) {} }\nimpl Backend for B { fn go(&self) {} }\n\
+             pub fn run(b: &dyn Backend) { b.go(); }\n",
+        )]);
+        assert!(has_edge(&w, "alpha::run", "alpha::A::go"));
+        assert!(has_edge(&w, "alpha::run", "alpha::B::go"));
+    }
+
+    #[test]
+    fn use_alias_renames_resolve() {
+        let w = ws(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "use beta::maker as mk;\npub fn entry() { mk::build(); }\n",
+            ),
+            ("crates/beta/src/lib.rs", "pub mod maker;\n"),
+            ("crates/beta/src/maker.rs", "pub fn build() {}\n"),
+        ]);
+        assert!(has_edge(&w, "alpha::entry", "beta::maker::build"));
+    }
+
+    #[test]
+    fn unresolved_edges_are_reported_not_dropped() {
+        let w = ws(&[(
+            "crates/alpha/src/lib.rs",
+            "pub struct A;\npub struct B;\nimpl A { pub fn poke(&self) {} }\nimpl B { pub fn poke(&self) {} }\n\
+             pub fn entry(x: &UnknownType) { x.poke(); }\n",
+        )]);
+        assert_eq!(w.unresolved.len(), 1, "ambiguous method must be reported");
+        assert!(w.unresolved[0].reason.contains("ambiguous"));
+    }
+
+    #[test]
+    fn std_calls_are_external_not_unresolved() {
+        let w = ws(&[(
+            "crates/alpha/src/lib.rs",
+            "pub fn entry(v: Vec<u64>) -> u64 { v.iter().copied().sum::<u64>().max(format!(\"x\").len() as u64) }\n",
+        )]);
+        assert!(w.unresolved.is_empty(), "{:?}", w.unresolved);
+    }
+
+    #[test]
+    fn let_call_binding_infers_return_type() {
+        let w = ws(&[(
+            "crates/alpha/src/lib.rs",
+            "use std::collections::HashMap;\npub fn make() -> HashMap<u32, u64> { HashMap::new() }\n\
+             pub fn entry() { let m = make(); let _ = m; }\n",
+        )]);
+        let e = find(&w, "alpha::entry");
+        assert_eq!(
+            w.locals[e].get("m").map(String::as_str),
+            Some("HashMap<u32, u64>")
+        );
+    }
+
+    #[test]
+    fn control_flow_initializer_does_not_bind_call_return() {
+        // `reserved()` returns u32, but it is only the *condition* of the
+        // initializer; typing `baseline: u32` here would poison downstream
+        // integer-divisor facts (`ipc / baseline` is float math).
+        let w = ws(&[(
+            "crates/alpha/src/lib.rs",
+            "pub fn reserved() -> u32 { 4 }\n\
+             pub fn entry() { let baseline = if reserved() == 4 { 1.0 } else { 0.0 }; let _ = baseline; }\n",
+        )]);
+        let e = find(&w, "alpha::entry");
+        assert_eq!(w.locals[e].get("baseline"), None);
+    }
+
+    #[test]
+    fn trait_default_bodies_resolve() {
+        let w = ws(&[(
+            "crates/alpha/src/lib.rs",
+            "pub trait P {\n    fn base(&self);\n    fn both(&self) { self.base(); }\n}\n\
+             pub struct X;\nimpl P for X { fn base(&self) {} }\n\
+             pub fn entry(x: &X) { x.both(); }\n",
+        )]);
+        assert!(has_edge(&w, "alpha::entry", "alpha::P::both"));
+        assert!(has_edge(&w, "alpha::P::both", "alpha::X::base"));
+    }
+
+    #[test]
+    fn bin_and_nested_module_paths() {
+        let w = ws(&[
+            (
+                "crates/alpha/src/bin/tool.rs",
+                "fn main() { alpha::sub::deep::f(); }\n",
+            ),
+            ("crates/alpha/src/lib.rs", "pub mod sub;\n"),
+            ("crates/alpha/src/sub/mod.rs", "pub mod deep;\n"),
+            ("crates/alpha/src/sub/deep.rs", "pub fn f() {}\n"),
+        ]);
+        assert!(has_edge(
+            &w,
+            "alpha::bin::tool::main",
+            "alpha::sub::deep::f"
+        ));
+    }
+}

@@ -1,0 +1,811 @@
+//! Item-level Rust parser over the token stream.
+//!
+//! The call graph ([`crate::model`]) needs items, not expressions: which
+//! functions exist (free, inherent, trait-impl, trait-default), their
+//! signatures, which `use` aliases are in scope, and each body as a
+//! brace-matched token range. No expression grammar is attempted — a
+//! body is an opaque token slice that the fact extractors and the call
+//! scanner walk linearly.
+//!
+//! The parser is loss-tolerant by design: any token sequence it does not
+//! recognize as the start of an item is skipped. That keeps it total
+//! over every file in the workspace (and over adversarial fixtures)
+//! without a grammar for the whole language.
+
+use crate::tokens::{tokenize, Tok, TokKind};
+
+/// One parsed function (free, inherent method, trait method, or trait
+/// default body).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Parameter `(name, type-text)` pairs; `self` receivers appear as
+    /// `("self", "&Self")`-style entries.
+    pub params: Vec<(String, String)>,
+    /// Return type text after `->`, `None` for unit.
+    pub ret: Option<String>,
+    /// Inline-module path inside this file (e.g. `["tests"]`).
+    pub modules: Vec<String>,
+    /// `impl` self-type name when this fn is a method (`DcatController`).
+    pub impl_ty: Option<String>,
+    /// Trait name when inside `impl Trait for Type` or a `trait` block.
+    pub trait_name: Option<String>,
+    /// Declared inside a `trait { … }` block (signature or default body).
+    pub in_trait_decl: bool,
+    pub is_pub: bool,
+    /// Under `#[cfg(test)]`, `#[test]`, or inside `mod tests`.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the body (excluding outer braces), if any.
+    pub body: Option<(usize, usize)>,
+    /// Inclusive 1-based line span of the body braces.
+    pub body_lines: Option<(usize, usize)>,
+}
+
+/// A `use` mapping: `alias` names `path` in this file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseAlias {
+    pub alias: String,
+    /// Full path segments, e.g. `["dcat", "controller", "DcatController"]`.
+    pub path: Vec<String>,
+}
+
+/// A type definition (struct/enum/union/trait) — enough for method
+/// resolution and unit-newtype knowledge.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    pub name: String,
+    pub is_trait: bool,
+    pub modules: Vec<String>,
+    pub line: usize,
+}
+
+/// Everything the model needs from one file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub tokens: Vec<Tok>,
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseAlias>,
+    pub types: Vec<TypeDef>,
+}
+
+/// Parses the scrubbed text of one file.
+pub fn parse_file(scrubbed: &str) -> ParsedFile {
+    let tokens = tokenize(scrubbed);
+    let mut p = Parser {
+        toks: &tokens,
+        fns: Vec::new(),
+        uses: Vec::new(),
+        types: Vec::new(),
+    };
+    p.items(0, tokens.len(), &mut Vec::new(), None, None, false, false);
+    ParsedFile {
+        fns: p.fns,
+        uses: p.uses,
+        types: p.types,
+        tokens,
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    fns: Vec<FnItem>,
+    uses: Vec<UseAlias>,
+    types: Vec<TypeDef>,
+}
+
+impl<'a> Parser<'a> {
+    /// Parses items in `toks[i..end]`. `impl_ty`/`trait_name` carry the
+    /// enclosing impl/trait context; `in_test` is sticky downward.
+    #[allow(clippy::too_many_arguments)]
+    fn items(
+        &mut self,
+        mut i: usize,
+        end: usize,
+        modules: &mut Vec<String>,
+        impl_ty: Option<&str>,
+        trait_name: Option<&str>,
+        in_trait_decl: bool,
+        in_test: bool,
+    ) {
+        let mut is_pub = false;
+        let mut item_test = in_test;
+        while i < end {
+            let t = &self.toks[i];
+            // Attributes: `#[…]` / `#![…]`; `#[cfg(test)]` and `#[test]`
+            // mark the next item (and everything under it) test-only.
+            if t.is("#") {
+                let mut j = i + 1;
+                if j < end && self.toks[j].is("!") {
+                    j += 1;
+                }
+                if j < end && self.toks[j].is("[") {
+                    let close = self.match_delim(j, end, "[", "]");
+                    let body: Vec<&str> = self.toks[j + 1..close.min(end)]
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect();
+                    if body.first() == Some(&"test")
+                        || (body.first() == Some(&"cfg") && body.contains(&"test"))
+                    {
+                        item_test = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_kw("pub") {
+                is_pub = true;
+                i += 1;
+                // Skip restriction `(crate)` / `(super)` / `(in path)`.
+                if i < end && self.toks[i].is("(") {
+                    i = self.match_delim(i, end, "(", ")") + 1;
+                }
+                continue;
+            }
+            if t.is_kw("unsafe") || t.is_kw("async") || t.is_kw("const") || t.is_kw("extern") {
+                // Modifier before `fn` — `const NAME: …` is handled when
+                // the next token is not `fn`/a string-ish ABI.
+                if t.is_kw("const") && !matches!(self.toks.get(i + 1), Some(n) if n.is_kw("fn")) {
+                    i = self.skip_to_semi_or_body(i + 1, end);
+                    is_pub = false;
+                    item_test = in_test;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_kw("fn") {
+                i = self.parse_fn(
+                    i,
+                    end,
+                    modules,
+                    impl_ty,
+                    trait_name,
+                    in_trait_decl,
+                    is_pub,
+                    item_test,
+                );
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            if t.is_kw("impl") {
+                i = self.parse_impl(i, end, modules, item_test);
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            if t.is_kw("mod") {
+                if let Some(name) = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    let name = name.text.clone();
+                    let test = item_test || name == "tests";
+                    if matches!(self.toks.get(i + 2), Some(t) if t.is("{")) {
+                        let close = self.match_delim(i + 2, end, "{", "}");
+                        modules.push(name);
+                        self.items(i + 3, close, modules, None, None, false, test);
+                        modules.pop();
+                        i = close + 1;
+                    } else {
+                        i += 3; // `mod name;` — the file walk finds it.
+                    }
+                } else {
+                    i += 1;
+                }
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            if t.is_kw("use") {
+                i = self.parse_use(i + 1, end);
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            if t.is_kw("trait") {
+                i = self.parse_trait(i, end, modules, item_test);
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            if t.is_kw("struct") || t.is_kw("enum") || t.is_kw("union") {
+                if let Some(name) = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    self.types.push(TypeDef {
+                        name: name.text.clone(),
+                        is_trait: false,
+                        modules: modules.clone(),
+                        line: t.line,
+                    });
+                }
+                i = self.skip_to_semi_or_body(i + 1, end);
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            if t.is_kw("static") || t.is_kw("type") {
+                i = self.skip_to_semi_or_body(i + 1, end);
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            if t.is_kw("macro_rules") {
+                // macro_rules! name { … }
+                let mut j = i + 1;
+                while j < end && !self.toks[j].is("{") {
+                    j += 1;
+                }
+                i = self.match_delim(j, end, "{", "}") + 1;
+                is_pub = false;
+                item_test = in_test;
+                continue;
+            }
+            // Anything else (stray tokens, doc attr remnants) is skipped.
+            if t.is("{") {
+                i = self.match_delim(i, end, "{", "}") + 1;
+            } else {
+                i += 1;
+            }
+            is_pub = false;
+            item_test = in_test;
+        }
+    }
+
+    /// Index of the delimiter matching `toks[open]` (which must be
+    /// `open_d`), or `end` when unbalanced.
+    fn match_delim(&self, open: usize, end: usize, open_d: &str, close_d: &str) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is(open_d) {
+                depth += 1;
+            } else if t.is(close_d) {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips to just past the item-terminating `;`, or past a `{…}` body
+    /// (struct/enum definitions), whichever comes first at depth 0.
+    fn skip_to_semi_or_body(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            let t = &self.toks[i];
+            if t.is(";") {
+                return i + 1;
+            }
+            if t.is("{") {
+                return self.match_delim(i, end, "{", "}") + 1;
+            }
+            if t.is("(") {
+                // Tuple struct: `struct W(u64);` — the `;` follows.
+                i = self.match_delim(i, end, "(", ")") + 1;
+                continue;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips a `<…>` generic list starting at `i` (which must be `<`).
+    /// Single-`>` tokens (the tokenizer never joins them) make nested
+    /// closers like `Vec<Vec<u64>>` balance exactly.
+    fn skip_generics(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is("<") {
+                depth += 1;
+            } else if t.is(">") {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            } else if t.is("(") {
+                i = self.match_delim(i, end, "(", ")");
+            }
+            i += 1;
+        }
+        end
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_fn(
+        &mut self,
+        fn_kw: usize,
+        end: usize,
+        modules: &[String],
+        impl_ty: Option<&str>,
+        trait_name: Option<&str>,
+        in_trait_decl: bool,
+        is_pub: bool,
+        is_test: bool,
+    ) -> usize {
+        let line = self.toks[fn_kw].line;
+        let Some(name_tok) = self
+            .toks
+            .get(fn_kw + 1)
+            .filter(|t| t.kind == TokKind::Ident)
+        else {
+            return fn_kw + 1;
+        };
+        let name = name_tok.text.clone();
+        let mut i = fn_kw + 2;
+        if i < end && self.toks[i].is("<") {
+            i = self.skip_generics(i, end);
+        }
+        if i >= end || !self.toks[i].is("(") {
+            return i;
+        }
+        let params_close = self.match_delim(i, end, "(", ")");
+        let params = self.parse_params(i + 1, params_close);
+        i = params_close + 1;
+        // Return type: tokens after `->` up to `{`, `;`, or `where`.
+        let mut ret = None;
+        if i < end && self.toks[i].is("->") {
+            i += 1;
+            let start = i;
+            let mut depth = 0usize;
+            while i < end {
+                let t = &self.toks[i];
+                if depth == 0 && (t.is("{") || t.is(";") || t.is_kw("where")) {
+                    break;
+                }
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+                i += 1;
+            }
+            ret = Some(join_tokens(&self.toks[start..i]));
+        }
+        // Where clause.
+        while i < end && !self.toks[i].is("{") && !self.toks[i].is(";") {
+            i += 1;
+        }
+        let (body, body_lines, next) = if i < end && self.toks[i].is("{") {
+            let close = self.match_delim(i, end, "{", "}");
+            let lines = (
+                self.toks[i].line,
+                self.toks
+                    .get(close)
+                    .map(|t| t.line)
+                    .unwrap_or(self.toks[i].line),
+            );
+            (Some((i + 1, close)), Some(lines), close + 1)
+        } else {
+            (None, None, (i + 1).min(end))
+        };
+        self.fns.push(FnItem {
+            name,
+            params,
+            ret,
+            modules: modules.to_vec(),
+            impl_ty: impl_ty.map(str::to_string),
+            trait_name: trait_name.map(str::to_string),
+            in_trait_decl,
+            is_pub,
+            is_test,
+            line,
+            body,
+            body_lines,
+        });
+        next
+    }
+
+    /// Splits `toks[start..end]` (the inside of the param parens) at
+    /// top-level commas into `(name, type)` pairs.
+    fn parse_params(&self, start: usize, end: usize) -> Vec<(String, String)> {
+        let mut params = Vec::new();
+        let mut i = start;
+        let mut piece_start = start;
+        let mut depth = 0isize;
+        let flush = |s: usize, e: usize, params: &mut Vec<(String, String)>| {
+            let toks = &self.toks[s..e];
+            if toks.is_empty() {
+                return;
+            }
+            // `self` receiver in any dress: self | &self | &mut self |
+            // mut self | self: Type.
+            if toks.iter().take(4).any(|t| t.is_kw("self")) {
+                params.push(("self".to_string(), "&Self".to_string()));
+                return;
+            }
+            // Find the top-level `:` splitting pattern from type.
+            let mut d = 0isize;
+            for (k, t) in toks.iter().enumerate() {
+                match t.text.as_str() {
+                    "<" | "(" | "[" => d += 1,
+                    ">" | ")" | "]" => d -= 1,
+                    ":" if d == 0 => {
+                        let pat = &toks[..k];
+                        let name = pat
+                            .iter()
+                            .rev()
+                            .find(|t| t.kind == TokKind::Ident && !t.is_kw("mut"))
+                            .map(|t| t.text.clone())
+                            .unwrap_or_else(|| "_".to_string());
+                        let ty = join_tokens(&toks[k + 1..]);
+                        params.push((name, ty));
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        };
+        while i < end {
+            match self.toks[i].text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "," if depth == 0 => {
+                    flush(piece_start, i, &mut params);
+                    piece_start = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        flush(piece_start, end, &mut params);
+        params
+    }
+
+    fn parse_impl(
+        &mut self,
+        impl_kw: usize,
+        end: usize,
+        modules: &mut Vec<String>,
+        in_test: bool,
+    ) -> usize {
+        let mut i = impl_kw + 1;
+        if i < end && self.toks[i].is("<") {
+            i = self.skip_generics(i, end);
+        }
+        // Collect the first type path (trait or self type).
+        let (first, after_first) = self.type_path(i, end);
+        i = after_first;
+        let (self_ty, trait_name) = if i < end && self.toks[i].is_kw("for") {
+            let (second, after_second) = self.type_path(i + 1, end);
+            i = after_second;
+            (second, Some(first))
+        } else {
+            (first, None)
+        };
+        // Skip where clause.
+        while i < end && !self.toks[i].is("{") && !self.toks[i].is(";") {
+            i += 1;
+        }
+        if i >= end || !self.toks[i].is("{") {
+            return (i + 1).min(end);
+        }
+        let close = self.match_delim(i, end, "{", "}");
+        self.items(
+            i + 1,
+            close,
+            modules,
+            Some(&self_ty),
+            trait_name.as_deref(),
+            false,
+            in_test,
+        );
+        close + 1
+    }
+
+    fn parse_trait(
+        &mut self,
+        trait_kw: usize,
+        end: usize,
+        modules: &mut Vec<String>,
+        in_test: bool,
+    ) -> usize {
+        let Some(name_tok) = self
+            .toks
+            .get(trait_kw + 1)
+            .filter(|t| t.kind == TokKind::Ident)
+        else {
+            return trait_kw + 1;
+        };
+        let name = name_tok.text.clone();
+        self.types.push(TypeDef {
+            name: name.clone(),
+            is_trait: true,
+            modules: modules.clone(),
+            line: self.toks[trait_kw].line,
+        });
+        let mut i = trait_kw + 2;
+        while i < end && !self.toks[i].is("{") && !self.toks[i].is(";") {
+            if self.toks[i].is("<") {
+                i = self.skip_generics(i, end);
+                continue;
+            }
+            i += 1;
+        }
+        if i >= end || !self.toks[i].is("{") {
+            return (i + 1).min(end);
+        }
+        let close = self.match_delim(i, end, "{", "}");
+        self.items(i + 1, close, modules, None, Some(&name), true, in_test);
+        close + 1
+    }
+
+    /// Reads a type path (`a::b::Type<G>` — generics skipped), returning
+    /// its **last** segment (the type name) and the index after it.
+    fn type_path(&self, mut i: usize, end: usize) -> (String, usize) {
+        let mut last = String::new();
+        // Leading `&`/`&mut`/`dyn`.
+        while i < end
+            && (self.toks[i].is("&")
+                || self.toks[i].is_kw("mut")
+                || self.toks[i].is_kw("dyn")
+                || self.toks[i].kind == TokKind::Lifetime)
+        {
+            i += 1;
+        }
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Ident && !t.is_kw("for") && !t.is_kw("where") {
+                last = t.text.clone();
+                i += 1;
+                if i < end && self.toks[i].is("<") {
+                    i = self.skip_generics(i, end);
+                }
+                if i < end && self.toks[i].is("::") {
+                    i += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        (last, i)
+    }
+
+    /// Parses a use tree after the `use` keyword; returns index past `;`.
+    fn parse_use(&mut self, start: usize, end: usize) -> usize {
+        let mut i = start;
+        let mut semi = i;
+        let mut depth = 0usize;
+        while semi < end {
+            match self.toks[semi].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            semi += 1;
+        }
+        let mut prefix = Vec::new();
+        self.use_tree(&mut i, semi, &mut prefix);
+        semi + 1
+    }
+
+    /// Recursive use-tree walker accumulating aliases.
+    fn use_tree(&mut self, i: &mut usize, end: usize, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        while *i < end {
+            let t = &self.toks[*i];
+            if t.kind == TokKind::Ident || t.is_kw("crate") || t.is_kw("self") || t.is_kw("super") {
+                prefix.push(t.text.clone());
+                *i += 1;
+                if *i < end && self.toks[*i].is("::") {
+                    *i += 1;
+                    continue;
+                }
+                // Leaf — `as alias`?
+                if *i < end && self.toks[*i].is_kw("as") {
+                    if let Some(a) = self.toks.get(*i + 1) {
+                        self.uses.push(UseAlias {
+                            alias: a.text.clone(),
+                            path: prefix.clone(),
+                        });
+                    }
+                    *i += 2;
+                } else {
+                    let leaf = prefix.last().cloned().unwrap_or_default();
+                    // `use a::b::self` imports `b` itself.
+                    let alias = if leaf == "self" {
+                        prefix.get(prefix.len().wrapping_sub(2)).cloned()
+                    } else {
+                        Some(leaf)
+                    };
+                    if let Some(alias) = alias {
+                        self.uses.push(UseAlias {
+                            alias,
+                            path: if prefix.last().is_some_and(|l| l == "self") {
+                                prefix[..prefix.len() - 1].to_vec()
+                            } else {
+                                prefix.clone()
+                            },
+                        });
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                // A `,` at this level continues siblings in a group.
+                if *i < end && self.toks[*i].is(",") {
+                    *i += 1;
+                    continue;
+                }
+                return;
+            }
+            if t.is("{") {
+                *i += 1;
+                loop {
+                    self.use_tree(i, end, prefix);
+                    if *i < end && self.toks[*i].is(",") {
+                        *i += 1;
+                        continue;
+                    }
+                    break;
+                }
+                if *i < end && self.toks[*i].is("}") {
+                    *i += 1;
+                }
+                prefix.truncate(depth_at_entry);
+                if *i < end && self.toks[*i].is(",") {
+                    *i += 1;
+                    continue;
+                }
+                return;
+            }
+            if t.is("*") {
+                // Glob: record under the reserved alias `*`.
+                self.uses.push(UseAlias {
+                    alias: "*".to_string(),
+                    path: prefix.clone(),
+                });
+                *i += 1;
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            *i += 1;
+        }
+    }
+}
+
+/// Joins token texts with single spaces, tightening `::`/`<`/`>` joints
+/// enough for readable type strings (`Vec < u64 >` → `Vec<u64>`).
+pub fn join_tokens(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        let tight = matches!(
+            t.text.as_str(),
+            "::" | "<" | ">" | "," | "(" | ")" | "[" | "]"
+        );
+        let prev_tight = out.ends_with(['<', ':', '(', '[', '&']);
+        if !out.is_empty() && !tight && !prev_tight {
+            out.push(' ');
+        }
+        if tight && out.ends_with(' ') {
+            out.pop();
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_fn_signature_and_body_span() {
+        let p = parse_file("pub fn add(a: u32, b: u32) -> u32 {\n    a + b\n}\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "add");
+        assert!(f.is_pub);
+        assert_eq!(
+            f.params,
+            vec![("a".into(), "u32".into()), ("b".into(), "u32".into())]
+        );
+        assert_eq!(f.ret.as_deref(), Some("u32"));
+        assert_eq!(f.body_lines, Some((1, 3)));
+    }
+
+    #[test]
+    fn nested_generics_in_params_and_ret() {
+        let p = parse_file(
+            "fn f(x: Vec<Vec<u64>>, m: BTreeMap<u32, Vec<Vec<u8>>>) -> Option<Vec<Vec<u64>>> {}\n",
+        );
+        let f = &p.fns[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].1, "Vec<Vec<u64>>");
+        assert!(f.ret.as_deref().unwrap().contains("Vec<Vec<u64>>"));
+    }
+
+    #[test]
+    fn impl_blocks_attach_methods_to_types() {
+        let src = "struct Ctl;\nimpl Ctl {\n    pub fn tick(&mut self, n: u64) {}\n}\n\
+                   impl Policy for Ctl {\n    fn name(&self) -> &'static str { \"x\" }\n}\n";
+        let p = parse_file(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].impl_ty.as_deref(), Some("Ctl"));
+        assert_eq!(p.fns[0].trait_name, None);
+        assert_eq!(p.fns[1].impl_ty.as_deref(), Some("Ctl"));
+        assert_eq!(p.fns[1].trait_name.as_deref(), Some("Policy"));
+    }
+
+    #[test]
+    fn trait_decls_and_defaults() {
+        let p = parse_file(
+            "pub trait Source {\n    fn next(&mut self) -> u64;\n    fn peek(&self) -> u64 { 0 }\n}\n",
+        );
+        assert_eq!(p.types.len(), 1);
+        assert!(p.types[0].is_trait);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].in_trait_decl);
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[1].trait_name.as_deref(), Some("Source"));
+    }
+
+    #[test]
+    fn use_trees_with_groups_aliases_and_globs() {
+        let src = "use std::collections::{BTreeMap, HashMap as Map};\n\
+                   use crate::controller::DcatController;\n\
+                   use resctrl::fault::*;\n";
+        let p = parse_file(src);
+        let find = |a: &str| p.uses.iter().find(|u| u.alias == a).cloned();
+        assert_eq!(
+            find("Map").unwrap().path,
+            vec!["std", "collections", "HashMap"]
+        );
+        assert_eq!(
+            find("BTreeMap").unwrap().path,
+            vec!["std", "collections", "BTreeMap"]
+        );
+        assert_eq!(
+            find("DcatController").unwrap().path,
+            vec!["crate", "controller", "DcatController"]
+        );
+        assert!(p
+            .uses
+            .iter()
+            .any(|u| u.alias == "*" && u.path == vec!["resctrl", "fault"]));
+    }
+
+    #[test]
+    fn inline_modules_and_cfg_test() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n";
+        let p = parse_file(src);
+        assert_eq!(p.fns.len(), 3);
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+        assert_eq!(p.fns[1].modules, vec!["tests"]);
+        assert!(p.fns[2].is_test);
+    }
+
+    #[test]
+    fn self_receiver_and_where_clause() {
+        let p = parse_file(
+            "impl S {\n    fn go<T>(&mut self, x: T) -> Vec<T> where T: Clone { vec![x] }\n}\n",
+        );
+        let f = &p.fns[0];
+        assert_eq!(f.params[0].0, "self");
+        assert_eq!(f.params[1], ("x".into(), "T".into()));
+        assert_eq!(f.ret.as_deref(), Some("Vec<T>"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn const_and_statics_are_skipped_cleanly() {
+        let p = parse_file(
+            "pub const N: usize = 4;\nstatic TABLE: [u8; 2] = [1, 2];\nconst fn c() -> u32 { 1 }\nfn after() {}\n",
+        );
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["c", "after"]);
+    }
+
+    #[test]
+    fn raw_ident_fn_name() {
+        let p = parse_file("fn r#loop() {}\nfn plain() {}\n");
+        assert_eq!(p.fns[0].name, "loop");
+        assert_eq!(p.fns.len(), 2);
+    }
+}

@@ -133,7 +133,7 @@ fn is_ident_char(c: char) -> bool {
 /// file's non-test code: `let [mut] NAME … HashMap/HashSet …` and
 /// `NAME: [&[mut]] [std::collections::]Hash{Map,Set}<…` (struct fields
 /// and fn parameters).
-fn collect_hash_names(file: &SourceFile) -> BTreeSet<String> {
+pub(crate) fn collect_hash_names(file: &SourceFile) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (_, line) in file.code_lines() {
         if !line.contains("HashMap") && !line.contains("HashSet") {
@@ -182,7 +182,7 @@ fn decl_name_before(line: &str, idx: usize) -> Option<String> {
 
 /// Does `line` call an order-exposing method on `name` (word-boundary
 /// match, `self.name` included)?
-fn iter_method_on(line: &str, name: &str) -> bool {
+pub(crate) fn iter_method_on(line: &str, name: &str) -> bool {
     let bytes = line.as_bytes();
     line.match_indices(name).any(|(i, _)| {
         let left_ok = i == 0 || !is_ident_char(bytes[i - 1] as char);
@@ -201,7 +201,7 @@ fn iter_method_on(line: &str, name: &str) -> bool {
 }
 
 /// Does `line` loop `for … in [&[mut ]][self.]name`?
-fn for_loop_over(line: &str, name: &str) -> bool {
+pub(crate) fn for_loop_over(line: &str, name: &str) -> bool {
     let t = line.trim_start();
     if !t.starts_with("for ") {
         return false;
@@ -219,7 +219,7 @@ fn for_loop_over(line: &str, name: &str) -> bool {
     }
 }
 
-fn is_order_insensitive(chain: &str) -> bool {
+pub(crate) fn is_order_insensitive(chain: &str) -> bool {
     ORDER_INSENSITIVE.iter().any(|m| chain.contains(m))
 }
 

@@ -8,6 +8,7 @@ pub mod cbm_bits;
 pub mod determinism;
 pub mod direct_io;
 pub mod float_eq;
+pub mod interproc;
 pub mod panic_path;
 pub mod print_discipline;
 pub mod spec_drift;
@@ -38,6 +39,9 @@ pub fn known_codes() -> Vec<&'static str> {
     let mut v = vec![DL000];
     v.extend(FILE_PASS_CODES);
     v.push(spec_drift::CODE);
+    v.push(interproc::TAINT_CODE);
+    v.push(interproc::PANIC_REACH_CODE);
+    v.push(interproc::UNIT_CODE);
     v
 }
 
@@ -69,6 +73,7 @@ pub fn self_test_all() -> Result<(), String> {
     cast_safety::self_test()?;
     print_discipline::self_test()?;
     spec_drift::self_test()?;
+    interproc::self_test()?;
     Ok(())
 }
 

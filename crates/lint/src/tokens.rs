@@ -1,0 +1,305 @@
+//! A real tokenizer over *scrubbed* source text.
+//!
+//! The per-line passes match substrings; the item parser ([`crate::parse`])
+//! needs a token stream. The tokenizer runs on the scrubbed text (see
+//! [`crate::lexer::scrub`]) so comments and literal *contents* are already
+//! spaces — what remains is identifiers, numbers, lifetimes, and
+//! punctuation.
+//!
+//! Shapes the parser leans on, each pinned by a property-test family in
+//! `tests/lexer_props.rs`:
+//!
+//! - **`>>` in nested generics vs. shift.** `>`s are never joined into a
+//!   `>>` token: `Vec<Vec<u64>>` yields two `>` puncts, so the parser's
+//!   generic-depth scanner closes both levels. Consumers that care about
+//!   shift semantics (none today) can check [`Tok::joined`] adjacency.
+//! - **Float literals with exponents.** `1e-6`, `2.5E+10`, `1e6f64` are a
+//!   single number token; the `-`/`+` inside the exponent must never leak
+//!   out as a punct (it would look like an arithmetic operator — or half
+//!   of an `->` — to the parser and the unit-safety pass).
+//! - **Raw identifiers.** `r#match` is an identifier token with text
+//!   `match`, not a raw-string opener (the scrubber already guarantees
+//!   `r#"…"#` never reaches us) and not the keyword `match`.
+
+/// Token classes the parser distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, with the `r#`
+    /// stripped from [`Tok::text`]).
+    Ident,
+    /// `'a`, `'static`, loop labels.
+    Lifetime,
+    /// Integer or float literal, suffix included (`1_000u64`, `1e-6`).
+    Number,
+    /// Punctuation; multi-character operators arrive as one token
+    /// (`::`, `->`, `..=`) **except** `>`, which always stands alone.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    /// True when the next token follows with no whitespace between
+    /// (e.g. the two `>`s of a shift). Meaningless on the last token.
+    pub joined: bool,
+    /// True for identifiers spelled `r#ident` in the source.
+    pub raw_ident: bool,
+}
+
+impl Tok {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+
+    /// Identifier check that refuses raw identifiers for keyword
+    /// positions: `r#fn` is a name, never the `fn` keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.kind == TokKind::Ident && !self.raw_ident && self.text == kw
+    }
+}
+
+/// Multi-character puncts, longest first so maximal munch wins.
+/// `>>`, `>>=`, and `>=` are deliberately absent: a lone `>` keeps the
+/// generic-depth scanner honest (see module docs).
+const MULTI_PUNCTS: [&str; 20] = [
+    "..=", "...", "<<=", "::", "->", "=>", "..", "&&", "||", "<<", "==", "!=", "<=", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes scrubbed text. Never fails: unknown bytes become
+/// single-char puncts, which the parser skips.
+pub fn tokenize(scrubbed: &str) -> Vec<Tok> {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let tok = if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && matches!(chars.get(i + 2), Some(&c2) if is_ident_start(c2))
+        {
+            // Raw identifier: r#ident. (r#"…" never reaches the
+            // tokenizer — the scrubber blanks raw strings.)
+            i += 2;
+            let mut text = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                joined: false,
+                raw_ident: true,
+            }
+        } else if is_ident_start(c) {
+            let mut text = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                joined: false,
+                raw_ident: false,
+            }
+        } else if c.is_ascii_digit() {
+            i = scan_number(&chars, i);
+            Tok {
+                kind: TokKind::Number,
+                text: chars[start..i].iter().collect(),
+                line,
+                joined: false,
+                raw_ident: false,
+            }
+        } else if c == '\'' && matches!(chars.get(i + 1), Some(&c2) if is_ident_start(c2)) {
+            // Lifetime or loop label (char literals are scrubbed away).
+            i += 1;
+            let mut text = String::from("'");
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                joined: false,
+                raw_ident: false,
+            }
+        } else {
+            let mut text = None;
+            for p in MULTI_PUNCTS {
+                if chars[i..].iter().take(p.len()).collect::<String>() == p {
+                    text = Some(p.to_string());
+                    i += p.len();
+                    break;
+                }
+            }
+            let text = text.unwrap_or_else(|| {
+                i += 1;
+                c.to_string()
+            });
+            Tok {
+                kind: TokKind::Punct,
+                text,
+                line,
+                joined: false,
+                raw_ident: false,
+            }
+        };
+        let joined = matches!(chars.get(i), Some(&n) if !n.is_whitespace());
+        let mut tok = tok;
+        tok.joined = joined;
+        toks.push(tok);
+    }
+    toks
+}
+
+/// Consumes a numeric literal starting at `i` (a digit). Handles ints,
+/// underscores, hex/oct/bin prefixes, floats, exponents with signs, and
+/// type suffixes. Returns the index one past the literal.
+fn scan_number(chars: &[char], mut i: usize) -> usize {
+    let radix_prefixed = chars[i] == '0'
+        && matches!(
+            chars.get(i + 1),
+            Some(&'x') | Some(&'X') | Some(&'o') | Some(&'O') | Some(&'b') | Some(&'B')
+        );
+    if radix_prefixed {
+        i += 2;
+        while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+        i += 1;
+    }
+    // A fractional part only when `.` is followed by a digit: `0..10`
+    // stays a range, `1.max(2)` stays a method call.
+    if chars.get(i) == Some(&'.') && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit()) {
+        i += 1;
+        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    // Exponent: e/E, optional sign, at least one digit — otherwise the
+    // `e` is a suffix-ish identifier char handled below.
+    if matches!(chars.get(i), Some(&'e') | Some(&'E')) {
+        let mut j = i + 1;
+        if matches!(chars.get(j), Some(&'+') | Some(&'-')) {
+            j += 1;
+        }
+        if matches!(chars.get(j), Some(d) if d.is_ascii_digit()) {
+            i = j;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`) glued onto the literal.
+    while i < chars.len() && is_ident_continue(chars[i]) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn nested_generics_emit_single_gt_tokens() {
+        let t = texts("Vec<Vec<u64>>");
+        assert_eq!(t, vec!["Vec", "<", "Vec", "<", "u64", ">", ">"]);
+        let toks = tokenize("x >> 2");
+        assert_eq!(toks[1].text, ">");
+        assert!(toks[1].joined, "shift `>`s are adjacent");
+        assert_eq!(toks[2].text, ">");
+        assert!(!toks[2].joined);
+    }
+
+    #[test]
+    fn float_exponents_are_one_token() {
+        assert_eq!(texts("1e-6"), vec!["1e-6"]);
+        assert_eq!(texts("2.5E+10_f64"), vec!["2.5E+10_f64"]);
+        assert_eq!(texts("1e6f64 + 2"), vec!["1e6f64", "+", "2"]);
+        // Not an exponent: `e` with no digit after.
+        assert_eq!(texts("1end"), vec!["1end"]); // suffix-glued, single token
+        assert_eq!(texts("7 - 1e-6"), vec!["7", "-", "1e-6"]);
+    }
+
+    #[test]
+    fn ranges_and_method_calls_do_not_eat_dots() {
+        assert_eq!(texts("0..10"), vec!["0", "..", "10"]);
+        assert_eq!(texts("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+        assert_eq!(texts("1.5.floor()"), vec!["1.5", ".", "floor", "(", ")"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_keywords() {
+        let toks = tokenize("r#match + r#type");
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        assert_eq!(toks[0].text, "match");
+        assert!(toks[0].raw_ident);
+        assert!(!toks[0].is_kw("match"));
+        assert_eq!(toks[2].text, "type");
+    }
+
+    #[test]
+    fn multi_char_puncts_munch_maximally() {
+        assert_eq!(
+            texts("a::b->c=>d..=e"),
+            vec!["a", "::", "b", "->", "c", "=>", "d", "..=", "e"]
+        );
+        assert_eq!(texts("x <<= 1"), vec!["x", "<<=", "1"]);
+        // but never >>: generics stay parseable.
+        assert_eq!(texts("x >>= 1"), vec!["x", ">", ">", "=", "1"]);
+    }
+
+    #[test]
+    fn lifetimes_and_lines() {
+        let toks = tokenize("fn f<'a>(x: &'a str)\n-> u32");
+        let lt: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lt.len(), 2);
+        assert_eq!(toks.last().unwrap().line, 2);
+        assert_eq!(toks.last().unwrap().text, "u32");
+    }
+
+    #[test]
+    fn hex_and_binary_literals() {
+        assert_eq!(texts("0xFF_u64 | 0b1010"), vec!["0xFF_u64", "|", "0b1010"]);
+    }
+}

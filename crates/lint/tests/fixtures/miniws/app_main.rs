@@ -1,0 +1,10 @@
+//! Mini-workspace fixture, "app" crate entry (`crates/app/src/main.rs`).
+
+mod metrics;
+
+fn main() {
+    let total = metrics::collect();
+    let s = corelib::Sensor;
+    let reading = metrics::gauge(&s);
+    let _ = total + reading;
+}

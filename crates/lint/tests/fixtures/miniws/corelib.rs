@@ -1,0 +1,33 @@
+//! Mini-workspace fixture, "corelib" crate (`crates/corelib/src/lib.rs`).
+//!
+//! Deliberately holds a HashMap-returning constructor (the laundering
+//! vehicle for the DL012 trace test) and a `sample` method that collides
+//! with `app::metrics::Gauge::sample` to force an ambiguous edge.
+
+use std::collections::HashMap;
+
+/// Builds the routing table. The HashMap return type is what the
+/// interprocedural engine must carry back into callers.
+pub fn routing_table() -> HashMap<String, u32> {
+    let mut m = HashMap::new();
+    m.insert("a".to_string(), 1);
+    m
+}
+
+pub struct Sensor;
+
+impl Sensor {
+    pub fn read(&self) -> u32 {
+        7
+    }
+}
+
+pub struct Probe;
+
+impl Probe {
+    /// Same method name as `Gauge::sample` in the app crate: a call on
+    /// an untyped receiver cannot pick between them.
+    pub fn sample(&self) -> u32 {
+        1
+    }
+}

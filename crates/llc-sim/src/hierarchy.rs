@@ -134,7 +134,11 @@ impl Hierarchy {
             mask.ways().all(|w| w < self.config.llc.ways),
             "mask exceeds LLC associativity"
         );
-        self.fill_masks[core as usize] = mask;
+        // A core beyond the socket has no fill mask to program; ignore
+        // it rather than panic (real CAT writes to absent cores no-op).
+        if let Some(slot) = self.fill_masks.get_mut(core as usize) {
+            *slot = mask;
+        }
     }
 
     /// The current fill mask of `core`.
@@ -272,8 +276,9 @@ impl Hierarchy {
 
     /// Invalidates every LLC line in the ways permitted by `mask`,
     /// back-invalidating the private caches (the user-level way flush the
-    /// paper's Section 6 calls for after a reallocation).
-    pub fn flush_ways(&mut self, mask: WayMask) -> u64 {
+    /// paper's Section 6 calls for after a reallocation). Returns the
+    /// number of LLC *lines* dropped, not a way count.
+    pub fn flush_mask(&mut self, mask: WayMask) -> u64 {
         let dropped = self.llc.invalidate_ways(mask);
         for line in &dropped {
             for idx in 0..self.config.cores as usize {
@@ -417,12 +422,12 @@ mod tests {
     }
 
     #[test]
-    fn flush_ways_back_invalidates_private_caches() {
+    fn flush_mask_back_invalidates_private_caches() {
         let mut h = tiny();
         h.set_fill_mask(0, WayMask::from_way_range(0, 2));
         h.access(0, 0x40, AccessKind::Load);
         assert!(h.l1_probe(0, 0x40));
-        let dropped = h.flush_ways(WayMask::from_way_range(0, 2));
+        let dropped = h.flush_mask(WayMask::from_way_range(0, 2));
         assert_eq!(dropped, 1);
         assert!(!h.llc_probe(0x40));
         assert!(!h.l1_probe(0, 0x40), "flush must reach the L1 (inclusive)");

@@ -123,9 +123,16 @@ impl MetricValue {
 
 /// A mutable metrics registry. Writers call the typed record methods; readers
 /// take a [`Snapshot`].
+///
+/// Recording a metric under a name already registered with a *different*
+/// kind is a programming bug, but the registry sits on the daemon tick
+/// path where panics are forbidden (ticks degrade, they never die): the
+/// mismatched write is dropped and counted in [`Registry::type_conflicts`]
+/// so tests and dashboards can still surface the bug.
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
     entries: BTreeMap<MetricKey, MetricValue>,
+    type_conflicts: u64,
 }
 
 impl Registry {
@@ -137,11 +144,17 @@ impl Registry {
         self.entries.is_empty()
     }
 
+    /// Writes dropped because the metric name was already registered with
+    /// a different kind. Nonzero means a code bug, never a data problem.
+    pub fn type_conflicts(&self) -> u64 {
+        self.type_conflicts
+    }
+
     pub fn counter_add(&mut self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
         let key = MetricKey::new(name, labels);
         match self.entries.entry(key).or_insert(MetricValue::Counter(0)) {
             MetricValue::Counter(v) => *v += delta,
-            other => panic!("{name} already registered as {}", other.kind()),
+            _ => self.type_conflicts += 1,
         }
     }
 
@@ -149,7 +162,7 @@ impl Registry {
         let key = MetricKey::new(name, labels);
         match self.entries.entry(key).or_insert(MetricValue::Gauge(value)) {
             MetricValue::Gauge(v) => *v = value,
-            other => panic!("{name} already registered as {}", other.kind()),
+            _ => self.type_conflicts += 1,
         }
     }
 
@@ -167,7 +180,7 @@ impl Registry {
             .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
         {
             MetricValue::Histogram(h) => h.observe(value),
-            other => panic!("{name} already registered as {}", other.kind()),
+            _ => self.type_conflicts += 1,
         }
     }
 
@@ -516,11 +529,17 @@ ticks_total 3
     }
 
     #[test]
-    #[should_panic(expected = "already registered as")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_is_dropped_and_counted() {
         let mut r = Registry::new();
         r.counter_add("x", &[], 1);
         r.gauge_set("x", &[], 1.0);
+        r.histogram_observe("x", &[], DEFAULT_STEP_BUCKETS, 1);
+        assert_eq!(r.type_conflicts(), 2);
+        // The original counter survives untouched.
+        r.counter_add("x", &[], 2);
+        let snap = r.snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("x 3"), "counter kept its value: {text}");
     }
 
     #[test]

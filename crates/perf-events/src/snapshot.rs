@@ -98,22 +98,22 @@ impl CounterSnapshot {
             let delta = later.wrapping_sub(earlier) & mask;
             (delta < half_range).then_some((delta, true))
         };
-        let pairs = [
+        let [Some(l1_ref), Some(llc_ref), Some(llc_miss), Some(ret_ins), Some(cycles)] = [
             component(self.l1_ref, earlier.l1_ref),
             component(self.llc_ref, earlier.llc_ref),
             component(self.llc_miss, earlier.llc_miss),
             component(self.ret_ins, earlier.ret_ins),
             component(self.cycles, earlier.cycles),
-        ];
-        let Some(resolved) = pairs.into_iter().collect::<Option<Vec<_>>>() else {
+        ] else {
             return WrapOutcome::Invalid;
         };
+        let resolved = [l1_ref, llc_ref, llc_miss, ret_ins, cycles];
         let delta = CounterSnapshot {
-            l1_ref: resolved[0].0,
-            llc_ref: resolved[1].0,
-            llc_miss: resolved[2].0,
-            ret_ins: resolved[3].0,
-            cycles: resolved[4].0,
+            l1_ref: l1_ref.0,
+            llc_ref: llc_ref.0,
+            llc_miss: llc_miss.0,
+            ret_ins: ret_ins.0,
+            cycles: cycles.0,
         };
         if resolved.iter().any(|(_, wrapped)| *wrapped) {
             WrapOutcome::Wrapped(delta)

@@ -98,11 +98,12 @@ impl LayoutPlanner {
 
         // Pass 1: keepers hold their mask; shrinkers keep their top ways,
         // releasing from the bottom toward the left neighbor.
+        // An empty previous mask cannot anchor a placement; such a group
+        // (impossible while CAT rejects zero-way masks) falls to pending.
         for (i, &count) in counts.iter().enumerate() {
-            match previous[i] {
-                Some(prev) if count <= prev.ways() => {
-                    let start =
-                        prev.first_way().expect("previous mask non-empty") + (prev.ways() - count);
+            match previous[i].and_then(|prev| prev.first_way().map(|f| (prev, f))) {
+                Some((prev, first)) if count <= prev.ways() => {
+                    let start = first + (prev.ways() - count);
                     let cbm = Cbm::from_way_range(start, count);
                     result[i] = cbm;
                     used = used.union(cbm);
@@ -114,12 +115,13 @@ impl LayoutPlanner {
         // Pass 2: growers take a free run containing their previous mask
         // (upward first, then sliding downward), keeping every warmed way.
         pending.retain(|&i| {
-            if let Some(prev) = previous[i] {
+            if let Some((prev, first)) =
+                previous[i].and_then(|prev| prev.first_way().map(|f| (prev, f)))
+            {
                 let count = counts[i];
-                let top = prev.first_way().expect("previous mask non-empty") + prev.ways();
+                let top = first + prev.ways();
                 let lo = top.saturating_sub(count);
-                let hi = prev.first_way().expect("previous mask non-empty");
-                let mut start = hi;
+                let mut start = first;
                 loop {
                     if start + count <= self.cbm_len {
                         let cbm = Cbm::from_way_range(start, count);
@@ -152,11 +154,13 @@ impl LayoutPlanner {
             }
             pending.retain(|&i| {
                 let Some(prev) = previous[i] else { return true };
+                let Some(first) = prev.first_way() else {
+                    return true;
+                };
                 let count = counts[i];
-                let top = prev.first_way().expect("previous mask non-empty") + prev.ways();
+                let top = first + prev.ways();
                 let lo = top.saturating_sub(count);
-                let hi = prev.first_way().expect("previous mask non-empty");
-                let mut start = hi;
+                let mut start = first;
                 loop {
                     if start + count <= self.cbm_len {
                         let cbm = Cbm::from_way_range(start, count);

@@ -71,17 +71,20 @@ impl CacheController for InMemoryController {
     fn program_cos(&mut self, cos: CosId, cbm: Cbm) -> Result<(), ResctrlError> {
         self.validate_cos(cos)?;
         self.validate_cbm(cbm)?;
-        self.cos_masks[cos.0 as usize] = cbm;
+        let Some(slot) = self.cos_masks.get_mut(cos.0 as usize) else {
+            return Err(ResctrlError::InvalidCos(cos));
+        };
+        *slot = cbm;
         self.log.push(MutationRecord::ProgramCos(cos, cbm));
         Ok(())
     }
 
     fn assign_core(&mut self, core: u32, cos: CosId) -> Result<(), ResctrlError> {
         self.validate_cos(cos)?;
-        if core >= self.num_cores {
+        let Some(slot) = self.core_assignment.get_mut(core as usize) else {
             return Err(ResctrlError::InvalidCore(core));
-        }
-        self.core_assignment[core as usize] = cos;
+        };
+        *slot = cos;
         self.log.push(MutationRecord::AssignCore(core, cos));
         Ok(())
     }
