@@ -146,6 +146,18 @@ cargo run -q --release -p dcat-bench --offline --bin fig07_lifecycle -- --fast \
     --metrics-out target/metrics.prom > target/fig07_lifecycle.txt
 cargo run -q --release -p dcat-obs --offline --bin obs-dump -- --check target/metrics.prom
 
+echo "==> perfbench self-test (fake clock, schema validation, no writes)"
+cargo run -q --release -p dcat-bench --offline --bin dcat-perfbench -- --check
+
+echo "==> perfbench regression gate vs tracked BENCH_*.json trajectory"
+# Re-measures both suites against the wall clock, writes the fresh
+# results to target/bench/, and gates each case's normalized score
+# against the blessed baselines at the repo root (tolerance comes from
+# each baseline's header). After an intentional perf change, re-bless
+# with: DCAT_BLESS=1 cargo run --release -p dcat-bench --bin dcat-perfbench
+cargo run -q --release -p dcat-bench --offline --bin dcat-perfbench -- \
+    --out-dir target/bench --baseline-dir .
+
 echo "==> model checker (bounded exhaustive)"
 cargo run -q --release -p dcat-verify --offline
 

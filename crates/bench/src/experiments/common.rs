@@ -9,10 +9,14 @@ use workloads::AccessStream;
 /// Engine configuration on the paper's Xeon-E5 v4 socket.
 ///
 /// `fast` shrinks the per-epoch cycle budget (for tests); experiments use
-/// the full budget so cache warm-up resolves within a few epochs.
+/// the full budget so cache warm-up resolves within a few epochs. The
+/// LLC fidelity follows the process-global `--sample-sets` flag
+/// ([`crate::runner::llc_fidelity`]): full by default, UMON-style set
+/// sampling when the user opts in for speed.
 pub fn paper_engine(fast: bool) -> EngineConfig {
     let mut cfg = EngineConfig::xeon_e5_v4();
     cfg.cycles_per_epoch = if fast { 1_500_000 } else { 10_000_000 };
+    cfg.llc_fidelity = crate::runner::llc_fidelity();
     cfg
 }
 

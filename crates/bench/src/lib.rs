@@ -16,6 +16,7 @@
 //!   tests call scaled-down variants).
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scenario;

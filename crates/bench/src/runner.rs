@@ -29,6 +29,25 @@ pub fn jobs() -> usize {
     JOBS.load(Ordering::Relaxed).max(1)
 }
 
+/// Process-global LLC set-sampling stride (0 or 1 = full fidelity).
+static SAMPLE_SETS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-global LLC sampling stride (`--sample-sets N`).
+pub fn set_sample_sets(n: usize) {
+    SAMPLE_SETS.store(n, Ordering::Relaxed);
+}
+
+/// The LLC fidelity selected on the command line: `Full` unless
+/// `--sample-sets N` with `N > 1` was given.
+pub fn llc_fidelity() -> llc_sim::SimFidelity {
+    match SAMPLE_SETS.load(Ordering::Relaxed) {
+        0 | 1 => llc_sim::SimFidelity::Full,
+        n => llc_sim::SimFidelity::Sampled {
+            one_in: n.min(u32::MAX as usize) as u32,
+        },
+    }
+}
+
 /// Flags shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
@@ -39,6 +58,9 @@ pub struct Cli {
     /// Where to export the process-root metrics snapshot on exit
     /// (Prometheus text, or JSONL when the path ends in `.jsonl`).
     pub metrics_out: Option<PathBuf>,
+    /// LLC set-sampling stride (`--sample-sets N`); 0 means full
+    /// fidelity. Values of 1 also degenerate to full fidelity.
+    pub sample_sets: usize,
 }
 
 impl Cli {
@@ -49,12 +71,14 @@ impl Cli {
     }
 
     /// Parses a flag list (`--fast`, `--jobs N`, `--jobs=N`,
-    /// `--metrics-out PATH`); unknown flags are ignored so binaries can
-    /// add their own. Installs the parsed width via [`set_jobs`].
+    /// `--metrics-out PATH`, `--sample-sets N`); unknown flags are
+    /// ignored so binaries can add their own. Installs the parsed width
+    /// via [`set_jobs`] and the sampling stride via [`set_sample_sets`].
     pub fn parse(args: &[String]) -> Self {
         let mut fast = false;
         let mut jobs = 1usize;
         let mut metrics_out = None;
+        let mut sample_sets = 0usize;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if arg == "--fast" {
@@ -71,14 +95,24 @@ impl Cli {
                 metrics_out = it.next().map(PathBuf::from);
             } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
                 metrics_out = Some(PathBuf::from(v));
+            } else if arg == "--sample-sets" {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    sample_sets = n;
+                }
+            } else if let Some(v) = arg.strip_prefix("--sample-sets=") {
+                if let Ok(n) = v.parse() {
+                    sample_sets = n;
+                }
             }
         }
         let cli = Cli {
             fast,
             jobs: jobs.max(1),
             metrics_out,
+            sample_sets,
         };
         set_jobs(cli.jobs);
+        set_sample_sets(cli.sample_sets);
         cli
     }
 }
@@ -165,6 +199,7 @@ mod tests {
             fast: false,
             jobs: 1,
             metrics_out: None,
+            sample_sets: 0,
         };
         assert_eq!(Cli::parse(&argv(&[])), base);
         assert_eq!(
@@ -172,15 +207,14 @@ mod tests {
             Cli {
                 fast: true,
                 jobs: 4,
-                metrics_out: None
+                ..base.clone()
             }
         );
         assert_eq!(
             Cli::parse(&argv(&["--jobs=8"])),
             Cli {
-                fast: false,
                 jobs: 8,
-                metrics_out: None
+                ..base.clone()
             }
         );
         assert_eq!(
@@ -197,9 +231,35 @@ mod tests {
                 ..base.clone()
             }
         );
+        assert_eq!(
+            Cli::parse(&argv(&["--sample-sets", "8"])),
+            Cli {
+                sample_sets: 8,
+                ..base.clone()
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv(&["--sample-sets=16"])),
+            Cli {
+                sample_sets: 16,
+                ..base.clone()
+            }
+        );
         // Degenerate values clamp, junk is ignored.
         assert_eq!(Cli::parse(&argv(&["--jobs", "0", "--mystery"])), base);
-        set_jobs(1); // do not leak the global into other tests
+        set_jobs(1); // do not leak the globals into other tests
+        set_sample_sets(0);
+    }
+
+    #[test]
+    fn sample_sets_maps_to_fidelity() {
+        set_sample_sets(0);
+        assert_eq!(llc_fidelity(), llc_sim::SimFidelity::Full);
+        set_sample_sets(1);
+        assert_eq!(llc_fidelity(), llc_sim::SimFidelity::Full);
+        set_sample_sets(8);
+        assert_eq!(llc_fidelity(), llc_sim::SimFidelity::Sampled { one_in: 8 });
+        set_sample_sets(0);
     }
 
     #[test]

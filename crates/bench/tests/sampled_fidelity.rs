@@ -1,0 +1,84 @@
+//! Accuracy and determinism of `SimFidelity::Sampled` on a fig10-style
+//! scenario.
+//!
+//! Sampled simulation (`--sample-sets 8`) models one LLC set in eight
+//! and classifies the rest with a per-core estimator, so its miss *rate*
+//! carries a sampling error. The contract documented in EXPERIMENTS.md
+//! is: on the fig10 workloads the whole-run LLC miss rate of every VM
+//! stays within ±0.05 (absolute) of full fidelity. Determinism, on the
+//! other hand, is *exact*: the estimator is integer arithmetic over
+//! monotonic counters, so a sampled run must serialize byte-identically
+//! whatever `--jobs` width produced it.
+//!
+//! Everything runs inside one `#[test]` because the sampling stride is a
+//! process global (`runner::set_sample_sets`), like the jobs width.
+
+use dcat_bench::experiments::fig10_dynamic_alloc;
+use dcat_bench::{report, runner, RunResult, Runner};
+
+const MB: u64 = 1024 * 1024;
+
+/// Documented sampled-mode accuracy bound (absolute miss-rate error).
+const EPSILON: f64 = 0.05;
+
+/// Whole-run LLC miss rate of `vm`.
+fn miss_rate(r: &RunResult, vm: usize) -> f64 {
+    let (miss, refs) = r.epochs.iter().fold((0u64, 0u64), |(m, n), e| {
+        (m + e[vm].llc_miss, n + e[vm].llc_ref)
+    });
+    if refs == 0 {
+        0.0
+    } else {
+        miss as f64 / refs as f64
+    }
+}
+
+/// Runs the fig10 4 MB + 8 MB working-set points at the given width and
+/// returns the serialized results (the byte-identity oracle).
+fn sweep_at(jobs: usize) -> Vec<String> {
+    runner::set_jobs(jobs);
+    let (serials, _text, _snap) = report::capture_obs(|| {
+        Runner::from_env().map(vec![4 * MB, 8 * MB], |_, wss| {
+            let (_, result) = fig10_dynamic_alloc::run_one(wss, true);
+            result.serialize()
+        })
+    });
+    serials
+}
+
+#[test]
+fn sampled_mode_is_accurate_and_jobs_deterministic() {
+    // Full-fidelity reference for the 8 MB working-set point.
+    runner::set_sample_sets(0);
+    runner::set_jobs(1);
+    let full = report::capture_obs(|| fig10_dynamic_alloc::run_one(8 * MB, true).1).0;
+    let n_vms = full.epochs[0].len();
+
+    // Sampled run of the same point.
+    runner::set_sample_sets(8);
+    let sampled = report::capture_obs(|| fig10_dynamic_alloc::run_one(8 * MB, true).1).0;
+
+    for vm in 0..n_vms {
+        let f = miss_rate(&full, vm);
+        let s = miss_rate(&sampled, vm);
+        assert!(
+            (f - s).abs() <= EPSILON,
+            "vm {vm}: sampled miss rate {s:.4} deviates from full {f:.4} \
+             by more than ±{EPSILON}"
+        );
+    }
+
+    // Exact determinism: the sampled sweep serializes byte-identically
+    // at --jobs 1 and --jobs 4.
+    let narrow = sweep_at(1);
+    let wide = sweep_at(4);
+    assert!(!narrow.concat().is_empty(), "sweep produced no stats");
+    assert_eq!(
+        narrow, wide,
+        "sampled-mode stats differ between --jobs 1 and --jobs 4"
+    );
+
+    // Do not leak the globals into other tests in this binary.
+    runner::set_sample_sets(0);
+    runner::set_jobs(1);
+}

@@ -47,6 +47,11 @@ pub struct EngineConfig {
     /// with [`smallrng::split_seed`] over the VM index, so adding or
     /// removing one VM never reshuffles another VM's physical frames.
     pub seed: u64,
+    /// LLC simulation fidelity. `Full` (the default) simulates every set
+    /// and carries the byte-identity guarantees; `Sampled { one_in }`
+    /// trades bounded miss-rate error for speed (UMON-style set
+    /// sampling). See [`llc_sim::SimFidelity`].
+    pub llc_fidelity: llc_sim::SimFidelity,
 }
 
 impl EngineConfig {
@@ -60,6 +65,7 @@ impl EngineConfig {
             frame_policy: llc_sim::FramePolicy::Randomized,
             latency: LatencyModel::default(),
             seed: 0xD_CA7,
+            llc_fidelity: llc_sim::SimFidelity::Full,
         }
     }
 }
@@ -100,6 +106,12 @@ struct WorkloadRt {
     carry_refs: f64,
     open_request_cycles: f64,
     request_latencies: Vec<f64>,
+    /// Reusable buffer for batched access generation: `run_slice` pulls
+    /// a whole slice of references with one virtual `next_batch` call
+    /// instead of one `next_access` dispatch per reference. The
+    /// capacity persists across slices, so steady state allocates
+    /// nothing.
+    batch: Vec<workloads::MemRef>,
 }
 
 struct VmSlot {
@@ -131,8 +143,10 @@ impl Engine {
     pub fn new(config: EngineConfig, vms: Vec<VmSpec>) -> Result<Self, String> {
         validate_vm_placement(&config.socket, &vms)?;
         let caps = CatCapabilities::with_ways(config.socket.llc_ways());
+        let mut hierarchy = Hierarchy::new(config.socket.hierarchy);
+        hierarchy.set_fidelity(config.llc_fidelity);
         Ok(Engine {
-            hierarchy: Hierarchy::new(config.socket.hierarchy),
+            hierarchy,
             frames: FrameAllocator::new(config.memory_bytes, config.frame_policy, config.seed),
             vms: vms
                 .into_iter()
@@ -189,6 +203,7 @@ impl Engine {
             carry_refs: 0.0,
             open_request_cycles: 0.0,
             request_latencies: Vec::new(),
+            batch: Vec::new(),
         });
     }
 
@@ -369,8 +384,12 @@ impl Engine {
 
         let placement_rng = &mut slot.placement_rng;
         let before = self.hierarchy.counters(core);
-        for _ in 0..n_refs {
-            let mref = rt.stream.next_access();
+        // One virtual call generates the whole slice's references; the
+        // sequence is exactly what per-reference next_access would yield.
+        rt.stream
+            .next_batch(&mut rt.batch, usize::try_from(n_refs).unwrap_or(usize::MAX));
+        for i in 0..rt.batch.len() {
+            let mref = rt.batch[i];
             let paddr = rt
                 .mapper
                 .translate_with(mref.vaddr, &mut self.frames, placement_rng)

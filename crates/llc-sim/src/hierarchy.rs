@@ -37,6 +37,99 @@ pub enum HitLevel {
     Dram,
 }
 
+/// How faithfully the shared LLC is simulated.
+///
+/// `Full` models every set; it is the default and the mode every
+/// byte-identity guarantee is stated for. `Sampled` simulates only one
+/// LLC set in `one_in` (UMON-style set sampling, as in the utility-based
+/// cache-partitioning literature): accesses that index a *sampled* set
+/// run through the real tag store, while accesses to unsampled sets are
+/// classified hit-or-miss by a deterministic per-core estimator that
+/// replays the miss ratio observed on the sampled sets. Private L1/L2
+/// caches are always fully simulated.
+///
+/// Consequences of sampling, all documented rather than hidden:
+///
+/// * LLC occupancy accessors scale sampled-set counts by `one_in`, so
+///   magnitudes stay comparable with full fidelity;
+/// * LLC inclusion is not maintained for unsampled sets (their lines are
+///   never resident), so `llc_probe` only answers for sampled sets;
+/// * miss *rates* carry a sampling error — the accuracy test in
+///   `tests/sampled_fidelity.rs` bounds it for the fig10 workloads.
+///
+/// The estimator is pure integer arithmetic over monotonic counters, so
+/// sampled runs are exactly as deterministic (and `--jobs N`-stable) as
+/// full-fidelity runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimFidelity {
+    /// Simulate every LLC set (the seed behavior).
+    #[default]
+    Full,
+    /// Simulate one LLC set in `one_in`; estimate the rest.
+    Sampled {
+        /// Sampling stride: sets whose index is a multiple of this value
+        /// are simulated. `1` degenerates to full fidelity.
+        one_in: u32,
+    },
+}
+
+/// Per-core hit/miss estimator for unsampled LLC sets.
+///
+/// Tracks the references and misses this core issued to *sampled* sets
+/// and replays that ratio over unsampled accesses with an error-diffusion
+/// (Bresenham) accumulator: across any window, estimated misses track
+/// `sampled_miss / sampled_ref` to within one access, with no floating
+/// point and no RNG. The counters decay exponentially (both halve once
+/// the reference count reaches [`ESTIMATOR_WINDOW`]) so the replayed
+/// ratio follows the *recent* regime — a cache warming up or a CAT
+/// reallocation shifts the miss rate, and a lifetime average would lag
+/// it by the whole history.
+#[derive(Debug, Clone, Copy, Default)]
+struct SampleEstimator {
+    /// References this core issued to sampled LLC sets (decayed).
+    sampled_ref: u64,
+    /// Misses among those references (decayed).
+    sampled_miss: u64,
+    /// Error-diffusion accumulator, kept below `sampled_ref`.
+    credit: u64,
+}
+
+/// Decay threshold for [`SampleEstimator`]: once this many sampled
+/// references accumulate, both counters halve. The effective memory is
+/// therefore the last ~2 windows of sampled traffic.
+const ESTIMATOR_WINDOW: u64 = 1024;
+
+impl SampleEstimator {
+    /// Records the outcome of one access to a sampled set.
+    fn observe(&mut self, missed: bool) {
+        if self.sampled_ref >= ESTIMATOR_WINDOW {
+            self.sampled_ref /= 2;
+            self.sampled_miss /= 2;
+            self.credit /= 2;
+        }
+        self.sampled_ref += 1;
+        if missed {
+            self.sampled_miss += 1;
+        }
+    }
+
+    /// Classifies one access to an unsampled set. Before any sampled set
+    /// has been touched there is no signal, so the cold estimator calls
+    /// everything a miss — matching a cold cache.
+    fn estimate_miss(&mut self) -> bool {
+        if self.sampled_ref == 0 {
+            return true;
+        }
+        self.credit += self.sampled_miss;
+        if self.credit >= self.sampled_ref {
+            self.credit -= self.sampled_ref;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Shape of a [`Hierarchy`].
 #[derive(Debug, Clone, Copy)]
 pub struct HierarchyConfig {
@@ -89,6 +182,8 @@ pub struct Hierarchy {
     llc: SetAssocCache,
     fill_masks: Vec<WayMask>,
     counters: Vec<CoreCounters>,
+    fidelity: SimFidelity,
+    samplers: Vec<SampleEstimator>,
 }
 
 impl Hierarchy {
@@ -107,7 +202,49 @@ impl Hierarchy {
             llc: SetAssocCache::with_policy(config.llc, config.llc_policy),
             fill_masks: vec![full; config.cores as usize],
             counters: vec![CoreCounters::default(); config.cores as usize],
+            fidelity: SimFidelity::Full,
+            samplers: vec![SampleEstimator::default(); config.cores as usize],
             config,
+        }
+    }
+
+    /// Selects the LLC simulation fidelity. Meant to be called once,
+    /// before any access; switching modes mid-run is not meaningful
+    /// (estimator state and tag contents would mix regimes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Sampled { one_in: 0 }` — a zero stride samples nothing.
+    pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
+        if let SimFidelity::Sampled { one_in } = fidelity {
+            assert!(one_in > 0, "sampling stride must be at least 1");
+        }
+        self.fidelity = fidelity;
+    }
+
+    /// The current LLC simulation fidelity.
+    pub fn fidelity(&self) -> SimFidelity {
+        self.fidelity
+    }
+
+    /// Factor by which sampled-set occupancy counts are scaled to
+    /// approximate the full cache (1 in full fidelity).
+    fn occupancy_scale(&self) -> u64 {
+        match self.fidelity {
+            SimFidelity::Full => 1,
+            SimFidelity::Sampled { one_in } => u64::from(one_in),
+        }
+    }
+
+    /// Whether the set holding `line` is simulated under the current
+    /// fidelity.
+    #[inline]
+    fn llc_set_is_sampled(&self, line: crate::address::LineAddr) -> bool {
+        match self.fidelity {
+            SimFidelity::Full => true,
+            SimFidelity::Sampled { one_in } => {
+                self.config.llc.set_index(line).is_multiple_of(one_in)
+            }
         }
     }
 
@@ -170,15 +307,40 @@ impl Hierarchy {
         }
         self.counters[idx].llc_ref += 1;
 
+        if !self.llc_set_is_sampled(line) {
+            // Unsampled set: classify via the estimator instead of the tag
+            // store. No LLC fill, no eviction, no back-invalidation — the
+            // private caches still absorb the line so upper-level hit rates
+            // stay realistic.
+            let missed = self.samplers[idx].estimate_miss();
+            if missed {
+                self.counters[idx].llc_miss += 1;
+            }
+            self.fill_l2(idx, line);
+            self.fill_l1(idx, line);
+            return if missed {
+                HitLevel::Dram
+            } else {
+                HitLevel::Llc
+            };
+        }
+
         let llc_mask = self.fill_masks[idx];
+        let sampling = self.fidelity != SimFidelity::Full;
         match self.llc.access_as(line, llc_mask, core) {
             AccessOutcome::Hit => {
+                if sampling {
+                    self.samplers[idx].observe(false);
+                }
                 self.fill_l2(idx, line);
                 self.fill_l1(idx, line);
                 HitLevel::Llc
             }
             AccessOutcome::Miss { evicted } => {
                 self.counters[idx].llc_miss += 1;
+                if sampling {
+                    self.samplers[idx].observe(true);
+                }
                 if let Some(victim) = evicted {
                     self.back_invalidate(victim);
                 }
@@ -239,14 +401,15 @@ impl Hierarchy {
         self.counters[core as usize].reset();
     }
 
-    /// LLC lines resident in ways permitted by `mask`.
+    /// LLC lines resident in ways permitted by `mask` (scaled to the full
+    /// cache when sampling).
     pub fn llc_occupancy_in(&self, mask: WayMask) -> u64 {
-        self.llc.occupancy_in(mask)
+        self.llc.occupancy_in(mask) * self.occupancy_scale()
     }
 
-    /// Total LLC lines resident.
+    /// Total LLC lines resident (scaled to the full cache when sampling).
     pub fn llc_occupancy(&self) -> u64 {
-        self.llc.occupancy()
+        self.llc.occupancy() * self.occupancy_scale()
     }
 
     /// Whether `paddr`'s line is resident in the LLC.
@@ -269,15 +432,17 @@ impl Hierarchy {
         &self.llc
     }
 
-    /// LLC lines filled by `core` (CMT-style occupancy attribution).
+    /// LLC lines filled by `core` (CMT-style occupancy attribution,
+    /// scaled to the full cache when sampling).
     pub fn llc_occupancy_of_core(&self, core: u32) -> u64 {
-        self.llc.occupancy_of(core)
+        self.llc.occupancy_of(core) * self.occupancy_scale()
     }
 
     /// Invalidates every LLC line in the ways permitted by `mask`,
     /// back-invalidating the private caches (the user-level way flush the
     /// paper's Section 6 calls for after a reallocation). Returns the
-    /// number of LLC *lines* dropped, not a way count.
+    /// number of LLC *lines* dropped, not a way count (scaled to the full
+    /// cache when sampling, like the occupancy accessors).
     pub fn flush_mask(&mut self, mask: WayMask) -> u64 {
         let dropped = self.llc.invalidate_ways(mask);
         for line in &dropped {
@@ -286,7 +451,7 @@ impl Hierarchy {
                 self.l1[idx].invalidate(*line);
             }
         }
-        dropped.len() as u64
+        dropped.len() as u64 * self.occupancy_scale()
     }
 
     /// Flushes every cache in the hierarchy.
@@ -432,6 +597,91 @@ mod tests {
         assert!(!h.llc_probe(0x40));
         assert!(!h.l1_probe(0, 0x40), "flush must reach the L1 (inclusive)");
         assert!(!h.l2_probe(0, 0x40));
+    }
+
+    #[test]
+    fn sampled_one_in_one_matches_full_fidelity() {
+        // Stride 1 samples every set: counters must be identical to Full.
+        let mut full = tiny();
+        let mut sampled = tiny();
+        sampled.set_fidelity(SimFidelity::Sampled { one_in: 1 });
+        for i in 0..500u64 {
+            let addr = (i % 37) * 64 * 3;
+            full.access(0, addr, AccessKind::Load);
+            sampled.access(0, addr, AccessKind::Load);
+        }
+        assert_eq!(full.counters(0), sampled.counters(0));
+        assert_eq!(full.llc_occupancy(), sampled.llc_occupancy());
+    }
+
+    #[test]
+    fn sampled_mode_counts_every_llc_reference() {
+        // llc_ref covers estimated accesses too; rates need no rescaling.
+        let mut h = tiny();
+        h.set_fidelity(SimFidelity::Sampled { one_in: 4 });
+        for i in 0..64u64 {
+            h.access(0, i * 64, AccessKind::Load);
+        }
+        let c = h.counters(0);
+        assert_eq!(c.llc_ref, 64, "every reference is counted");
+        assert_eq!(c.llc_miss, 64, "cold cache: all misses, real or estimated");
+    }
+
+    #[test]
+    fn sampled_occupancy_scales_to_the_full_cache() {
+        let mut h = tiny();
+        h.set_fidelity(SimFidelity::Sampled { one_in: 4 });
+        // Touch one line per LLC set (16 sets, 64-line stride apart).
+        for i in 0..16u64 {
+            h.access(0, i * 64, AccessKind::Load);
+        }
+        // Only 4 of 16 sets are simulated; scaling restores the magnitude.
+        assert_eq!(h.llc_occupancy(), 16);
+        assert_eq!(h.llc_occupancy_of_core(0), 16);
+    }
+
+    #[test]
+    fn sampled_estimator_tracks_the_sampled_miss_rate() {
+        let mut h = tiny();
+        h.set_fidelity(SimFidelity::Sampled { one_in: 4 });
+        // Warm the sampled sets: lines `i * 4` map to LLC sets
+        // {0, 4, 8, 12} — all sampled — two lines per 4-way set, so after
+        // the cold pass they hit. The tiny 2-way L1/L2 thrash on the same
+        // pattern, so accesses keep reaching the LLC.
+        for _ in 0..20 {
+            for i in 0..8u64 {
+                h.access(0, i * 4 * 64, AccessKind::Load);
+            }
+        }
+        let warm = h.counters(0);
+        let warm_rate = warm.llc_miss as f64 / warm.llc_ref as f64;
+        assert!(
+            warm_rate < 0.25,
+            "sampled sets should mostly hit once warm, got {warm_rate}"
+        );
+        // Now touch only *unsampled* sets ({1, 5, 9, 13}): the estimator
+        // replays the observed mostly-hit ratio instead of guessing miss.
+        for _ in 0..10 {
+            for i in 0..8u64 {
+                h.access(0, (i * 4 + 1) * 64, AccessKind::Load);
+            }
+        }
+        let c = h.counters(0);
+        let tail_ref = c.llc_ref - warm.llc_ref;
+        let tail_miss = c.llc_miss - warm.llc_miss;
+        assert!(tail_ref > 0, "unsampled pattern must reach the LLC");
+        let tail_rate = tail_miss as f64 / tail_ref as f64;
+        assert!(
+            tail_rate < 0.3,
+            "estimator should replay the sampled hit rate, got {tail_rate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be at least 1")]
+    fn zero_sampling_stride_rejected() {
+        let mut h = tiny();
+        h.set_fidelity(SimFidelity::Sampled { one_in: 0 });
     }
 
     #[test]

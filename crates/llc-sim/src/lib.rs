@@ -60,7 +60,7 @@ pub use cache::{AccessOutcome, SetAssocCache, WayMask};
 pub use coloring::ColorSet;
 pub use counters::CoreCounters;
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel};
+pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel, SimFidelity};
 pub use latency::{CyclesModel, LatencyModel};
 pub use paging::{FrameAllocator, FramePolicy, PageMapper, PageSize};
 pub use replacement::ReplacementPolicy;

@@ -5,10 +5,43 @@
 //! way permitted by the requesting core's fill mask, evicting the
 //! least-recently-used line among the permitted ways when they are all
 //! occupied.
+//!
+//! # Packed representation
+//!
+//! The set stores its state in one contiguous allocation plus a `u32`
+//! occupancy bitmask instead of a `Vec<Option<LineEntry>>`:
+//!
+//! ```text
+//! occ:  u32 bitmask, bit w set = way w holds a valid line
+//! data: [ line_0 .. line_{n-1} | stamp_0 .. stamp_{n-1} | owner_0 .. owner_{n-1} ]
+//!        (u64 each; empty line slots hold INVALID_LINE so the lookup scan
+//!         needs no per-way validity test)
+//! ```
+//!
+//! The layout buys three things on the hot path:
+//!
+//! * **lookup** is a branch-light equality scan over a contiguous `u64`
+//!   run (the tag region), which the compiler vectorizes;
+//! * **victim selection** walks the set bits of `occ & mask` — no
+//!   per-fill candidate `Vec` allocation (the seed implementation
+//!   malloc'd one per miss, which dominated fill-churn profiles);
+//! * **occupancy queries** are `count_ones` on the bitmask instead of an
+//!   `Option` scan.
+//!
+//! Every replacement decision is bit-identical to the seed
+//! `Vec<Option<LineEntry>>` implementation, which is retained as
+//! [`legacy::LegacyCacheSet`] — the oracle for the equivalence property
+//! test and the reference side of the `dcat-perfbench` speedup
+//! measurement.
 
 use crate::address::LineAddr;
 use crate::cache::WayMask;
 use crate::replacement::ReplacementPolicy;
+
+/// Sentinel stored in empty line slots. Real line addresses are physical
+/// addresses shifted right by the 6-bit line offset, so they can never
+/// reach `u64::MAX`; [`CacheSet::fill_with`] debug-asserts it.
+const INVALID_LINE: u64 = u64::MAX;
 
 /// One resident line: its address tag, an LRU timestamp, and the id of
 /// the requestor that filled it (the analogue of Intel CMT's RMID tag,
@@ -33,24 +66,83 @@ pub struct FillResult {
     pub evicted: Option<LineAddr>,
 }
 
-/// A single set of a set-associative cache.
+/// A single set of a set-associative cache (packed representation).
 #[derive(Debug, Clone)]
 pub struct CacheSet {
-    ways: Vec<Option<LineEntry>>,
+    /// Occupancy bitmask: bit `w` set means way `w` holds a valid line.
+    occ: u32,
+    /// Packed per-way state: `ways` line slots, then `ways` LRU stamps,
+    /// then `ways` owner ids (widened to `u64` to keep one allocation).
+    data: Box<[u64]>,
+}
+
+/// BIP insertion stamp: MRU (`now`) one fill in `mru_one_in`, LRU-position
+/// (stamp 0) otherwise; every other policy inserts at MRU. Shared by the
+/// packed and legacy implementations so they cannot drift.
+#[inline]
+fn insertion_stamp(policy: ReplacementPolicy, now: u64, draw: u64) -> u64 {
+    match policy {
+        ReplacementPolicy::Bip { mru_one_in } => {
+            if mru_one_in <= 1 || draw.is_multiple_of(u64::from(mru_one_in)) {
+                now
+            } else {
+                0
+            }
+        }
+        _ => now,
+    }
 }
 
 impl CacheSet {
     /// Creates an empty set with the given associativity.
     pub fn new(ways: u32) -> Self {
-        CacheSet {
-            ways: vec![None; ways as usize],
-        }
+        debug_assert!((1..=32).contains(&ways), "way masks are 32-bit");
+        let n = ways as usize;
+        let mut data = vec![0u64; 3 * n].into_boxed_slice();
+        data[..n].fill(INVALID_LINE);
+        CacheSet { occ: 0, data }
     }
 
     /// Number of ways in this set.
     #[inline]
     pub fn way_count(&self) -> u32 {
-        self.ways.len() as u32
+        (self.data.len() / 3) as u32
+    }
+
+    /// Bitmask of the ways that actually exist in this set.
+    #[inline]
+    fn way_range_bits(&self) -> u32 {
+        let n = self.way_count();
+        if n >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << n) - 1
+        }
+    }
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.data.len() / 3
+    }
+
+    #[inline]
+    fn lines(&self) -> &[u64] {
+        &self.data[..self.n()]
+    }
+
+    #[inline]
+    fn stamp(&self, way: u32) -> u64 {
+        self.data[self.n() + way as usize]
+    }
+
+    #[inline]
+    fn set_entry(&mut self, way: u32, line: u64, stamp: u64, owner: u32) {
+        let n = self.n();
+        let w = way as usize;
+        self.data[w] = line;
+        self.data[n + w] = stamp;
+        self.data[2 * n + w] = u64::from(owner);
+        self.occ |= 1 << way;
     }
 
     /// Looks up a line; on a hit, refreshes its LRU stamp (unless the
@@ -66,14 +158,15 @@ impl CacheSet {
         now: u64,
         policy: ReplacementPolicy,
     ) -> Option<u32> {
-        for (idx, slot) in self.ways.iter_mut().enumerate() {
-            if let Some(entry) = slot {
-                if entry.line == line {
-                    if policy.promotes_on_hit() {
-                        entry.last_use = now;
-                    }
-                    return Some(idx as u32);
+        let n = self.n();
+        // Empty slots hold INVALID_LINE, which no real line equals, so the
+        // scan runs over the contiguous tag region with no validity tests.
+        for w in 0..n {
+            if self.data[w] == line.0 {
+                if policy.promotes_on_hit() {
+                    self.data[n + w] = now;
                 }
+                return Some(w as u32);
             }
         }
         None
@@ -81,10 +174,10 @@ impl CacheSet {
 
     /// Checks residency without perturbing LRU state (a *probe*).
     pub fn probe(&self, line: LineAddr) -> Option<u32> {
-        self.ways
+        self.lines()
             .iter()
-            .position(|slot| slot.map(|e| e.line) == Some(line))
-            .map(|idx| idx as u32)
+            .position(|&l| l == line.0)
+            .map(|w| w as u32)
     }
 
     /// Fills `line` into a way permitted by `mask`, evicting the LRU line
@@ -116,121 +209,317 @@ impl CacheSet {
             self.probe(line).is_none(),
             "fill of a line that is already resident"
         );
-        // Insertion stamp: BIP inserts at the LRU position (stamp 0) except
-        // one fill in `mru_one_in`.
-        let insert_stamp = match policy {
-            ReplacementPolicy::Bip { mru_one_in } => {
-                if mru_one_in <= 1 || draw.is_multiple_of(u64::from(mru_one_in)) {
-                    now
-                } else {
-                    0
-                }
-            }
-            _ => now,
-        };
+        debug_assert_ne!(line.0, INVALID_LINE, "line address collides with sentinel");
+        let insert_stamp = insertion_stamp(policy, now, draw);
 
-        // Prefer an invalid (empty) permitted way; collect candidates.
-        let mut candidates: Vec<u32> = Vec::new();
-        let mut victim: Option<u32> = None;
-        let mut victim_stamp = u64::MAX;
-        for way in 0..self.way_count() {
-            if !mask.contains(way) {
-                continue;
-            }
-            match self.ways[way as usize] {
-                None => {
-                    self.ways[way as usize] = Some(LineEntry {
-                        line,
-                        last_use: insert_stamp,
-                        owner,
-                    });
-                    return FillResult { way, evicted: None };
-                }
-                Some(entry) => {
-                    candidates.push(way);
-                    if entry.last_use < victim_stamp {
-                        victim_stamp = entry.last_use;
-                        victim = Some(way);
-                    }
-                }
-            }
+        // Prefer an invalid (empty) permitted way: the lowest-index free
+        // bit, matching the seed's ascending-way scan.
+        let permitted = mask.0 & self.way_range_bits();
+        let free = !self.occ & permitted;
+        if free != 0 {
+            let way = free.trailing_zeros();
+            self.set_entry(way, line.0, insert_stamp, owner);
+            return FillResult { way, evicted: None };
         }
+
+        // All permitted ways are occupied: pick a victim among them.
+        let candidates = self.occ & permitted;
+        assert!(candidates != 0, "fill mask must permit at least one way");
         let way = match policy {
-            ReplacementPolicy::Random => *candidates
-                .get((draw % candidates.len().max(1) as u64) as usize)
-                .expect("fill mask must permit at least one way"),
+            ReplacementPolicy::Random => {
+                let k = (draw % u64::from(candidates.count_ones())) as u32;
+                nth_set_bit(candidates, k)
+            }
             // LRU, FIFO, and BIP all evict the oldest stamp; they differ
             // in when stamps are refreshed (lookup) or assigned (insert).
-            _ => victim.expect("fill mask must permit at least one way"),
+            // Ties break toward the lowest way index (strict-less scan in
+            // ascending way order), as in the seed implementation.
+            _ => {
+                let mut victim = 0u32;
+                let mut victim_stamp = u64::MAX;
+                let mut bits = candidates;
+                while bits != 0 {
+                    let w = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let s = self.stamp(w);
+                    if s < victim_stamp {
+                        victim_stamp = s;
+                        victim = w;
+                    }
+                }
+                victim
+            }
         };
-        let evicted = self.ways[way as usize].map(|e| e.line);
-        self.ways[way as usize] = Some(LineEntry {
-            line,
-            last_use: insert_stamp,
-            owner,
-        });
-        FillResult { way, evicted }
+        let evicted = LineAddr(self.data[way as usize]);
+        self.set_entry(way, line.0, insert_stamp, owner);
+        FillResult {
+            way,
+            evicted: Some(evicted),
+        }
     }
 
     /// Invalidates `line` if resident (used for inclusive back-invalidation).
     ///
     /// Returns `true` when a line was actually dropped.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        for slot in self.ways.iter_mut() {
-            if slot.map(|e| e.line) == Some(line) {
-                *slot = None;
-                return true;
+        match self.probe(line) {
+            Some(way) => {
+                self.data[way as usize] = INVALID_LINE;
+                self.occ &= !(1 << way);
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Clears every way of the set.
     pub fn flush(&mut self) {
-        for slot in self.ways.iter_mut() {
-            *slot = None;
-        }
+        let n = self.n();
+        self.data[..n].fill(INVALID_LINE);
+        self.occ = 0;
     }
 
     /// Number of valid lines currently resident.
+    #[inline]
     pub fn occupancy(&self) -> u32 {
-        self.ways.iter().filter(|s| s.is_some()).count() as u32
+        self.occ.count_ones()
     }
 
     /// Number of valid lines resident in ways permitted by `mask`.
+    #[inline]
     pub fn occupancy_in(&self, mask: WayMask) -> u32 {
-        self.ways
-            .iter()
-            .enumerate()
-            .filter(|(idx, slot)| slot.is_some() && mask.contains(*idx as u32))
-            .count() as u32
+        (self.occ & mask.0).count_ones()
     }
 
-    /// Iterates over resident lines.
+    /// Iterates over resident lines (ascending way order).
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.ways.iter().filter_map(|s| s.map(|e| e.line))
+        let occ = self.occ;
+        self.lines()
+            .iter()
+            .enumerate()
+            .filter(move |(w, _)| occ & (1 << *w) != 0)
+            .map(|(_, &l)| LineAddr(l))
     }
 
     /// Number of valid lines filled by `owner`.
     pub fn occupancy_of(&self, owner: u32) -> u32 {
-        self.ways
-            .iter()
-            .filter(|s| s.map(|e| e.owner) == Some(owner))
-            .count() as u32
+        let n = self.n();
+        let mut count = 0;
+        let mut bits = self.occ;
+        while bits != 0 {
+            let w = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.data[2 * n + w] == u64::from(owner) {
+                count += 1;
+            }
+        }
+        count
     }
 
     /// Invalidates every line resident in the ways permitted by `mask`,
     /// returning how many were dropped and which lines they were.
     pub fn invalidate_ways(&mut self, mask: WayMask) -> Vec<LineAddr> {
         let mut dropped = Vec::new();
-        for (way, slot) in self.ways.iter_mut().enumerate() {
-            if mask.contains(way as u32) {
-                if let Some(entry) = slot.take() {
-                    dropped.push(entry.line);
-                }
-            }
+        let mut bits = self.occ & mask.0;
+        while bits != 0 {
+            let way = bits.trailing_zeros();
+            bits &= bits - 1;
+            dropped.push(LineAddr(self.data[way as usize]));
+            self.data[way as usize] = INVALID_LINE;
+            self.occ &= !(1 << way);
         }
         dropped
+    }
+}
+
+/// Index of the `k`-th (0-based) set bit of `bits`, ascending.
+///
+/// # Panics
+///
+/// Debug-asserts that `bits` has more than `k` set bits; callers guard.
+#[inline]
+fn nth_set_bit(mut bits: u32, k: u32) -> u32 {
+    debug_assert!(bits.count_ones() > k, "nth_set_bit out of range");
+    for _ in 0..k {
+        bits &= bits - 1;
+    }
+    bits.trailing_zeros()
+}
+
+/// The seed `Vec<Option<LineEntry>>` set implementation, byte-for-byte.
+///
+/// Kept compiled (not `#[cfg(test)]`) for two consumers: the equivalence
+/// property test uses it as the decision oracle, and `dcat-perfbench`
+/// measures the packed representation's speedup against it — the ratio
+/// recorded in `BENCH_micro.json`. Not part of the supported API.
+#[doc(hidden)]
+pub mod legacy {
+    use super::{insertion_stamp, FillResult, LineEntry};
+    use crate::address::LineAddr;
+    use crate::cache::WayMask;
+    use crate::replacement::ReplacementPolicy;
+
+    /// A single set of a set-associative cache (seed representation).
+    #[derive(Debug, Clone)]
+    pub struct LegacyCacheSet {
+        ways: Vec<Option<LineEntry>>,
+    }
+
+    impl LegacyCacheSet {
+        /// Creates an empty set with the given associativity.
+        pub fn new(ways: u32) -> Self {
+            LegacyCacheSet {
+                ways: vec![None; ways as usize],
+            }
+        }
+
+        /// Number of ways in this set.
+        pub fn way_count(&self) -> u32 {
+            self.ways.len() as u32
+        }
+
+        /// Policy-aware lookup; see [`super::CacheSet::lookup_with`].
+        pub fn lookup_with(
+            &mut self,
+            line: LineAddr,
+            now: u64,
+            policy: ReplacementPolicy,
+        ) -> Option<u32> {
+            for (idx, slot) in self.ways.iter_mut().enumerate() {
+                if let Some(entry) = slot {
+                    if entry.line == line {
+                        if policy.promotes_on_hit() {
+                            entry.last_use = now;
+                        }
+                        return Some(idx as u32);
+                    }
+                }
+            }
+            None
+        }
+
+        /// Checks residency without perturbing LRU state.
+        pub fn probe(&self, line: LineAddr) -> Option<u32> {
+            self.ways
+                .iter()
+                .position(|slot| slot.map(|e| e.line) == Some(line))
+                .map(|idx| idx as u32)
+        }
+
+        /// Policy-aware fill; see [`super::CacheSet::fill_with`].
+        pub fn fill_with(
+            &mut self,
+            line: LineAddr,
+            mask: WayMask,
+            now: u64,
+            owner: u32,
+            policy: ReplacementPolicy,
+            draw: u64,
+        ) -> FillResult {
+            debug_assert!(
+                self.probe(line).is_none(),
+                "fill of a line that is already resident"
+            );
+            let insert_stamp = insertion_stamp(policy, now, draw);
+
+            // Prefer an invalid (empty) permitted way; collect candidates.
+            let mut candidates: Vec<u32> = Vec::new();
+            let mut victim: Option<u32> = None;
+            let mut victim_stamp = u64::MAX;
+            for way in 0..self.way_count() {
+                if !mask.contains(way) {
+                    continue;
+                }
+                match self.ways[way as usize] {
+                    None => {
+                        self.ways[way as usize] = Some(LineEntry {
+                            line,
+                            last_use: insert_stamp,
+                            owner,
+                        });
+                        return FillResult { way, evicted: None };
+                    }
+                    Some(entry) => {
+                        candidates.push(way);
+                        if entry.last_use < victim_stamp {
+                            victim_stamp = entry.last_use;
+                            victim = Some(way);
+                        }
+                    }
+                }
+            }
+            let way = match policy {
+                ReplacementPolicy::Random => *candidates
+                    .get((draw % candidates.len().max(1) as u64) as usize)
+                    .expect("fill mask must permit at least one way"),
+                _ => victim.expect("fill mask must permit at least one way"),
+            };
+            let evicted = self.ways[way as usize].map(|e| e.line);
+            self.ways[way as usize] = Some(LineEntry {
+                line,
+                last_use: insert_stamp,
+                owner,
+            });
+            FillResult { way, evicted }
+        }
+
+        /// Invalidates `line` if resident; returns whether it was.
+        pub fn invalidate(&mut self, line: LineAddr) -> bool {
+            for slot in self.ways.iter_mut() {
+                if slot.map(|e| e.line) == Some(line) {
+                    *slot = None;
+                    return true;
+                }
+            }
+            false
+        }
+
+        /// Clears every way of the set.
+        pub fn flush(&mut self) {
+            for slot in self.ways.iter_mut() {
+                *slot = None;
+            }
+        }
+
+        /// Number of valid lines currently resident.
+        pub fn occupancy(&self) -> u32 {
+            self.ways.iter().filter(|s| s.is_some()).count() as u32
+        }
+
+        /// Number of valid lines resident in ways permitted by `mask`.
+        pub fn occupancy_in(&self, mask: WayMask) -> u32 {
+            self.ways
+                .iter()
+                .enumerate()
+                .filter(|(idx, slot)| slot.is_some() && mask.contains(*idx as u32))
+                .count() as u32
+        }
+
+        /// Number of valid lines filled by `owner`.
+        pub fn occupancy_of(&self, owner: u32) -> u32 {
+            self.ways
+                .iter()
+                .filter(|s| s.map(|e| e.owner) == Some(owner))
+                .count() as u32
+        }
+
+        /// Iterates over resident lines (ascending way order).
+        pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+            self.ways.iter().filter_map(|s| s.map(|e| e.line))
+        }
+
+        /// Invalidates every line in the ways permitted by `mask`.
+        pub fn invalidate_ways(&mut self, mask: WayMask) -> Vec<LineAddr> {
+            let mut dropped = Vec::new();
+            for (way, slot) in self.ways.iter_mut().enumerate() {
+                if mask.contains(way as u32) {
+                    if let Some(entry) = slot.take() {
+                        dropped.push(entry.line);
+                    }
+                }
+            }
+            dropped
+        }
     }
 }
 
@@ -334,5 +623,57 @@ mod tests {
         // A mask outside the set's associativity behaves like an empty mask.
         let bad = WayMask::from_way_range(2, 2);
         set.fill(LineAddr(1), bad, 1, 0);
+    }
+
+    #[test]
+    fn occupancy_of_attributes_by_filling_owner() {
+        let mut set = CacheSet::new(4);
+        set.fill(LineAddr(1), full_mask(4), 1, 7);
+        set.fill(LineAddr(2), full_mask(4), 2, 7);
+        set.fill(LineAddr(3), full_mask(4), 3, 9);
+        assert_eq!(set.occupancy_of(7), 2);
+        assert_eq!(set.occupancy_of(9), 1);
+        assert_eq!(set.occupancy_of(0), 0);
+    }
+
+    #[test]
+    fn resident_lines_iterates_in_way_order() {
+        let mut set = CacheSet::new(4);
+        set.fill(LineAddr(30), full_mask(4), 1, 0);
+        set.fill(LineAddr(10), full_mask(4), 2, 0);
+        set.invalidate(LineAddr(30));
+        set.fill(LineAddr(20), WayMask::from_way_range(2, 2), 3, 0);
+        let lines: Vec<LineAddr> = set.resident_lines().collect();
+        assert_eq!(lines, vec![LineAddr(10), LineAddr(20)]);
+    }
+
+    #[test]
+    fn invalidate_ways_reports_dropped_lines_ascending() {
+        let mut set = CacheSet::new(4);
+        for i in 0..4u64 {
+            set.fill(LineAddr(i), full_mask(4), i, 0);
+        }
+        let dropped = set.invalidate_ways(WayMask::from_way_range(1, 2));
+        assert_eq!(dropped, vec![LineAddr(1), LineAddr(2)]);
+        assert_eq!(set.occupancy(), 2);
+    }
+
+    #[test]
+    fn nth_set_bit_selects_ascending() {
+        assert_eq!(nth_set_bit(0b1011, 0), 0);
+        assert_eq!(nth_set_bit(0b1011, 1), 1);
+        assert_eq!(nth_set_bit(0b1011, 2), 3);
+    }
+
+    #[test]
+    fn thirty_two_way_set_works_at_the_mask_edge() {
+        let mut set = CacheSet::new(32);
+        let mask = WayMask::all(32);
+        for i in 0..32u64 {
+            assert_eq!(set.fill(LineAddr(i), mask, i + 1, 0).evicted, None);
+        }
+        assert_eq!(set.occupancy(), 32);
+        let r = set.fill(LineAddr(99), mask, 100, 0);
+        assert_eq!(r.evicted, Some(LineAddr(0)), "way 0 held the oldest stamp");
     }
 }

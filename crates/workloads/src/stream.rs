@@ -81,6 +81,22 @@ pub trait AccessStream: Send {
     /// Produces the next memory reference.
     fn next_access(&mut self) -> MemRef;
 
+    /// Fills `out` with the next `n` references (clearing it first).
+    ///
+    /// Exactly equivalent to calling [`AccessStream::next_access`] `n`
+    /// times — the default body does just that — but callers holding a
+    /// `Box<dyn AccessStream>` pay one virtual dispatch per *batch*
+    /// instead of one per reference: the default body is monomorphized
+    /// per implementor, so its `next_access` calls resolve statically and
+    /// inline. The engine's slice loop is the intended caller.
+    fn next_batch(&mut self, out: &mut Vec<MemRef>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_access());
+        }
+    }
+
     /// The stream's current execution profile. Phase-switching composites
     /// return the profile of the *current* phase.
     fn profile(&self) -> ExecutionProfile;
@@ -103,6 +119,23 @@ pub trait AccessStream: Send {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn next_batch_equals_repeated_next_access() {
+        // Two identically-seeded streams: the batch must reproduce the
+        // one-at-a-time sequence exactly, including across batch
+        // boundaries (no internal state is skipped or duplicated).
+        let mut one_by_one = crate::Mlr::new(1024 * 1024, 42);
+        let mut batched: Box<dyn AccessStream> = Box::new(crate::Mlr::new(1024 * 1024, 42));
+        let mut batch = Vec::new();
+        for n in [1usize, 7, 64, 100] {
+            batched.next_batch(&mut batch, n);
+            assert_eq!(batch.len(), n);
+            for r in &batch {
+                assert_eq!(*r, one_by_one.next_access());
+            }
+        }
+    }
 
     #[test]
     fn memref_constructors() {

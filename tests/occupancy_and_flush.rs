@@ -18,6 +18,48 @@ fn small_engine() -> EngineConfig {
     cfg
 }
 
+/// Golden counter trace for the packed-set refactor: the full-fidelity
+/// simulator must produce exactly these Table-2 counter values on this
+/// fixture, epoch by epoch. The values were recorded from the seed
+/// `Vec<Option<LineEntry>>` implementation; the packed bitmask/SoA set
+/// representation is decision-identical, so any drift here means the
+/// refactor changed a replacement decision somewhere.
+#[test]
+fn full_fidelity_counter_trace_matches_seed() {
+    let vms = vec![
+        VmSpec::new("mlr", vec![0, 1], 5),
+        VmSpec::new("mload", vec![2, 3], 5),
+        VmSpec::new("lookbusy", vec![4, 5], 5),
+    ];
+    let mut engine = Engine::new(small_engine(), vms).unwrap();
+    engine.start_workload(0, Box::new(Mlr::new(2 * MB, 1)));
+    engine.start_workload(1, Box::new(Mload::new(16 * MB)));
+    engine.start_workload(2, Box::new(Lookbusy::new()));
+
+    let mut trace: Vec<(u64, u64, u64, u64)> = Vec::new();
+    for _ in 0..4 {
+        let stats = engine.run_epoch();
+        for s in &stats {
+            trace.push((s.l1_ref, s.llc_ref, s.llc_miss, s.llc_occupancy_lines));
+        }
+    }
+    let golden: Vec<(u64, u64, u64, u64)> = vec![
+        (4080, 3990, 3847, 3846),
+        (28000, 28000, 28000, 28000),
+        (27000, 128, 128, 128),
+        (4760, 4622, 3913, 6656),
+        (28000, 28000, 28000, 51132),
+        (27960, 6, 6, 128),
+        (4760, 4613, 3585, 6820),
+        (28000, 28000, 28000, 57954),
+        (27080, 122, 122, 128),
+        (4760, 4607, 3523, 7030),
+        (28000, 28000, 28000, 58377),
+        (28000, 2, 2, 128),
+    ];
+    assert_eq!(trace, golden, "counter trace diverged from the seed");
+}
+
 #[test]
 fn occupancy_attribution_is_bounded_by_the_cache() {
     let vms = vec![
