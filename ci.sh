@@ -141,6 +141,19 @@ if ! cmp -s target/all_experiments.jobs1.txt target/all_experiments.jobs2.txt; t
     exit 1
 fi
 
+echo "==> fleet smoke: 1000 tenants, sampled sets, byte-identity across jobs widths"
+# The cluster scenario layer fans hosts over the worker pool; the smoke
+# proves a 1000-tenant sampled run is fast AND byte-identical whether
+# hosts step on two workers or four.
+cargo run -q --release -p dcat-bench --offline --bin fleet_scale -- --fast \
+    --tenants 1000 --sample-sets 8 --jobs 2 > target/fleet_smoke.jobs2.txt
+cargo run -q --release -p dcat-bench --offline --bin fleet_scale -- --fast \
+    --tenants 1000 --sample-sets 8 --jobs 4 > target/fleet_smoke.jobs4.txt
+if ! cmp -s target/fleet_smoke.jobs2.txt target/fleet_smoke.jobs4.txt; then
+    echo "ERROR: fleet_scale output differs between --jobs 2 and --jobs 4" >&2
+    exit 1
+fi
+
 echo "==> metrics export: one experiment with --metrics-out, validated by obs-dump"
 cargo run -q --release -p dcat-bench --offline --bin fig07_lifecycle -- --fast \
     --metrics-out target/metrics.prom > target/fig07_lifecycle.txt

@@ -1,0 +1,35 @@
+//! Fleet-churn comparison of cluster cache policies (see DESIGN.md §15).
+//!
+//! Extra flag on top of the shared CLI: `--tenants N` overrides the
+//! default fleet size (1 000, or 48 with `--fast`).
+
+fn main() {
+    dcat_bench::main_with(run);
+}
+
+fn run(cli: dcat_bench::Cli) {
+    match tenants_flag() {
+        Some(n) => {
+            dcat_bench::experiments::fleet_churn::run_at(n, cli.fast);
+        }
+        None => {
+            dcat_bench::experiments::fleet_churn::run(cli.fast);
+        }
+    }
+}
+
+/// Parses `--tenants N` / `--tenants=N` from the raw argument list (the
+/// shared [`dcat_bench::Cli`] ignores flags it does not know).
+fn tenants_flag() -> Option<u32> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let mut tenants = None;
+    while let Some(arg) = it.next() {
+        if arg == "--tenants" {
+            tenants = it.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = arg.strip_prefix("--tenants=") {
+            tenants = v.parse().ok();
+        }
+    }
+    tenants
+}

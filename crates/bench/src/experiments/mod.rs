@@ -20,6 +20,8 @@ pub mod fig13_streaming;
 pub mod fig14_two_receivers;
 pub mod fig15_mixed;
 pub mod fig17_spec2006;
+pub mod fleet_churn;
+pub mod fleet_scale;
 pub mod tab_services;
 
 /// One entry of the experiment suite: a stable name and a unit-returning
@@ -144,6 +146,18 @@ pub fn registry() -> Vec<Experiment> {
             name: "fault_sweep",
             run: |fast| {
                 fault_sweep::run(fast);
+            },
+        },
+        Experiment {
+            name: "fleet_scale",
+            run: |fast| {
+                fleet_scale::run(fast);
+            },
+        },
+        Experiment {
+            name: "fleet_churn",
+            run: |fast| {
+                fleet_churn::run(fast);
             },
         },
     ]

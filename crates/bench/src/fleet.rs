@@ -1,0 +1,784 @@
+//! Fleet: the cluster-level scenario layer.
+//!
+//! The dCat paper evaluates one socket at a time; an IaaS operator runs
+//! *fleets* — hundreds of hosts, each carrying a dozen single-core
+//! tenants that arrive, idle through the night, peak at noon, and
+//! depart. This module models that layer so cluster-scale policies can
+//! be compared under identical load:
+//!
+//! * **Tenant lifecycle** — [`TenantSpec::generate`] derives every
+//!   tenant's service kind, arrival/departure epochs, diurnal phase, and
+//!   workload seed from `split_seed(seed, tenant_id)`, so adding a
+//!   tenant never reshuffles another's trace. Service models
+//!   (Redis/PostgreSQL/Elasticsearch plus the paper's MLR/MLOAD
+//!   microbenchmarks) are wrapped in [`workloads::DiurnalStream`] so
+//!   request rates follow a day curve.
+//! * **Sharded multi-host engine** — tenants pack onto hosts of
+//!   [`FleetConfig::tenants_per_host`] single-core slots (kept under
+//!   dCat's `num_closids - 1` domain ceiling). Each epoch fans the hosts
+//!   over [`host::Pool`] with the same move-out/merge-back discipline as
+//!   [`host::MultiSocketEngine`]: hosts are self-contained, results are
+//!   merged in host order, so reports, metrics, and decision traces are
+//!   byte-identical at any `--jobs` width.
+//! * **Policy comparison** — every host runs one [`FleetPolicy`]: dCat
+//!   max-fairness, dCat max-performance, LFOC-style clustering
+//!   ([`dcat::LfocPolicy`]), or Memshare-style share accounting
+//!   ([`dcat::MemsharePolicy`]).
+//!
+//! Ten-thousand-tenant runs are made tractable by sampled LLC fidelity
+//! (`--sample-sets N`); the whole layer stays deterministic under it.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use dcat::{
+    CachePolicy, DcatConfig, DcatController, LfocConfig, LfocPolicy, MemshareConfig,
+    MemsharePolicy, WorkloadClass, WorkloadHandle,
+};
+use host::{Engine, EngineConfig, Pool, VmSpec};
+use llc_sim::CacheGeometry;
+use resctrl::CacheController;
+use smallrng::{split_seed, SmallRng};
+use workloads::{
+    AccessStream, DiurnalStream, ElasticsearchModel, Mload, Mlr, PostgresModel, RedisModel,
+};
+
+use crate::report;
+
+/// Completed requests per diurnal curve step; small enough that a
+/// tenant's load visibly moves over a run.
+const CURVE_REQUESTS_PER_STEP: u64 = 64;
+
+/// RNG stream offset separating host-engine seeds from tenant seeds
+/// (tenant ids occupy the low streams).
+const HOST_SEED_STREAM: u64 = 1 << 32;
+
+/// The service a tenant runs. Mix weights live in
+/// [`TenantSpec::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceKind {
+    /// Zipfian GET/SET key-value cache.
+    Redis,
+    /// B-tree point queries over a heap.
+    Postgres,
+    /// Term-lookup + posting-scan search.
+    Elasticsearch,
+    /// The paper's MLR random-read microbenchmark (cache-sensitive
+    /// batch analytics).
+    Analytics,
+    /// The paper's MLOAD cyclic scan (streaming; working set larger
+    /// than the LLC).
+    Streaming,
+}
+
+impl ServiceKind {
+    /// Short name for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceKind::Redis => "redis",
+            ServiceKind::Postgres => "postgres",
+            ServiceKind::Elasticsearch => "elasticsearch",
+            ServiceKind::Analytics => "analytics",
+            ServiceKind::Streaming => "streaming",
+        }
+    }
+}
+
+/// One tenant's whole lifecycle, derived deterministically from the
+/// fleet seed and the tenant id.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Fleet-wide tenant index.
+    pub id: u32,
+    /// Service model the tenant runs.
+    pub service: ServiceKind,
+    /// Epoch the workload starts (inclusive).
+    pub arrival_epoch: u64,
+    /// Epoch the workload stops (exclusive); may exceed the run length.
+    pub departure_epoch: u64,
+    /// Diurnal curve offset (tenants live in different time zones).
+    pub phase: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl TenantSpec {
+    /// Generates the whole fleet's lifecycle traces. Each tenant draws
+    /// from its own `split_seed(cfg.seed, id)` stream, so traces are
+    /// stable under fleet-size changes.
+    pub fn generate(cfg: &FleetConfig) -> Vec<TenantSpec> {
+        (0..cfg.tenants)
+            .map(|id| {
+                let seed = split_seed(cfg.seed, u64::from(id));
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let service = match rng.gen_range(0..100) {
+                    0..=34 => ServiceKind::Redis,
+                    35..=59 => ServiceKind::Postgres,
+                    60..=74 => ServiceKind::Elasticsearch,
+                    75..=87 => ServiceKind::Analytics,
+                    _ => ServiceKind::Streaming,
+                };
+                let phase = rng.gen_range_usize(0..workloads::DAY_CURVE.len());
+                let e = cfg.epochs.max(2);
+                let (arrival_epoch, lifetime) = if cfg.churn {
+                    // Churn mode: arrivals spread over most of the run,
+                    // lifetimes short enough that slots turn over.
+                    let arrival = rng.gen_range(0..(3 * e).div_ceil(4));
+                    let lifetime = rng.gen_range(e.div_ceil(4)..(3 * e).div_ceil(4).max(2));
+                    (arrival, lifetime)
+                } else {
+                    // Steady mode: most tenants present from the start
+                    // and stay; a minority arrives mid-run.
+                    let arrival = if rng.gen_range(0..100) < 75 {
+                        0
+                    } else {
+                        rng.gen_range(1..e.div_ceil(2).max(2))
+                    };
+                    let lifetime = rng.gen_range((2 * e).div_ceil(3)..2 * e);
+                    (arrival, lifetime)
+                };
+                TenantSpec {
+                    id,
+                    service,
+                    arrival_epoch,
+                    departure_epoch: arrival_epoch + lifetime.max(1),
+                    phase,
+                    seed,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the tenant's diurnally modulated access stream. Working
+    /// sets are sized for the fleet host's 2 MiB / 16-way LLC: the
+    /// services fit in a few ways, analytics wants many, and streaming
+    /// exceeds the cache entirely (the paper's Donor/Receiver/Streaming
+    /// spread).
+    pub fn stream(&self) -> Box<dyn AccessStream> {
+        let inner: Box<dyn AccessStream> = match self.service {
+            ServiceKind::Redis => Box::new(RedisModel::new(6_000, 128, 0.99, self.seed)),
+            ServiceKind::Postgres => Box::new(PostgresModel::new(8_000, self.seed)),
+            ServiceKind::Elasticsearch => Box::new(ElasticsearchModel::new(1_500, 512, self.seed)),
+            ServiceKind::Analytics => Box::new(Mlr::new(3 * 1024 * 1024 / 2, self.seed)),
+            ServiceKind::Streaming => Box::new(Mload::new(6 * 1024 * 1024)),
+        };
+        Box::new(DiurnalStream::day(
+            inner,
+            CURVE_REQUESTS_PER_STEP,
+            self.phase,
+        ))
+    }
+
+    /// Whether the tenant's workload should be running at `epoch`.
+    pub fn active_at(&self, epoch: u64) -> bool {
+        self.arrival_epoch <= epoch && epoch < self.departure_epoch
+    }
+}
+
+/// Which cluster policy governs every host of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPolicy {
+    /// dCat with the max-fairness allocator (the paper's default).
+    DcatMaxFairness,
+    /// dCat with the max-performance allocator.
+    DcatMaxPerformance,
+    /// LFOC-style miss-rate clustering onto few shared COS.
+    Lfoc,
+    /// Memshare-style share accounting with a lending ledger.
+    Memshare,
+}
+
+impl FleetPolicy {
+    /// Every policy the fleet experiments compare, in report order.
+    pub const ALL: [FleetPolicy; 4] = [
+        FleetPolicy::DcatMaxFairness,
+        FleetPolicy::DcatMaxPerformance,
+        FleetPolicy::Lfoc,
+        FleetPolicy::Memshare,
+    ];
+
+    /// Display name used in reports, traces, and metric labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetPolicy::DcatMaxFairness => "dcat-maxfair",
+            FleetPolicy::DcatMaxPerformance => "dcat-maxperf",
+            FleetPolicy::Lfoc => "lfoc",
+            FleetPolicy::Memshare => "memshare",
+        }
+    }
+
+    fn build(
+        &self,
+        handles: Vec<WorkloadHandle>,
+        cat: &mut dyn resctrl::CacheController,
+    ) -> Box<dyn CachePolicy + Send> {
+        match self {
+            FleetPolicy::DcatMaxFairness => Box::new(
+                DcatController::new(DcatConfig::default(), handles, cat)
+                    .expect("fleet host fits dcat's domain ceiling"),
+            ),
+            FleetPolicy::DcatMaxPerformance => Box::new(
+                DcatController::new(DcatConfig::max_performance(), handles, cat)
+                    .expect("fleet host fits dcat's domain ceiling"),
+            ),
+            FleetPolicy::Lfoc => Box::new(
+                LfocPolicy::new(handles, cat, LfocConfig::default())
+                    .expect("fleet host fits lfoc's layout"),
+            ),
+            FleetPolicy::Memshare => Box::new(
+                MemsharePolicy::new(handles, cat, MemshareConfig::default())
+                    .expect("fleet host fits memshare's layout"),
+            ),
+        }
+    }
+}
+
+/// Fleet shape and budgets.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Total tenants across the fleet.
+    pub tenants: u32,
+    /// Single-core tenant slots per host. Must stay at or below 15 so a
+    /// dCat controller (one COS per domain plus COS0) fits 16 closids.
+    pub tenants_per_host: u32,
+    /// Epochs (policy intervals) to run.
+    pub epochs: u64,
+    /// Cycle budget per core per epoch.
+    pub cycles_per_epoch: u64,
+    /// Churn mode: short lifetimes and spread arrivals instead of the
+    /// steady mostly-resident population.
+    pub churn: bool,
+    /// Fleet seed; everything derives from it.
+    pub seed: u64,
+    /// LLC fidelity for every host (sampled sets make 10 k-tenant runs
+    /// tractable).
+    pub llc_fidelity: llc_sim::SimFidelity,
+}
+
+impl FleetConfig {
+    /// Standard configuration at the given scale. `fast` shrinks epoch
+    /// counts and cycle budgets for tests and CI smokes. The LLC
+    /// fidelity follows the process-global `--sample-sets` flag.
+    pub fn new(tenants: u32, fast: bool) -> Self {
+        FleetConfig {
+            tenants,
+            tenants_per_host: 12,
+            epochs: if fast { 8 } else { 16 },
+            cycles_per_epoch: if fast { 120_000 } else { 400_000 },
+            churn: false,
+            seed: 0xF1EE7,
+            llc_fidelity: crate::runner::llc_fidelity(),
+        }
+    }
+
+    /// Hosts needed to carry the fleet.
+    pub fn hosts(&self) -> u32 {
+        self.tenants.div_ceil(self.tenants_per_host.max(1))
+    }
+
+    /// The per-host engine configuration: a small socket with one core
+    /// per tenant slot and a 2 MiB, 16-way LLC (room for the paper's
+    /// Donor/Receiver dynamics without the full Xeon's simulation cost).
+    fn host_engine(&self, host: u32) -> EngineConfig {
+        let mut cfg = EngineConfig::xeon_e5_v4();
+        cfg.socket.hierarchy = llc_sim::HierarchyConfig {
+            cores: self.tenants_per_host,
+            l1: CacheGeometry::new(64, 8, 64),
+            l2: CacheGeometry::new(128, 8, 64),
+            llc: CacheGeometry::from_capacity(2 * 1024 * 1024, 16),
+            llc_policy: Default::default(),
+        };
+        cfg.cycles_per_epoch = self.cycles_per_epoch;
+        cfg.memory_bytes = 256 * 1024 * 1024;
+        cfg.seed = split_seed(self.seed, HOST_SEED_STREAM + u64::from(host));
+        cfg.llc_fidelity = self.llc_fidelity;
+        cfg
+    }
+}
+
+/// Index into [`FleetEpochRow::classes`] for a workload class.
+fn class_idx(class: WorkloadClass) -> usize {
+    match class {
+        WorkloadClass::Keeper => 0,
+        WorkloadClass::Donor => 1,
+        WorkloadClass::Receiver => 2,
+        WorkloadClass::Streaming => 3,
+        WorkloadClass::Unknown => 4,
+        WorkloadClass::Reclaim => 5,
+    }
+}
+
+/// Label order matching [`class_idx`].
+pub const CLASS_LABELS: [&str; 6] = [
+    "keeper",
+    "donor",
+    "receiver",
+    "streaming",
+    "unknown",
+    "reclaim",
+];
+
+/// Per-slot outcome of one host epoch.
+struct SlotEpoch {
+    instructions: u64,
+    requests: u64,
+}
+
+/// Aggregated outcome of one host epoch.
+struct HostEpoch {
+    instructions: u64,
+    llc_ref: u64,
+    llc_miss: u64,
+    requests: u64,
+    active: u32,
+    classes: [u64; 6],
+    /// Distinct COS programmed on the host after the tick.
+    cos_used: u32,
+    slots: Vec<SlotEpoch>,
+}
+
+/// One host: its engine, its policy instance, and its tenant shard.
+struct HostState {
+    engine: Engine,
+    policy: Box<dyn CachePolicy + Send>,
+    tenants: Vec<TenantSpec>,
+}
+
+impl HostState {
+    fn build(cfg: &FleetConfig, policy: FleetPolicy, host: u32, shard: Vec<TenantSpec>) -> Self {
+        let vms: Vec<VmSpec> = shard
+            .iter()
+            .enumerate()
+            .map(|(slot, t)| VmSpec::new(format!("t{}", t.id), vec![slot as u32], 1))
+            .collect();
+        let handles: Vec<WorkloadHandle> = vms
+            .iter()
+            .map(|v| WorkloadHandle::new(v.name.clone(), v.cores.clone(), v.reserved_ways))
+            .collect();
+        let mut engine =
+            Engine::new(cfg.host_engine(host), vms).expect("fleet shard must fit the host");
+        let policy = policy.build(handles, &mut engine.cat());
+        HostState {
+            engine,
+            policy,
+            tenants: shard,
+        }
+    }
+
+    /// Runs one epoch: schedule arrivals/departures, simulate, tick the
+    /// policy, and aggregate. Everything is local to the host, so hosts
+    /// can run on any pool worker without ordering effects.
+    fn step(&mut self, epoch: u64) -> HostEpoch {
+        for (slot, t) in self.tenants.iter().enumerate() {
+            if t.arrival_epoch == epoch && t.departure_epoch > epoch {
+                self.engine.start_workload(slot, t.stream());
+            }
+            if t.departure_epoch == epoch && self.engine.has_workload(slot) {
+                self.engine.stop_workload(slot);
+            }
+        }
+        let stats = self.engine.run_epoch();
+        let snapshots = self.engine.snapshots();
+        let reports = self
+            .policy
+            .tick(&snapshots, &mut self.engine.cat())
+            .expect("fleet policy tick must succeed");
+
+        let mut out = HostEpoch {
+            instructions: 0,
+            llc_ref: 0,
+            llc_miss: 0,
+            requests: 0,
+            active: 0,
+            classes: [0; 6],
+            cos_used: 0,
+            slots: Vec::with_capacity(self.tenants.len()),
+        };
+        for (slot, s) in stats.iter().enumerate() {
+            out.instructions += s.instructions;
+            out.llc_ref += s.llc_ref;
+            out.llc_miss += s.llc_miss;
+            out.requests += s.requests_completed;
+            if self.engine.has_workload(slot) {
+                out.active += 1;
+            }
+            out.slots.push(SlotEpoch {
+                instructions: s.instructions,
+                requests: s.requests_completed,
+            });
+            // Latencies are counted into requests_completed; drain them
+            // so the per-VM buffers stay bounded over long runs.
+            let _ = self.engine.take_request_latencies(slot);
+        }
+        for r in &reports {
+            out.classes[class_idx(r.class)] += 1;
+        }
+        let cores = self.tenants.len() as u32;
+        let cat = self.engine.cat();
+        let cos: BTreeSet<u8> = (0..cores)
+            .filter_map(|c| cat.core_cos(c).ok().map(|id| id.0))
+            .collect();
+        out.cos_used = cos.len() as u32;
+        out
+    }
+}
+
+/// One fleet-wide epoch of aggregates.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetEpochRow {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Tenants with a running workload.
+    pub active: u32,
+    /// Instructions retired fleet-wide.
+    pub instructions: u64,
+    /// LLC references fleet-wide.
+    pub llc_ref: u64,
+    /// LLC misses fleet-wide.
+    pub llc_miss: u64,
+    /// Requests completed fleet-wide.
+    pub requests: u64,
+    /// Domain-class counts in [`CLASS_LABELS`] order.
+    pub classes: [u64; 6],
+    /// Sum over hosts of distinct COS in use (mean = `/ hosts`).
+    pub cos_used_sum: u64,
+    /// Largest per-host COS count.
+    pub cos_used_max: u32,
+}
+
+impl FleetEpochRow {
+    /// Fleet-wide LLC miss rate this epoch.
+    pub fn miss_rate(&self) -> f64 {
+        if self.llc_ref == 0 {
+            0.0
+        } else {
+            self.llc_miss as f64 / self.llc_ref as f64
+        }
+    }
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Fleet size.
+    pub tenants: u32,
+    /// Host count.
+    pub hosts: u32,
+    /// Per-epoch aggregates.
+    pub rows: Vec<FleetEpochRow>,
+    /// Lifetime instructions per tenant (fleet order).
+    pub tenant_instructions: Vec<u64>,
+    /// Lifetime completed requests per tenant (fleet order).
+    pub tenant_requests: Vec<u64>,
+    /// Per-epoch JSONL decision trace (one line per epoch).
+    pub trace: String,
+}
+
+impl FleetResult {
+    /// Total instructions retired across the run.
+    pub fn total_instructions(&self) -> u64 {
+        self.rows.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Total requests completed across the run.
+    pub fn total_requests(&self) -> u64 {
+        self.rows.iter().map(|r| r.requests).sum()
+    }
+
+    /// Run-wide LLC miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        let refs: u64 = self.rows.iter().map(|r| r.llc_ref).sum();
+        let miss: u64 = self.rows.iter().map(|r| r.llc_miss).sum();
+        if refs == 0 {
+            0.0
+        } else {
+            miss as f64 / refs as f64
+        }
+    }
+
+    /// Jain's fairness index over per-tenant lifetime instructions,
+    /// counting only tenants that ever ran. 1.0 = perfectly even.
+    pub fn jain_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .tenant_instructions
+            .iter()
+            .filter(|&&v| v > 0)
+            .map(|&v| v as f64)
+            .collect();
+        if xs.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            1.0
+        } else {
+            (sum * sum) / (xs.len() as f64 * sq)
+        }
+    }
+
+    /// Mean distinct-COS count per host-epoch (the COS-pressure figure
+    /// of merit for the clustering policies).
+    pub fn mean_cos_used(&self) -> f64 {
+        if self.rows.is_empty() || self.hosts == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.rows.iter().map(|r| r.cos_used_sum).sum();
+        sum as f64 / (self.rows.len() as f64 * f64::from(self.hosts))
+    }
+
+    /// Canonical text form: the determinism oracle for the `--jobs`
+    /// byte-identity tests and the CI smoke diff.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet policy={} tenants={} hosts={} epochs={}",
+            self.policy,
+            self.tenants,
+            self.hosts,
+            self.rows.len()
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "epoch={} active={} ins={} llc_ref={} llc_miss={} req={} \
+                 classes={}/{}/{}/{}/{}/{} cos_sum={} cos_max={}",
+                r.epoch,
+                r.active,
+                r.instructions,
+                r.llc_ref,
+                r.llc_miss,
+                r.requests,
+                r.classes[0],
+                r.classes[1],
+                r.classes[2],
+                r.classes[3],
+                r.classes[4],
+                r.classes[5],
+                r.cos_used_sum,
+                r.cos_used_max,
+            );
+        }
+        for (id, (ins, req)) in self
+            .tenant_instructions
+            .iter()
+            .zip(&self.tenant_requests)
+            .enumerate()
+        {
+            let _ = writeln!(out, "tenant={id} ins={ins} req={req}");
+        }
+        let _ = writeln!(
+            out,
+            "total ins={} req={} miss_rate={:.6} jain={:.6} mean_cos={:.3}",
+            self.total_instructions(),
+            self.total_requests(),
+            self.miss_rate(),
+            self.jain_fairness(),
+            self.mean_cos_used(),
+        );
+        out
+    }
+}
+
+/// Runs one fleet under one policy.
+///
+/// Hosts advance in epoch lockstep: each epoch every host is moved into
+/// the worker pool (claimed in index order, merged back in index order —
+/// the [`host::MultiSocketEngine`] discipline), stepped independently,
+/// and its aggregates folded on the coordinator thread. Workers never
+/// touch the metrics registry or the output sink, so results are
+/// byte-identical at any `--jobs` width. Metrics and the decision trace
+/// are recorded by the coordinator only.
+///
+/// # Panics
+///
+/// Panics if a shard cannot fit its host (config error) or a policy
+/// tick fails.
+pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> FleetResult {
+    let tenants = TenantSpec::generate(cfg);
+    let per_host = cfg.tenants_per_host.max(1) as usize;
+    let label = policy.label();
+
+    let mut hosts: Vec<HostState> = tenants
+        .chunks(per_host)
+        .enumerate()
+        .map(|(h, shard)| HostState::build(cfg, policy, h as u32, shard.to_vec()))
+        .collect();
+    let num_hosts = hosts.len() as u32;
+    let pool = Pool::new(crate::runner::jobs());
+
+    let mut result = FleetResult {
+        policy: label,
+        tenants: cfg.tenants,
+        hosts: num_hosts,
+        rows: Vec::with_capacity(cfg.epochs as usize),
+        tenant_instructions: vec![0; cfg.tenants as usize],
+        tenant_requests: vec![0; cfg.tenants as usize],
+        trace: String::new(),
+    };
+
+    for epoch in 0..cfg.epochs {
+        let moved = std::mem::take(&mut hosts);
+        let stepped = pool.map(moved, |_, mut h| {
+            let he = h.step(epoch);
+            (h, he)
+        });
+
+        let mut row = FleetEpochRow {
+            epoch,
+            active: 0,
+            instructions: 0,
+            llc_ref: 0,
+            llc_miss: 0,
+            requests: 0,
+            classes: [0; 6],
+            cos_used_sum: 0,
+            cos_used_max: 0,
+        };
+        hosts = Vec::with_capacity(stepped.len());
+        for (h, (host, he)) in stepped.into_iter().enumerate() {
+            row.active += he.active;
+            row.instructions += he.instructions;
+            row.llc_ref += he.llc_ref;
+            row.llc_miss += he.llc_miss;
+            row.requests += he.requests;
+            for (acc, c) in row.classes.iter_mut().zip(he.classes) {
+                *acc += c;
+            }
+            row.cos_used_sum += u64::from(he.cos_used);
+            row.cos_used_max = row.cos_used_max.max(he.cos_used);
+            for (slot, se) in he.slots.iter().enumerate() {
+                let id = h * per_host + slot;
+                if let Some(t) = result.tenant_instructions.get_mut(id) {
+                    *t += se.instructions;
+                }
+                if let Some(t) = result.tenant_requests.get_mut(id) {
+                    *t += se.requests;
+                }
+            }
+            hosts.push(host);
+        }
+
+        let _ = writeln!(
+            result.trace,
+            "{{\"epoch\":{},\"policy\":\"{}\",\"active\":{},\"requests\":{},\
+             \"instructions\":{},\"miss_rate\":{:.6},\"classes\":[{},{},{},{},{},{}],\
+             \"cos_sum\":{},\"cos_max\":{}}}",
+            epoch,
+            label,
+            row.active,
+            row.requests,
+            row.instructions,
+            row.miss_rate(),
+            row.classes[0],
+            row.classes[1],
+            row.classes[2],
+            row.classes[3],
+            row.classes[4],
+            row.classes[5],
+            row.cos_used_sum,
+            row.cos_used_max,
+        );
+        report::record(|reg| {
+            reg.counter_add("fleet_epochs_total", &[("policy", label)], 1);
+            reg.counter_add("fleet_requests_total", &[("policy", label)], row.requests);
+            reg.counter_add(
+                "fleet_instructions_total",
+                &[("policy", label)],
+                row.instructions,
+            );
+            for (i, name) in CLASS_LABELS.iter().enumerate() {
+                if row.classes[i] > 0 {
+                    reg.counter_add(
+                        "fleet_class_ticks_total",
+                        &[("policy", label), ("class", name)],
+                        row.classes[i],
+                    );
+                }
+            }
+        });
+        result.rows.push(row);
+    }
+    report::record(|reg| {
+        reg.counter_add("fleet_runs_total", &[("policy", label)], 1);
+        reg.gauge_set(
+            "fleet_mean_cos_used",
+            &[("policy", label)],
+            result.mean_cos_used(),
+        );
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(tenants: u32) -> FleetConfig {
+        let mut cfg = FleetConfig::new(tenants, true);
+        cfg.epochs = 4;
+        cfg.cycles_per_epoch = 40_000;
+        cfg.llc_fidelity = llc_sim::SimFidelity::Sampled { one_in: 8 };
+        cfg
+    }
+
+    #[test]
+    fn lifecycle_traces_are_stable_under_fleet_growth() {
+        let small = TenantSpec::generate(&tiny(8));
+        let large = TenantSpec::generate(&tiny(64));
+        for (a, b) in small.iter().zip(&large) {
+            assert_eq!(a.service, b.service);
+            assert_eq!(a.arrival_epoch, b.arrival_epoch);
+            assert_eq!(a.departure_epoch, b.departure_epoch);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn lifecycles_are_plausible() {
+        let cfg = tiny(100);
+        let specs = TenantSpec::generate(&cfg);
+        assert!(specs.iter().all(|t| t.departure_epoch > t.arrival_epoch));
+        let at_start = specs.iter().filter(|t| t.active_at(0)).count();
+        assert!(at_start > 50, "steady fleets start mostly populated");
+        let kinds: BTreeSet<&str> = specs.iter().map(|t| t.service.label()).collect();
+        assert!(kinds.len() >= 4, "the service mix should be diverse");
+    }
+
+    #[test]
+    fn every_policy_runs_a_small_fleet() {
+        for policy in FleetPolicy::ALL {
+            let r = run_fleet(policy, &tiny(24));
+            assert_eq!(r.hosts, 2);
+            assert_eq!(r.rows.len(), 4);
+            assert!(r.total_instructions() > 0, "{}: fleet ran", policy.label());
+            assert!(r.trace.lines().count() == 4);
+            let jain = r.jain_fairness();
+            assert!((0.0..=1.0).contains(&jain), "jain in range, got {jain}");
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let a = run_fleet(FleetPolicy::Lfoc, &tiny(24));
+        let b = run_fleet(FleetPolicy::Lfoc, &tiny(24));
+        assert_eq!(a.serialize(), b.serialize());
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn clustering_policies_bound_cos_pressure() {
+        let r = run_fleet(FleetPolicy::Lfoc, &tiny(24));
+        for row in &r.rows {
+            assert!(
+                row.cos_used_max <= LfocConfig::default().max_clusters + 1,
+                "epoch {}: lfoc used {} cos",
+                row.epoch,
+                row.cos_used_max
+            );
+        }
+    }
+}

@@ -16,11 +16,13 @@
 //!   tests call scaled-down variants).
 
 pub mod experiments;
+pub mod fleet;
 pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod timing;
 
+pub use fleet::{run_fleet, FleetConfig, FleetPolicy, FleetResult, TenantSpec};
 pub use runner::{main_with, Cli, Runner};
 pub use scenario::{PolicyKind, RunResult, ScheduleItem, VmPlan};

@@ -1,8 +1,9 @@
 //! The `macro` suite: whole-experiment sweeps in `--fast` mode.
 //!
 //! Times the fig10 dynamic-allocation point (full fidelity and
-//! `--sample-sets 8`) and the fig15 mixed-workload scenario set — the
-//! two experiments the determinism layer also anchors on. The
+//! `--sample-sets 8`), the fig15 mixed-workload scenario set — the
+//! two experiments the determinism layer also anchors on — and a
+//! sampled ten-host fleet smoke covering the cluster layer. The
 //! `fig10_sampled_speedup` derived metric records what UMON-style set
 //! sampling actually buys end to end (the sweep spends time outside the
 //! LLC too, so this is smaller than the per-access win).
@@ -10,7 +11,7 @@
 use dcat_obs::CycleSource;
 
 use crate::experiments::{fig10_dynamic_alloc, fig15_mixed};
-use crate::{report, runner};
+use crate::{fleet, report, runner};
 
 use super::harness::{normalize, SuiteRunner};
 use super::json::{Derived, SuiteResult};
@@ -57,6 +58,19 @@ pub fn run(clock: &mut dyn CycleSource, kind: ClockKind, quick: bool) -> SuiteRe
         runner::set_sample_sets(0);
         let (rs, _text) = report::capture(|| fig15_mixed::run_results(true));
         rs
+    });
+
+    suite.case("fleet_fast_sampled8", 1, || {
+        runner::set_sample_sets(8);
+        // Ten sampled hosts under the LFOC clustering policy — the
+        // cluster layer's hot path (host fan-out + policy ticks).
+        // Metrics are captured and dropped so timing runs do not
+        // pollute the process-root registry.
+        let cfg = fleet::FleetConfig::new(120, true);
+        let (r, _text, _snap) =
+            report::capture_obs(|| fleet::run_fleet(fleet::FleetPolicy::Lfoc, &cfg));
+        runner::set_sample_sets(0);
+        r.total_requests()
     });
 
     let mut cases = suite.run(clock, reps);

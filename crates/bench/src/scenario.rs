@@ -1,8 +1,8 @@
 //! Declarative multi-VM scenarios run under any cache policy.
 
 use dcat::{
-    CachePolicy, DcatConfig, DcatController, DomainReport, SharedCachePolicy, StaticCatPolicy,
-    WorkloadHandle,
+    CachePolicy, DcatConfig, DcatController, DomainReport, LfocConfig, LfocPolicy, MemshareConfig,
+    MemsharePolicy, SharedCachePolicy, StaticCatPolicy, WorkloadHandle,
 };
 use dcat_obs::{FlightRecorder, TickRecord, Tracer, DEFAULT_STEP_BUCKETS};
 use host::{Engine, EngineConfig, VmEpochStats, VmSpec};
@@ -104,6 +104,10 @@ pub enum PolicyKind {
     StaticCat,
     /// The dCat controller.
     Dcat(DcatConfig),
+    /// LFOC-style miss-rate clustering onto shared COS.
+    Lfoc(LfocConfig),
+    /// Memshare-style share accounting with a lending ledger.
+    Memshare(MemshareConfig),
 }
 
 impl PolicyKind {
@@ -113,6 +117,8 @@ impl PolicyKind {
             PolicyKind::Shared => "shared",
             PolicyKind::StaticCat => "static-cat",
             PolicyKind::Dcat(_) => "dcat",
+            PolicyKind::Lfoc(_) => "lfoc",
+            PolicyKind::Memshare(_) => "memshare",
         }
     }
 }
@@ -268,6 +274,12 @@ pub fn run_scenario(
         PolicyKind::Dcat(cfg) => {
             Box::new(DcatController::new(cfg, handles, &mut engine.cat()).expect("dcat config ok"))
         }
+        PolicyKind::Lfoc(cfg) => {
+            Box::new(LfocPolicy::new(handles, &mut engine.cat(), cfg).expect("lfoc layout fits"))
+        }
+        PolicyKind::Memshare(cfg) => Box::new(
+            MemsharePolicy::new(handles, &mut engine.cat(), cfg).expect("memshare layout fits"),
+        ),
     };
 
     let mut result = RunResult {

@@ -1,0 +1,36 @@
+//! Fleet determinism: a fleet run must be byte-identical at any
+//! `--jobs` width — reports, decision traces, and recorded metrics all
+//! come out the same whether hosts step inline or across four workers.
+//!
+//! One test function on purpose: the jobs width is a process global, so
+//! concurrent test threads must not interleave width changes.
+
+use dcat_bench::fleet::{run_fleet, FleetConfig, FleetPolicy};
+use dcat_bench::{report, runner};
+
+fn smoke_config() -> FleetConfig {
+    let mut cfg = FleetConfig::new(48, true);
+    cfg.epochs = 6;
+    cfg.cycles_per_epoch = 60_000;
+    cfg.llc_fidelity = llc_sim::SimFidelity::Sampled { one_in: 8 };
+    cfg
+}
+
+#[test]
+fn fleet_outputs_are_byte_identical_across_jobs_widths() {
+    let cfg = smoke_config();
+    for policy in [FleetPolicy::DcatMaxFairness, FleetPolicy::Lfoc] {
+        let mut outputs = Vec::new();
+        for jobs in [1usize, 4] {
+            runner::set_jobs(jobs);
+            let (result, text, snap) = report::capture_obs(|| run_fleet(policy, &cfg));
+            outputs.push((result.serialize(), result.trace, text, snap.to_prometheus()));
+        }
+        runner::set_jobs(1);
+        let (a, b) = (&outputs[0], &outputs[1]);
+        assert_eq!(a.0, b.0, "{}: report bytes differ", policy.label());
+        assert_eq!(a.1, b.1, "{}: decision trace differs", policy.label());
+        assert_eq!(a.2, b.2, "{}: captured output differs", policy.label());
+        assert_eq!(a.3, b.3, "{}: metrics differ", policy.label());
+    }
+}

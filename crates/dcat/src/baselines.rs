@@ -8,15 +8,17 @@ use crate::controller::{DomainReport, WorkloadHandle};
 use crate::policy::CachePolicy;
 use crate::state::WorkloadClass;
 
-/// Shared metric bookkeeping for the static policies.
-struct MetricsTracker {
+/// Shared metric bookkeeping for the non-dCat policies (the static
+/// baselines here, and the clustering/share-accounting policies in
+/// [`crate::lfoc`] and [`crate::memshare`]).
+pub(crate) struct MetricsTracker {
     handles: Vec<WorkloadHandle>,
     last: Vec<CounterSnapshot>,
     baseline_ipc: Vec<Option<f64>>,
 }
 
 impl MetricsTracker {
-    fn new(handles: Vec<WorkloadHandle>) -> Self {
+    pub(crate) fn new(handles: Vec<WorkloadHandle>) -> Self {
         let n = handles.len();
         MetricsTracker {
             handles,
@@ -25,7 +27,15 @@ impl MetricsTracker {
         }
     }
 
-    fn reports(&mut self, snapshots: &[CounterSnapshot], ways: &[u32]) -> Vec<DomainReport> {
+    /// The tracked domains, in report order.
+    pub(crate) fn handles(&self) -> &[WorkloadHandle] {
+        &self.handles
+    }
+
+    /// Consumes one tick's snapshots: computes each domain's interval
+    /// delta, advances the stored counters, and latches the first active
+    /// interval's IPC as that domain's baseline.
+    pub(crate) fn advance(&mut self, snapshots: &[CounterSnapshot]) -> Vec<IntervalMetrics> {
         assert_eq!(
             snapshots.len(),
             self.handles.len(),
@@ -41,17 +51,50 @@ impl MetricsTracker {
                 if self.baseline_ipc[i].is_none() && m.ipc > 0.0 {
                     self.baseline_ipc[i] = Some(m.ipc);
                 }
-                DomainReport {
-                    name: self.handles[i].name.clone(),
-                    class: WorkloadClass::Keeper,
-                    ways: ways[i],
-                    ipc: m.ipc,
-                    norm_ipc: self.baseline_ipc[i].map(|b| if b > 0.0 { m.ipc / b } else { 0.0 }),
-                    llc_miss_rate: m.llc_miss_rate,
-                    phase_changed: false,
-                    baseline_ipc: self.baseline_ipc[i],
-                    skipped: false,
-                }
+                m
+            })
+            .collect()
+    }
+
+    /// Builds domain `i`'s report from an interval computed by
+    /// [`MetricsTracker::advance`].
+    pub(crate) fn report(
+        &self,
+        i: usize,
+        m: &IntervalMetrics,
+        ways: u32,
+        class: WorkloadClass,
+    ) -> DomainReport {
+        let baseline = self.baseline_ipc.get(i).copied().flatten();
+        DomainReport {
+            name: self
+                .handles
+                .get(i)
+                .map(|h| h.name.clone())
+                .unwrap_or_default(),
+            class,
+            ways,
+            ipc: m.ipc,
+            norm_ipc: baseline.map(|b| if b > 0.0 { m.ipc / b } else { 0.0 }),
+            llc_miss_rate: m.llc_miss_rate,
+            phase_changed: false,
+            baseline_ipc: baseline,
+            skipped: false,
+        }
+    }
+
+    fn reports(&mut self, snapshots: &[CounterSnapshot], ways: &[u32]) -> Vec<DomainReport> {
+        let metrics = self.advance(snapshots);
+        metrics
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                self.report(
+                    i,
+                    m,
+                    ways.get(i).copied().unwrap_or(0),
+                    WorkloadClass::Keeper,
+                )
             })
             .collect()
     }

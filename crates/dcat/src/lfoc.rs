@@ -1,0 +1,514 @@
+//! LFOC-style workload clustering onto shared COS (arXiv 2402.07578).
+//!
+//! dCat assigns one class of service per workload, which caps a host at
+//! `num_closids - 1` tenants (15 on the paper's machines). A fleet host
+//! packs far more. LFOC's answer — reproduced here in its structural
+//! essentials — is to **cluster** workloads with similar cache behavior
+//! onto a shared COS:
+//!
+//! * workloads that cannot profit from LLC capacity (idle cores, and
+//!   streaming/thrashing patterns whose miss rate stays near 1.0 no
+//!   matter the allocation) are fenced into one small *insensitive*
+//!   bucket so they stop polluting everyone else — the same insight as
+//!   dCat's `Streaming` class, applied fleet-wide;
+//! * cache-sensitive workloads are sorted by their smoothed miss rate
+//!   and split into quantile clusters; each cluster gets one COS sized
+//!   by its aggregate miss pressure.
+//!
+//! The number of programmed COS is therefore bounded by
+//! [`LfocConfig::max_clusters`] regardless of tenant count. Within a
+//! cluster, tenants share the partition unpartitioned (LFOC accepts
+//! intra-cluster interference between look-alikes in exchange for
+//! isolation between clusters).
+//!
+//! Everything is deterministic: features are smoothed with a fixed-weight
+//! EWMA, ordering ties break on domain index, and way apportionment is
+//! integer largest-remainder — no RNG, no wall clock, no hash iteration.
+
+use perf_events::{CounterSnapshot, IntervalMetrics};
+use resctrl::{CacheController, Cbm, CosId, LayoutPlanner, ResctrlError};
+
+use crate::baselines::MetricsTracker;
+use crate::controller::{DomainReport, WorkloadHandle};
+use crate::policy::CachePolicy;
+use crate::state::WorkloadClass;
+
+/// Tuning knobs for [`LfocPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct LfocConfig {
+    /// Upper bound on simultaneously programmed clusters (each cluster
+    /// occupies one COS). Clamped to the hardware's `num_closids - 1`.
+    pub max_clusters: u32,
+    /// Way floor for every cluster (CAT forbids empty masks).
+    pub min_ways: u32,
+    /// Re-cluster every this many ticks; between reclusterings the
+    /// assignment is stable so tenants keep warm partitions.
+    pub recluster_ticks: u64,
+    /// Weight of the newest observation in the feature EWMA (0..=1).
+    pub smoothing: f64,
+    /// `llc_ref / instruction` below which a domain is considered
+    /// cache-insensitive (idle or compute-bound).
+    pub idle_intensity: f64,
+    /// Smoothed miss rate above which a domain is treated as
+    /// streaming/thrashing (no allocation will help it).
+    pub streaming_miss_rate: f64,
+}
+
+impl Default for LfocConfig {
+    fn default() -> Self {
+        LfocConfig {
+            max_clusters: 4,
+            min_ways: 1,
+            recluster_ticks: 4,
+            smoothing: 0.5,
+            idle_intensity: 1e-3,
+            streaming_miss_rate: 0.9,
+        }
+    }
+}
+
+/// Smoothed per-domain behavior signature.
+#[derive(Debug, Clone, Copy, Default)]
+struct Feature {
+    /// EWMA of the interval LLC miss rate.
+    miss_rate: f64,
+    /// EWMA of LLC references per instruction.
+    intensity: f64,
+    /// Whether any active interval has been observed yet.
+    warm: bool,
+}
+
+/// The insensitive bucket's cluster id; sensitive clusters follow.
+const INSENSITIVE: usize = 0;
+
+/// LFOC-style clustering policy behind [`CachePolicy`].
+pub struct LfocPolicy {
+    cfg: LfocConfig,
+    tracker: MetricsTracker,
+    features: Vec<Feature>,
+    /// Cluster id per domain (0 = insensitive bucket).
+    cluster_of: Vec<usize>,
+    /// Ways granted to each cluster (index = cluster id).
+    cluster_ways: Vec<u32>,
+    /// Last programmed mask per cluster, for stable relayouts.
+    cluster_masks: Vec<Option<Cbm>>,
+    cbm_len: u32,
+    ticks: u64,
+}
+
+impl LfocPolicy {
+    /// Creates the policy and programs the initial single-cluster layout
+    /// (everyone shares the full cache until features warm up).
+    pub fn new(
+        handles: Vec<WorkloadHandle>,
+        cat: &mut dyn CacheController,
+        mut cfg: LfocConfig,
+    ) -> Result<Self, ResctrlError> {
+        let caps = cat.capabilities();
+        let hw_clusters = caps.num_closids.saturating_sub(1).max(1);
+        cfg.max_clusters = cfg.max_clusters.clamp(1, hw_clusters);
+        cfg.min_ways = cfg.min_ways.max(caps.min_cbm_bits).max(1);
+        cfg.recluster_ticks = cfg.recluster_ticks.max(1);
+        let n = handles.len();
+        let mut policy = LfocPolicy {
+            cfg,
+            tracker: MetricsTracker::new(handles),
+            features: vec![Feature::default(); n],
+            cluster_of: vec![INSENSITIVE; n],
+            cluster_ways: vec![caps.cbm_len],
+            cluster_masks: Vec::new(),
+            cbm_len: caps.cbm_len,
+            ticks: 0,
+        };
+        policy.program(cat)?;
+        Ok(policy)
+    }
+
+    /// Folds one interval into the smoothed features.
+    fn update_features(&mut self, metrics: &[IntervalMetrics]) {
+        let w = self.cfg.smoothing.clamp(0.0, 1.0);
+        for (f, m) in self.features.iter_mut().zip(metrics) {
+            if m.instructions == 0 {
+                // Idle interval: decay intensity toward zero, keep the
+                // miss-rate estimate (no evidence either way).
+                f.intensity *= 1.0 - w;
+                continue;
+            }
+            let intensity = m.llc_ref as f64 / m.instructions as f64;
+            if f.warm {
+                f.miss_rate = (1.0 - w) * f.miss_rate + w * m.llc_miss_rate;
+                f.intensity = (1.0 - w) * f.intensity + w * intensity;
+            } else {
+                f.miss_rate = m.llc_miss_rate;
+                f.intensity = intensity;
+                f.warm = true;
+            }
+        }
+    }
+
+    /// Recomputes the cluster assignment and per-cluster way grants.
+    fn recluster(&mut self) {
+        let n = self.features.len();
+        // Split sensitive vs insensitive.
+        let mut sensitive: Vec<usize> = Vec::new();
+        for (i, f) in self.features.iter().enumerate() {
+            let insensitive = !f.warm
+                || f.intensity < self.cfg.idle_intensity
+                || f.miss_rate > self.cfg.streaming_miss_rate;
+            if insensitive {
+                self.cluster_of[i] = INSENSITIVE;
+            } else {
+                sensitive.push(i);
+            }
+        }
+        // Quantile-cluster the sensitive set by smoothed miss rate;
+        // ties break on domain index so the split is total-ordered.
+        sensitive.sort_by(|&a, &b| {
+            self.features[a]
+                .miss_rate
+                .total_cmp(&self.features[b].miss_rate)
+                .then(a.cmp(&b))
+        });
+        let groups = (self.cfg.max_clusters as usize)
+            .saturating_sub(1)
+            .min(sensitive.len());
+        if groups == 0 {
+            // A one-COS budget cannot separate anyone.
+            for &i in &sensitive {
+                self.cluster_of[i] = INSENSITIVE;
+            }
+        }
+        for (rank, &i) in sensitive.iter().enumerate() {
+            if groups == 0 {
+                break;
+            }
+            // rank * groups / len is a balanced quantile split.
+            let g = rank * groups / sensitive.len();
+            self.cluster_of[i] = 1 + g.min(groups - 1);
+        }
+        let clusters = 1 + groups;
+        // Weight each sensitive cluster by its aggregate miss pressure;
+        // the insensitive bucket is pinned to the floor.
+        let mut weights = vec![0u64; clusters];
+        let mut members = vec![0u64; clusters];
+        for i in 0..n {
+            let c = self.cluster_of[i];
+            if let (Some(w), Some(m)) = (weights.get_mut(c), members.get_mut(c)) {
+                let f = &self.features[i];
+                // 100 base + up to 1000 of miss pressure, integerized so
+                // apportionment stays exact.
+                *w += 100 + (f.miss_rate.clamp(0.0, 1.0) * 1000.0) as u64;
+                *m += 1;
+            }
+        }
+        self.cluster_ways = apportion_ways(self.cbm_len, self.cfg.min_ways, &weights, &members);
+    }
+
+    /// Programs one COS per non-empty cluster and reassigns cores.
+    fn program(&mut self, cat: &mut dyn CacheController) -> Result<(), ResctrlError> {
+        let clusters = self.cluster_ways.len();
+        // Compact to non-empty clusters (layout forbids zero counts).
+        let mut occupied: Vec<usize> = Vec::new();
+        for c in 0..clusters {
+            if self.cluster_of.contains(&c) || (c == INSENSITIVE && clusters == 1) {
+                occupied.push(c);
+            }
+        }
+        if occupied.is_empty() {
+            return Ok(());
+        }
+        let counts: Vec<u32> = occupied
+            .iter()
+            .map(|&c| self.cluster_ways.get(c).copied().unwrap_or(1).max(1))
+            .collect();
+        self.cluster_masks
+            .resize(clusters.max(self.cluster_masks.len()), None);
+        let previous: Vec<Option<Cbm>> = occupied
+            .iter()
+            .map(|&c| self.cluster_masks.get(c).copied().flatten())
+            .collect();
+        let layout = LayoutPlanner::new(self.cbm_len).layout_stable(&counts, &previous)?;
+        for (j, &c) in occupied.iter().enumerate() {
+            let cos = CosId((j + 1) as u8);
+            let cbm = layout
+                .get(j)
+                .copied()
+                .unwrap_or_else(|| Cbm::full(self.cbm_len));
+            cat.program_cos(cos, cbm)?;
+            if let Some(slot) = self.cluster_masks.get_mut(c) {
+                *slot = Some(cbm);
+            }
+            for (i, handle) in self.tracker.handles().iter().enumerate() {
+                if self.cluster_of.get(i).copied() == Some(c) {
+                    for &core in &handle.cores {
+                        cat.assign_core(core, cos)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The report class for domain `i` under the current clustering.
+    fn class_of(&self, i: usize) -> WorkloadClass {
+        let f = match self.features.get(i) {
+            Some(f) => f,
+            None => return WorkloadClass::Unknown,
+        };
+        if !f.warm {
+            return WorkloadClass::Unknown;
+        }
+        if self.cluster_of.get(i).copied() == Some(INSENSITIVE) {
+            return if f.miss_rate > self.cfg.streaming_miss_rate
+                && f.intensity >= self.cfg.idle_intensity
+            {
+                WorkloadClass::Streaming
+            } else {
+                WorkloadClass::Donor
+            };
+        }
+        let top = self.cluster_ways.len().saturating_sub(1);
+        if self.cluster_of.get(i).copied() == Some(top) && top > INSENSITIVE {
+            WorkloadClass::Receiver
+        } else {
+            WorkloadClass::Keeper
+        }
+    }
+}
+
+/// Integer largest-remainder apportionment of `total` ways.
+///
+/// The insensitive bucket (index 0) is pinned to `floor` when occupied;
+/// every other occupied cluster receives at least `floor` and the rest
+/// proportionally to its weight. Deterministic: remainders tie-break on
+/// cluster index.
+fn apportion_ways(total: u32, floor: u32, weights: &[u64], members: &[u64]) -> Vec<u32> {
+    let clusters = weights.len();
+    let mut ways = vec![0u32; clusters];
+    let occupied: Vec<usize> = (0..clusters)
+        .filter(|&c| members.get(c).copied().unwrap_or(0) > 0)
+        .collect();
+    if occupied.is_empty() {
+        if let Some(w) = ways.first_mut() {
+            *w = total;
+        }
+        return ways;
+    }
+    let mut remaining = total;
+    // Floors first (insensitive bucket stays at its floor).
+    for &c in &occupied {
+        let grant = floor.min(remaining);
+        if let Some(w) = ways.get_mut(c) {
+            *w = grant;
+        }
+        remaining -= grant;
+    }
+    let sensitive: Vec<usize> = occupied.iter().copied().filter(|&c| c != 0).collect();
+    let weight_sum: u64 = sensitive
+        .iter()
+        .map(|&c| weights.get(c).copied().unwrap_or(0))
+        .sum();
+    if weight_sum == 0 || sensitive.is_empty() {
+        // Nothing sensitive: hand the remainder to the first cluster.
+        if let Some(&c) = occupied.first() {
+            if let Some(w) = ways.get_mut(c) {
+                *w += remaining;
+            }
+        }
+        return ways;
+    }
+    // Proportional grant with largest-remainder repair.
+    let mut granted = 0u32;
+    let mut remainders: Vec<(u64, usize)> = Vec::new();
+    for &c in &sensitive {
+        let w = weights.get(c).copied().unwrap_or(0);
+        let exact = u64::from(remaining) * w;
+        let share = (exact.checked_div(weight_sum).unwrap_or(0)) as u32;
+        if let Some(slot) = ways.get_mut(c) {
+            *slot += share;
+        }
+        granted += share;
+        remainders.push((exact.checked_rem(weight_sum).unwrap_or(0), c));
+    }
+    // Largest remainder first; ties on lower cluster index.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = remaining - granted;
+    for &(_, c) in remainders.iter().cycle().take(remainders.len() * 2) {
+        if leftover == 0 {
+            break;
+        }
+        if let Some(w) = ways.get_mut(c) {
+            *w += 1;
+            leftover -= 1;
+        }
+    }
+    // Any residue (degenerate weights) lands on the last sensitive cluster.
+    if leftover > 0 {
+        if let Some(&c) = sensitive.last() {
+            if let Some(w) = ways.get_mut(c) {
+                *w += leftover;
+            }
+        }
+    }
+    ways
+}
+
+impl CachePolicy for LfocPolicy {
+    fn name(&self) -> &'static str {
+        "lfoc"
+    }
+
+    fn tick(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        cat: &mut dyn CacheController,
+    ) -> Result<Vec<DomainReport>, ResctrlError> {
+        let metrics = self.tracker.advance(snapshots);
+        self.update_features(&metrics);
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(self.cfg.recluster_ticks) {
+            self.recluster();
+            self.program(cat)?;
+        }
+        let reports = metrics
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let cluster = self.cluster_of.get(i).copied().unwrap_or(INSENSITIVE);
+                let ways = self
+                    .cluster_ways
+                    .get(cluster)
+                    .copied()
+                    .unwrap_or(self.cbm_len);
+                self.tracker.report(i, m, ways, self.class_of(i))
+            })
+            .collect();
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resctrl::{CatCapabilities, InMemoryController};
+
+    fn snapshot(ins: u64, cyc: u64, llc_ref: u64, llc_miss: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            l1_ref: ins / 3,
+            llc_ref,
+            llc_miss,
+            ret_ins: ins,
+            cycles: cyc,
+        }
+    }
+
+    fn accumulate(ticks: u64, per: CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            l1_ref: per.l1_ref * ticks,
+            llc_ref: per.llc_ref * ticks,
+            llc_miss: per.llc_miss * ticks,
+            ret_ins: per.ret_ins * ticks,
+            cycles: per.cycles * ticks,
+        }
+    }
+
+    /// 24 tenants — way beyond the 15-COS budget — in three behavior
+    /// archetypes. The policy must fit them into `max_clusters` COS.
+    #[test]
+    fn clusters_many_tenants_into_few_cos() {
+        let n = 24u32;
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), n);
+        let handles: Vec<WorkloadHandle> = (0..n)
+            .map(|i| WorkloadHandle::new(format!("t{i}"), vec![i], 1))
+            .collect();
+        let mut p = LfocPolicy::new(handles, &mut cat, LfocConfig::default()).unwrap();
+        let per_tick: Vec<CounterSnapshot> = (0..n)
+            .map(|i| match i % 3 {
+                0 => snapshot(1000, 1000, 300, 30),  // cache-friendly
+                1 => snapshot(1000, 2000, 400, 380), // streaming
+                _ => snapshot(1000, 1500, 300, 150), // miss-heavy
+            })
+            .collect();
+        for t in 1..=8u64 {
+            let snaps: Vec<CounterSnapshot> = per_tick.iter().map(|s| accumulate(t, *s)).collect();
+            let r = p.tick(&snaps, &mut cat).unwrap();
+            assert_eq!(r.len(), n as usize);
+        }
+        assert!(!cat.has_overlapping_active_masks());
+        let distinct: std::collections::BTreeSet<u8> = (0..n)
+            .filter_map(|c| cat.core_cos(c).ok().map(|cos| cos.0))
+            .collect();
+        assert!(
+            distinct.len() <= LfocConfig::default().max_clusters as usize,
+            "expected ≤ {} clusters, got {distinct:?}",
+            LfocConfig::default().max_clusters
+        );
+        assert!(distinct.len() >= 2, "behaviors must separate: {distinct:?}");
+        assert_eq!(p.name(), "lfoc");
+    }
+
+    #[test]
+    fn streaming_tenants_are_fenced_into_the_insensitive_bucket() {
+        let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), 4);
+        let handles = vec![
+            WorkloadHandle::new("friendly", vec![0], 1),
+            WorkloadHandle::new("stream", vec![1], 1),
+        ];
+        let mut p = LfocPolicy::new(handles, &mut cat, LfocConfig::default()).unwrap();
+        let mut last = Vec::new();
+        for t in 1..=8u64 {
+            let snaps = vec![
+                accumulate(t, snapshot(1000, 1000, 300, 15)),
+                accumulate(t, snapshot(1000, 3000, 500, 490)),
+            ];
+            last = p.tick(&snaps, &mut cat).unwrap();
+        }
+        assert_eq!(last[1].class, WorkloadClass::Streaming);
+        assert!(
+            last[1].ways <= last[0].ways,
+            "streaming bucket must not out-size the sensitive cluster: {last:?}"
+        );
+    }
+
+    #[test]
+    fn reclustering_is_deterministic() {
+        let run = || {
+            let n = 12u32;
+            let mut cat = InMemoryController::new(CatCapabilities::with_ways(20), n);
+            let handles: Vec<WorkloadHandle> = (0..n)
+                .map(|i| WorkloadHandle::new(format!("t{i}"), vec![i], 1))
+                .collect();
+            let mut p = LfocPolicy::new(handles, &mut cat, LfocConfig::default()).unwrap();
+            let mut out = Vec::new();
+            for t in 1..=6u64 {
+                let snaps: Vec<CounterSnapshot> = (0..n)
+                    .map(|i| {
+                        accumulate(
+                            t,
+                            snapshot(
+                                1000 + u64::from(i),
+                                1500,
+                                200 + 20 * u64::from(i),
+                                10 * u64::from(i),
+                            ),
+                        )
+                    })
+                    .collect();
+                for r in p.tick(&snaps, &mut cat).unwrap() {
+                    out.push(format!("{}:{}:{:?}", r.name, r.ways, r.class));
+                }
+            }
+            (out, cat.log.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn apportionment_is_exact_and_respects_floors() {
+        let ways = apportion_ways(20, 1, &[100, 300, 700], &[2, 3, 3]);
+        assert_eq!(ways.iter().sum::<u32>(), 20);
+        assert!(ways.iter().all(|&w| w >= 1));
+        assert_eq!(ways[0], 1, "insensitive bucket pinned to the floor");
+        assert!(ways[2] > ways[1], "weightier cluster gets more ways");
+    }
+}

@@ -52,6 +52,8 @@ pub mod controller;
 pub mod daemon;
 pub mod events;
 pub mod invariants;
+pub mod lfoc;
+pub mod memshare;
 pub mod perf_table;
 pub mod phase;
 pub mod policy;
@@ -64,6 +66,8 @@ pub use config::{AllocationPolicy, DcatConfig};
 pub use controller::{DcatController, DomainReport, WorkloadHandle};
 pub use daemon::{DaemonConfig, ResiliencePolicy, TickObservation};
 pub use events::{DegradeReason, Event};
+pub use lfoc::{LfocConfig, LfocPolicy};
+pub use memshare::{MemshareConfig, MemsharePolicy};
 pub use perf_table::PerformanceTable;
 pub use phase::{PhaseChange, PhaseDetector};
 pub use policy::CachePolicy;

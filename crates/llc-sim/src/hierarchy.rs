@@ -50,8 +50,9 @@ pub enum HitLevel {
 ///
 /// Consequences of sampling, all documented rather than hidden:
 ///
-/// * LLC occupancy accessors scale sampled-set counts by `one_in`, so
-///   magnitudes stay comparable with full fidelity;
+/// * LLC occupancy accessors scale sampled-set counts by the exact
+///   `sets / simulated_sets` ratio (round-half-up), so magnitudes stay
+///   comparable with full fidelity and never exceed the cache capacity;
 /// * LLC inclusion is not maintained for unsampled sets (their lines are
 ///   never resident), so `llc_probe` only answers for sampled sets;
 /// * miss *rates* carry a sampling error — the accuracy test in
@@ -111,6 +112,24 @@ impl SampleEstimator {
         if missed {
             self.sampled_miss += 1;
         }
+    }
+
+    /// Applies the effect of a way flush to the replayed ratio. The hits
+    /// in this estimator's history were served by lines that a flush (in
+    /// proportion to the fraction of LLC ways it covered) just dropped,
+    /// so that share of past hits is converted into misses: a full-mask
+    /// flush replays ~all-miss, matching a cold cache, and the decay
+    /// window re-learns the true post-flush rate within ~one window.
+    /// Without this, unsampled sets keep replaying pre-flush hits right
+    /// after a reallocation.
+    fn flush_decay(&mut self, flushed_ways: u32, total_ways: u32) {
+        let hits = self.sampled_ref.saturating_sub(self.sampled_miss);
+        let converted = (hits * u64::from(flushed_ways))
+            .checked_div(u64::from(total_ways))
+            .unwrap_or(0);
+        self.sampled_miss = (self.sampled_miss + converted).min(self.sampled_ref);
+        // Keep the Bresenham invariant `credit < sampled_ref`.
+        self.credit = self.credit.min(self.sampled_ref.saturating_sub(1));
     }
 
     /// Classifies one access to an unsampled set. Before any sampled set
@@ -227,13 +246,34 @@ impl Hierarchy {
         self.fidelity
     }
 
-    /// Factor by which sampled-set occupancy counts are scaled to
-    /// approximate the full cache (1 in full fidelity).
-    fn occupancy_scale(&self) -> u64 {
+    /// Number of LLC sets actually simulated under the current fidelity:
+    /// the sets whose index is a multiple of `one_in`, i.e. ⌈sets/one_in⌉.
+    fn simulated_llc_sets(&self) -> u64 {
+        let sets = u64::from(self.config.llc.sets);
         match self.fidelity {
-            SimFidelity::Full => 1,
-            SimFidelity::Sampled { one_in } => u64::from(one_in),
+            SimFidelity::Full => sets,
+            SimFidelity::Sampled { one_in } => sets.div_ceil(u64::from(one_in.max(1))),
         }
+    }
+
+    /// Scales a sampled-set line count to approximate the full cache.
+    ///
+    /// The scale is the exact `sets / simulated_sets` ratio with
+    /// round-half-up, not `one_in`: the simulated sets are the indices
+    /// divisible by `one_in`, which is ⌈sets/one_in⌉ of them, so
+    /// multiplying by `one_in` over-estimates whenever the set count is
+    /// not a multiple of the stride (e.g. 16 sets at `one_in = 7`
+    /// simulates 3 sets; `one_in` would report 21 lines for 3 resident,
+    /// beyond the 16 a one-line-per-set footprint can occupy).
+    fn scale_occupancy(&self, count: u64) -> u64 {
+        if self.fidelity == SimFidelity::Full {
+            return count;
+        }
+        let sets = u64::from(self.config.llc.sets);
+        let simulated = self.simulated_llc_sets();
+        (count * sets + simulated / 2)
+            .checked_div(simulated)
+            .unwrap_or(count)
     }
 
     /// Whether the set holding `line` is simulated under the current
@@ -279,8 +319,16 @@ impl Hierarchy {
     }
 
     /// The current fill mask of `core`.
+    ///
+    /// Mirrors [`Hierarchy::set_fill_mask`]'s contract for absent cores:
+    /// reading a core beyond the socket returns the reset (all-ways)
+    /// mask — the unmanaged state such a core would observe — instead of
+    /// panicking, so the read and write sides of the CAT surface agree.
     pub fn fill_mask(&self, core: u32) -> WayMask {
-        self.fill_masks[core as usize]
+        self.fill_masks
+            .get(core as usize)
+            .copied()
+            .unwrap_or_else(|| WayMask::all(self.config.llc.ways))
     }
 
     /// Performs one memory access by `core` at physical address `paddr`.
@@ -404,12 +452,12 @@ impl Hierarchy {
     /// LLC lines resident in ways permitted by `mask` (scaled to the full
     /// cache when sampling).
     pub fn llc_occupancy_in(&self, mask: WayMask) -> u64 {
-        self.llc.occupancy_in(mask) * self.occupancy_scale()
+        self.scale_occupancy(self.llc.occupancy_in(mask))
     }
 
     /// Total LLC lines resident (scaled to the full cache when sampling).
     pub fn llc_occupancy(&self) -> u64 {
-        self.llc.occupancy() * self.occupancy_scale()
+        self.scale_occupancy(self.llc.occupancy())
     }
 
     /// Whether `paddr`'s line is resident in the LLC.
@@ -435,7 +483,7 @@ impl Hierarchy {
     /// LLC lines filled by `core` (CMT-style occupancy attribution,
     /// scaled to the full cache when sampling).
     pub fn llc_occupancy_of_core(&self, core: u32) -> u64 {
-        self.llc.occupancy_of(core) * self.occupancy_scale()
+        self.scale_occupancy(self.llc.occupancy_of(core))
     }
 
     /// Invalidates every LLC line in the ways permitted by `mask`,
@@ -451,7 +499,17 @@ impl Hierarchy {
                 self.l1[idx].invalidate(*line);
             }
         }
-        dropped.len() as u64 * self.occupancy_scale()
+        if self.fidelity != SimFidelity::Full {
+            // The estimators' hit history describes the pre-flush cache;
+            // without a decay, unsampled sets would keep replaying stale
+            // hits right after a reallocation flush.
+            let flushed_ways = mask.count();
+            let total_ways = self.config.llc.ways;
+            for s in &mut self.samplers {
+                s.flush_decay(flushed_ways, total_ways);
+            }
+        }
+        self.scale_occupancy(dropped.len() as u64)
     }
 
     /// Flushes every cache in the hierarchy.
@@ -638,6 +696,108 @@ mod tests {
         // Only 4 of 16 sets are simulated; scaling restores the magnitude.
         assert_eq!(h.llc_occupancy(), 16);
         assert_eq!(h.llc_occupancy_of_core(0), 16);
+    }
+
+    #[test]
+    fn sampled_occupancy_is_exact_for_non_divisible_set_counts() {
+        // 16 sets at stride 7 simulate sets {0, 7, 14} — three sets, not
+        // 16/7. The scale must be the exact 16/3 ratio; the old `* one_in`
+        // scale reported 21 lines for a one-line-per-set footprint that
+        // can only occupy 16.
+        let mut h = tiny();
+        h.set_fidelity(SimFidelity::Sampled { one_in: 7 });
+        for set in [0u64, 7, 14] {
+            h.access(0, set * 64, AccessKind::Load);
+        }
+        assert_eq!(h.llc_occupancy(), 16);
+        assert_eq!(h.llc_occupancy_of_core(0), 16);
+        let lines = 16 * 4; // sets * ways
+        assert!(
+            h.llc_occupancy() <= lines,
+            "scaled occupancy must never exceed the cache capacity"
+        );
+    }
+
+    #[test]
+    fn sampled_flush_drop_count_is_exact_for_non_divisible_strides() {
+        let mut h = tiny();
+        h.set_fidelity(SimFidelity::Sampled { one_in: 7 });
+        for set in [0u64, 7, 14] {
+            h.access(0, set * 64, AccessKind::Load);
+        }
+        // Three resident lines dropped, scaled by the exact 16/3 ratio.
+        let dropped = h.flush_mask(WayMask::all(4));
+        assert_eq!(dropped, 16);
+        assert_eq!(h.llc_occupancy(), 0);
+    }
+
+    #[test]
+    fn sampled_flush_resets_the_estimator_hit_history() {
+        // Warm both fidelities on the same sampled-set pattern, flush the
+        // whole cache, then touch fresh *unsampled* sets: full fidelity
+        // misses every one (the sets are cold), and the sampled estimator
+        // must replay the same all-miss regime instead of the pre-flush
+        // hit ratio it learned.
+        let mut full = tiny();
+        let mut sampled = tiny();
+        sampled.set_fidelity(SimFidelity::Sampled { one_in: 4 });
+        for _ in 0..20 {
+            for i in 0..8u64 {
+                full.access(0, i * 4 * 64, AccessKind::Load);
+                sampled.access(0, i * 4 * 64, AccessKind::Load);
+            }
+        }
+        full.flush_mask(WayMask::all(4));
+        sampled.flush_mask(WayMask::all(4));
+        let full_warm = full.counters(0);
+        let sampled_warm = sampled.counters(0);
+        // Fresh lines in unsampled sets {1, 5, 9, 13}.
+        for i in 0..8u64 {
+            full.access(0, (i * 4 + 1) * 64, AccessKind::Load);
+            sampled.access(0, (i * 4 + 1) * 64, AccessKind::Load);
+        }
+        let full_tail = full.counters(0).llc_miss - full_warm.llc_miss;
+        let sampled_tail = sampled.counters(0).llc_miss - sampled_warm.llc_miss;
+        assert_eq!(full_tail, 8, "cold sets after a full flush all miss");
+        assert_eq!(
+            sampled_tail, full_tail,
+            "estimator must not replay pre-flush hits on unsampled sets"
+        );
+    }
+
+    #[test]
+    fn partial_flush_decays_the_estimator_proportionally() {
+        let mut h = tiny();
+        h.set_fidelity(SimFidelity::Sampled { one_in: 4 });
+        for _ in 0..20 {
+            for i in 0..8u64 {
+                h.access(0, i * 4 * 64, AccessKind::Load);
+            }
+        }
+        let warm = h.counters(0);
+        // Flush half the ways: half the learned hits become misses.
+        h.flush_mask(WayMask::from_way_range(0, 2));
+        for i in 0..8u64 {
+            h.access(0, (i * 4 + 1) * 64, AccessKind::Load);
+        }
+        let tail_ref = h.counters(0).llc_ref - warm.llc_ref;
+        let tail_miss = h.counters(0).llc_miss - warm.llc_miss;
+        let rate = tail_miss as f64 / tail_ref as f64;
+        assert!(
+            (0.25..=0.85).contains(&rate),
+            "half-capacity flush should replay a mixed regime, got {rate}"
+        );
+    }
+
+    #[test]
+    fn fill_mask_of_absent_core_reads_the_default() {
+        let mut h = tiny();
+        // The write side no-ops on absent cores; the read side answers
+        // with the reset all-ways mask instead of panicking.
+        h.set_fill_mask(99, WayMask::from_way_range(0, 2));
+        assert_eq!(h.fill_mask(99), WayMask::all(4));
+        h.set_fill_mask(0, WayMask::from_way_range(0, 2));
+        assert_eq!(h.fill_mask(0), WayMask::from_way_range(0, 2));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Sampled-fidelity accuracy sweep: `one_in ∈ {1, 3, 4, 7}` against full
+//! fidelity on a 64-set LLC (64 is divisible by 4 but not by 3 or 7, so
+//! the sweep exercises both the exact-stride and the ⌈sets/one_in⌉
+//! scaling paths). Bounds checked per stride:
+//!
+//! * scaled occupancy never exceeds the cache capacity (the old
+//!   `* one_in` scale broke this whenever `sets % one_in != 0`);
+//! * scaled occupancy tracks full fidelity;
+//! * the estimated end-to-end miss rate tracks full fidelity;
+//! * stride 1 degenerates to exactly full fidelity.
+
+use llc_sim::{AccessKind, CacheGeometry, Hierarchy, HierarchyConfig, SimFidelity};
+use smallrng::SmallRng;
+
+const CORES: u32 = 2;
+const LLC_SETS: u32 = 64;
+const LLC_WAYS: u32 = 8;
+
+fn hierarchy() -> Hierarchy {
+    Hierarchy::new(HierarchyConfig {
+        cores: CORES,
+        l1: CacheGeometry::new(8, 2, 64),
+        l2: CacheGeometry::new(16, 4, 64),
+        llc: CacheGeometry::new(LLC_SETS, LLC_WAYS, 64),
+        llc_policy: Default::default(),
+    })
+}
+
+/// A deterministic hot/cold access trace: 70% of references to a hot
+/// 128-line region, 30% uniform over 2048 lines (4× LLC capacity), split
+/// across both cores.
+fn trace(seed: u64, len: usize) -> Vec<(u32, u64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let core = (rng.next_u64() % u64::from(CORES)) as u32;
+            let line = if rng.next_u64() % 10 < 7 {
+                rng.gen_range(0..128)
+            } else {
+                rng.gen_range(0..2048)
+            };
+            (core, line * 64)
+        })
+        .collect()
+}
+
+fn run(fidelity: SimFidelity, accesses: &[(u32, u64)]) -> (u64, f64) {
+    let mut h = hierarchy();
+    h.set_fidelity(fidelity);
+    for &(core, addr) in accesses {
+        h.access(core, addr, AccessKind::Load);
+    }
+    let (mut llc_ref, mut llc_miss) = (0u64, 0u64);
+    for core in 0..CORES {
+        let c = h.counters(core);
+        llc_ref += c.llc_ref;
+        llc_miss += c.llc_miss;
+    }
+    let rate = if llc_ref == 0 {
+        0.0
+    } else {
+        llc_miss as f64 / llc_ref as f64
+    };
+    (h.llc_occupancy(), rate)
+}
+
+#[test]
+fn sampled_sweep_bounds_occupancy_and_miss_rate() {
+    let accesses = trace(0xd1a7, 40_000);
+    let (full_occ, full_rate) = run(SimFidelity::Full, &accesses);
+    let capacity_lines = u64::from(LLC_SETS) * u64::from(LLC_WAYS);
+    assert!(full_occ <= capacity_lines);
+    assert!(full_rate > 0.05 && full_rate < 0.95, "trace must be mixed");
+
+    for one_in in [1u32, 3, 4, 7] {
+        let (occ, rate) = run(SimFidelity::Sampled { one_in }, &accesses);
+        assert!(
+            occ <= capacity_lines,
+            "one_in={one_in}: scaled occupancy {occ} exceeds capacity {capacity_lines}"
+        );
+        let occ_err = occ.abs_diff(full_occ);
+        let occ_bound = (full_occ / 4).max(u64::from(LLC_WAYS) * u64::from(one_in));
+        assert!(
+            occ_err <= occ_bound,
+            "one_in={one_in}: occupancy {occ} vs full {full_occ} (err {occ_err} > {occ_bound})"
+        );
+        let rate_err = (rate - full_rate).abs();
+        assert!(
+            rate_err <= 0.12,
+            "one_in={one_in}: miss rate {rate:.4} vs full {full_rate:.4}"
+        );
+        if one_in == 1 {
+            assert_eq!(occ, full_occ, "stride 1 is exactly full fidelity");
+            assert!((rate - full_rate).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn sampled_sweep_is_deterministic_per_stride() {
+    let accesses = trace(0xbeef, 10_000);
+    for one_in in [3u32, 4, 7] {
+        let a = run(SimFidelity::Sampled { one_in }, &accesses);
+        let b = run(SimFidelity::Sampled { one_in }, &accesses);
+        assert_eq!(a, b, "one_in={one_in}");
+    }
+}

@@ -47,6 +47,7 @@
 //! assert!(saw_end);
 //! ```
 
+pub mod diurnal;
 pub mod lookbusy;
 pub mod mload;
 pub mod mlr;
@@ -57,6 +58,7 @@ pub mod stream;
 pub mod trace;
 pub mod zipf;
 
+pub use diurnal::{DiurnalStream, DAY_CURVE};
 pub use lookbusy::Lookbusy;
 pub use mload::Mload;
 pub use mlr::Mlr;
