@@ -9,14 +9,11 @@ fn main() {
 }
 
 fn run(cli: dcat_bench::Cli) {
-    match tenants_flag() {
-        Some(n) => {
-            dcat_bench::experiments::fleet_scale::run_at(&[n], cli.fast);
-        }
-        None => {
-            dcat_bench::experiments::fleet_scale::run(cli.fast);
-        }
-    }
+    let r = match tenants_flag() {
+        Some(n) => dcat_bench::experiments::fleet_scale::run_at(&[n], cli.fast),
+        None => dcat_bench::experiments::fleet_scale::run(cli.fast),
+    };
+    r.expect("fleet_scale: fatal resctrl error");
 }
 
 /// Parses `--tenants N` / `--tenants=N` from the raw argument list (the

@@ -71,7 +71,12 @@ pub fn run_one(rate: f64, seed: u64, ticks: u64, index: usize) -> SweepRun {
     let root =
         std::env::temp_dir().join(format!("dcat-fault-sweep-{}-{index}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    drop(FsBackend::create_fixture(&root, CatCapabilities::with_ways(20), 8).unwrap());
+    if let Err(e) = FsBackend::create_fixture(&root, CatCapabilities::with_ways(20), 8) {
+        panic!(
+            "fault-sweep fixture setup failed: {e} (severity {:?})",
+            e.severity()
+        );
+    }
 
     let telemetry = root.join("telemetry.csv");
     // A cache-hungry tenant next to a compute-bound donor: allocations

@@ -28,18 +28,28 @@ pub struct FleetChurnRow {
 }
 
 /// Runs the churn comparison; fast mode shrinks the fleet.
-pub fn run(fast: bool) -> Vec<FleetChurnRow> {
+///
+/// # Errors
+///
+/// Propagates the [`resctrl::ResctrlError`] of the first fleet run that
+/// fails, so the binary classifies it at the exit boundary.
+pub fn run(fast: bool) -> Result<Vec<FleetChurnRow>, resctrl::ResctrlError> {
     run_at(if fast { 48 } else { 1_000 }, fast)
 }
 
 /// Runs the churn comparison at an explicit fleet size.
-pub fn run_at(tenants: u32, fast: bool) -> Vec<FleetChurnRow> {
+///
+/// # Errors
+///
+/// Propagates the [`resctrl::ResctrlError`] of the first fleet run that
+/// fails.
+pub fn run_at(tenants: u32, fast: bool) -> Result<Vec<FleetChurnRow>, resctrl::ResctrlError> {
     report::section("Fleet churn: cluster cache policies under tenant turnover");
     let mut cfg = FleetConfig::new(tenants, fast);
     cfg.churn = true;
     let mut rows = Vec::new();
     for policy in FleetPolicy::ALL {
-        let r = run_fleet(policy, &cfg);
+        let r = run_fleet(policy, &cfg)?;
         rows.push(FleetChurnRow {
             policy: r.policy,
             requests: r.total_requests(),
@@ -66,5 +76,5 @@ pub fn run_at(tenants: u32, fast: bool) -> Vec<FleetChurnRow> {
             })
             .collect::<Vec<_>>(),
     );
-    rows
+    Ok(rows)
 }

@@ -37,14 +37,27 @@ pub struct FleetScaleRow {
 
 /// Runs the standard ladder: a small smoke in fast mode, the paper-style
 /// 100/1 000/10 000 ladder otherwise.
-pub fn run(fast: bool) -> Vec<FleetScaleRow> {
+///
+/// # Errors
+///
+/// Propagates the [`resctrl::ResctrlError`] of the first fleet run that
+/// fails, so the binary classifies it at the exit boundary.
+pub fn run(fast: bool) -> Result<Vec<FleetScaleRow>, resctrl::ResctrlError> {
     let ladder: &[u32] = if fast { &[48] } else { &[100, 1_000, 10_000] };
     run_at(ladder, fast)
 }
 
 /// Runs the comparison at explicit fleet sizes (the `--tenants N` path
 /// of the binary).
-pub fn run_at(tenant_counts: &[u32], fast: bool) -> Vec<FleetScaleRow> {
+///
+/// # Errors
+///
+/// Propagates the [`resctrl::ResctrlError`] of the first fleet run that
+/// fails.
+pub fn run_at(
+    tenant_counts: &[u32],
+    fast: bool,
+) -> Result<Vec<FleetScaleRow>, resctrl::ResctrlError> {
     report::section("Fleet scale: cluster cache policies at increasing tenant counts");
     let mut rows = Vec::new();
     // Policies run serially: run_fleet fans its hosts over the worker
@@ -52,7 +65,7 @@ pub fn run_at(tenant_counts: &[u32], fast: bool) -> Vec<FleetScaleRow> {
     for &tenants in tenant_counts {
         let cfg = FleetConfig::new(tenants, fast);
         for policy in FleetPolicy::ALL {
-            let r = run_fleet(policy, &cfg);
+            let r = run_fleet(policy, &cfg)?;
             rows.push(FleetScaleRow {
                 policy: r.policy,
                 tenants,
@@ -83,5 +96,5 @@ pub fn run_at(tenant_counts: &[u32], fast: bool) -> Vec<FleetScaleRow> {
             })
             .collect::<Vec<_>>(),
     );
-    rows
+    Ok(rows)
 }

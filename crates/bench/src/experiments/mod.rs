@@ -151,13 +151,17 @@ pub fn registry() -> Vec<Experiment> {
         Experiment {
             name: "fleet_scale",
             run: |fast| {
-                fleet_scale::run(fast);
+                if let Err(e) = fleet_scale::run(fast) {
+                    panic!("fleet_scale aborted: {e} (severity {:?})", e.severity());
+                }
             },
         },
         Experiment {
             name: "fleet_churn",
             run: |fast| {
-                fleet_churn::run(fast);
+                if let Err(e) = fleet_churn::run(fast) {
+                    panic!("fleet_churn aborted: {e} (severity {:?})", e.severity());
+                }
             },
         },
     ]

@@ -37,7 +37,7 @@ use dcat::{
 };
 use host::{Engine, EngineConfig, Pool, VmSpec};
 use llc_sim::CacheGeometry;
-use resctrl::CacheController;
+use resctrl::{CacheController, ResctrlError};
 use smallrng::{split_seed, SmallRng};
 use workloads::{
     AccessStream, DiurnalStream, ElasticsearchModel, Mload, Mlr, PostgresModel, RedisModel,
@@ -211,25 +211,23 @@ impl FleetPolicy {
         &self,
         handles: Vec<WorkloadHandle>,
         cat: &mut dyn resctrl::CacheController,
-    ) -> Box<dyn CachePolicy + Send> {
-        match self {
-            FleetPolicy::DcatMaxFairness => Box::new(
-                DcatController::new(DcatConfig::default(), handles, cat)
-                    .expect("fleet host fits dcat's domain ceiling"),
-            ),
-            FleetPolicy::DcatMaxPerformance => Box::new(
-                DcatController::new(DcatConfig::max_performance(), handles, cat)
-                    .expect("fleet host fits dcat's domain ceiling"),
-            ),
-            FleetPolicy::Lfoc => Box::new(
-                LfocPolicy::new(handles, cat, LfocConfig::default())
-                    .expect("fleet host fits lfoc's layout"),
-            ),
-            FleetPolicy::Memshare => Box::new(
-                MemsharePolicy::new(handles, cat, MemshareConfig::default())
-                    .expect("fleet host fits memshare's layout"),
-            ),
-        }
+    ) -> Result<Box<dyn CachePolicy + Send>, ResctrlError> {
+        Ok(match self {
+            FleetPolicy::DcatMaxFairness => {
+                Box::new(DcatController::new(DcatConfig::default(), handles, cat)?)
+            }
+            FleetPolicy::DcatMaxPerformance => Box::new(DcatController::new(
+                DcatConfig::max_performance(),
+                handles,
+                cat,
+            )?),
+            FleetPolicy::Lfoc => Box::new(LfocPolicy::new(handles, cat, LfocConfig::default())?),
+            FleetPolicy::Memshare => Box::new(MemsharePolicy::new(
+                handles,
+                cat,
+                MemshareConfig::default(),
+            )?),
+        })
     }
 }
 
@@ -345,7 +343,12 @@ struct HostState {
 }
 
 impl HostState {
-    fn build(cfg: &FleetConfig, policy: FleetPolicy, host: u32, shard: Vec<TenantSpec>) -> Self {
+    fn build(
+        cfg: &FleetConfig,
+        policy: FleetPolicy,
+        host: u32,
+        shard: Vec<TenantSpec>,
+    ) -> Result<Self, ResctrlError> {
         let vms: Vec<VmSpec> = shard
             .iter()
             .enumerate()
@@ -357,18 +360,18 @@ impl HostState {
             .collect();
         let mut engine =
             Engine::new(cfg.host_engine(host), vms).expect("fleet shard must fit the host");
-        let policy = policy.build(handles, &mut engine.cat());
-        HostState {
+        let policy = policy.build(handles, &mut engine.cat())?;
+        Ok(HostState {
             engine,
             policy,
             tenants: shard,
-        }
+        })
     }
 
     /// Runs one epoch: schedule arrivals/departures, simulate, tick the
     /// policy, and aggregate. Everything is local to the host, so hosts
     /// can run on any pool worker without ordering effects.
-    fn step(&mut self, epoch: u64) -> HostEpoch {
+    fn step(&mut self, epoch: u64) -> Result<HostEpoch, ResctrlError> {
         for (slot, t) in self.tenants.iter().enumerate() {
             if t.arrival_epoch == epoch && t.departure_epoch > epoch {
                 self.engine.start_workload(slot, t.stream());
@@ -379,10 +382,7 @@ impl HostState {
         }
         let stats = self.engine.run_epoch();
         let snapshots = self.engine.snapshots();
-        let reports = self
-            .policy
-            .tick(&snapshots, &mut self.engine.cat())
-            .expect("fleet policy tick must succeed");
+        let reports = self.policy.tick(&snapshots, &mut self.engine.cat())?;
 
         let mut out = HostEpoch {
             instructions: 0,
@@ -419,7 +419,7 @@ impl HostState {
             .filter_map(|c| cat.core_cos(c).ok().map(|id| id.0))
             .collect();
         out.cos_used = cos.len() as u32;
-        out
+        Ok(out)
     }
 }
 
@@ -593,11 +593,16 @@ impl FleetResult {
 /// byte-identical at any `--jobs` width. Metrics and the decision trace
 /// are recorded by the coordinator only.
 ///
+/// # Errors
+///
+/// Returns the [`ResctrlError`] of the first policy build or tick that
+/// fails, so callers classify it through `severity()` like every other
+/// allocation-path error.
+///
 /// # Panics
 ///
-/// Panics if a shard cannot fit its host (config error) or a policy
-/// tick fails.
-pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> FleetResult {
+/// Panics if a shard cannot fit its host (config error).
+pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> Result<FleetResult, ResctrlError> {
     let tenants = TenantSpec::generate(cfg);
     let per_host = cfg.tenants_per_host.max(1) as usize;
     let label = policy.label();
@@ -606,7 +611,7 @@ pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> FleetResult {
         .chunks(per_host)
         .enumerate()
         .map(|(h, shard)| HostState::build(cfg, policy, h as u32, shard.to_vec()))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let num_hosts = hosts.len() as u32;
     let pool = Pool::new(crate::runner::jobs());
 
@@ -640,6 +645,7 @@ pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> FleetResult {
         };
         hosts = Vec::with_capacity(stepped.len());
         for (h, (host, he)) in stepped.into_iter().enumerate() {
+            let he = he?;
             row.active += he.active;
             row.instructions += he.instructions;
             row.llc_ref += he.llc_ref;
@@ -710,7 +716,7 @@ pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> FleetResult {
             result.mean_cos_used(),
         );
     });
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -751,7 +757,7 @@ mod tests {
     #[test]
     fn every_policy_runs_a_small_fleet() {
         for policy in FleetPolicy::ALL {
-            let r = run_fleet(policy, &tiny(24));
+            let r = run_fleet(policy, &tiny(24)).expect("tiny fleet runs");
             assert_eq!(r.hosts, 2);
             assert_eq!(r.rows.len(), 4);
             assert!(r.total_instructions() > 0, "{}: fleet ran", policy.label());
@@ -763,15 +769,15 @@ mod tests {
 
     #[test]
     fn fleet_runs_are_deterministic() {
-        let a = run_fleet(FleetPolicy::Lfoc, &tiny(24));
-        let b = run_fleet(FleetPolicy::Lfoc, &tiny(24));
+        let a = run_fleet(FleetPolicy::Lfoc, &tiny(24)).expect("tiny fleet runs");
+        let b = run_fleet(FleetPolicy::Lfoc, &tiny(24)).expect("tiny fleet runs");
         assert_eq!(a.serialize(), b.serialize());
         assert_eq!(a.trace, b.trace);
     }
 
     #[test]
     fn clustering_policies_bound_cos_pressure() {
-        let r = run_fleet(FleetPolicy::Lfoc, &tiny(24));
+        let r = run_fleet(FleetPolicy::Lfoc, &tiny(24)).expect("tiny fleet runs");
         for row in &r.rows {
             assert!(
                 row.cos_used_max <= LfocConfig::default().max_clusters + 1,

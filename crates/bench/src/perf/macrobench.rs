@@ -70,7 +70,13 @@ pub fn run(clock: &mut dyn CycleSource, kind: ClockKind, quick: bool) -> SuiteRe
         let (r, _text, _snap) =
             report::capture_obs(|| fleet::run_fleet(fleet::FleetPolicy::Lfoc, &cfg));
         runner::set_sample_sets(0);
-        r.total_requests()
+        match r {
+            Ok(r) => r.total_requests(),
+            Err(e) => panic!(
+                "fleet macrobench aborted: {e} (severity {:?})",
+                e.severity()
+            ),
+        }
     });
 
     let mut cases = suite.run(clock, reps);

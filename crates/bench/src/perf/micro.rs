@@ -1,5 +1,5 @@
 //! The `micro` suite: set access, hierarchy access per replacement
-//! policy, and the engine epoch loop.
+//! policy, the engine epoch loop, and the full-workspace lint run.
 //!
 //! The headline pair is `set_access_churn_packed` vs
 //! `set_access_churn_legacy`: a full 16-way set where every fill must
@@ -193,6 +193,18 @@ pub fn run(clock: &mut dyn CycleSource, kind: ClockKind, quick: bool) -> SuiteRe
     let e_iters = if quick { 1 } else { 8 };
     suite.case("engine_epoch", e_iters, move || engine.run_epoch());
 
+    // --- full-workspace lint gate ---
+    // ci.sh budgets 10 s of wall clock for `cargo xtask lint`; tracking
+    // the full pipeline (read + lex + parse + call graph + passes) here
+    // turns that one-off timer into a regression-gated trajectory with
+    // a hard headroom floor (`lint_budget_headroom` below).
+    let lint_root = dcat_lint::find_repo_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench crate lives inside the workspace");
+    suite.case("lint_full_workspace", 1, move || {
+        let report = dcat_lint::check_repo(&lint_root).expect("lint pipeline runs");
+        report.findings.len()
+    });
+
     let mut cases = suite.run(clock, reps);
     normalize(&mut cases, "spin_calibration");
 
@@ -216,6 +228,13 @@ pub fn run(clock: &mut dyn CycleSource, kind: ClockKind, quick: bool) -> SuiteRe
             // The acceptance floor for the packed-set refactor; only
             // meaningful against a real clock.
             min: wall.then_some(3.0),
+        },
+        Derived {
+            name: "lint_budget_headroom".into(),
+            // How many times the full-workspace lint fits into ci.sh's
+            // 10 s budget; dipping under 1.0 means the gate is blown.
+            value: 10_000_000_000.0 / ns_of("lint_full_workspace"),
+            min: wall.then_some(1.0),
         },
     ];
 

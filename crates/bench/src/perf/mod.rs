@@ -9,8 +9,9 @@
 //!   interleaved across the suite's cases for noise robustness, plus
 //!   normalization against a calibration spin.
 //! * [`micro`] — `CacheSet` access paths (packed vs legacy),
-//!   `Hierarchy::access` per replacement policy, and the engine epoch
-//!   loop.
+//!   `Hierarchy::access` per replacement policy, the engine epoch
+//!   loop, and the full-workspace `dcat-lint` run (whose
+//!   `lint_budget_headroom` floor enforces ci.sh's 10 s lint budget).
 //! * [`macrobench`] — fig10/fig15 `--fast` sweeps, full fidelity vs
 //!   `--sample-sets 8`.
 //! * [`json`] — the `dcat-perfbench/v1` schema: serialization,

@@ -238,10 +238,27 @@ impl RunResult {
 /// VM `i` owns cores `{2i, 2i+1}` (two pinned vCPUs, as in the paper's
 /// testbed).
 ///
+/// Scenario-level error boundary. A policy build or tick failing inside
+/// a scenario is a scenario bug, not a runtime condition: classify the
+/// error, record a structured metric event, and abort the run with the
+/// severity in the message.
+fn fatal_boundary<T>(stage: &'static str, r: Result<T, resctrl::ResctrlError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            report::record(|reg| {
+                reg.counter_add("scenario_fatal_errors_total", &[("stage", stage)], 1);
+            });
+            panic!("scenario {stage} failed: {e} (severity {:?})", e.severity());
+        }
+    }
+}
+
 /// # Panics
 ///
 /// Panics if the socket cannot host the VMs or the policy rejects the
-/// configuration — scenario bugs, not runtime conditions.
+/// configuration — scenario bugs, not runtime conditions (routed
+/// through [`fatal_boundary`], which classifies the error first).
 pub fn run_scenario(
     policy: PolicyKind,
     engine_cfg: EngineConfig,
@@ -268,18 +285,22 @@ pub fn run_scenario(
     let mut engine = Engine::new(engine_cfg, vms).expect("scenario must fit the socket");
     let mut policy: Box<dyn CachePolicy> = match policy {
         PolicyKind::Shared => Box::new(SharedCachePolicy::new(handles, &mut engine.cat())),
-        PolicyKind::StaticCat => {
-            Box::new(StaticCatPolicy::new(handles, &mut engine.cat()).expect("static layout fits"))
-        }
-        PolicyKind::Dcat(cfg) => {
-            Box::new(DcatController::new(cfg, handles, &mut engine.cat()).expect("dcat config ok"))
-        }
-        PolicyKind::Lfoc(cfg) => {
-            Box::new(LfocPolicy::new(handles, &mut engine.cat(), cfg).expect("lfoc layout fits"))
-        }
-        PolicyKind::Memshare(cfg) => Box::new(
-            MemsharePolicy::new(handles, &mut engine.cat(), cfg).expect("memshare layout fits"),
-        ),
+        PolicyKind::StaticCat => Box::new(fatal_boundary(
+            "static-cat build",
+            StaticCatPolicy::new(handles, &mut engine.cat()),
+        )),
+        PolicyKind::Dcat(cfg) => Box::new(fatal_boundary(
+            "dcat build",
+            DcatController::new(cfg, handles, &mut engine.cat()),
+        )),
+        PolicyKind::Lfoc(cfg) => Box::new(fatal_boundary(
+            "lfoc build",
+            LfocPolicy::new(handles, &mut engine.cat(), cfg),
+        )),
+        PolicyKind::Memshare(cfg) => Box::new(fatal_boundary(
+            "memshare build",
+            MemsharePolicy::new(handles, &mut engine.cat(), cfg),
+        )),
     };
 
     let mut result = RunResult {
@@ -312,9 +333,10 @@ pub fn run_scenario(
             result.request_latencies[i].extend(engine.take_request_latencies(i));
         }
         let snapshots = engine.snapshots();
-        let reports = policy
-            .tick_traced(&snapshots, &mut engine.cat(), &mut tracer)
-            .expect("policy tick must succeed");
+        let reports = fatal_boundary(
+            "policy tick",
+            policy.tick_traced(&snapshots, &mut engine.cat(), &mut tracer),
+        );
         let spans = tracer.drain();
         report::record(|reg| {
             reg.counter_add("scenario_epochs_total", &[("policy", policy_label)], 1);

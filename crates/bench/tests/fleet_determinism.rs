@@ -24,6 +24,7 @@ fn fleet_outputs_are_byte_identical_across_jobs_widths() {
         for jobs in [1usize, 4] {
             runner::set_jobs(jobs);
             let (result, text, snap) = report::capture_obs(|| run_fleet(policy, &cfg));
+            let result = result.expect("smoke fleet runs");
             outputs.push((result.serialize(), result.trace, text, snap.to_prometheus()));
         }
         runner::set_jobs(1);

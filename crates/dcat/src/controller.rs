@@ -730,18 +730,19 @@ impl DcatController {
     /// the table-bearing beneficiaries to maximize total normalized IPC
     /// (paper Section 3.5's worked example).
     fn max_performance_retarget(&self, targets: &mut [u32]) {
-        let candidates: Vec<usize> = (0..self.domains.len())
-            .filter(|&i| {
-                let d = &self.domains[i];
-                !d.pending_baseline
-                    && !d.table.is_empty()
-                    && matches!(
-                        d.class,
-                        WorkloadClass::Receiver | WorkloadClass::Unknown | WorkloadClass::Keeper
-                    )
-                    && d.table.len() >= 2
-            })
-            .collect();
+        let mut candidates: Vec<usize> = Vec::with_capacity(self.domains.len());
+        for (i, d) in self.domains.iter().enumerate() {
+            if !d.pending_baseline
+                && !d.table.is_empty()
+                && matches!(
+                    d.class,
+                    WorkloadClass::Receiver | WorkloadClass::Unknown | WorkloadClass::Keeper
+                )
+                && d.table.len() >= 2
+            {
+                candidates.push(i);
+            }
+        }
         if candidates.len() < 2 {
             return;
         }
@@ -768,7 +769,7 @@ impl DcatController {
         let mut free = self.total_ways.saturating_sub(assigned);
 
         // Desired totals per candidate.
-        let mut order: Vec<usize> = Vec::new();
+        let mut order: Vec<usize> = Vec::with_capacity(self.domains.len());
         for class in [WorkloadClass::Unknown, WorkloadClass::Receiver] {
             for (i, d) in self.domains.iter().enumerate() {
                 // Only freshly judged domains change size; a settling

@@ -565,7 +565,9 @@ pub fn run_daemon_observed(
                     total_ways,
                     cfg.dcat.min_ways,
                 ) {
-                    events.push(Event::InvariantViolation { message: violation });
+                    events.push(Event::InvariantViolation {
+                        message: violation.to_string(),
+                    });
                 }
                 degraded
             }

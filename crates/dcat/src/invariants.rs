@@ -19,6 +19,8 @@
 //! every explored transition, and any test that wants a one-call audit of
 //! controller state.
 
+use std::fmt;
+
 use resctrl::Cbm;
 
 use crate::state::WorkloadClass;
@@ -36,36 +38,124 @@ pub struct DomainView {
     pub cbm: Option<Cbm>,
 }
 
+/// One violated controller invariant, carried structurally so the
+/// per-tick audit allocates nothing on the checked (hot) path; the
+/// [`fmt::Display`] impl renders the description only when a violation
+/// is actually reported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// The granted way counts oversubscribe the cache.
+    Oversubscribed {
+        /// Total ways granted across domains.
+        granted: u32,
+        /// Cache capacity in ways.
+        total_ways: u32,
+    },
+    /// A domain dropped below its allocation floor.
+    BelowFloor {
+        /// Domain index.
+        domain: usize,
+        /// The domain's class when it was starved.
+        class: WorkloadClass,
+        /// Ways granted.
+        ways: u32,
+        /// The floor it must not drop below.
+        floor: u32,
+    },
+    /// A programmed mask grants a different way count than recorded.
+    MaskMismatch {
+        /// Domain index.
+        domain: usize,
+        /// The domain's class.
+        class: WorkloadClass,
+        /// The programmed mask.
+        cbm: Cbm,
+        /// Ways the controller believes it granted.
+        granted: u32,
+    },
+    /// The programmed layout is illegal (delegated to
+    /// [`resctrl::invariants::check_layout`], whose description is
+    /// built only on the violation path).
+    Layout(String),
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::Oversubscribed {
+                granted,
+                total_ways,
+            } => write!(
+                f,
+                "way conservation violated: {granted} ways granted on a {total_ways}-way cache"
+            ),
+            InvariantViolation::BelowFloor {
+                domain,
+                class,
+                ways,
+                floor,
+            } => write!(
+                f,
+                "domain {domain} ({class:?}) granted {ways} ways, below its floor of {floor}"
+            ),
+            InvariantViolation::MaskMismatch {
+                domain,
+                class,
+                cbm,
+                granted,
+            } => write!(
+                f,
+                "domain {domain} ({class:?}) mask {cbm} grants {} ways but the controller \
+                 granted {granted}",
+                cbm.ways()
+            ),
+            InvariantViolation::Layout(msg) => f.write_str(msg),
+        }
+    }
+}
+
 /// Checks every controller-level invariant over the domains of one
-/// controller. Returns a description of the first violation.
-pub fn check(views: &[DomainView], total_ways: u32, min_ways: u32) -> Result<(), String> {
+/// controller. Returns the first violation, structurally.
+pub fn check(
+    views: &[DomainView],
+    total_ways: u32,
+    min_ways: u32,
+) -> Result<(), InvariantViolation> {
     let granted: u32 = views.iter().map(|v| v.ways).sum();
     if granted > total_ways {
-        return Err(format!(
-            "way conservation violated: {granted} ways granted on a {total_ways}-way cache"
-        ));
+        return Err(InvariantViolation::Oversubscribed {
+            granted,
+            total_ways,
+        });
     }
     for (i, v) in views.iter().enumerate() {
         let floor = min_ways.min(v.reserved_ways).max(1);
         if v.ways < floor {
-            return Err(format!(
-                "domain {i} ({:?}) granted {} ways, below its floor of {floor}",
-                v.class, v.ways
-            ));
+            return Err(InvariantViolation::BelowFloor {
+                domain: i,
+                class: v.class,
+                ways: v.ways,
+                floor,
+            });
         }
         if let Some(m) = v.cbm {
             if m.ways() != v.ways {
-                return Err(format!(
-                    "domain {i} ({:?}) mask {m} grants {} ways but the controller granted {}",
-                    v.class,
-                    m.ways(),
-                    v.ways
-                ));
+                return Err(InvariantViolation::MaskMismatch {
+                    domain: i,
+                    class: v.class,
+                    cbm: m,
+                    granted: v.ways,
+                });
             }
         }
     }
-    let masks: Vec<Cbm> = views.iter().filter_map(|v| v.cbm).collect();
-    resctrl::invariants::check_layout(&masks, total_ways)?;
+    let mut masks: Vec<Cbm> = Vec::with_capacity(views.len());
+    for v in views {
+        if let Some(m) = v.cbm {
+            masks.push(m);
+        }
+    }
+    resctrl::invariants::check_layout(&masks, total_ways).map_err(InvariantViolation::Layout)?;
     Ok(())
 }
 

@@ -150,7 +150,7 @@ impl LfocPolicy {
     fn recluster(&mut self) {
         let n = self.features.len();
         // Split sensitive vs insensitive.
-        let mut sensitive: Vec<usize> = Vec::new();
+        let mut sensitive: Vec<usize> = Vec::with_capacity(n);
         for (i, f) in self.features.iter().enumerate() {
             let insensitive = !f.warm
                 || f.intensity < self.cfg.idle_intensity
@@ -208,7 +208,7 @@ impl LfocPolicy {
     fn program(&mut self, cat: &mut dyn CacheController) -> Result<(), ResctrlError> {
         let clusters = self.cluster_ways.len();
         // Compact to non-empty clusters (layout forbids zero counts).
-        let mut occupied: Vec<usize> = Vec::new();
+        let mut occupied: Vec<usize> = Vec::with_capacity(clusters);
         for c in 0..clusters {
             if self.cluster_of.contains(&c) || (c == INSENSITIVE && clusters == 1) {
                 occupied.push(c);
@@ -285,9 +285,12 @@ impl LfocPolicy {
 fn apportion_ways(total: u32, floor: u32, weights: &[u64], members: &[u64]) -> Vec<u32> {
     let clusters = weights.len();
     let mut ways = vec![0u32; clusters];
-    let occupied: Vec<usize> = (0..clusters)
-        .filter(|&c| members.get(c).copied().unwrap_or(0) > 0)
-        .collect();
+    let mut occupied: Vec<usize> = Vec::with_capacity(clusters);
+    for c in 0..clusters {
+        if members.get(c).copied().unwrap_or(0) > 0 {
+            occupied.push(c);
+        }
+    }
     if occupied.is_empty() {
         if let Some(w) = ways.first_mut() {
             *w = total;
@@ -303,7 +306,12 @@ fn apportion_ways(total: u32, floor: u32, weights: &[u64], members: &[u64]) -> V
         }
         remaining -= grant;
     }
-    let sensitive: Vec<usize> = occupied.iter().copied().filter(|&c| c != 0).collect();
+    let mut sensitive: Vec<usize> = Vec::with_capacity(occupied.len());
+    for &c in &occupied {
+        if c != 0 {
+            sensitive.push(c);
+        }
+    }
     let weight_sum: u64 = sensitive
         .iter()
         .map(|&c| weights.get(c).copied().unwrap_or(0))
@@ -319,7 +327,7 @@ fn apportion_ways(total: u32, floor: u32, weights: &[u64], members: &[u64]) -> V
     }
     // Proportional grant with largest-remainder repair.
     let mut granted = 0u32;
-    let mut remainders: Vec<(u64, usize)> = Vec::new();
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(sensitive.len());
     for &c in &sensitive {
         let w = weights.get(c).copied().unwrap_or(0);
         let exact = u64::from(remaining) * w;

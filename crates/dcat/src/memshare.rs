@@ -165,9 +165,12 @@ impl MemsharePolicy {
             }
         }
         // Borrowers in credit order (past lenders first), index-stable.
-        let mut borrowers: Vec<usize> = (0..n)
-            .filter(|&i| demand.get(i) == Some(&Demand::Needy))
-            .collect();
+        let mut borrowers: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            if demand.get(i) == Some(&Demand::Needy) {
+                borrowers.push(i);
+            }
+        }
         borrowers.sort_by(|&a, &b| self.credit.get(b).cmp(&self.credit.get(a)).then(a.cmp(&b)));
         while pool > 0 && !borrowers.is_empty() {
             let mut gave = false;

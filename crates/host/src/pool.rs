@@ -77,7 +77,9 @@ impl Pool {
         let cursor = AtomicUsize::new(0);
 
         let run_worker = || {
-            let mut local: Vec<(usize, T)> = Vec::new();
+            // The cursor balances work, so a worker's fair share is
+            // n/workers; reserve that up front (skew can still grow it).
+            let mut local: Vec<(usize, T)> = Vec::with_capacity(n / workers + 1);
             loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {

@@ -21,12 +21,19 @@
 //! | DL009 | panicking slice index in privileged I/O | resctrl fs/retry, daemon, telemetry |
 //! | DL010 | FIGURE6 vs DESIGN.md spec drift | transitions.rs + DESIGN.md |
 //! | DL011 | direct stdio macros in library code | all library sources (minus `bench::report`, `obs`, `prop-lite`, bins/tests/benches) |
+//! | DL012 | HashMap/HashSet order reaching published outputs | entry points: controller ticks, `CachePolicy` impls, engine/multi pub fns |
+//! | DL013 | panic reachable from the daemon/apply path | entry points: `run_daemon*`, `DcatController::{apply*,tick*}` |
+//! | DL014 | mixed-unit arithmetic (ways/bytes/misses/…) | dcat, resctrl, llc-sim, host |
+//! | DL015 | pool-discipline race: closure to `Pool::map` captures `&mut`/cell/report sink | any crate calling `host::pool` |
+//! | DL016 | allocation on a perfbench-pinned path (`Vec::new`+grow, size-losing collect, `Box::new`, `format!`) | reachable from `run_epoch*`, `CacheSet`, `CachePolicy::tick` |
+//! | DL017 | I/O `Result` dropped/unwrapped or severity match with wildcard arm | resctrl, perf-events callers, daemon loop (bins/tests exempt) |
 //!
 //! Entry points: [`check_repo`] (scoped repo gate), [`scan_files`]
 //! (all passes on arbitrary files, for fixture checks), [`self_test`]
 //! (every pass against its embedded fixtures).
 
 pub mod baseline;
+pub mod dataflow;
 pub mod diagnostics;
 pub mod lexer;
 pub mod model;

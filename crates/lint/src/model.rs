@@ -508,8 +508,9 @@ enum Resolution {
 /// Ubiquitous std trait/container method names, excluded from the
 /// unique-name method heuristic (a `.next()`/`.len()`/`.clone()` on an
 /// untyped receiver is overwhelmingly a std call).
-const STD_METHODS: [&str; 24] = [
+const STD_METHODS: [&str; 25] = [
     "next",
+    "map",
     "clone",
     "fmt",
     "eq",

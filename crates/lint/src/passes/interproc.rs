@@ -18,7 +18,11 @@
 //! laundering shape DL006's file-local tracker provably misses. The
 //! order-insensitive-fold exemption and `lint: allow(DL006/DL007/DL012)`
 //! escapes are honored at the fact site; `bench::timing` keeps its
-//! wall-clock license.
+//! wall-clock license. v3 refines the name set with the def-use layer
+//! ([`crate::dataflow`]): a file-level hash name shadowed by a provably
+//! non-hash local no longer taints the fn, and plain aliases
+//! (`let renamed = m;` / `.clone()`) of a hash value are tracked to a
+//! fixpoint even though their names carry no type anywhere.
 //!
 //! **DL013 panic-reachability.** `unwrap`/`expect`/`panic!`-family
 //! macros, slice indexing, and integer `/`/`%` by a variable divisor are
@@ -36,8 +40,13 @@
 //! conversions) and (b) returns from unit-promising fn names that
 //! contradict the canonical widths in DESIGN.md §12: `ways` are `u32`,
 //! `bytes`/`cycles`/`epochs` are `u64`. Named (newtype) returns pass;
-//! a float or a wrong-width integer does not. Allow: DL014.
+//! a float or a wrong-width integer does not. v3 propagates units
+//! through suffix-free bindings: a `let` whose initializer reads only
+//! one unit's values (with no calls, which may convert, and no later
+//! reassignment) inherits that unit, so `let w = total_ways;
+//! w + slab_bytes` is still a mix. Allow: DL014.
 
+use crate::dataflow::UseKind;
 use crate::diagnostics::{Finding, Sink};
 use crate::model::Workspace;
 use crate::tokens::{Tok, TokKind};
@@ -60,6 +69,9 @@ pub fn run_all(ws: &Workspace, mode: EntryMode, sink: &mut Sink) {
     run_taint(ws, mode, sink);
     run_panic_reach(ws, mode, sink);
     run_unit_safety(ws, mode, sink);
+    super::flow::run_pool_discipline(ws, mode, sink);
+    super::flow::run_hot_alloc(ws, mode, sink);
+    super::flow::run_io_completeness(ws, mode, sink);
 }
 
 // ---------------------------------------------------------------------
@@ -69,7 +81,7 @@ pub fn run_all(ws: &Workspace, mode: EntryMode, sink: &mut Sink) {
 /// Multi-source BFS; returns `parent[f] = Some(pred)` for every reached
 /// fn (entries point at themselves). Deterministic: entries are visited
 /// in index order and adjacency lists are sorted.
-fn reach(ws: &Workspace, entries: &[usize]) -> Vec<Option<usize>> {
+pub(super) fn reach(ws: &Workspace, entries: &[usize]) -> Vec<Option<usize>> {
     let mut parent: Vec<Option<usize>> = vec![None; ws.fns.len()];
     let mut q = VecDeque::new();
     for &e in entries {
@@ -90,7 +102,7 @@ fn reach(ws: &Workspace, entries: &[usize]) -> Vec<Option<usize>> {
 }
 
 /// Entry→`f` chain of qualified names, following BFS parents.
-fn trace_to(ws: &Workspace, parent: &[Option<usize>], mut f: usize) -> Vec<String> {
+pub(super) fn trace_to(ws: &Workspace, parent: &[Option<usize>], mut f: usize) -> Vec<String> {
     let mut chain = vec![ws.fns[f].qualified.clone()];
     while let Some(p) = parent[f] {
         if p == f {
@@ -103,7 +115,7 @@ fn trace_to(ws: &Workspace, parent: &[Option<usize>], mut f: usize) -> Vec<Strin
     chain
 }
 
-fn roots(ws: &Workspace) -> Vec<usize> {
+pub(super) fn roots(ws: &Workspace) -> Vec<usize> {
     let mut has_caller = vec![false; ws.fns.len()];
     for (f, es) in ws.edges.iter().enumerate() {
         if ws.fns[f].is_test {
@@ -120,21 +132,21 @@ fn roots(ws: &Workspace) -> Vec<usize> {
 
 /// Crates whose bodies never contribute facts: the analyzer itself (its
 /// sources and fixtures spell every banned token) and the build tool.
-fn fact_exempt_crate(cr: &str) -> bool {
+pub(super) fn fact_exempt_crate(cr: &str) -> bool {
     cr == "dcat_lint" || cr == "xtask"
 }
 
 /// One extracted fact, pre-resolved to an emission site.
-struct Fact {
-    f: usize,
-    line: usize,
-    message: String,
+pub(super) struct Fact {
+    pub(super) f: usize,
+    pub(super) line: usize,
+    pub(super) message: String,
 }
 
 /// Emits `fact` if its line is not covered by `code` or any of
 /// `also_allowed` (the fact kinds map onto the token-level pass codes,
 /// whose existing allows stay honored).
-fn emit_fact(
+pub(super) fn emit_fact(
     ws: &Workspace,
     sink: &mut Sink,
     code: &'static str,
@@ -171,7 +183,7 @@ fn emit_fact(
 }
 
 /// Non-test code lines of a fn body, as `(line_no, scrubbed_text)`.
-fn body_code_lines(ws: &Workspace, f: usize) -> Vec<(usize, String)> {
+pub(super) fn body_code_lines(ws: &Workspace, f: usize) -> Vec<(usize, String)> {
     let unit = ws.unit_of(f);
     let Some((lo, hi)) = ws.fn_item(f).body_lines else {
         return Vec::new();
@@ -234,12 +246,66 @@ fn taint_entries(ws: &Workspace, mode: EntryMode) -> Vec<usize> {
 
 /// Hash-typed names visible in fn `f`: the file-level tracker's names
 /// plus locals whose type (declared or call-return-inferred) is a hash
-/// container.
+/// container, refined by the fn's def-use chains (v3): a file-level
+/// name shadowed in this fn by a provably non-hash local is dropped,
+/// and a local bound directly from a hash-typed value (a plain alias
+/// or `.clone()`) is added even though its name carries no type.
 fn hash_names(ws: &Workspace, f: usize) -> BTreeSet<String> {
     let mut names = super::determinism::collect_hash_names(&ws.unit_of(f).file);
     for (name, ty) in &ws.locals[f] {
         if ty.contains("HashMap") || ty.contains("HashSet") {
             names.insert(name.clone());
+        }
+    }
+    let Some(flow) = super::flow::flow_of(ws, f) else {
+        return names;
+    };
+    let is_hash = |t: &str| t.contains("HashMap") || t.contains("HashSet");
+    // Shadowing cut: every def of the name in this fn is known non-hash
+    // (by annotation, call-return inference, or a non-hash constructor)
+    // → occurrences here are that local, not the file-level binding.
+    names.retain(|name| {
+        let mut defs = flow.defs.iter().filter(|d| &d.name == name).peekable();
+        if defs.peek().is_none() {
+            return true; // not bound locally; trust the file tracker
+        }
+        defs.any(|d| {
+            let known =
+                d.ty.as_deref()
+                    .or_else(|| ws.locals[f].get(name).map(String::as_str));
+            match known {
+                Some(t) => is_hash(t),
+                // No type anywhere: a non-hash constructor call proves
+                // it clean; anything else stays suspect.
+                None => !d.init_calls.iter().any(|c| {
+                    let tail = c.rsplit("::").next().unwrap_or(c);
+                    matches!(tail, "new" | "default" | "with_capacity") && !is_hash(c)
+                }),
+            }
+        })
+    });
+    // Alias propagation to a fixpoint: `let alias = m;` (or `m.clone()`)
+    // carries the hash container under a new, suffix-free name.
+    loop {
+        let mut changed = false;
+        for def in &flow.defs {
+            if names.contains(&def.name) {
+                continue;
+            }
+            let pure_alias = def
+                .init_calls
+                .iter()
+                .all(|c| c.rsplit("::").next().unwrap_or(c) == "clone");
+            if pure_alias
+                && def.init_reads.len() == 1
+                && names.contains(&flow.defs[def.init_reads[0]].name)
+            {
+                names.insert(def.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
         }
     }
     names
@@ -606,6 +672,46 @@ fn run_unit_safety(ws: &Workspace, mode: EntryMode, sink: &mut Sink) {
         // (a) mixed-unit arithmetic/comparison/assignment.
         let Some((bs, be)) = item.body else { continue };
         let toks = &ws.unit_of(f).parsed.tokens;
+        // v3 dataflow: a suffix-free binding whose initializer reads
+        // only values of one unit (and is never reassigned) inherits
+        // that unit, so `let w = total_ways; w + size_bytes` is caught.
+        let mut inherited: BTreeMap<String, &'static str> = BTreeMap::new();
+        if let Some(flow) = super::flow::flow_of(ws, f) {
+            loop {
+                let mut changed = false;
+                for def in &flow.defs {
+                    if unit_of(&def.name).is_some()
+                        || inherited.contains_key(&def.name)
+                        || !def.init_calls.is_empty()
+                        || def.init_reads.is_empty()
+                        || def.uses.iter().any(|u| matches!(u.kind, UseKind::Write))
+                    {
+                        continue;
+                    }
+                    let units: BTreeSet<&'static str> = def
+                        .init_reads
+                        .iter()
+                        .filter_map(|&r| {
+                            let src = &flow.defs[r].name;
+                            unit_of(src).or_else(|| inherited.get(src).copied())
+                        })
+                        .collect();
+                    if units.len() == 1
+                        && def.init_reads.iter().all(|&r| {
+                            let src = &flow.defs[r].name;
+                            unit_of(src).is_some() || inherited.contains_key(src)
+                        })
+                    {
+                        inherited.insert(def.name.clone(), units.iter().next().copied().unwrap());
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        let unit_of_ident = |ident: &str| unit_of(ident).or_else(|| inherited.get(ident).copied());
         for i in bs..be {
             let t = &toks[i];
             if t.kind != TokKind::Punct || !unit_strict_op(&t.text) {
@@ -620,7 +726,7 @@ fn run_unit_safety(ws: &Workspace, mode: EntryMode, sink: &mut Sink) {
             if l.kind != TokKind::Ident || r.kind != TokKind::Ident {
                 continue;
             }
-            if let (Some(ul), Some(ur)) = (unit_of(&l.text), unit_of(&r.text)) {
+            if let (Some(ul), Some(ur)) = (unit_of_ident(&l.text), unit_of_ident(&r.text)) {
                 if ul != ur {
                     facts.push(Fact {
                         f,
@@ -702,7 +808,7 @@ fn split_idents(s: &str) -> Vec<String> {
 #[cfg(test)]
 use std::collections::BTreeMap as TestMap;
 
-fn fixture_ws(files: &[(&str, &str)]) -> Workspace {
+pub(super) fn fixture_ws(files: &[(&str, &str)]) -> Workspace {
     let sources: Vec<(String, String)> = files
         .iter()
         .map(|(p, t)| (p.to_string(), t.to_string()))
@@ -710,14 +816,14 @@ fn fixture_ws(files: &[(&str, &str)]) -> Workspace {
     Workspace::from_sources(&sources, &BTreeMap::new())
 }
 
-fn run_on(files: &[(&str, &str)], mode: EntryMode) -> Sink {
+pub(super) fn run_on(files: &[(&str, &str)], mode: EntryMode) -> Sink {
     let ws = fixture_ws(files);
     let mut sink = Sink::default();
     run_all(&ws, mode, &mut sink);
     sink
 }
 
-fn expect_codes(
+pub(super) fn expect_codes(
     name: &str,
     files: &[(&str, &str)],
     mode: EntryMode,
@@ -798,6 +904,49 @@ pub fn self_test() -> Result<(), String> {
         EntryMode::Roots,
         TAINT_CODE,
         0,
+    )?;
+    // v3 shadow cut: `counts` is a HashMap in `other` (so the
+    // file-level tracker collects the name) but a Vec in `entry`; the
+    // def-use layer sees the non-hash annotation and stays silent.
+    expect_codes(
+        "DL012 shadowed non-hash local",
+        &[(
+            "a.rs",
+            "use std::collections::HashMap;\n\
+             pub fn other() -> u64 {\n\
+                 let counts: HashMap<u32, u64> = HashMap::new();\n\
+                 counts.len() as u64\n\
+             }\n\
+             pub fn entry() -> u64 {\n\
+                 let counts: Vec<u64> = vec![1, 2];\n\
+                 let mut acc = 0;\n\
+                 for c in counts.iter() {\n\
+                     acc += c;\n\
+                 }\n\
+                 acc\n\
+             }\n",
+        )],
+        EntryMode::Roots,
+        TAINT_CODE,
+        0,
+    )?;
+    // v3 alias catch: the hash container is renamed through a plain
+    // alias before iteration; only value tracking connects the two.
+    expect_codes(
+        "DL012 hash alias",
+        &[(
+            "a.rs",
+            "use std::collections::HashMap;\n\
+             pub fn make_map() -> HashMap<u32, u64> { HashMap::new() }\n\
+             pub fn entry() -> Vec<u64> {\n\
+                 let m = make_map();\n\
+                 let renamed = m;\n\
+                 renamed.values().copied().collect()\n\
+             }\n",
+        )],
+        EntryMode::Roots,
+        TAINT_CODE,
+        1,
     )?;
     // Wall clock two calls deep.
     expect_codes(
@@ -900,6 +1049,37 @@ pub fn self_test() -> Result<(), String> {
         &[(
             "a.rs",
             "pub fn entry(n_ways: u64, way_bytes: u64) -> u64 { n_ways * way_bytes }\n",
+        )],
+        EntryMode::Roots,
+        UNIT_CODE,
+        0,
+    )?;
+    // v3 unit propagation: a suffix-free alias inherits the unit its
+    // initializer read, so the mix is still caught one hop later.
+    expect_codes(
+        "DL014 propagated unit",
+        &[(
+            "a.rs",
+            "pub fn entry(total_ways: u64, slab_bytes: u64) -> u64 {\n\
+                 let w = total_ways;\n\
+                 w + slab_bytes\n\
+             }\n",
+        )],
+        EntryMode::Roots,
+        UNIT_CODE,
+        1,
+    )?;
+    // …but a value that went through a call keeps no unit (the call
+    // may convert), and neither does a reassigned binding.
+    expect_codes(
+        "DL014 propagation stops at calls",
+        &[(
+            "a.rs",
+            "fn scale(v: u64) -> u64 { v * 64 }\n\
+             pub fn entry(total_ways: u64, slab_bytes: u64) -> u64 {\n\
+                 let w = scale(total_ways);\n\
+                 w + slab_bytes\n\
+             }\n",
         )],
         EntryMode::Roots,
         UNIT_CODE,

@@ -8,6 +8,7 @@ pub mod cbm_bits;
 pub mod determinism;
 pub mod direct_io;
 pub mod float_eq;
+pub mod flow;
 pub mod interproc;
 pub mod panic_path;
 pub mod print_discipline;
@@ -42,6 +43,9 @@ pub fn known_codes() -> Vec<&'static str> {
     v.push(interproc::TAINT_CODE);
     v.push(interproc::PANIC_REACH_CODE);
     v.push(interproc::UNIT_CODE);
+    v.push(flow::POOL_CODE);
+    v.push(flow::ALLOC_CODE);
+    v.push(flow::IO_CODE);
     v
 }
 
@@ -74,6 +78,7 @@ pub fn self_test_all() -> Result<(), String> {
     print_discipline::self_test()?;
     spec_drift::self_test()?;
     interproc::self_test()?;
+    flow::self_test()?;
     Ok(())
 }
 

@@ -1,0 +1,26 @@
+//! Daemon epoch stub. Every resctrl-classified Result produced on the
+//! epoch path must reach severity classification before the epoch
+//! ends; `step_epoch` instead parks the Result in a binding and drops
+//! it two statements later — the shape only value tracking can see.
+
+pub struct ResctrlError;
+
+pub fn run_daemon(rounds: u64) -> u64 {
+    let mut acc = 0;
+    let mut i = 0;
+    while i < rounds {
+        acc += step_epoch(i);
+        i += 1;
+    }
+    acc
+}
+
+fn step_epoch(epoch: u64) -> u64 {
+    let applied = write_mask(epoch);
+    let _ = applied;
+    epoch
+}
+
+fn write_mask(mask: u64) -> Result<u64, ResctrlError> {
+    Ok(mask)
+}

@@ -1,0 +1,35 @@
+//! Worker fan-out over a deterministic pool. Tasks handed to
+//! `Pool::map` must be self-contained: the closure below breaks the
+//! discipline by accumulating into captured coordinator state.
+
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs }
+    }
+
+    pub fn map(&self, items: Vec<u64>, f: impl Fn(usize, u64) -> u64) -> Vec<u64> {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect()
+    }
+}
+
+pub fn run_sweep(items: Vec<u64>) -> u64 {
+    fan_out(items)
+}
+
+fn fan_out(items: Vec<u64>) -> u64 {
+    let pool: Pool = Pool::new(4);
+    let mut merged = 0u64;
+    let out = pool.map(items, |i, x| {
+        merged += x;
+        x + i as u64
+    });
+    out.iter().copied().sum::<u64>() + merged
+}

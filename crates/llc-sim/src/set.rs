@@ -319,8 +319,8 @@ impl CacheSet {
     /// Invalidates every line resident in the ways permitted by `mask`,
     /// returning how many were dropped and which lines they were.
     pub fn invalidate_ways(&mut self, mask: WayMask) -> Vec<LineAddr> {
-        let mut dropped = Vec::new();
         let mut bits = self.occ & mask.0;
+        let mut dropped = Vec::with_capacity(bits.count_ones() as usize);
         while bits != 0 {
             let way = bits.trailing_zeros();
             bits &= bits - 1;

@@ -246,7 +246,8 @@ struct Violation {
 /// Asserts the per-tick safety properties; returns the first violation.
 fn check_tick(ctl: &DcatController, corner: &Corner, pool: &Pool) -> Result<(), String> {
     let views = ctl.domain_views();
-    dcat::invariants::check(&views, pool.total_ways(), corner.min_ways)?;
+    dcat::invariants::check(&views, pool.total_ways(), corner.min_ways)
+        .map_err(|v| v.to_string())?;
     for (i, v) in views.iter().enumerate() {
         // Reclaim restores the reserved allocation in the same interval
         // it is declared (the paper gives it absolute priority).
@@ -490,7 +491,7 @@ fn run_fault_scenario(corner: &Corner, pool: &Pool, seed: u64) -> Result<FaultRu
                 pool: *pool,
                 seed,
                 tick,
-                message: m,
+                message: m.to_string(),
             });
         }
     }
