@@ -174,10 +174,46 @@ if ! cmp -s target/fleet_smoke.jobs2.txt target/fleet_smoke.jobs4.txt; then
     exit 1
 fi
 
-echo "==> metrics export: one experiment with --metrics-out, validated by obs-dump"
+echo "==> metrics + frame-stream export: fig07 with --metrics-out/--frames-out, validated by obs-dump"
 cargo run -q --release -p dcat-bench --offline --bin fig07_lifecycle -- --fast \
-    --metrics-out target/metrics.prom > target/fig07_lifecycle.txt
+    --metrics-out target/metrics.prom --frames-out target/frames.jsonl \
+    > target/fig07_lifecycle.txt
 cargo run -q --release -p dcat-obs --offline --bin obs-dump -- --check target/metrics.prom
+cargo run -q --release -p dcat-obs --offline --bin obs-dump -- --check target/frames.jsonl
+
+echo "==> dcat-top replay: headless render of the fig07 stream vs the blessed golden"
+# The same stream obs-dump just validated must render byte-identically to
+# the golden the dcat-top crate's tests bless (DCAT_BLESS=1 re-blesses).
+cargo run -q --release -p dcat-top --offline --bin dcat-top -- \
+    --replay target/frames.jsonl --headless > target/fig07_headless.txt
+if ! cmp -s target/fig07_headless.txt crates/top/tests/golden/fig07_headless.txt; then
+    echo "ERROR: dcat-top --headless render differs from crates/top/tests/golden/fig07_headless.txt" >&2
+    diff target/fig07_headless.txt crates/top/tests/golden/fig07_headless.txt | head -20 >&2 || true
+    exit 1
+fi
+
+echo "==> DL011 exemption boundary: the dcat-top renderer lib is gated, its binary is not"
+# A scoped gate over a miniature tree holding the SAME println! at both
+# top-crate paths: the library must be flagged, the /bin/ path must not —
+# proving the print-discipline boundary rather than assuming it.
+mkdir -p target/ci-top-boundary/crates/top/src/bin target/ci-top-boundary/crates/dcat/src
+printf 'pub fn render() {\n    println!("tick");\n}\n' \
+    > target/ci-top-boundary/crates/top/src/lib.rs
+cp target/ci-top-boundary/crates/top/src/lib.rs \
+    target/ci-top-boundary/crates/top/src/bin/dcat_top.rs
+# Stubs for the inputs the scoped gate always reads (DL010 spec drift).
+: > target/ci-top-boundary/crates/dcat/src/transitions.rs
+: > target/ci-top-boundary/DESIGN.md
+cargo run -q --release -p dcat-lint --offline -- --json --root target/ci-top-boundary \
+    > target/ci-top-boundary-report.json || true
+if ! grep -q '"code":"DL011","path":"crates/top/src/lib.rs"' target/ci-top-boundary-report.json; then
+    echo "ERROR: DL011 did not flag a println! seeded into crates/top/src/lib.rs" >&2
+    exit 1
+fi
+if grep -q '"path":"crates/top/src/bin/dcat_top.rs"' target/ci-top-boundary-report.json; then
+    echo "ERROR: the dcat-top binary path lost its stdio exemption" >&2
+    exit 1
+fi
 
 echo "==> perfbench self-test (fake clock, schema validation, no writes)"
 cargo run -q --release -p dcat-bench --offline --bin dcat-perfbench -- --check

@@ -1,10 +1,18 @@
 //! Regenerates the paper's fig07 (see DESIGN.md experiment index).
+//!
+//! `--frames-out <path>` additionally exports the two timelines'
+//! `dcat-frames/v1` stream (panel a's segment, then panel b's) for
+//! `dcat-top --replay` and the CI headless-render diff.
 
 fn main() {
     dcat_bench::main_with(run);
 }
 
 fn run(cli: dcat_bench::Cli) {
-    let fast = cli.fast;
-    dcat_bench::experiments::fig07_lifecycle::run(fast);
+    let (_, frames) = dcat_bench::experiments::fig07_lifecycle::run_with_frames(cli.fast);
+    if let Some(path) = cli.frames_out.as_deref() {
+        if let Err(e) = dcat_obs::write_text(path, &frames) {
+            panic!("frames export to {}: {e}", path.display());
+        }
+    }
 }

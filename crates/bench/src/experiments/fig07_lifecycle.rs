@@ -53,11 +53,22 @@ pub fn run_timeline(streaming: bool, fast: bool) -> crate::RunResult {
 
 /// Runs both timelines and prints them.
 pub fn run(fast: bool) -> Lifecycle {
+    run_with_frames(fast).0
+}
+
+/// Like [`run`], but also returns the two timelines' `dcat-frames/v1`
+/// segments concatenated in panel order (a then b) — the stream
+/// `fig07_lifecycle --frames-out` exports and `dcat-top --replay`
+/// renders. The segments come out of [`crate::RunResult::frames`] in
+/// item order, so the bytes are identical at any `--jobs` width.
+pub fn run_with_frames(fast: bool) -> (Lifecycle, String) {
     report::section("Figure 7: example of cache allocation with dCat");
     let runs = crate::Runner::from_env().map(vec![false, true], |_, streaming| {
-        run_timeline(streaming, fast).ways_series(0)
+        let r = run_timeline(streaming, fast);
+        (r.ways_series(0), r.frames)
     });
-    let (friendly_ways, streaming_ways) = (runs[0].clone(), runs[1].clone());
+    let frames: String = runs.iter().map(|(_, f)| f.as_str()).collect();
+    let (friendly_ways, streaming_ways) = (runs[0].0.clone(), runs[1].0.clone());
     let f: Vec<f64> = friendly_ways.iter().map(|&w| w as f64).collect();
     let s: Vec<f64> = streaming_ways.iter().map(|&w| w as f64).collect();
     report::ascii_series("(a) cache-friendly VM: ways over time", &f, 8);
@@ -78,8 +89,11 @@ pub fn run(fast: bool) -> Lifecycle {
             .collect::<Vec<_>>()
             .join(",")
     ));
-    Lifecycle {
-        friendly_ways,
-        streaming_ways,
-    }
+    (
+        Lifecycle {
+            friendly_ways,
+            streaming_ways,
+        },
+        frames,
+    )
 }

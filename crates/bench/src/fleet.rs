@@ -339,7 +339,13 @@ struct HostEpoch {
 struct HostState {
     engine: Engine,
     policy: Box<dyn CachePolicy + Send>,
+    label: &'static str,
     tenants: Vec<TenantSpec>,
+    /// Per-host `dcat-frames/v1` segment. The writer travels with the
+    /// host through the pool (move-out/merge-back), so its state is
+    /// untouched by scheduling; the coordinator concatenates the
+    /// segments in host order after the run.
+    frames: dcat_obs::FrameWriter,
 }
 
 impl HostState {
@@ -360,11 +366,14 @@ impl HostState {
             .collect();
         let mut engine =
             Engine::new(cfg.host_engine(host), vms).expect("fleet shard must fit the host");
+        let label = policy.label();
         let policy = policy.build(handles, &mut engine.cat())?;
         Ok(HostState {
             engine,
             policy,
+            label,
             tenants: shard,
+            frames: dcat_obs::FrameWriter::new(&format!("fleet-host:{host}")),
         })
     }
 
@@ -383,6 +392,12 @@ impl HostState {
         let stats = self.engine.run_epoch();
         let snapshots = self.engine.snapshots();
         let reports = self.policy.tick(&snapshots, &mut self.engine.cat())?;
+        self.frames.push(dcat::frame_from_reports(
+            epoch + 1,
+            self.label,
+            &reports,
+            self.policy.frame_ext(),
+        ));
 
         let mut out = HostEpoch {
             instructions: 0,
@@ -474,6 +489,11 @@ pub struct FleetResult {
     pub tenant_requests: Vec<u64>,
     /// Per-epoch JSONL decision trace (one line per epoch).
     pub trace: String,
+    /// `dcat-frames/v1` stream: one `fleet-host:<n>` segment per host,
+    /// concatenated in host order, one frame per host-epoch. Byte-identical
+    /// at any `--jobs` width (the writers travel with the hosts through the
+    /// pool). Excluded from [`FleetResult::serialize`], which predates it.
+    pub frames: String,
 }
 
 impl FleetResult {
@@ -623,6 +643,7 @@ pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> Result<FleetResult, 
         tenant_instructions: vec![0; cfg.tenants as usize],
         tenant_requests: vec![0; cfg.tenants as usize],
         trace: String::new(),
+        frames: String::new(),
     };
 
     for epoch in 0..cfg.epochs {
@@ -716,6 +737,9 @@ pub fn run_fleet(policy: FleetPolicy, cfg: &FleetConfig) -> Result<FleetResult, 
             result.mean_cos_used(),
         );
     });
+    for host in hosts {
+        result.frames.push_str(&host.frames.into_string());
+    }
     Ok(result)
 }
 
@@ -773,6 +797,22 @@ mod tests {
         let b = run_fleet(FleetPolicy::Lfoc, &tiny(24)).expect("tiny fleet runs");
         assert_eq!(a.serialize(), b.serialize());
         assert_eq!(a.trace, b.trace);
+        assert_eq!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn fleet_frame_stream_has_one_segment_per_host() {
+        let r = run_fleet(FleetPolicy::Memshare, &tiny(24)).expect("tiny fleet runs");
+        let segs = dcat_obs::frames::parse_stream(&r.frames).expect("fleet frames validate");
+        assert_eq!(segs.len(), r.hosts as usize);
+        for (h, seg) in segs.iter().enumerate() {
+            assert_eq!(seg.source, format!("fleet-host:{h}"));
+            assert_eq!(seg.frames.len(), r.rows.len());
+            assert!(
+                seg.frames.iter().all(|f| f.ext.memshare.is_some()),
+                "memshare host frames carry the ledger ext"
+            );
+        }
     }
 
     #[test]

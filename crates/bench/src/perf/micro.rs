@@ -193,6 +193,51 @@ pub fn run(clock: &mut dyn CycleSource, kind: ClockKind, quick: bool) -> SuiteRe
     let e_iters = if quick { 1 } else { 8 };
     suite.case("engine_epoch", e_iters, move || engine.run_epoch());
 
+    // --- frame-stream encoder (the dcat-top export hot path) ---
+    // One call of `encode_frame` is the entire per-tick cost a daemon
+    // pays for `--frames-out`, so it must stay far inside a tick budget.
+    // Fully populated worst case: a 12-domain host (the fleet shape)
+    // with every optional field present and both policy extensions.
+    {
+        let frame = dcat_obs::Frame {
+            tick: 1_000_000,
+            policy: "dcat-maxperf".into(),
+            degraded: true,
+            reason: Some("telemetry".into()),
+            ways_moved: 7,
+            events: 3,
+            ext: dcat_obs::PolicyExt {
+                cos: 12,
+                lfoc: Some(dcat_obs::LfocExt {
+                    clusters: 4,
+                    insensitive: 3,
+                }),
+                memshare: Some(dcat_obs::MemshareExt {
+                    lent: 5,
+                    credit_min: -12,
+                    credit_max: 40,
+                }),
+            },
+            domains: (0..12)
+                .map(|i| dcat_obs::DomainFrame {
+                    name: format!("tenant-{i}"),
+                    class: "Receiver".into(),
+                    ways: 3 + (i % 5),
+                    cbm: Some(0x3ffff >> i),
+                    ipc: 1.234_567 + f64::from(i),
+                    norm_ipc: Some(0.987_654),
+                    miss_rate: 0.123_456,
+                    baseline_ipc: Some(1.111_111),
+                    quarantined: i == 3,
+                    held: i == 4,
+                })
+                .collect(),
+        };
+        suite.case("frame_encode_tick", iters, move || {
+            dcat_obs::frames::encode_frame(&frame).len()
+        });
+    }
+
     // --- full-workspace lint gate ---
     // ci.sh budgets 10 s of wall clock for `cargo xtask lint`; tracking
     // the full pipeline (read + lex + parse + call graph + passes) here
@@ -228,6 +273,14 @@ pub fn run(clock: &mut dyn CycleSource, kind: ClockKind, quick: bool) -> SuiteRe
             // The acceptance floor for the packed-set refactor; only
             // meaningful against a real clock.
             min: wall.then_some(3.0),
+        },
+        Derived {
+            name: "frame_encode_budget_headroom".into(),
+            // How many worst-case frame encodes fit into 1 ms — a
+            // thousandth of the 1 s default daemon interval. The floor
+            // keeps the export cost invisible next to a tick.
+            value: 1_000_000.0 / ns_of("frame_encode_tick"),
+            min: wall.then_some(10.0),
         },
         Derived {
             name: "lint_budget_headroom".into(),

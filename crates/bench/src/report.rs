@@ -389,6 +389,7 @@ mod tests {
             name: "vm".to_string(),
             class,
             ways,
+            cbm: None,
             ipc: 1.0,
             norm_ipc: None,
             llc_miss_rate: 0.0,

@@ -58,6 +58,9 @@ pub struct Cli {
     /// Where to export the process-root metrics snapshot on exit
     /// (Prometheus text, or JSONL when the path ends in `.jsonl`).
     pub metrics_out: Option<PathBuf>,
+    /// Where to write the run's `dcat-frames/v1` stream (for experiments
+    /// that export one; others ignore it).
+    pub frames_out: Option<PathBuf>,
     /// LLC set-sampling stride (`--sample-sets N`); 0 means full
     /// fidelity. Values of 1 also degenerate to full fidelity.
     pub sample_sets: usize,
@@ -71,13 +74,15 @@ impl Cli {
     }
 
     /// Parses a flag list (`--fast`, `--jobs N`, `--jobs=N`,
-    /// `--metrics-out PATH`, `--sample-sets N`); unknown flags are
-    /// ignored so binaries can add their own. Installs the parsed width
-    /// via [`set_jobs`] and the sampling stride via [`set_sample_sets`].
+    /// `--metrics-out PATH`, `--frames-out PATH`, `--sample-sets N`);
+    /// unknown flags are ignored so binaries can add their own. Installs
+    /// the parsed width via [`set_jobs`] and the sampling stride via
+    /// [`set_sample_sets`].
     pub fn parse(args: &[String]) -> Self {
         let mut fast = false;
         let mut jobs = 1usize;
         let mut metrics_out = None;
+        let mut frames_out = None;
         let mut sample_sets = 0usize;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -95,6 +100,10 @@ impl Cli {
                 metrics_out = it.next().map(PathBuf::from);
             } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
                 metrics_out = Some(PathBuf::from(v));
+            } else if arg == "--frames-out" {
+                frames_out = it.next().map(PathBuf::from);
+            } else if let Some(v) = arg.strip_prefix("--frames-out=") {
+                frames_out = Some(PathBuf::from(v));
             } else if arg == "--sample-sets" {
                 if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
                     sample_sets = n;
@@ -109,6 +118,7 @@ impl Cli {
             fast,
             jobs: jobs.max(1),
             metrics_out,
+            frames_out,
             sample_sets,
         };
         set_jobs(cli.jobs);
@@ -199,6 +209,7 @@ mod tests {
             fast: false,
             jobs: 1,
             metrics_out: None,
+            frames_out: None,
             sample_sets: 0,
         };
         assert_eq!(Cli::parse(&argv(&[])), base);
@@ -228,6 +239,20 @@ mod tests {
             Cli::parse(&argv(&["--metrics-out=target/m.jsonl"])),
             Cli {
                 metrics_out: Some(PathBuf::from("target/m.jsonl")),
+                ..base.clone()
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv(&["--frames-out", "target/frames.jsonl"])),
+            Cli {
+                frames_out: Some(PathBuf::from("target/frames.jsonl")),
+                ..base.clone()
+            }
+        );
+        assert_eq!(
+            Cli::parse(&argv(&["--frames-out=f.jsonl"])),
+            Cli {
+                frames_out: Some(PathBuf::from("f.jsonl")),
                 ..base.clone()
             }
         );

@@ -136,6 +136,12 @@ pub struct RunResult {
     /// across runs; deliberately excluded from [`RunResult::serialize`],
     /// which predates it and anchors the golden determinism oracle.
     pub flight: String,
+    /// `dcat-frames/v1` segment for the run: one `frame` record per epoch
+    /// under a `scenario:<policy>` header. Built entirely from per-epoch
+    /// reports, so it is byte-identical whenever the run is — the frame
+    /// stream's own determinism regression diffs it across `--jobs`
+    /// widths. Excluded from [`RunResult::serialize`] like `flight`.
+    pub frames: String,
 }
 
 impl RunResult {
@@ -308,10 +314,12 @@ pub fn run_scenario(
         reports: Vec::with_capacity(total_epochs as usize),
         request_latencies: vec![Vec::new(); plans.len()],
         flight: String::new(),
+        frames: String::new(),
     };
     let mut restart_count = vec![0u64; plans.len()];
     let mut tracer = Tracer::new();
     let mut recorder = FlightRecorder::new(FLIGHT_TICKS);
+    let mut frames = dcat_obs::FrameWriter::new(&format!("scenario:{policy_label}"));
 
     for epoch in 0..total_epochs {
         // Schedule transitions at epoch boundaries.
@@ -355,6 +363,12 @@ pub fn run_scenario(
             spans,
             events: Vec::new(),
         });
+        frames.push(dcat::frame_from_reports(
+            epoch + 1,
+            policy_label,
+            &reports,
+            policy.frame_ext(),
+        ));
         result.epochs.push(stats);
         result.reports.push(reports);
     }
@@ -365,6 +379,7 @@ pub fn run_scenario(
     // way gauges) merges into whatever capture scope this run is in.
     report::emit_obs(&engine.metrics_snapshot());
     result.flight = recorder.dump_jsonl();
+    result.frames = frames.into_string();
     result
 }
 
@@ -470,6 +485,41 @@ mod tests {
         });
         assert_eq!(r.flight, r2.flight);
         assert_eq!(snap.to_prometheus(), snap2.to_prometheus());
+        assert_eq!(r.frames, r2.frames);
+    }
+
+    #[test]
+    fn frame_stream_validates_under_every_policy() {
+        for policy in [
+            PolicyKind::Shared,
+            PolicyKind::StaticCat,
+            PolicyKind::Dcat(DcatConfig::default()),
+            PolicyKind::Lfoc(dcat::LfocConfig::default()),
+            PolicyKind::Memshare(dcat::MemshareConfig::default()),
+        ] {
+            let label = policy.label();
+            let plans = vec![
+                VmPlan::always("mlr", 2, |s| Box::new(Mlr::new(256 * 1024, s + 1))),
+                VmPlan::always("lookbusy", 2, |_| Box::new(Lookbusy::new())),
+            ];
+            let r = run_scenario(policy, tiny_engine(), &plans, 5);
+            let segs = dcat_obs::frames::parse_stream(&r.frames)
+                .unwrap_or_else(|e| panic!("{label}: frame stream validates: {e}"));
+            assert_eq!(segs.len(), 1);
+            assert_eq!(segs[0].source, format!("scenario:{label}"));
+            assert_eq!(segs[0].frames.len(), 5);
+            let last = segs[0].frames.last().unwrap();
+            assert_eq!(last.policy, label);
+            assert_eq!(last.domains.len(), 2);
+            match label {
+                "lfoc" => assert!(last.ext.lfoc.is_some(), "lfoc frames carry cluster ext"),
+                "memshare" => assert!(
+                    last.ext.memshare.is_some(),
+                    "memshare frames carry ledger ext"
+                ),
+                _ => assert!(last.ext.lfoc.is_none() && last.ext.memshare.is_none()),
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! runs inside one `#[test]` to keep the narrow/wide passes from racing.
 
 use dcat_bench::experiments::{fig10_dynamic_alloc, fig15_mixed};
-use dcat_bench::{report, runner, Runner};
+use dcat_bench::{report, runner, FleetConfig, FleetPolicy, Runner};
 
 const MB: u64 = 1024 * 1024;
 
@@ -27,41 +27,59 @@ struct Observed {
     prometheus: String,
     /// Concatenated flight-recorder dumps, in run order.
     flights: String,
+    /// Concatenated `dcat-frames/v1` segments, in run order.
+    frames: String,
 }
 
 /// Runs fig10's working-set sweep at the given width.
 fn fig10_at(jobs: usize) -> Observed {
     runner::set_jobs(jobs);
-    let (pairs, text, snap) = report::capture_obs(|| {
+    let (triples, text, snap) = report::capture_obs(|| {
         Runner::from_env().map(vec![4 * MB, 8 * MB], |_, wss| {
             let (_, result) = fig10_dynamic_alloc::run_one(wss, true);
-            (result.serialize(), result.flight)
+            (result.serialize(), result.flight, result.frames)
         })
     });
-    let (serials, flights): (Vec<String>, Vec<String>) = pairs.into_iter().unzip();
+    let mut serials = Vec::new();
+    let mut flights = String::new();
+    let mut frames = String::new();
+    for (s, fl, fr) in triples {
+        serials.push(s);
+        flights.push_str(&fl);
+        frames.push_str(&fr);
+    }
     Observed {
         serials,
         text,
         prometheus: snap.to_prometheus(),
-        flights: flights.concat(),
+        flights,
+        frames,
     }
 }
 
 /// Runs fig15's three scenarios at the given width.
 fn fig15_at(jobs: usize) -> Observed {
     runner::set_jobs(jobs);
-    let (pairs, text, snap) = report::capture_obs(|| {
+    let (triples, text, snap) = report::capture_obs(|| {
         fig15_mixed::run_results(true)
             .iter()
-            .map(|r| (r.serialize(), r.flight.clone()))
+            .map(|r| (r.serialize(), r.flight.clone(), r.frames.clone()))
             .collect::<Vec<_>>()
     });
-    let (serials, flights): (Vec<String>, Vec<String>) = pairs.into_iter().unzip();
+    let mut serials = Vec::new();
+    let mut flights = String::new();
+    let mut frames = String::new();
+    for (s, fl, fr) in triples {
+        serials.push(s);
+        flights.push_str(&fl);
+        frames.push_str(&fr);
+    }
     Observed {
         serials,
         text,
         prometheus: snap.to_prometheus(),
-        flights: flights.concat(),
+        flights,
+        frames,
     }
 }
 
@@ -94,6 +112,11 @@ fn parallel_runs_are_bit_identical_to_serial_runs() {
         fig10_serial.flights, fig10_wide.flights,
         "fig10 flight-recorder dumps differ across widths"
     );
+    dcat_obs::check_frames(&fig10_serial.frames).expect("fig10 frame stream validates");
+    assert_eq!(
+        fig10_serial.frames, fig10_wide.frames,
+        "fig10 frame streams differ across widths"
+    );
 
     let fig15_serial = fig15_at(1);
     let fig15_wide = fig15_at(4);
@@ -118,6 +141,51 @@ fn parallel_runs_are_bit_identical_to_serial_runs() {
         fig15_serial.flights, fig15_wide.flights,
         "fig15 flight-recorder dumps differ across widths"
     );
+    assert_eq!(
+        fig15_serial.frames, fig15_wide.frames,
+        "fig15 frame streams differ across widths"
+    );
 
+    runner::set_jobs(1);
+}
+
+/// Fleet smoke at the hundred-tenant scale: the per-host frame writers
+/// travel with the hosts through the worker pool, so the concatenated
+/// stream must be byte-identical at any `--jobs` width — including under
+/// sampled LLC fidelity, which is how fleets of this size actually run.
+#[test]
+fn fleet_frame_streams_are_bit_identical_across_widths() {
+    let cfg = {
+        let mut cfg = FleetConfig::new(100, true);
+        cfg.epochs = 4;
+        cfg.cycles_per_epoch = 40_000;
+        cfg.llc_fidelity = llc_sim::SimFidelity::Sampled { one_in: 8 };
+        cfg
+    };
+    let run_at = |jobs: usize| {
+        runner::set_jobs(jobs);
+        dcat_bench::run_fleet(FleetPolicy::DcatMaxFairness, &cfg).expect("fleet runs")
+    };
+    let serial = run_at(1);
+    let wide = run_at(4);
+    let summary = dcat_obs::check_frames(&serial.frames).expect("fleet frame stream validates");
+    assert_eq!(
+        summary.segments, serial.hosts as usize,
+        "one segment per host"
+    );
+    assert_eq!(
+        summary.frames,
+        serial.rows.len() * serial.hosts as usize,
+        "one frame per host-epoch"
+    );
+    assert_eq!(
+        serial.serialize(),
+        wide.serialize(),
+        "fleet aggregates differ across widths"
+    );
+    assert_eq!(
+        serial.frames, wide.frames,
+        "fleet frame streams differ across widths"
+    );
     runner::set_jobs(1);
 }

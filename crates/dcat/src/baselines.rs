@@ -64,6 +64,7 @@ impl MetricsTracker {
         m: &IntervalMetrics,
         ways: u32,
         class: WorkloadClass,
+        cbm: Option<u64>,
     ) -> DomainReport {
         let baseline = self.baseline_ipc.get(i).copied().flatten();
         DomainReport {
@@ -74,6 +75,7 @@ impl MetricsTracker {
                 .unwrap_or_default(),
             class,
             ways,
+            cbm,
             ipc: m.ipc,
             norm_ipc: baseline.map(|b| if b > 0.0 { m.ipc / b } else { 0.0 }),
             llc_miss_rate: m.llc_miss_rate,
@@ -83,7 +85,12 @@ impl MetricsTracker {
         }
     }
 
-    fn reports(&mut self, snapshots: &[CounterSnapshot], ways: &[u32]) -> Vec<DomainReport> {
+    fn reports(
+        &mut self,
+        snapshots: &[CounterSnapshot],
+        ways: &[u32],
+        cbms: &[Option<u64>],
+    ) -> Vec<DomainReport> {
         let metrics = self.advance(snapshots);
         metrics
             .iter()
@@ -94,6 +101,7 @@ impl MetricsTracker {
                     m,
                     ways.get(i).copied().unwrap_or(0),
                     WorkloadClass::Keeper,
+                    cbms.get(i).copied().flatten(),
                 )
             })
             .collect()
@@ -107,6 +115,8 @@ impl MetricsTracker {
 pub struct SharedCachePolicy {
     tracker: MetricsTracker,
     total_ways: u32,
+    /// The fully shared mask every domain effectively holds.
+    full_cbm: u64,
 }
 
 impl SharedCachePolicy {
@@ -117,6 +127,7 @@ impl SharedCachePolicy {
         SharedCachePolicy {
             tracker: MetricsTracker::new(handles),
             total_ways,
+            full_cbm: u64::from(Cbm::full(total_ways).0),
         }
     }
 }
@@ -132,7 +143,8 @@ impl CachePolicy for SharedCachePolicy {
         _cat: &mut dyn CacheController,
     ) -> Result<Vec<DomainReport>, ResctrlError> {
         let ways = vec![self.total_ways; snapshots.len()];
-        Ok(self.tracker.reports(snapshots, &ways))
+        let cbms = vec![Some(self.full_cbm); snapshots.len()];
+        Ok(self.tracker.reports(snapshots, &ways, &cbms))
     }
 }
 
@@ -141,6 +153,8 @@ impl CachePolicy for SharedCachePolicy {
 pub struct StaticCatPolicy {
     tracker: MetricsTracker,
     ways: Vec<u32>,
+    /// The partitions programmed at construction, per domain.
+    masks: Vec<Option<u64>>,
 }
 
 impl StaticCatPolicy {
@@ -160,9 +174,11 @@ impl StaticCatPolicy {
                 cat.assign_core(core, cos)?;
             }
         }
+        let masks = layout.iter().map(|c| Some(u64::from(c.0))).collect();
         Ok(StaticCatPolicy {
             tracker: MetricsTracker::new(handles),
             ways: counts,
+            masks,
         })
     }
 }
@@ -178,7 +194,8 @@ impl CachePolicy for StaticCatPolicy {
         _cat: &mut dyn CacheController,
     ) -> Result<Vec<DomainReport>, ResctrlError> {
         let ways = self.ways.clone();
-        Ok(self.tracker.reports(snapshots, &ways))
+        let masks = self.masks.clone();
+        Ok(self.tracker.reports(snapshots, &ways, &masks))
     }
 }
 

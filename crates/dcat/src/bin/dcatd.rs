@@ -9,6 +9,7 @@
 //!       [--counter-width-bits <n>]
 //!       [--fault-seed <n> --fault-rate <p> --fault-ticks <n>]
 //!       [--metrics-out <path>] [--flight-out <path>] [--flight-ticks <n>]
+//!       [--frames-out <path>]
 //! ```
 //!
 //! Example against a fixture tree (no hardware needed):
@@ -30,7 +31,10 @@
 //! `--metrics-out` writes the daemon's final metrics snapshot on exit
 //! (Prometheus text, or JSONL when the path ends in `.jsonl`);
 //! `--flight-out` writes the flight-recorder dump (last `--flight-ticks`
-//! ticks of spans and events, JSONL). Both validate with `obs-dump --check`.
+//! ticks of spans and events, JSONL). `--frames-out` appends one
+//! `dcat-frames/v1` record per tick as the daemon runs, so
+//! `dcat-top --follow <path>` can watch the run live. All three validate
+//! with `obs-dump --check`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,12 +51,14 @@ fn usage() -> &'static str {
      [--max-performance] [--retry-attempts <n>] [--retry-backoff-ms <n>] \
      [--quarantine-after <n>] [--counter-width-bits <n>] \
      [--fault-seed <n> --fault-rate <p> --fault-ticks <n>] \
-     [--metrics-out <path>] [--flight-out <path>] [--flight-ticks <n>]"
+     [--metrics-out <path>] [--flight-out <path>] [--flight-ticks <n>] \
+     [--frames-out <path>]"
 }
 
 struct ObsPaths {
     metrics_out: Option<PathBuf>,
     flight_out: Option<PathBuf>,
+    frames_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<(DaemonConfig, ObsPaths), String> {
@@ -69,6 +75,7 @@ fn parse_args() -> Result<(DaemonConfig, ObsPaths), String> {
     let mut obs = dcat::daemon::ObsOptions::default();
     let mut metrics_out: Option<PathBuf> = None;
     let mut flight_out: Option<PathBuf> = None;
+    let mut frames_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -112,6 +119,7 @@ fn parse_args() -> Result<(DaemonConfig, ObsPaths), String> {
             "--fault-ticks" => fault_ticks = Some(num("--fault-ticks", value("--fault-ticks")?)?),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--flight-out" => flight_out = Some(PathBuf::from(value("--flight-out")?)),
+            "--frames-out" => frames_out = Some(PathBuf::from(value("--frames-out")?)),
             "--flight-ticks" => {
                 obs.flight_recorder_ticks = num("--flight-ticks", value("--flight-ticks")?)?;
             }
@@ -145,6 +153,7 @@ fn parse_args() -> Result<(DaemonConfig, ObsPaths), String> {
         ObsPaths {
             metrics_out,
             flight_out,
+            frames_out,
         },
     ))
 }
@@ -157,9 +166,45 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Frames stream live: the header goes out before the first tick so
+    // `dcat-top --follow` sees a valid stream immediately, and each tick's
+    // line is flushed as it is produced.
+    let mut frames_sink = match paths.frames_out.as_deref() {
+        Some(path) => {
+            let mut writer = dcat_obs::FrameWriter::new("dcatd");
+            let mut file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("dcatd: creating {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::io::Write::write_all(&mut file, writer.header().as_bytes()) {
+                eprintln!("dcatd: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            writer.clear_buffer();
+            Some((file, writer))
+        }
+        None => None,
+    };
+    let domain_count = cfg.domains.len() as u32;
     let result = run_daemon_observed(&cfg, |obs| {
         for event in obs.events {
             eprintln!("tick={} {event}", obs.tick);
+        }
+        if let Some((file, writer)) = frames_sink.as_mut() {
+            let ext = dcat_obs::PolicyExt {
+                cos: domain_count,
+                ..dcat_obs::PolicyExt::default()
+            };
+            let line = writer.push(dcat::frame_from_observation(obs, "dcat", ext));
+            writer.clear_buffer();
+            let written = std::io::Write::write_all(file, line.as_bytes())
+                .and_then(|()| std::io::Write::flush(file));
+            if let Err(e) = written {
+                eprintln!("dcatd: writing frames: {e}");
+            }
         }
         // An anomaly tick carries a flight dump; persist it immediately so
         // the window survives even if the daemon is killed later.

@@ -49,6 +49,9 @@ pub struct DomainReport {
     pub class: WorkloadClass,
     /// Ways granted for the *next* interval.
     pub ways: u32,
+    /// Raw capacity bitmask currently programmed for the domain, when the
+    /// policy tracks one (the frame stream renders it for operators).
+    pub cbm: Option<u64>,
     /// IPC measured this interval.
     pub ipc: f64,
     /// IPC normalized to the phase baseline, if a baseline exists.
@@ -262,6 +265,11 @@ impl DcatController {
         self.domains[i].cbm
     }
 
+    /// Number of managed domains (dCat pins one COS to each).
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
     /// Per-domain snapshots for invariant checking (the `debug_assert!`
     /// hook at the end of [`Self::tick`] and the `dcat-verify` model
     /// checker both audit these).
@@ -442,6 +450,7 @@ impl DcatController {
                 name: d.handle.name.clone(),
                 class: d.class,
                 ways: d.ways,
+                cbm: d.cbm.map(|c| u64::from(c.0)),
                 ipc: m.ipc,
                 norm_ipc: if *ok {
                     d.baseline_ipc

@@ -136,10 +136,107 @@ pub struct TickObservation<'a> {
     /// Pipeline-stage spans this tick, in completion order (nested spans
     /// precede their parents; `tick` closes the list).
     pub spans: &'a [SpanRecord],
+    /// Per-domain quarantine flags, in `DaemonConfig::domains` order
+    /// (parallel to `reports` on completed ticks).
+    pub quarantined: &'a [bool],
     /// A flight-recorder JSONL dump, present only on ticks where an
     /// `InvariantViolation` or `DomainQuarantined` event fired. The daemon
     /// never writes files itself; the embedder (e.g. `dcatd`) persists it.
     pub flight_dump: Option<&'a str>,
+}
+
+/// Builds one `dcat-frames/v1` frame from a tick observation. The
+/// embedder supplies the policy identity
+/// ([`crate::policy::CachePolicy::name`] /
+/// [`crate::policy::CachePolicy::frame_ext`]); everything else comes off
+/// the observation. `ways_moved` is left 0 for
+/// [`dcat_obs::FrameWriter::push`] to fill in against the previous frame.
+/// Shared by `dcatd --frames-out` and the bench harness's scenario/fleet
+/// exporters.
+pub fn frame_from_observation(
+    obs: &TickObservation<'_>,
+    policy: &str,
+    ext: dcat_obs::PolicyExt,
+) -> dcat_obs::Frame {
+    let reason = if obs.degraded {
+        // The degraded-tick event names the failure surface; default to
+        // telemetry if an embedder built a degraded observation without one.
+        Some(
+            obs.events
+                .iter()
+                .find_map(|e| match e {
+                    Event::DegradedTick { reason } => Some(reason.to_string()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| DegradeReason::Telemetry.to_string()),
+        )
+    } else {
+        None
+    };
+    let domains = obs
+        .reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| dcat_obs::DomainFrame {
+            name: r.name.clone(),
+            class: r.class.to_string(),
+            ways: r.ways,
+            cbm: r.cbm,
+            ipc: r.ipc,
+            norm_ipc: r.norm_ipc,
+            miss_rate: r.llc_miss_rate,
+            baseline_ipc: r.baseline_ipc,
+            quarantined: obs.quarantined.get(i).copied().unwrap_or(false),
+            held: r.skipped || obs.degraded,
+        })
+        .collect();
+    dcat_obs::Frame {
+        tick: obs.tick,
+        policy: policy.to_string(),
+        degraded: obs.degraded,
+        reason,
+        ways_moved: 0,
+        events: u64::try_from(obs.events.len()).unwrap_or(u64::MAX),
+        ext,
+        domains,
+    }
+}
+
+/// Builds a [`dcat_obs::Frame`] straight from a tick's [`DomainReport`]s —
+/// the batch-harness path (scenario sweeps, fleet hosts), where ticks never
+/// degrade and quarantine does not exist. `ways_moved` is left 0 for
+/// [`dcat_obs::FrameWriter::push`] to fill in.
+pub fn frame_from_reports(
+    tick: u64,
+    policy: &str,
+    reports: &[DomainReport],
+    ext: dcat_obs::PolicyExt,
+) -> dcat_obs::Frame {
+    let domains = reports
+        .iter()
+        .map(|r| dcat_obs::DomainFrame {
+            name: r.name.clone(),
+            class: r.class.to_string(),
+            ways: r.ways,
+            cbm: r.cbm,
+            ipc: r.ipc,
+            norm_ipc: r.norm_ipc,
+            miss_rate: r.llc_miss_rate,
+            baseline_ipc: r.baseline_ipc,
+            quarantined: false,
+            held: r.skipped,
+        })
+        .collect();
+    dcat_obs::Frame {
+        tick,
+        policy: policy.to_string(),
+        degraded: false,
+        reason: None,
+        ways_moved: 0,
+        events: 0,
+        ext,
+        domains,
+    }
 }
 
 /// Everything a completed daemon run produced beyond the final reports.
@@ -630,12 +727,9 @@ pub fn run_daemon_observed(
                 }
             }
         }
-        let mut quarantined: u32 = 0;
-        for s in &states {
-            if s.quarantined {
-                quarantined += 1;
-            }
-        }
+        let quarantine_flags: Vec<bool> = states.iter().map(|s| s.quarantined).collect();
+        let quarantined =
+            u32::try_from(quarantine_flags.iter().filter(|&&q| q).count()).unwrap_or(u32::MAX);
         registry.gauge_set("dcat_quarantined_domains", &[], f64::from(quarantined));
 
         recorder.record(TickRecord {
@@ -664,6 +758,7 @@ pub fn run_daemon_observed(
             events: &events,
             degraded,
             spans: &spans,
+            quarantined: &quarantine_flags,
             flight_dump: flight_dump.as_deref(),
         });
         sleep_between_ticks(cfg, tick);

@@ -388,10 +388,41 @@ impl CachePolicy for LfocPolicy {
                     .get(cluster)
                     .copied()
                     .unwrap_or(self.cbm_len);
-                self.tracker.report(i, m, ways, self.class_of(i))
+                let cbm = self
+                    .cluster_masks
+                    .get(cluster)
+                    .copied()
+                    .flatten()
+                    .map(|c| u64::from(c.0));
+                self.tracker.report(i, m, ways, self.class_of(i), cbm)
             })
             .collect();
         Ok(reports)
+    }
+
+    fn frame_ext(&self) -> dcat_obs::PolicyExt {
+        let clusters = self.cluster_ways.len();
+        let mut occupied = 0u32;
+        for c in INSENSITIVE + 1..clusters {
+            if self.cluster_of.contains(&c) {
+                occupied += 1;
+            }
+        }
+        let insensitive = self
+            .cluster_of
+            .iter()
+            .filter(|&&c| c == INSENSITIVE)
+            .count() as u32;
+        dcat_obs::PolicyExt {
+            // One COS per occupied cluster, plus the insensitive bucket
+            // when anyone is fenced into it.
+            cos: occupied + u32::from(insensitive > 0),
+            lfoc: Some(dcat_obs::LfocExt {
+                clusters: occupied,
+                insensitive,
+            }),
+            memshare: None,
+        }
     }
 }
 

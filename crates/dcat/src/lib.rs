@@ -64,7 +64,9 @@ pub mod transitions;
 pub use baselines::{SharedCachePolicy, StaticCatPolicy};
 pub use config::{AllocationPolicy, DcatConfig};
 pub use controller::{DcatController, DomainReport, WorkloadHandle};
-pub use daemon::{DaemonConfig, ResiliencePolicy, TickObservation};
+pub use daemon::{
+    frame_from_observation, frame_from_reports, DaemonConfig, ResiliencePolicy, TickObservation,
+};
 pub use events::{DegradeReason, Event};
 pub use lfoc::{LfocConfig, LfocPolicy};
 pub use memshare::{MemshareConfig, MemsharePolicy};

@@ -83,6 +83,8 @@ pub struct MemsharePolicy {
     granted: Vec<u32>,
     /// Last programmed grouping, to skip redundant reprogramming.
     last_groups: Vec<(u32, Vec<usize>)>,
+    /// Last programmed mask per domain (group members share one).
+    domain_masks: Vec<Option<u64>>,
     cbm_len: u32,
 }
 
@@ -112,6 +114,7 @@ impl MemsharePolicy {
             entitlement,
             credit: vec![0; n],
             last_groups: Vec::new(),
+            domain_masks: vec![None; n],
             cbm_len: caps.cbm_len,
         };
         policy.program(cat)?;
@@ -253,6 +256,9 @@ impl MemsharePolicy {
                 .unwrap_or_else(|| Cbm::full(self.cbm_len));
             cat.program_cos(cos, cbm)?;
             for &i in members {
+                if let Some(slot) = self.domain_masks.get_mut(i) {
+                    *slot = Some(u64::from(cbm.0));
+                }
                 if let Some(handle) = self.tracker.handles().get(i) {
                     for &core in &handle.cores {
                         cat.assign_core(core, cos)?;
@@ -341,10 +347,32 @@ impl CachePolicy for MemsharePolicy {
             .enumerate()
             .map(|(i, m)| {
                 let ways = self.granted.get(i).copied().unwrap_or(0);
-                self.tracker.report(i, m, ways, self.class_of(i, &demand))
+                let cbm = self.domain_masks.get(i).copied().flatten();
+                self.tracker
+                    .report(i, m, ways, self.class_of(i, &demand), cbm)
             })
             .collect();
         Ok(reports)
+    }
+
+    fn frame_ext(&self) -> dcat_obs::PolicyExt {
+        let lent: u32 = self
+            .entitlement
+            .iter()
+            .zip(&self.granted)
+            .map(|(&e, &g)| e.saturating_sub(g))
+            .sum();
+        let credit_min = self.credit.iter().copied().min().unwrap_or(0);
+        let credit_max = self.credit.iter().copied().max().unwrap_or(0);
+        dcat_obs::PolicyExt {
+            cos: self.last_groups.len() as u32,
+            lfoc: None,
+            memshare: Some(dcat_obs::MemshareExt {
+                lent,
+                credit_min,
+                credit_max,
+            }),
+        }
     }
 }
 

@@ -34,6 +34,14 @@ pub trait CachePolicy {
         let _ = tracer;
         self.tick(snapshots, cat)
     }
+
+    /// Policy decision summary for the current tick's frame
+    /// (`dcat-frames/v1`): COS in use, plus the LFOC clustering / Memshare
+    /// ledger when those policies are active. The default reports no COS
+    /// bookkeeping, which is right for the shared baseline.
+    fn frame_ext(&self) -> dcat_obs::PolicyExt {
+        dcat_obs::PolicyExt::default()
+    }
 }
 
 impl CachePolicy for crate::DcatController {
@@ -58,6 +66,14 @@ impl CachePolicy for crate::DcatController {
     ) -> Result<Vec<DomainReport>, ResctrlError> {
         let valid = vec![true; snapshots.len()];
         self.tick_observed(snapshots, &valid, cat, tracer)
+    }
+
+    fn frame_ext(&self) -> dcat_obs::PolicyExt {
+        dcat_obs::PolicyExt {
+            // dCat pins one COS per domain.
+            cos: self.domain_count() as u32,
+            ..dcat_obs::PolicyExt::default()
+        }
     }
 }
 

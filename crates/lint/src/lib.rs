@@ -442,6 +442,19 @@ mod tests {
             );
         }
         assert!(passes_for("crates/bench/src/scenario.rs").contains(&"DL011"));
+        // The dcat-top split: the renderer library is print-disciplined
+        // (it returns Strings), while the dashboard binary owns its
+        // stdio. The CI fixture proves the same boundary dynamically.
+        let top_lib = passes_for("crates/top/src/lib.rs");
+        assert!(top_lib.contains(&"DL011"), "the renderer must not print");
+        assert!(
+            top_lib.contains(&"DL007"),
+            "the renderer is wall-clock free"
+        );
+        assert!(
+            !passes_for("crates/top/src/bin/dcat_top.rs").contains(&"DL011"),
+            "the dashboard binary owns its stdio"
+        );
     }
 
     #[test]

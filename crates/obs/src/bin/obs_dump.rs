@@ -5,10 +5,15 @@
 //! ```
 //!
 //! Formats are detected per file: `.jsonl` (or a leading `{`) is treated as
-//! JSONL (metrics export or flight-recorder dump); anything else as
-//! Prometheus text. With `--check`, each file is validated and the process
-//! exits non-zero on the first malformed artifact — the mode CI uses.
+//! JSONL (metrics export, flight-recorder dump, or `dcat-frames/v1`
+//! stream); anything else as Prometheus text. With `--check`, each file is
+//! validated and the process exits non-zero on the first malformed
+//! artifact — the mode CI uses. Flight dumps must carry the
+//! `dcat-flight/v1` schema in their header; headerless or unknown-version
+//! dumps are rejected. Frame streams go through the same
+//! [`dcat_obs::frames::parse_stream`] validator `dcat-top --replay` uses.
 
+use dcat_obs::frames;
 use dcat_obs::json::{self, Value};
 use dcat_obs::promcheck;
 
@@ -94,12 +99,63 @@ fn dump_prometheus(path: &str, text: &str, check: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn dump_jsonl(path: &str, text: &str, check: bool) -> Result<(), String> {
-    let lines = promcheck::check_jsonl(text)?;
-    if check {
-        println!("{path}: OK jsonl ({lines} records)");
-        return Ok(());
+/// What a JSONL file claims to be, from its first non-empty line.
+enum JsonlKind {
+    Frames,
+    Flight,
+    /// Tick-shaped records with no `flight_header` — a pre-v1 dump.
+    HeaderlessFlight,
+    Generic,
+}
+
+fn classify_jsonl(text: &str) -> JsonlKind {
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    let Ok(v) = json::parse(first) else {
+        return JsonlKind::Generic;
+    };
+    match v.get("record").and_then(Value::as_str) {
+        Some("frames_header") | Some("frame") => JsonlKind::Frames,
+        Some("flight_header") => JsonlKind::Flight,
+        _ if v.get("tick").is_some() && v.get("spans").is_some() => JsonlKind::HeaderlessFlight,
+        _ => JsonlKind::Generic,
     }
+}
+
+fn dump_jsonl(path: &str, text: &str, check: bool) -> Result<(), String> {
+    let lines = match classify_jsonl(text) {
+        JsonlKind::Frames => {
+            let summary = frames::check_frames(text)?;
+            if check {
+                println!(
+                    "{path}: OK frames ({} segments, {} frames)",
+                    summary.segments, summary.frames
+                );
+                return Ok(());
+            }
+            summary.segments + summary.frames
+        }
+        JsonlKind::Flight => {
+            let ticks = frames::check_flight(text)?;
+            if check {
+                println!("{path}: OK flight ({ticks} ticks)");
+                return Ok(());
+            }
+            ticks + 1
+        }
+        JsonlKind::HeaderlessFlight => {
+            return Err(
+                "flight dump has no flight_header (headerless pre-v1 dump is rejected)".to_string(),
+            );
+        }
+        JsonlKind::Generic => {
+            let lines = promcheck::check_jsonl(text)?;
+            if check {
+                println!("{path}: OK jsonl ({lines} records)");
+                return Ok(());
+            }
+            lines
+        }
+    };
     println!("{path}: jsonl, {lines} records");
     for line in text.lines() {
         if line.trim().is_empty() {
@@ -115,10 +171,32 @@ fn summarize(v: &Value) -> String {
     if let Some(kind) = v.get("record").and_then(Value::as_str) {
         if kind == "flight_header" {
             return format!(
-                "flight header: capacity={} retained={} dropped={}",
+                "flight header: schema={} capacity={} retained={} dropped={}",
+                v.get("schema").and_then(Value::as_str).unwrap_or("?"),
                 num(v, "capacity"),
                 num(v, "retained"),
                 num(v, "dropped"),
+            );
+        }
+        if kind == "frames_header" {
+            return format!(
+                "frames header: schema={} source={}",
+                v.get("schema").and_then(Value::as_str).unwrap_or("?"),
+                v.get("source").and_then(Value::as_str).unwrap_or("?"),
+            );
+        }
+        if kind == "frame" {
+            let domains = match v.get("domains") {
+                Some(Value::Arr(d)) => d.len(),
+                _ => 0,
+            };
+            let degraded = matches!(v.get("degraded"), Some(Value::Bool(true)));
+            return format!(
+                "frame {:>6}: {domains} domains, cos={} ways_moved={}{}",
+                num(v, "tick"),
+                num(v, "cos"),
+                num(v, "ways_moved"),
+                if degraded { ", DEGRADED" } else { "" },
             );
         }
     }

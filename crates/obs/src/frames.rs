@@ -1,0 +1,706 @@
+//! `dcat-frames/v1`: a deterministic per-tick frame stream for `dcat-top`.
+//!
+//! One JSONL record per tick, carrying everything an operator watches
+//! live: per-domain way occupancy and CBM, Figure-6 state class, IPC vs.
+//! baseline, degraded-tick reason, quarantine status, and a policy
+//! decision summary (ways moved, COS count, LFOC clustering / Memshare
+//! ledger when those policies are active). The encoder lives here — below
+//! the daemon and the bench harness — so `run_daemon_observed` and
+//! `bench::scenario`/`bench::fleet` all emit identical bytes for
+//! identical ticks, and the determinism regression can diff streams
+//! across `--jobs` widths.
+//!
+//! A stream is a sequence of *segments*: a `frames_header` record
+//! (schema and source) followed by `frame` records with strictly
+//! increasing ticks.
+//! Concatenating streams concatenates segments, which is how multi-run
+//! exports (e.g. fig07's streaming/non-streaming pair) stay valid.
+//!
+//! [`parse_stream`] is the single validator: `obs-dump --check` and
+//! `dcat-top --replay` both go through it, so a stream the dashboard can
+//! step is exactly a stream CI accepts. [`check_flight`] is the matching
+//! validator for `dcat-flight/v1` recorder dumps.
+
+use crate::json::{self, array, Obj, Value};
+use std::collections::BTreeMap;
+
+/// Schema tag carried by every `frames_header` record.
+pub const FRAMES_SCHEMA: &str = "dcat-frames/v1";
+
+/// Schema tag carried by every `flight_header` record
+/// (see [`crate::recorder::FlightRecorder::dump_jsonl`]).
+pub const FLIGHT_SCHEMA: &str = "dcat-flight/v1";
+
+/// The state-machine class strings `dcat::state::WorkloadClass` renders;
+/// any other `class` value fails validation.
+pub const KNOWN_CLASSES: &[&str] = &[
+    "Keeper",
+    "Donor",
+    "Receiver",
+    "Streaming",
+    "Unknown",
+    "Reclaim",
+];
+
+/// Degraded-tick reasons `dcat::events::DegradeReason` renders.
+pub const KNOWN_REASONS: &[&str] = &["telemetry", "resctrl"];
+
+/// One domain's slice of a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainFrame {
+    pub name: String,
+    /// State-machine class, rendered (one of [`KNOWN_CLASSES`]).
+    pub class: String,
+    /// Ways currently granted.
+    pub ways: u32,
+    /// Raw capacity bitmask when the policy programs one.
+    pub cbm: Option<u64>,
+    pub ipc: f64,
+    /// IPC normalized to the recorded baseline, when a baseline exists.
+    pub norm_ipc: Option<f64>,
+    pub miss_rate: f64,
+    pub baseline_ipc: Option<f64>,
+    /// Domain is quarantined (telemetry dead, allocation frozen).
+    pub quarantined: bool,
+    /// This tick skipped the domain (no usable interval).
+    pub held: bool,
+}
+
+/// LFOC decision summary (present when the LFOC policy is active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfocExt {
+    /// Occupied sensitive clusters this tick.
+    pub clusters: u32,
+    /// Domains fenced into the shared insensitive bucket.
+    pub insensitive: u32,
+}
+
+/// Memshare ledger summary (present when the Memshare policy is active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemshareExt {
+    /// Ways currently lent out of their entitlements.
+    pub lent: u32,
+    pub credit_min: i64,
+    pub credit_max: i64,
+}
+
+/// Policy decision summary attached to every frame. The default is what
+/// a policy with no COS bookkeeping reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyExt {
+    /// COS (partitions) in use this tick; 0 when the policy has none.
+    pub cos: u32,
+    pub lfoc: Option<LfocExt>,
+    pub memshare: Option<MemshareExt>,
+}
+
+/// One tick of the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub tick: u64,
+    /// Policy name (e.g. `dcat`, `lfoc`, `static`).
+    pub policy: String,
+    pub degraded: bool,
+    /// Required when `degraded` (one of [`KNOWN_REASONS`]).
+    pub reason: Option<String>,
+    /// Total |Δways| vs. the previous frame ([`FrameWriter::push`] fills
+    /// this in; the first frame of a segment reports 0).
+    pub ways_moved: u32,
+    /// Events the daemon emitted this tick.
+    pub events: u64,
+    pub ext: PolicyExt,
+    pub domains: Vec<DomainFrame>,
+}
+
+/// Finite floats render `{v:?}`; non-finite render `null`, mirroring the
+/// metrics JSONL export.
+fn f64_raw(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_f64_raw(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), f64_raw)
+}
+
+fn opt_u64_raw(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+/// Render a segment header line (no trailing newline).
+pub fn header_line(source: &str) -> String {
+    Obj::new()
+        .str_field("record", "frames_header")
+        .str_field("schema", FRAMES_SCHEMA)
+        .str_field("source", source)
+        .finish()
+}
+
+fn encode_domain(d: &DomainFrame) -> String {
+    Obj::new()
+        .str_field("name", &d.name)
+        .str_field("class", &d.class)
+        .u64_field("ways", u64::from(d.ways))
+        .raw_field("cbm", &opt_u64_raw(d.cbm))
+        .raw_field("ipc", &f64_raw(d.ipc))
+        .raw_field("norm_ipc", &opt_f64_raw(d.norm_ipc))
+        .raw_field("miss_rate", &f64_raw(d.miss_rate))
+        .raw_field("baseline_ipc", &opt_f64_raw(d.baseline_ipc))
+        .bool_field("quarantined", d.quarantined)
+        .bool_field("held", d.held)
+        .finish()
+}
+
+/// Encode one frame as a single JSONL line (no trailing newline). Pure:
+/// the per-tick daemon cost of the export is exactly one call of this
+/// (tracked by the `frame_encode_tick` perfbench case).
+pub fn encode_frame(f: &Frame) -> String {
+    let mut obj = Obj::new()
+        .str_field("record", "frame")
+        .u64_field("tick", f.tick)
+        .str_field("policy", &f.policy)
+        .bool_field("degraded", f.degraded);
+    if let Some(reason) = &f.reason {
+        obj = obj.str_field("reason", reason);
+    }
+    obj = obj
+        .u64_field("ways_moved", u64::from(f.ways_moved))
+        .u64_field("cos", u64::from(f.ext.cos));
+    if let Some(l) = f.ext.lfoc {
+        let nested = Obj::new()
+            .u64_field("clusters", u64::from(l.clusters))
+            .u64_field("insensitive", u64::from(l.insensitive))
+            .finish();
+        obj = obj.raw_field("lfoc", &nested);
+    }
+    if let Some(m) = f.ext.memshare {
+        let nested = Obj::new()
+            .u64_field("lent", u64::from(m.lent))
+            .raw_field("credit_min", &m.credit_min.to_string())
+            .raw_field("credit_max", &m.credit_max.to_string())
+            .finish();
+        obj = obj.raw_field("memshare", &nested);
+    }
+    let domains: Vec<String> = f.domains.iter().map(encode_domain).collect();
+    obj.u64_field("events", f.events)
+        .raw_field("domains", &array(&domains))
+        .finish()
+}
+
+/// Incremental stream writer: emits the segment header at construction,
+/// computes `ways_moved` against the previous frame, and accumulates the
+/// rendered lines so batch producers (scenario, fleet) can hand the whole
+/// segment to the coordinator while live producers (`dcatd`) append each
+/// returned line to a file as it is produced.
+#[derive(Debug)]
+pub struct FrameWriter {
+    header: String,
+    buf: String,
+    prev_ways: BTreeMap<String, u32>,
+}
+
+impl FrameWriter {
+    /// Start a segment. `source` names the producer (`dcatd`,
+    /// `scenario:dcat`, `fleet-host:3`, ...).
+    pub fn new(source: &str) -> Self {
+        let mut header = header_line(source);
+        header.push('\n');
+        FrameWriter {
+            buf: header.clone(),
+            header,
+            prev_ways: BTreeMap::new(),
+        }
+    }
+
+    /// The rendered header line this writer opened with (with newline).
+    pub fn header(&self) -> &str {
+        &self.header
+    }
+
+    /// Fill in `ways_moved`, encode, append to the buffer, and return the
+    /// rendered line (newline-terminated) for incremental sinks.
+    pub fn push(&mut self, mut frame: Frame) -> String {
+        let mut moved = 0u32;
+        for d in &frame.domains {
+            let prev = self.prev_ways.get(&d.name).copied().unwrap_or(d.ways);
+            moved += d.ways.abs_diff(prev);
+        }
+        frame.ways_moved = moved;
+        self.prev_ways = frame
+            .domains
+            .iter()
+            .map(|d| (d.name.clone(), d.ways))
+            .collect();
+        let mut line = encode_frame(&frame);
+        line.push('\n');
+        self.buf.push_str(&line);
+        line
+    }
+
+    /// The whole segment rendered so far (header + frames, one per line).
+    pub fn buffer(&self) -> &str {
+        &self.buf
+    }
+
+    /// Drop the accumulated text (the `ways_moved` state is kept).
+    /// Incremental sinks that persist each line returned by
+    /// [`FrameWriter::push`] — a long-running `dcatd` — call this per tick
+    /// so the in-memory buffer stays bounded.
+    pub fn clear_buffer(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+impl Default for FrameWriter {
+    fn default() -> Self {
+        FrameWriter::new("unknown")
+    }
+}
+
+/// One validated segment of a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    pub source: String,
+    pub frames: Vec<Frame>,
+}
+
+/// Validation summary returned by [`check_frames`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramesSummary {
+    pub segments: usize,
+    pub frames: usize,
+}
+
+fn field<'v>(v: &'v Value, key: &str, line: usize) -> Result<&'v Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("line {line}: missing field '{key}'"))
+}
+
+fn num_field(v: &Value, key: &str, line: usize) -> Result<f64, String> {
+    field(v, key, line)?
+        .as_num()
+        .ok_or_else(|| format!("line {line}: field '{key}' is not a number"))
+}
+
+fn str_field(v: &Value, key: &str, line: usize) -> Result<String, String> {
+    Ok(field(v, key, line)?
+        .as_str()
+        .ok_or_else(|| format!("line {line}: field '{key}' is not a string"))?
+        .to_string())
+}
+
+fn bool_field(v: &Value, key: &str, line: usize) -> Result<bool, String> {
+    match field(v, key, line)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("line {line}: field '{key}' is not a bool")),
+    }
+}
+
+fn opt_num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_num)
+}
+
+fn parse_domain(v: &Value, line: usize) -> Result<DomainFrame, String> {
+    let class = str_field(v, "class", line)?;
+    if !KNOWN_CLASSES.contains(&class.as_str()) {
+        return Err(format!("line {line}: unknown state class '{class}'"));
+    }
+    Ok(DomainFrame {
+        name: str_field(v, "name", line)?,
+        class,
+        ways: num_field(v, "ways", line)? as u32,
+        cbm: opt_num(v, "cbm").map(|n| n as u64),
+        ipc: num_field(v, "ipc", line)?,
+        norm_ipc: opt_num(v, "norm_ipc"),
+        miss_rate: num_field(v, "miss_rate", line)?,
+        baseline_ipc: opt_num(v, "baseline_ipc"),
+        quarantined: bool_field(v, "quarantined", line)?,
+        held: bool_field(v, "held", line)?,
+    })
+}
+
+fn parse_frame(v: &Value, line: usize) -> Result<Frame, String> {
+    let degraded = bool_field(v, "degraded", line)?;
+    let reason = v.get("reason").and_then(Value::as_str).map(str::to_string);
+    if degraded {
+        match &reason {
+            Some(r) if KNOWN_REASONS.contains(&r.as_str()) => {}
+            Some(r) => return Err(format!("line {line}: unknown degrade reason '{r}'")),
+            None => return Err(format!("line {line}: degraded frame without a reason")),
+        }
+    }
+    let ext = PolicyExt {
+        cos: num_field(v, "cos", line)? as u32,
+        lfoc: match v.get("lfoc") {
+            Some(l) => Some(LfocExt {
+                clusters: num_field(l, "clusters", line)? as u32,
+                insensitive: num_field(l, "insensitive", line)? as u32,
+            }),
+            None => None,
+        },
+        memshare: match v.get("memshare") {
+            Some(m) => Some(MemshareExt {
+                lent: num_field(m, "lent", line)? as u32,
+                credit_min: num_field(m, "credit_min", line)? as i64,
+                credit_max: num_field(m, "credit_max", line)? as i64,
+            }),
+            None => None,
+        },
+    };
+    let domains = match field(v, "domains", line)? {
+        Value::Arr(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(parse_domain(item, line)?);
+            }
+            out
+        }
+        _ => return Err(format!("line {line}: field 'domains' is not an array")),
+    };
+    Ok(Frame {
+        tick: num_field(v, "tick", line)? as u64,
+        policy: str_field(v, "policy", line)?,
+        degraded,
+        reason,
+        ways_moved: num_field(v, "ways_moved", line)? as u32,
+        events: num_field(v, "events", line)? as u64,
+        ext,
+        domains,
+    })
+}
+
+/// Parse and validate a `dcat-frames/v1` stream. This is the one
+/// validator: `obs-dump --check` summarizes its result and
+/// `dcat-top --replay` renders its segments, so anything the dashboard
+/// can step is exactly what CI accepts. Enforced per segment: header
+/// first, known schema, strictly increasing ticks, known state classes,
+/// degraded frames carry a known reason.
+pub fn parse_stream(text: &str) -> Result<Vec<Segment>, String> {
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut last_tick: Option<u64> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(raw).map_err(|e| format!("line {line}: {e}"))?;
+        match v.get("record").and_then(Value::as_str) {
+            Some("frames_header") => {
+                let schema = str_field(&v, "schema", line)?;
+                if schema != FRAMES_SCHEMA {
+                    return Err(format!("line {line}: unsupported frames schema '{schema}'"));
+                }
+                segments.push(Segment {
+                    source: str_field(&v, "source", line)?,
+                    frames: Vec::new(),
+                });
+                last_tick = None;
+            }
+            Some("frame") => {
+                let seg = segments
+                    .last_mut()
+                    .ok_or_else(|| format!("line {line}: frame before any frames_header"))?;
+                let frame = parse_frame(&v, line)?;
+                if let Some(prev) = last_tick {
+                    if frame.tick <= prev {
+                        return Err(format!(
+                            "line {line}: tick {} is not greater than previous tick {prev}",
+                            frame.tick
+                        ));
+                    }
+                }
+                last_tick = Some(frame.tick);
+                seg.frames.push(frame);
+            }
+            Some(other) => {
+                return Err(format!("line {line}: unknown record kind '{other}'"));
+            }
+            None => return Err(format!("line {line}: missing 'record' field")),
+        }
+    }
+    if segments.is_empty() {
+        return Err("stream has no frames_header record".to_string());
+    }
+    Ok(segments)
+}
+
+/// Validate a frame stream and summarize it (the `obs-dump --check` path).
+pub fn check_frames(text: &str) -> Result<FramesSummary, String> {
+    let segments = parse_stream(text)?;
+    let frames = segments.iter().map(|s| s.frames.len()).sum();
+    Ok(FramesSummary {
+        segments: segments.len(),
+        frames,
+    })
+}
+
+/// One tick of a parsed flight-recorder dump, summarized for replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightTick {
+    pub tick: u64,
+    pub degraded: bool,
+    pub spans: usize,
+    /// Event summaries: the event name plus its domain or reason when one
+    /// is present (e.g. `domain_quarantined(vm3)`).
+    pub events: Vec<String>,
+}
+
+fn event_summary(v: &Value) -> String {
+    let name = v
+        .get("event")
+        .and_then(Value::as_str)
+        .unwrap_or("event")
+        .to_string();
+    let detail = v
+        .get("domain")
+        .or_else(|| v.get("reason"))
+        .and_then(Value::as_str);
+    match detail {
+        Some(d) => format!("{name}({d})"),
+        None => name,
+    }
+}
+
+/// Parse and validate a `dcat-flight/v1` recorder dump: a `flight_header`
+/// carrying the schema field first, then tick records with strictly
+/// increasing ticks. Headerless or unknown-version dumps are rejected —
+/// the satellite contract behind `obs-dump --check`.
+pub fn parse_flight(text: &str) -> Result<Vec<FlightTick>, String> {
+    let mut ticks: Vec<FlightTick> = Vec::new();
+    let mut saw_header = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(raw).map_err(|e| format!("line {line}: {e}"))?;
+        if !saw_header {
+            if v.get("record").and_then(Value::as_str) != Some("flight_header") {
+                return Err(format!(
+                    "line {line}: flight dump does not start with a flight_header (headerless pre-v1 dump?)"
+                ));
+            }
+            let schema = v.get("schema").and_then(Value::as_str).ok_or_else(|| {
+                format!("line {line}: flight_header has no schema field (pre-v1 dump)")
+            })?;
+            if schema != FLIGHT_SCHEMA {
+                return Err(format!("line {line}: unsupported flight schema '{schema}'"));
+            }
+            saw_header = true;
+            continue;
+        }
+        let tick = num_field(&v, "tick", line)? as u64;
+        if let Some(prev) = ticks.last() {
+            if tick <= prev.tick {
+                return Err(format!(
+                    "line {line}: tick {tick} is not greater than previous tick {}",
+                    prev.tick
+                ));
+            }
+        }
+        let spans = match field(&v, "spans", line)? {
+            Value::Arr(s) => s.len(),
+            _ => return Err(format!("line {line}: field 'spans' is not an array")),
+        };
+        let events = match field(&v, "events", line)? {
+            Value::Arr(e) => e.iter().map(event_summary).collect(),
+            _ => return Err(format!("line {line}: field 'events' is not an array")),
+        };
+        ticks.push(FlightTick {
+            tick,
+            degraded: bool_field(&v, "degraded", line)?,
+            spans,
+            events,
+        });
+    }
+    if !saw_header {
+        return Err("flight dump is empty (no flight_header)".to_string());
+    }
+    Ok(ticks)
+}
+
+/// Validate a flight dump and return the number of tick records.
+pub fn check_flight(text: &str) -> Result<usize, String> {
+    parse_flight(text).map(|ticks| ticks.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(name: &str, ways: u32) -> DomainFrame {
+        DomainFrame {
+            name: name.to_string(),
+            class: "Keeper".to_string(),
+            ways,
+            cbm: Some(0xf0),
+            ipc: 1.25,
+            norm_ipc: Some(1.01),
+            miss_rate: 0.02,
+            baseline_ipc: Some(1.23),
+            quarantined: false,
+            held: false,
+        }
+    }
+
+    fn frame(tick: u64, ways: &[u32]) -> Frame {
+        Frame {
+            tick,
+            policy: "dcat".to_string(),
+            degraded: false,
+            reason: None,
+            ways_moved: 0,
+            events: 0,
+            ext: PolicyExt {
+                cos: ways.len() as u32,
+                ..PolicyExt::default()
+            },
+            domains: ways
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| domain(&format!("vm{i}"), w))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn writer_emits_header_then_frames_and_computes_ways_moved() {
+        let mut w = FrameWriter::new("scenario:dcat");
+        let l1 = w.push(frame(1, &[4, 4]));
+        let l2 = w.push(frame(2, &[6, 2]));
+        assert!(l1.ends_with('\n') && l2.ends_with('\n'));
+        let segs = parse_stream(w.buffer()).expect("writer output validates");
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].source, "scenario:dcat");
+        // First frame of a segment moves nothing; the second moved
+        // |6-4| + |2-4| = 4 ways.
+        assert_eq!(segs[0].frames[0].ways_moved, 0);
+        assert_eq!(segs[0].frames[1].ways_moved, 4);
+        assert_eq!(w.header(), format!("{}\n", header_line("scenario:dcat")));
+    }
+
+    #[test]
+    fn fully_populated_frame_round_trips() {
+        let mut f = frame(9, &[3]);
+        f.degraded = true;
+        f.reason = Some("resctrl".to_string());
+        f.events = 2;
+        f.ways_moved = 1;
+        f.ext.lfoc = Some(LfocExt {
+            clusters: 3,
+            insensitive: 5,
+        });
+        f.ext.memshare = Some(MemshareExt {
+            lent: 4,
+            credit_min: -7,
+            credit_max: 12,
+        });
+        f.domains[0].quarantined = true;
+        f.domains[0].held = true;
+        f.domains[0].cbm = None;
+        f.domains[0].norm_ipc = None;
+        let line = encode_frame(&f);
+        let v = json::parse(&line).expect("frame encodes as JSON");
+        let back = parse_frame(&v, 1).expect("frame parses back");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let mut f = frame(1, &[2]);
+        f.domains[0].ipc = f64::NAN;
+        let line = encode_frame(&f);
+        assert!(line.contains("\"ipc\":null"));
+        json::parse(&line).expect("null ipc still parses");
+    }
+
+    #[test]
+    fn concatenated_segments_validate_and_reset_tick_monotonicity() {
+        let mut a = FrameWriter::new("scenario:a");
+        a.push(frame(1, &[4]));
+        a.push(frame(2, &[4]));
+        let mut b = FrameWriter::new("scenario:b");
+        b.push(frame(1, &[4]));
+        let text = format!("{}{}", a.buffer(), b.buffer());
+        let summary = check_frames(&text).expect("two segments validate");
+        assert_eq!(
+            summary,
+            FramesSummary {
+                segments: 2,
+                frames: 3
+            }
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_streams() {
+        // Headerless.
+        let bare = encode_frame(&frame(1, &[4]));
+        assert!(parse_stream(&bare).unwrap_err().contains("frames_header"));
+        // Unknown schema version.
+        let bad = "{\"record\":\"frames_header\",\"schema\":\"dcat-frames/v9\",\"source\":\"x\"}";
+        assert!(parse_stream(bad).unwrap_err().contains("unsupported"));
+        // Non-monotonic ticks.
+        let mut w = FrameWriter::new("x");
+        w.push(frame(2, &[4]));
+        w.push(frame(2, &[4]));
+        assert!(parse_stream(w.buffer())
+            .unwrap_err()
+            .contains("not greater"));
+        // Unknown state class.
+        let mut w = FrameWriter::new("x");
+        let mut f = frame(1, &[4]);
+        f.domains[0].class = "Sleeper".to_string();
+        w.push(f);
+        assert!(parse_stream(w.buffer())
+            .unwrap_err()
+            .contains("unknown state class"));
+        // Degraded without a reason.
+        let mut w = FrameWriter::new("x");
+        let mut f = frame(1, &[4]);
+        f.degraded = true;
+        w.push(f);
+        assert!(parse_stream(w.buffer())
+            .unwrap_err()
+            .contains("without a reason"));
+        // Empty input.
+        assert!(check_frames("").is_err());
+    }
+
+    #[test]
+    fn flight_validator_requires_versioned_header() {
+        let good = "{\"record\":\"flight_header\",\"schema\":\"dcat-flight/v1\",\"capacity\":4,\"retained\":1,\"dropped\":0}\n\
+                    {\"tick\":3,\"degraded\":false,\"spans\":[],\"events\":[{\"event\":\"domain_quarantined\",\"domain\":\"vm3\",\"after_ticks\":5}]}\n";
+        let ticks = parse_flight(good).expect("v1 dump validates");
+        assert_eq!(ticks.len(), 1);
+        assert_eq!(ticks[0].events, vec!["domain_quarantined(vm3)".to_string()]);
+
+        let headerless = "{\"tick\":3,\"degraded\":false,\"spans\":[],\"events\":[]}\n";
+        assert!(check_flight(headerless).unwrap_err().contains("headerless"));
+
+        let unversioned =
+            "{\"record\":\"flight_header\",\"capacity\":4,\"retained\":0,\"dropped\":0}\n";
+        assert!(check_flight(unversioned).unwrap_err().contains("schema"));
+
+        let wrong =
+            "{\"record\":\"flight_header\",\"schema\":\"dcat-flight/v2\",\"capacity\":4,\"retained\":0,\"dropped\":0}\n";
+        assert!(check_flight(wrong).unwrap_err().contains("unsupported"));
+
+        let regressing = format!(
+            "{}\n{}\n{}\n",
+            "{\"record\":\"flight_header\",\"schema\":\"dcat-flight/v1\",\"capacity\":4,\"retained\":2,\"dropped\":0}",
+            "{\"tick\":5,\"degraded\":false,\"spans\":[],\"events\":[]}",
+            "{\"tick\":4,\"degraded\":false,\"spans\":[],\"events\":[]}",
+        );
+        assert!(check_flight(&regressing)
+            .unwrap_err()
+            .contains("not greater"));
+    }
+}

@@ -17,14 +17,20 @@
 //!    `DomainQuarantined`, or daemon exit.
 //!
 //! [`json`] holds the hand-rolled escaping/builder/parser shared by all
-//! renderers, and [`promcheck`] the validators behind `obs-dump --check`.
+//! renderers, [`promcheck`] the validators behind `obs-dump --check`, and
+//! [`frames`] the `dcat-frames/v1` per-tick stream `dcat-top` renders.
 
+pub mod frames;
 pub mod json;
 pub mod metrics;
 pub mod promcheck;
 pub mod recorder;
 pub mod trace;
 
+pub use frames::{
+    check_flight, check_frames, DomainFrame, Frame, FrameWriter, FramesSummary, LfocExt,
+    MemshareExt, PolicyExt, FLIGHT_SCHEMA, FRAMES_SCHEMA,
+};
 pub use metrics::{
     write_text, FileSink, Histogram, MetricKey, MetricValue, MetricsSink, Registry, Snapshot,
     CYCLE_BUCKETS, DEFAULT_STEP_BUCKETS,

@@ -74,10 +74,12 @@ impl FlightRecorder {
     }
 
     /// Render the retained window as JSONL: a header line, then one line per
-    /// tick, oldest first.
+    /// tick, oldest first. The header carries the `dcat-flight/v1` schema
+    /// tag; `obs-dump --check` rejects dumps without it.
     pub fn dump_jsonl(&self) -> String {
         let mut out = Obj::new()
             .str_field("record", "flight_header")
+            .str_field("schema", crate::frames::FLIGHT_SCHEMA)
             .u64_field("capacity", self.capacity as u64)
             .u64_field("retained", self.ring.len() as u64)
             .u64_field("dropped", self.dropped)
@@ -122,6 +124,10 @@ mod tests {
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(lines.len(), 4);
         let header = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(|v| v.as_str()),
+            Some(crate::frames::FLIGHT_SCHEMA)
+        );
         assert_eq!(header.get("capacity").and_then(|v| v.as_num()), Some(3.0));
         assert_eq!(header.get("retained").and_then(|v| v.as_num()), Some(3.0));
         assert_eq!(header.get("dropped").and_then(|v| v.as_num()), Some(2.0));
@@ -149,5 +155,18 @@ mod tests {
         for line in fr.dump_jsonl().lines() {
             crate::json::parse(line).expect("dump line parses");
         }
+    }
+
+    #[test]
+    fn dumps_pass_the_flight_validator() {
+        let mut fr = FlightRecorder::new(8);
+        for t in 1..=4 {
+            fr.record(rec(t));
+        }
+        assert_eq!(crate::frames::check_flight(&fr.dump_jsonl()), Ok(4));
+        assert_eq!(
+            crate::frames::check_flight(&FlightRecorder::new(2).dump_jsonl()),
+            Ok(0)
+        );
     }
 }

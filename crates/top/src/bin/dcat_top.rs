@@ -1,0 +1,165 @@
+//! dcat-top — live operational dashboard for a dCat run.
+//!
+//! Usage:
+//!
+//! ```text
+//! dcat-top --replay <frames.jsonl | flight.jsonl> [--headless]
+//! dcat-top --follow <path> [--interval-ms <n>] [--max-ticks <n>] [--headless]
+//! ```
+//!
+//! `--replay` renders a recorded `dcat-frames/v1` stream (or a
+//! `dcat-flight/v1` recorder dump) in full and exits; `--follow` polls a
+//! growing file — typically the `--frames-out` target of a running
+//! `dcatd` — and redraws the latest frame as it lands. `--headless`
+//! disables ANSI color and screen clearing so output can be piped or
+//! byte-diffed (the CI golden check replays fig07's stream this way).
+//! `--max-ticks` ends a follow after that many frames, for scripted runs.
+//!
+//! Validation is `dcat_obs::frames::parse_stream`: a stream this tool
+//! renders is exactly a stream `obs-dump --check` accepts.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dcat_top::{render_frame, render_replay, RenderOptions, CLEAR_SCREEN};
+
+fn usage() -> &'static str {
+    "usage: dcat-top --replay <path> [--headless]\n\
+            dcat-top --follow <path> [--interval-ms <n>] [--max-ticks <n>] [--headless]"
+}
+
+struct Args {
+    replay: Option<String>,
+    follow: Option<String>,
+    interval: Duration,
+    max_ticks: Option<u64>,
+    headless: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        replay: None,
+        follow: None,
+        interval: Duration::from_millis(500),
+        max_ticks: None,
+        headless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--follow" => args.follow = Some(value("--follow")?),
+            "--interval-ms" => {
+                let raw = value("--interval-ms")?;
+                let ms: u64 = raw.parse().map_err(|e| format!("bad --interval-ms: {e}"))?;
+                args.interval = Duration::from_millis(ms);
+            }
+            "--max-ticks" => {
+                let raw = value("--max-ticks")?;
+                args.max_ticks = Some(raw.parse().map_err(|e| format!("bad --max-ticks: {e}"))?);
+            }
+            "--headless" => args.headless = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if args.replay.is_some() == args.follow.is_some() {
+        return Err(format!(
+            "exactly one of --replay / --follow is required\n{}",
+            usage()
+        ));
+    }
+    Ok(args)
+}
+
+fn replay(path: &str, opts: &RenderOptions) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let rendered = render_replay(&text, opts)?;
+    print!("{rendered}");
+    Ok(())
+}
+
+/// Follow mode: poll the file, and whenever new complete frames appear,
+/// redraw (interactive) or append (headless) them. The whole file is
+/// re-validated each poll through the shared parser — a frame stream is
+/// bounded by its run length, and correctness-over-cleverness is the
+/// right trade for an operator tool.
+fn follow(path: &str, args: &Args, opts: &RenderOptions) -> Result<(), String> {
+    let mut seen_bytes = 0usize;
+    let mut shown = 0u64;
+    let mut buf = String::new();
+    loop {
+        let mut file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        buf.clear();
+        file.read_to_string(&mut buf)
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        // Only consider complete lines: a writer mid-append leaves a
+        // partial tail that would fail the parser.
+        let complete = match buf.rfind('\n') {
+            Some(end) => &buf[..=end],
+            None => "",
+        };
+        if complete.len() != seen_bytes {
+            seen_bytes = complete.len();
+            let segments = dcat_obs::frames::parse_stream(complete)?;
+            let total: u64 = segments.iter().map(|s| s.frames.len() as u64).sum();
+            if total > shown {
+                if opts.color {
+                    // Redraw just the latest frame in place.
+                    if let Some(f) = segments.iter().rev().find_map(|s| s.frames.last()) {
+                        print!("{CLEAR_SCREEN}{}", render_frame(f, opts));
+                    }
+                } else {
+                    // Headless: append every frame not yet printed, in order.
+                    let mut index = 0u64;
+                    for seg in &segments {
+                        for f in &seg.frames {
+                            if index >= shown {
+                                print!("{}\n", render_frame(f, opts));
+                            }
+                            index += 1;
+                        }
+                    }
+                }
+                shown = total;
+            }
+        }
+        if let Some(max) = args.max_ticks {
+            if shown >= max {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = if args.headless {
+        RenderOptions::headless()
+    } else {
+        RenderOptions::interactive()
+    };
+    let run = match (&args.replay, &args.follow) {
+        (Some(path), _) => replay(path, &opts),
+        (_, Some(path)) => follow(path, &args, &opts),
+        _ => unreachable!("parse_args enforces one mode"),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dcat-top: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! dcat-top: terminal rendering for the `dcat-frames/v1` stream.
+//!
+//! The `dcat-top` binary is the operator's live view of a dCat run: it
+//! follows the frame stream a daemon writes (`dcatd --frames-out`) or
+//! replays a recorded stream / flight dump after the fact. Everything
+//! here renders to `String`s — the binary decides where the bytes go —
+//! so the headless output can be byte-diffed in CI against a golden
+//! snapshot, and the interactive mode is just the same table with ANSI
+//! color and a screen clear in front.
+//!
+//! Parsing and validation live in [`dcat_obs::frames`]; this crate never
+//! re-interprets the schema, so a stream `dcat-top` can render is exactly
+//! a stream `obs-dump --check` accepts.
+
+use dcat_obs::frames::{parse_flight, parse_stream, DomainFrame, Frame};
+
+/// How to paint the dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// ANSI color and emphasis. Off in `--headless` mode, where output
+    /// must be byte-stable for CI diffing.
+    pub color: bool,
+}
+
+impl RenderOptions {
+    /// Plain-text mode: no escape codes anywhere in the output.
+    pub fn headless() -> Self {
+        RenderOptions { color: false }
+    }
+
+    /// Interactive mode: color by state class, highlight anomalies.
+    pub fn interactive() -> Self {
+        RenderOptions { color: true }
+    }
+}
+
+/// SGR-paint `s` when color is on; identity otherwise. Padding happens
+/// before painting so escape codes never disturb column widths.
+fn paint(s: &str, code: &str, color: bool) -> String {
+    if color {
+        format!("\x1b[{code}m{s}\x1b[0m")
+    } else {
+        s.to_string()
+    }
+}
+
+/// Color code for a state-machine class (the Figure-6 palette).
+fn class_code(class: &str) -> &'static str {
+    match class {
+        "Keeper" => "32",    // green: holding its baseline
+        "Donor" => "36",     // cyan: giving ways back
+        "Receiver" => "33",  // yellow: growing
+        "Streaming" => "35", // magenta: capped
+        "Reclaim" => "31",   // red: under its contract
+        _ => "2",            // dim: Unknown
+    }
+}
+
+fn fmt_opt_f64(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.prec$}"),
+        _ => "-".to_string(),
+    }
+}
+
+fn fmt_cbm(cbm: Option<u64>) -> String {
+    cbm.map_or_else(|| "-".to_string(), |c| format!("0x{c:x}"))
+}
+
+fn domain_flags(d: &DomainFrame) -> String {
+    let mut flags = Vec::new();
+    if d.quarantined {
+        flags.push("QUAR");
+    }
+    if d.held {
+        flags.push("HELD");
+    }
+    if flags.is_empty() {
+        "-".to_string()
+    } else {
+        flags.join("+")
+    }
+}
+
+/// Occupancy bar: one `#` per way granted (the at-a-glance column).
+fn ways_bar(ways: u32) -> String {
+    "#".repeat(ways.min(32) as usize)
+}
+
+/// The one-line per-tick summary above the domain table: tick, policy,
+/// COS pressure, allocation churn, event count, the policy-specific
+/// extension, and the degraded flag when set.
+fn status_line(f: &Frame, opts: &RenderOptions) -> String {
+    let mut line = format!(
+        "tick {:>4}  policy {}  cos {}  ways_moved {}  events {}",
+        f.tick, f.policy, f.ext.cos, f.ways_moved, f.events
+    );
+    if let Some(l) = f.ext.lfoc {
+        line.push_str(&format!(
+            "  lfoc[clusters={} insensitive={}]",
+            l.clusters, l.insensitive
+        ));
+    }
+    if let Some(m) = f.ext.memshare {
+        line.push_str(&format!(
+            "  memshare[lent={} credit={}..{}]",
+            m.lent, m.credit_min, m.credit_max
+        ));
+    }
+    if f.degraded {
+        let reason = f.reason.as_deref().unwrap_or("unknown");
+        line.push_str("  ");
+        line.push_str(&paint(&format!("DEGRADED({reason})"), "1;31", opts.color));
+    }
+    line
+}
+
+/// Renders one frame as the full dashboard table (status line, column
+/// header, one row per domain). Pure: the same frame always renders the
+/// same bytes for the same options — the property the CI golden diff and
+/// the `--jobs` byte-identity regression lean on.
+pub fn render_frame(f: &Frame, opts: &RenderOptions) -> String {
+    let name_w = f
+        .domains
+        .iter()
+        .map(|d| d.name.len())
+        .chain(std::iter::once("DOMAIN".len()))
+        .max()
+        .unwrap_or(6);
+    let mut out = status_line(f, opts);
+    out.push('\n');
+    out.push_str(&paint(
+        &format!(
+            "{:<name_w$}  {:<9}  {:>4}  {:>8}  {:>7}  {:>6}  {:>6}  {:<9}  OCCUPANCY",
+            "DOMAIN", "CLASS", "WAYS", "CBM", "IPC", "NORM", "MISS%", "FLAGS"
+        ),
+        "4",
+        opts.color,
+    ));
+    out.push('\n');
+    for d in &f.domains {
+        let class = paint(&format!("{:<9}", d.class), class_code(&d.class), opts.color);
+        let flags = domain_flags(d);
+        let flags = if d.quarantined {
+            paint(&format!("{flags:<9}"), "1;31", opts.color)
+        } else {
+            format!("{flags:<9}")
+        };
+        out.push_str(&format!(
+            "{:<name_w$}  {class}  {:>4}  {:>8}  {:>7}  {:>6}  {:>6}  {flags}  {}\n",
+            d.name,
+            d.ways,
+            fmt_cbm(d.cbm),
+            fmt_opt_f64(Some(d.ipc), 3),
+            fmt_opt_f64(d.norm_ipc, 2),
+            fmt_opt_f64(Some(d.miss_rate * 100.0), 2),
+            ways_bar(d.ways),
+        ));
+    }
+    out
+}
+
+/// Renders a whole `dcat-frames/v1` stream, segment by segment, frame by
+/// frame — the `--replay` path. Returns the validator's error verbatim on
+/// a malformed stream.
+///
+/// # Errors
+///
+/// Anything [`parse_stream`] rejects: headerless streams, unknown schema
+/// versions, non-monotonic ticks, unknown state classes, degraded frames
+/// without a reason.
+pub fn render_stream(text: &str, opts: &RenderOptions) -> Result<String, String> {
+    let segments = parse_stream(text)?;
+    let mut out = String::new();
+    for seg in &segments {
+        out.push_str(&paint(
+            &format!("=== {} ({} frames) ===", seg.source, seg.frames.len()),
+            "1",
+            opts.color,
+        ));
+        out.push('\n');
+        for f in &seg.frames {
+            out.push_str(&render_frame(f, opts));
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a `dcat-flight/v1` recorder dump as a per-tick event timeline —
+/// the `--replay` fallback for anomaly-window dumps, which carry spans and
+/// events rather than full frames.
+///
+/// # Errors
+///
+/// Anything [`parse_flight`] rejects, including headerless pre-v1 dumps.
+pub fn render_flight(text: &str, opts: &RenderOptions) -> Result<String, String> {
+    let ticks = parse_flight(text)?;
+    let mut out = String::new();
+    out.push_str(&paint(
+        &format!("=== flight recorder ({} ticks) ===", ticks.len()),
+        "1",
+        opts.color,
+    ));
+    out.push('\n');
+    for t in &ticks {
+        let mut line = format!("tick {:>4}  spans {:>2}", t.tick, t.spans);
+        if t.degraded {
+            line.push_str("  ");
+            line.push_str(&paint("DEGRADED", "1;31", opts.color));
+        }
+        if !t.events.is_empty() {
+            line.push_str("  events: ");
+            line.push_str(&t.events.join(", "));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Classifies replay input by its first non-empty line, mirroring
+/// `obs-dump`'s sniffing: a frame stream, a flight dump, or neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// `dcat-frames/v1` (a `frames_header` / `frame` record first).
+    Frames,
+    /// `dcat-flight/v1` (a `flight_header` record first).
+    Flight,
+    /// Anything else — rejected with the validators' errors.
+    Unknown,
+}
+
+/// Sniffs which renderer applies to `text`.
+pub fn classify(text: &str) -> StreamKind {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.contains("\"record\":\"frames_header\"") || line.contains("\"record\":\"frame\"") {
+            return StreamKind::Frames;
+        }
+        if line.contains("\"record\":\"flight_header\"") {
+            return StreamKind::Flight;
+        }
+        return StreamKind::Unknown;
+    }
+    StreamKind::Unknown
+}
+
+/// Renders replay input of either supported kind.
+///
+/// # Errors
+///
+/// Unknown input kinds and anything the schema validators reject.
+pub fn render_replay(text: &str, opts: &RenderOptions) -> Result<String, String> {
+    match classify(text) {
+        StreamKind::Frames => render_stream(text, opts),
+        StreamKind::Flight => render_flight(text, opts),
+        StreamKind::Unknown => {
+            Err("input is neither a dcat-frames/v1 stream nor a dcat-flight/v1 dump".to_string())
+        }
+    }
+}
+
+/// ANSI sequence the live mode prints before each redraw: cursor home +
+/// clear to end of screen (not the scrollback-destroying full reset).
+pub const CLEAR_SCREEN: &str = "\x1b[H\x1b[J";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcat_obs::frames::{FrameWriter, LfocExt, MemshareExt, PolicyExt};
+
+    fn sample_frame() -> Frame {
+        Frame {
+            tick: 7,
+            policy: "dcat".to_string(),
+            degraded: true,
+            reason: Some("telemetry".to_string()),
+            ways_moved: 3,
+            events: 2,
+            ext: PolicyExt {
+                cos: 2,
+                lfoc: Some(LfocExt {
+                    clusters: 2,
+                    insensitive: 1,
+                }),
+                memshare: Some(MemshareExt {
+                    lent: 4,
+                    credit_min: -7,
+                    credit_max: 12,
+                }),
+            },
+            domains: vec![
+                DomainFrame {
+                    name: "tenant".to_string(),
+                    class: "Receiver".to_string(),
+                    ways: 5,
+                    cbm: Some(0x1f),
+                    ipc: 1.234,
+                    norm_ipc: Some(0.98),
+                    miss_rate: 0.0321,
+                    baseline_ipc: Some(1.26),
+                    quarantined: true,
+                    held: true,
+                },
+                DomainFrame {
+                    name: "lookbusy-0".to_string(),
+                    class: "Donor".to_string(),
+                    ways: 1,
+                    cbm: None,
+                    ipc: 0.5,
+                    norm_ipc: None,
+                    miss_rate: f64::NAN,
+                    baseline_ipc: None,
+                    quarantined: false,
+                    held: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn headless_render_is_plain_and_complete() {
+        let out = render_frame(&sample_frame(), &RenderOptions::headless());
+        assert!(!out.contains('\x1b'), "headless output has no ANSI codes");
+        assert!(out.contains("tick    7"));
+        assert!(out.contains("DEGRADED(telemetry)"));
+        assert!(out.contains("lfoc[clusters=2 insensitive=1]"));
+        assert!(out.contains("memshare[lent=4 credit=-7..12]"));
+        assert!(out.contains("Receiver"));
+        assert!(out.contains("0x1f"));
+        assert!(out.contains("QUAR+HELD"));
+        assert!(out.contains("#####"), "occupancy bar tracks ways");
+        assert!(out.contains("1.234"));
+        // NaN miss rate renders as the absent marker, not "NaN".
+        assert!(!out.contains("NaN"));
+    }
+
+    #[test]
+    fn interactive_render_paints_and_strips_to_headless() {
+        let color = render_frame(&sample_frame(), &RenderOptions::interactive());
+        assert!(color.contains("\x1b[33m"), "Receiver row is painted");
+        assert!(color.contains("\x1b[1;31m"), "anomalies are highlighted");
+        // Stripping the escapes recovers the headless bytes exactly —
+        // color is presentation-only.
+        let mut stripped = String::new();
+        let mut rest = color.as_str();
+        while let Some(start) = rest.find('\x1b') {
+            stripped.push_str(&rest[..start]);
+            let tail = &rest[start..];
+            let end = tail.find('m').expect("escape terminates") + 1;
+            rest = &tail[end..];
+        }
+        stripped.push_str(rest);
+        assert_eq!(
+            stripped,
+            render_frame(&sample_frame(), &RenderOptions::headless())
+        );
+    }
+
+    #[test]
+    fn replay_renders_streams_and_flight_dumps() {
+        let mut w = FrameWriter::new("scenario:dcat");
+        let mut f = sample_frame();
+        f.degraded = false;
+        f.reason = None;
+        // The stream validator requires numeric miss rates; the NaN in the
+        // fixture exists to exercise the renderer, not the encoder.
+        f.domains[1].miss_rate = 0.0;
+        w.push(f);
+        let text = w.into_string();
+        assert_eq!(classify(&text), StreamKind::Frames);
+        let out = render_replay(&text, &RenderOptions::headless()).expect("stream renders");
+        assert!(out.contains("=== scenario:dcat (1 frames) ==="));
+        assert!(out.contains("tenant"));
+
+        let flight = "{\"record\":\"flight_header\",\"schema\":\"dcat-flight/v1\",\"capacity\":4,\"retained\":1,\"dropped\":0}\n\
+                      {\"tick\":3,\"degraded\":true,\"spans\":[{}],\"events\":[{\"event\":\"domain_quarantined\",\"domain\":\"vm3\"}]}\n";
+        assert_eq!(classify(flight), StreamKind::Flight);
+        let out = render_replay(flight, &RenderOptions::headless()).expect("flight renders");
+        assert!(out.contains("=== flight recorder (1 ticks) ==="));
+        assert!(out.contains("DEGRADED"));
+        assert!(out.contains("domain_quarantined(vm3)"));
+
+        assert_eq!(classify("{\"record\":\"metric\"}"), StreamKind::Unknown);
+        assert!(render_replay("{\"record\":\"metric\"}", &RenderOptions::headless()).is_err());
+    }
+
+    #[test]
+    fn malformed_streams_surface_the_validator_error() {
+        let headerless = "{\"record\":\"frame\",\"tick\":1}";
+        let err = render_replay(headerless, &RenderOptions::headless()).unwrap_err();
+        assert!(err.contains("frames_header"), "got: {err}");
+    }
+}
